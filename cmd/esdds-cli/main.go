@@ -1,0 +1,224 @@
+// Command esdds-cli is an interactive client for an esdds cluster. It
+// opens an encrypted store over running esdds-node daemons (or an
+// in-process simulated cluster with -mem) and accepts commands on
+// stdin:
+//
+//	load <file> [limit]     bulk-load a Figure-4 directory file
+//	insert <rid> <content>  store one record
+//	get <rid>               fetch and decrypt one record
+//	delete <rid>            remove a record and its index
+//	search <substring>      encrypted substring search (filtered)
+//	rawsearch <substring>   encrypted search without client-side filter
+//	stats                   SDDS state (buckets, splits, IAMs)
+//	quit
+//
+// Because the LH* split coordinator lives in the client process, load
+// and search should run in one session.
+//
+// Example:
+//
+//	esdds-cli -mem 4 -passphrase secret <<EOF
+//	insert 7 SCHWARZ THOMAS
+//	search SCHWARZ
+//	EOF
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/esdds"
+	"repro/internal/phonebook"
+)
+
+func main() {
+	var (
+		nodes      = flag.String("nodes", "", "comma-separated node addresses (ID order)")
+		mem        = flag.Int("mem", 0, "use an in-process simulated cluster of this many nodes")
+		passphrase = flag.String("passphrase", "", "client master passphrase (required)")
+		chunkSize  = flag.Int("chunk", 4, "index chunk size S")
+		chunkings  = flag.Int("chunkings", 2, "number of chunkings M")
+		disperseK  = flag.Int("disperse", 1, "dispersion sites K")
+		symCodes   = flag.Int("symcodes", 0, "Stage-2 symbol encodings (0 = off)")
+		trainFile  = flag.String("train", "", "directory file to train the Stage-2 codebook on")
+	)
+	flag.Parse()
+	if *passphrase == "" {
+		fmt.Fprintln(os.Stderr, "esdds-cli: -passphrase is required")
+		os.Exit(2)
+	}
+
+	var cluster *esdds.Cluster
+	var err error
+	switch {
+	case *mem > 0:
+		cluster = esdds.NewMemoryCluster(*mem)
+	case *nodes != "":
+		addrs := make(map[int]string)
+		for i, a := range strings.Split(*nodes, ",") {
+			addrs[i] = strings.TrimSpace(a)
+		}
+		cluster, err = esdds.DialCluster(addrs)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "esdds-cli: need -nodes or -mem")
+		os.Exit(2)
+	}
+	defer cluster.Close()
+
+	var corpus [][]byte
+	if *symCodes > 0 {
+		if *trainFile == "" {
+			fatal(fmt.Errorf("-symcodes needs -train <directory file>"))
+		}
+		f, err := os.Open(*trainFile)
+		if err != nil {
+			fatal(err)
+		}
+		entries, err := phonebook.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		corpus = phonebook.Names(entries)
+	}
+
+	store, err := esdds.Open(cluster, esdds.KeyFromPassphrase(*passphrase), esdds.Config{
+		ChunkSize:       *chunkSize,
+		Chunkings:       *chunkings,
+		DispersionSites: *disperseK,
+		SymbolCodes:     *symCodes,
+	}, corpus)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("store open: S=%d M=%d K=%d, min query length %d\n",
+		*chunkSize, *chunkings, *disperseK, store.MinQueryLen())
+
+	repl(store)
+}
+
+func repl(store *esdds.Store) {
+	ctx := context.Background()
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "load":
+			file, limitStr, _ := strings.Cut(rest, " ")
+			limit := 0
+			if limitStr != "" {
+				limit, _ = strconv.Atoi(limitStr)
+			}
+			loadFile(ctx, store, file, limit)
+		case "insert":
+			ridStr, content, ok := strings.Cut(rest, " ")
+			if !ok {
+				fmt.Println("usage: insert <rid> <content>")
+				continue
+			}
+			rid, err := strconv.ParseUint(ridStr, 10, 64)
+			if err != nil {
+				fmt.Println("bad rid:", err)
+				continue
+			}
+			if err := store.Insert(ctx, rid, []byte(content)); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "get":
+			rid, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				fmt.Println("bad rid:", err)
+				continue
+			}
+			content, err := store.Get(ctx, rid)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%d: %s\n", rid, content)
+			}
+		case "delete":
+			rid, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				fmt.Println("bad rid:", err)
+				continue
+			}
+			if err := store.Delete(ctx, rid); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "search", "rawsearch":
+			var recs []esdds.Record
+			var err error
+			if cmd == "search" {
+				recs, err = store.SearchRecordsFiltered(ctx, []byte(rest), esdds.SearchFast)
+			} else {
+				recs, err = store.SearchRecords(ctx, []byte(rest), esdds.SearchFast)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for _, r := range recs {
+				fmt.Printf("%d: %s\n", r.RID, r.Content)
+			}
+			fmt.Printf("%d hit(s)\n", len(recs))
+		case "stats":
+			st := store.Stats()
+			fmt.Printf("record buckets %d (splits %d), index buckets %d (splits %d), IAMs %d\n",
+				st.RecordBuckets, st.RecordSplits, st.IndexBuckets, st.IndexSplits, st.IAMs)
+		default:
+			fmt.Println("commands: load insert get delete search rawsearch stats quit")
+		}
+	}
+}
+
+func loadFile(ctx context.Context, store *esdds.Store, file string, limit int) {
+	f, err := os.Open(file)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer f.Close()
+	entries, err := phonebook.Read(f)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if limit > 0 && limit < len(entries) {
+		entries = entries[:limit]
+	}
+	for _, e := range entries {
+		if err := store.Insert(ctx, e.RID(), []byte(e.Name)); err != nil {
+			fmt.Println("error at", e.Phone, ":", err)
+			return
+		}
+	}
+	fmt.Printf("loaded %d records\n", len(entries))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esdds-cli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Command esdds-datagen writes a synthetic SF-directory file in the
+// paper's Figure-4 layout (NAME%%%…PHONE$$, one record per line).
+//
+// Usage:
+//
+//	esdds-datagen -n 282965 -seed 20060403 -o directory.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/phonebook"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", experiments.PaperCorpusSize, "number of entries")
+		seed = flag.Int64("seed", experiments.DefaultSeed, "generator seed")
+		out  = flag.String("o", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	entries := phonebook.Generate(*n, *seed)
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esdds-datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := phonebook.Write(w, entries); err != nil {
+		fmt.Fprintln(os.Stderr, "esdds-datagen:", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(entries), *out)
+	}
+}

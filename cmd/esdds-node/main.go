@@ -1,0 +1,86 @@
+// Command esdds-node runs one storage node of the encrypted searchable
+// SDDS as a TCP daemon. Nodes hold no key material: they store sealed
+// records and opaque index pieces, and execute substring matching on
+// ciphertext.
+//
+// A 3-node cluster on one machine:
+//
+//	esdds-node -id 0 -listen 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	esdds-node -id 1 -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	esdds-node -id 2 -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//
+// The -peers list is positional: entry i is node i's address; every node
+// must receive the same list so LH* forwarding can reach any bucket.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/sdds"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		id     = flag.Int("id", 0, "this node's ID (index into -peers)")
+		listen = flag.String("listen", "127.0.0.1:7001", "listen address")
+		peers  = flag.String("peers", "", "comma-separated addresses of ALL nodes, in ID order")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "esdds-node: -peers is required")
+		os.Exit(2)
+	}
+	if *id < 0 || *id >= len(addrs) {
+		fmt.Fprintf(os.Stderr, "esdds-node: -id %d out of range for %d peers\n", *id, len(addrs))
+		os.Exit(2)
+	}
+	ids := make([]transport.NodeID, len(addrs))
+	dir := make(map[transport.NodeID]string, len(addrs))
+	for i, a := range addrs {
+		ids[i] = transport.NodeID(i)
+		dir[transport.NodeID(i)] = strings.TrimSpace(a)
+	}
+	place, err := sdds.NewPlacement(ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esdds-node:", err)
+		os.Exit(1)
+	}
+	peerTr := transport.NewTCP(dir)
+	defer peerTr.Close()
+
+	node := sdds.NewNode(transport.NodeID(*id), peerTr, place)
+	srv := transport.NewServer(node.Handler())
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esdds-node:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("esdds-node %d listening on %s (%d-node cluster)\n", *id, lis.Addr(), len(addrs))
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("esdds-node: shutting down")
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esdds-node:", err)
+			os.Exit(1)
+		}
+	}
+}

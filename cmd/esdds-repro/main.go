@@ -1,0 +1,130 @@
+// Command esdds-repro regenerates every table and figure of the paper's
+// evaluation section on the synthetic SF-directory corpus.
+//
+// Usage:
+//
+//	esdds-repro -all                 # every table and figure
+//	esdds-repro -table 3             # one table
+//	esdds-repro -figure 5            # the encoding-assignment figure
+//	esdds-repro -randomness          # §6 randomness-battery extension
+//	esdds-repro -n 282965 -all       # full paper-scale corpus
+//
+// The absolute χ² and false-positive numbers differ from the paper's
+// (the original SF White Pages directory is proprietary; this corpus is
+// a synthetic stand-in with the same statistical shape), but every
+// qualitative relationship the paper reports — orderings, trends, and
+// crossovers — reproduces. See EXPERIMENTS.md for the side-by-side
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cipherx"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 50000, "corpus size (paper: 282965)")
+		seed       = flag.Int64("seed", experiments.DefaultSeed, "corpus seed")
+		sampleN    = flag.Int("sample", 1000, "sample size for Tables 4/5 and Figure 5")
+		table      = flag.Int("table", 0, "regenerate one table (1-5)")
+		figure     = flag.Int("figure", 0, "regenerate one figure (5)")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		randomness = flag.Bool("randomness", false, "run the randomness-battery extension")
+		storage    = flag.Bool("storage", false, "run the §2.5 storage/accuracy trade-off ablation")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && *figure == 0 && !*randomness && !*storage {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating corpus: %d entries (seed %d)\n", *n, *seed)
+	start := time.Now()
+	corpus := experiments.NewCorpus(*n, *seed)
+	fmt.Printf("corpus ready in %v; alphabet %q\n\n", time.Since(start).Round(time.Millisecond), corpus.Alphabet)
+
+	sample := corpus.Sample(*sampleN, *seed+1)
+	key := cipherx.KeyFromPassphrase("esdds-repro")
+
+	run := func(id int) {
+		start := time.Now()
+		switch id {
+		case 1:
+			fmt.Print(experiments.RunTable1(corpus).Render())
+		case 2:
+			t2, err := experiments.RunTable2(corpus, key)
+			fail(err)
+			fmt.Print(t2.Render())
+		case 3:
+			rows, err := experiments.RunTable3(corpus)
+			fail(err)
+			fmt.Print(experiments.RenderTable3(rows))
+		case 4:
+			t4, err := experiments.RunTable4(sample)
+			fail(err)
+			fmt.Print(t4.Render())
+		case 5:
+			t5, err := experiments.RunTable5(sample)
+			fail(err)
+			fmt.Print(t5.Render())
+		}
+		fmt.Printf("  [table %d in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all {
+		for id := 1; id <= 5; id++ {
+			run(id)
+		}
+		fig, err := experiments.RunFigure5(sample)
+		fail(err)
+		fmt.Print(fig.Render())
+		fmt.Println()
+		res, err := experiments.RunRandomness(sample, key)
+		fail(err)
+		fmt.Print(res.Render())
+		fmt.Println()
+		rows, err := experiments.RunStorageTradeoff(sample, 4)
+		fail(err)
+		fmt.Print(experiments.RenderStorage(4, rows))
+		return
+	}
+	if *table != 0 {
+		if *table < 1 || *table > 5 {
+			fmt.Fprintln(os.Stderr, "tables are 1-5")
+			os.Exit(2)
+		}
+		run(*table)
+	}
+	if *figure != 0 {
+		if *figure != 5 {
+			fmt.Fprintln(os.Stderr, "only figure 5 carries data; figures 1-4 are diagrams/dataset extracts")
+			os.Exit(2)
+		}
+		fig, err := experiments.RunFigure5(sample)
+		fail(err)
+		fmt.Print(fig.Render())
+	}
+	if *randomness {
+		res, err := experiments.RunRandomness(sample, key)
+		fail(err)
+		fmt.Print(res.Render())
+	}
+	if *storage {
+		rows, err := experiments.RunStorageTradeoff(sample, 4)
+		fail(err)
+		fmt.Print(experiments.RenderStorage(4, rows))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esdds-repro:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,132 @@
+package esdds
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/sdds"
+	"repro/internal/transport"
+)
+
+// Cluster is a handle to a set of storage nodes: either an in-process
+// simulated multicomputer or real TCP daemons.
+type Cluster struct {
+	inner   *sdds.Cluster
+	servers []*transport.Server // only for in-process TCP test clusters
+	close   []func() error
+}
+
+// NewMemoryCluster simulates a multicomputer of n storage nodes inside
+// the current process. Every distributed code path (addressing,
+// forwarding, splits, scatter-gather search) runs exactly as it would
+// over a network.
+func NewMemoryCluster(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	mem := transport.NewMemory()
+	ids := make([]transport.NodeID, n)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	place, err := sdds.NewPlacement(ids)
+	if err != nil {
+		panic("esdds: " + err.Error()) // n >= 1 makes this impossible
+	}
+	for _, id := range ids {
+		node := sdds.NewNode(id, mem, place)
+		mem.Register(id, node.Handler())
+	}
+	return &Cluster{
+		inner: sdds.NewCluster(mem, place),
+		close: []func() error{mem.Close},
+	}
+}
+
+// DialCluster connects to running esdds-node daemons. addrs maps node
+// IDs (0..n-1, dense) to host:port addresses.
+func DialCluster(addrs map[int]string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("esdds: empty cluster address map")
+	}
+	ids := make([]transport.NodeID, 0, len(addrs))
+	dir := make(map[transport.NodeID]string, len(addrs))
+	for i := 0; i < len(addrs); i++ {
+		addr, ok := addrs[i]
+		if !ok {
+			return nil, fmt.Errorf("esdds: node IDs must be dense 0..n-1; missing %d", i)
+		}
+		ids = append(ids, transport.NodeID(i))
+		dir[transport.NodeID(i)] = addr
+	}
+	place, err := sdds.NewPlacement(ids)
+	if err != nil {
+		return nil, err
+	}
+	tcp := transport.NewTCP(dir)
+	return &Cluster{
+		inner: sdds.NewCluster(tcp, place),
+		close: []func() error{tcp.Close},
+	}, nil
+}
+
+// StartLocalTCPCluster spins up n real TCP node daemons on loopback in
+// this process and returns a cluster dialed to them — the quickest way
+// to exercise the full network stack. Close shuts the daemons down.
+func StartLocalTCPCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		n = 1
+	}
+	ids := make([]transport.NodeID, n)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	place, err := sdds.NewPlacement(ids)
+	if err != nil {
+		return nil, err
+	}
+	addrs := make(map[transport.NodeID]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range ids {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = lis
+		addrs[ids[i]] = lis.Addr().String()
+	}
+	peers := transport.NewTCP(addrs)
+	c := &Cluster{}
+	for i, id := range ids {
+		node := sdds.NewNode(id, peers, place)
+		srv := transport.NewServer(node.Handler())
+		c.servers = append(c.servers, srv)
+		go srv.Serve(listeners[i])
+	}
+	client := transport.NewTCP(addrs)
+	c.inner = sdds.NewCluster(client, place)
+	c.close = append(c.close, client.Close, peers.Close)
+	for _, srv := range c.servers {
+		c.close = append(c.close, srv.Close)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's node count.
+func (c *Cluster) Nodes() int {
+	return len(c.inner.Transport().Nodes())
+}
+
+// Close releases transports and stops any in-process daemons.
+func (c *Cluster) Close() error {
+	var first error
+	for _, fn := range c.close {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

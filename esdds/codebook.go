@@ -1,0 +1,116 @@
+package esdds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/encode"
+)
+
+// Codebook persistence. Stage-2 codebooks are trained on a corpus sample
+// and must be bit-identical across every client of a store — otherwise
+// one client's index pieces won't match another client's queries. Open
+// trains a fresh codebook when given a corpus; these helpers let the
+// first client persist the trained codebook and later clients load it
+// instead of retraining.
+
+// WriteCodebook serializes the store's Stage-2 codebook. It fails when
+// the store was opened without Stage-2 encoding.
+func (s *Store) WriteCodebook(w io.Writer) error {
+	cb := s.codebook()
+	if cb == nil {
+		return errors.New("esdds: store has no Stage-2 codebook")
+	}
+	_, err := cb.WriteTo(w)
+	return err
+}
+
+func (s *Store) codebook() *encode.Codebook {
+	p := s.pipeline.Params()
+	if p.SymbolCodebook != nil {
+		return p.SymbolCodebook
+	}
+	return p.ChunkCodebook
+}
+
+// OpenWithCodebook is Open for follow-up clients: instead of a training
+// corpus it takes a codebook previously saved with WriteCodebook. The
+// Config must request the same kind of encoding (SymbolCodes or
+// ChunkCodes) the codebook was trained for; counts and group sizes are
+// cross-checked.
+func OpenWithCodebook(cluster *Cluster, key Key, cfg Config, codebook io.Reader) (*Store, error) {
+	cb, err := encode.ReadCodebook(codebook)
+	if err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	switch {
+	case cfg.SymbolCodes > 0:
+		if cb.GroupSize() != 1 {
+			return nil, fmt.Errorf("esdds: codebook group size %d, want 1 for SymbolCodes", cb.GroupSize())
+		}
+		if cb.N() != cfg.SymbolCodes {
+			return nil, fmt.Errorf("esdds: codebook has %d codes, config wants %d", cb.N(), cfg.SymbolCodes)
+		}
+	case cfg.ChunkCodes > 0:
+		if cb.GroupSize() != cfg.ChunkSize {
+			return nil, fmt.Errorf("esdds: codebook group size %d, want ChunkSize %d", cb.GroupSize(), cfg.ChunkSize)
+		}
+		if cb.N() != cfg.ChunkCodes {
+			return nil, fmt.Errorf("esdds: codebook has %d codes, config wants %d", cb.N(), cfg.ChunkCodes)
+		}
+	default:
+		return nil, errors.New("esdds: config requests no Stage-2 encoding; use Open")
+	}
+	return openInternal(cluster, key, cfg, cb)
+}
+
+// SearchShort implements the paper's §2.3 workaround for queries one
+// symbol shorter than the chunk size: the query is expanded with every
+// alphabet symbol and the union of the results returned. The paper notes
+// this is "wasteful and might pose a security risk if an attacker snoops
+// network traffic" — it issues |alphabet| searches whose union
+// over-approximates the true result set. alphabet defaults to the
+// printable upper-case set used by the directory corpus when nil.
+func (s *Store) SearchShort(ctx context.Context, substring []byte, alphabet []byte) ([]uint64, error) {
+	if len(alphabet) == 0 {
+		alphabet = []byte(" &'-ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	}
+	want := s.MinQueryLen() - 1
+	if len(substring) != want {
+		return nil, fmt.Errorf("esdds: SearchShort needs exactly %d symbols (MinQueryLen-1), got %d",
+			want, len(substring))
+	}
+	union := make(map[uint64]bool)
+	q := make([]byte, len(substring)+1)
+	copy(q, substring)
+	for _, c := range alphabet {
+		q[len(substring)] = c
+		rids, err := s.Search(ctx, q, SearchFast)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rids {
+			union[r] = true
+		}
+	}
+	// A record may also end with the short query as its suffix (no
+	// following symbol). Those occurrences sit against the zero-padded
+	// tail, so probe with the padding symbol too.
+	q[len(substring)] = 0
+	rids, err := s.Search(ctx, q, SearchFast)
+	if err == nil {
+		for _, r := range rids {
+			union[r] = true
+		}
+	}
+	out := make([]uint64, 0, len(union))
+	for r := range union {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

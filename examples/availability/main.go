@@ -1,0 +1,85 @@
+// Availability: the LH*RS substrate in action. Four live LH* buckets
+// hold (encrypted) records; their snapshots are kept under Reed–Solomon
+// parity on two parity sites with delta-based updates. Two sites then
+// fail simultaneously, and a spare reconstructs both bucket images
+// bit-exactly from the survivors — the high-availability story of
+// LH*RS [LMS05] that the paper names as its storage substrate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cipherx"
+	"repro/internal/lhstar"
+	"repro/internal/phonebook"
+	"repro/internal/rs"
+)
+
+func main() {
+	const m, k = 4, 2
+	group, err := rs.NewBucketGroup(m, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parity group: %d data buckets + %d parity sites (survives any %d failures)\n\n", m, k, k)
+
+	// Four LH* buckets receiving sealed records; every update pushes the
+	// new snapshot through a delta-based parity update.
+	sealer := cipherx.NewRecordCipher(cipherx.KeyFromPassphrase("availability-demo"))
+	buckets := make([]*lhstar.Bucket, m)
+	for i := range buckets {
+		buckets[i] = lhstar.NewBucket(uint64(i), 2)
+	}
+	entries := phonebook.Generate(200, 42)
+	for _, e := range entries {
+		rid := e.RID()
+		i := int(rid % m)
+		sealed := sealer.Seal([]byte(e.Phone), []byte(e.Name))
+		buckets[i].Put(rid, sealed)
+		if err := group.Update(i, buckets[i].Snapshot()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ok, err := group.Scrub()
+	if err != nil || !ok {
+		log.Fatalf("scrub failed: %v %v", ok, err)
+	}
+	fmt.Printf("loaded %d sealed records across %d buckets; parity scrub clean\n", len(entries), m)
+	for i, b := range buckets {
+		fmt.Printf("  bucket %d: %d records\n", i, b.Len())
+	}
+
+	// Disaster: data site 1 and parity site 0 fail at once.
+	fmt.Println("\n*** sites lost: data bucket 1, parity site 0 ***")
+	shards := group.Shards()
+	shards[1] = nil   // data bucket 1
+	shards[m+0] = nil // parity site 0
+	if err := group.RecoverShards(shards); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := lhstar.RestoreBucket(shards[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spare site reconstructed bucket 1: %d records (was %d)\n",
+		restored.Len(), buckets[1].Len())
+
+	// Prove the payloads survived: decrypt a few reconstructed records.
+	fmt.Println("\ndecrypting reconstructed records:")
+	shown := 0
+	restored.Scan(func(key uint64, sealed []byte) bool {
+		for _, e := range entries {
+			if e.RID() == key {
+				name, err := sealer.Open([]byte(e.Phone), sealed)
+				if err != nil {
+					log.Fatalf("rid %d: %v", key, err)
+				}
+				fmt.Printf("  %s  %s\n", e.Phone, name)
+				shown++
+				break
+			}
+		}
+		return shown < 5
+	})
+}

@@ -1,0 +1,107 @@
+// Tuning: the paper's central trade-off, measured live. Sweeps the
+// Stage-2 encoding count and reports, for each setting, how random the
+// index looks (χ² of the encoded stream — lower is harder to attack)
+// against how many false positives searches suffer (higher cost). This
+// is Tables 4/5 reduced to a decision aid: pick the leftmost column
+// whose false-positive rate you can afford.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/esdds"
+	"repro/internal/phonebook"
+)
+
+func main() {
+	var (
+		n = flag.Int("n", 3000, "directory size")
+	)
+	flag.Parse()
+
+	entries := phonebook.Generate(*n, 20060403)
+	corpus := phonebook.Names(entries)
+	queries := make([][]byte, 0, len(entries))
+	for _, e := range entries {
+		queries = append(queries, []byte(e.LastName()))
+	}
+
+	fmt.Printf("sweep: %d records, querying every surname, chunk size 2, two chunkings\n\n", *n)
+	fmt.Printf("%-10s %12s %12s %12s %10s\n", "encodings", "raw hits", "true hits", "false pos", "FP rate")
+
+	ctx := context.Background()
+	for _, codes := range []int{8, 16, 32, 64, 128} {
+		cluster := esdds.NewMemoryCluster(4)
+		store, err := esdds.Open(cluster, esdds.KeyFromPassphrase("tuning"), esdds.Config{
+			ChunkSize:   2,
+			Chunkings:   2,
+			SymbolCodes: codes,
+		}, corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, e := range entries {
+			if err := store.Insert(ctx, uint64(i), []byte(e.Name)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var raw, trueHits int
+		for _, q := range queries {
+			if len(q) < store.MinQueryLen() {
+				continue
+			}
+			rids, err := store.Search(ctx, q, esdds.SearchFast)
+			if err != nil {
+				log.Fatal(err)
+			}
+			raw += len(rids)
+			for _, rid := range rids {
+				if bytes.Contains([]byte(entries[rid].Name), q) {
+					trueHits++
+				}
+			}
+		}
+		fp := raw - trueHits
+		fmt.Printf("%-10d %12d %12d %12d %9.2f%%\n", codes, raw, trueHits, fp,
+			100*float64(fp)/float64(raw))
+		cluster.Close()
+	}
+
+	fmt.Println("\nno Stage-2 encoding (exact index, maximal leakage):")
+	cluster := esdds.NewMemoryCluster(4)
+	defer cluster.Close()
+	store, err := esdds.Open(cluster, esdds.KeyFromPassphrase("tuning"), esdds.Config{
+		ChunkSize: 2,
+		Chunkings: 2,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range entries {
+		if err := store.Insert(ctx, uint64(i), []byte(e.Name)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var raw, trueHits int
+	for _, q := range queries {
+		if len(q) < store.MinQueryLen() {
+			continue
+		}
+		rids, err := store.Search(ctx, q, esdds.SearchFast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw += len(rids)
+		for _, rid := range rids {
+			if bytes.Contains([]byte(entries[rid].Name), q) {
+				trueHits++
+			}
+		}
+	}
+	fmt.Printf("%-10s %12d %12d %12d %9.2f%%\n", "none", raw, trueHits, raw-trueHits,
+		100*float64(raw-trueHits)/float64(raw))
+}

@@ -1,0 +1,247 @@
+// Package chunk implements the chunking geometry of the encrypted
+// searchable SDDS (Stage 1 of the paper, sections 2.1–2.5).
+//
+// A record content (RC) of symbols r_0 … r_{N-1} is cut into chunks of S
+// symbols at M different shifts ("chunkings"). Chunking j is shifted by
+// t_j = j·(S/M) symbols: it conceptually prepends t_j zero symbols and
+// then cuts consecutive S-symbol chunks, padding the final chunk with
+// zeros. Storing the M chunkings on M different index sites lets a
+// substring search proceed on encrypted chunks: a query is itself cut at
+// A different alignments into "series" of full chunks, and an occurrence
+// of the query at any record position lines up with exactly one
+// (chunking, alignment) pair when A = S/M alignments are generated.
+//
+// The package is purely geometric: it knows nothing about encryption,
+// encoding, or dispersion. Those stages consume the [][]byte chunk
+// sequences produced here.
+package chunk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pad is the padding symbol used to fill partial chunks, the "zero
+// symbol" of the paper. Records are zero-terminated strings, so Pad never
+// collides with a content symbol.
+const Pad byte = 0
+
+// Params fixes the chunking geometry for one index file.
+type Params struct {
+	// S is the chunk size in symbols. Must be >= 1.
+	S int
+	// M is the number of chunkings (index record variants per record).
+	// Must satisfy 1 <= M <= S and M | S. With M == S this is the basic
+	// scheme of §2.1; with M < S the storage-reduced scheme of §2.5.
+	M int
+	// DropPartial suppresses chunks that contain padding (the first
+	// chunk of any shifted chunking and the last chunk when the record
+	// length is not a multiple of S). This is the §2.1 countermeasure
+	// against frequency attacks on beginning/ending chunks, at the cost
+	// of not finding matches inside the suppressed regions.
+	DropPartial bool
+}
+
+// Validate checks the geometric constraints.
+func (p Params) Validate() error {
+	if p.S < 1 {
+		return fmt.Errorf("chunk: chunk size S=%d, want >= 1", p.S)
+	}
+	if p.M < 1 || p.M > p.S {
+		return fmt.Errorf("chunk: chunkings M=%d, want 1..S (S=%d)", p.M, p.S)
+	}
+	if p.S%p.M != 0 {
+		return fmt.Errorf("chunk: M=%d must divide S=%d", p.M, p.S)
+	}
+	return nil
+}
+
+// Alignments returns A = S/M, the number of query alignments needed so
+// that every occurrence position is covered by exactly one
+// (chunking, alignment) pair.
+func (p Params) Alignments() int { return p.S / p.M }
+
+// Shift returns t_j, the zero-padding shift of chunking j.
+func (p Params) Shift(j int) int {
+	if j < 0 || j >= p.M {
+		panic(fmt.Sprintf("chunk: chunking index %d out of range [0,%d)", j, p.M))
+	}
+	return j * (p.S / p.M)
+}
+
+// MinQueryLen returns the minimum query length searchable with the
+// minimal alignment set: S + S/M − 1. (§2.5: with S=8 and M=4 the
+// minimum is 9; with M=2 it is 11; with M=S it is S.)
+func (p Params) MinQueryLen() int { return p.S + p.Alignments() - 1 }
+
+// NumChunks returns the number of chunks chunking j produces for a record
+// of n symbols, before any DropPartial trimming.
+func (p Params) NumChunks(n, j int) int {
+	t := p.Shift(j)
+	return (n + t + p.S - 1) / p.S
+}
+
+// Chunked is one chunking of one record.
+type Chunked struct {
+	// J identifies the chunking (0 <= J < M).
+	J int
+	// FirstIndex is the chunk index of Chunks[0] within the untrimmed
+	// chunking; it is 1 when DropPartial removed a padded head chunk,
+	// else 0.
+	FirstIndex int
+	// Chunks holds the S-symbol chunks in order. Every chunk has length
+	// exactly S.
+	Chunks [][]byte
+}
+
+// Split produces chunking j of rc. The result's chunks are fresh slices;
+// rc is not retained.
+func Split(rc []byte, p Params, j int) Chunked {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	t := p.Shift(j)
+	n := len(rc)
+	total := (n + t + p.S - 1) / p.S
+	out := Chunked{J: j}
+	out.Chunks = make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		c := make([]byte, p.S)
+		// Chunk i covers RC positions [i*S - t, (i+1)*S - t).
+		for k := 0; k < p.S; k++ {
+			pos := i*p.S - t + k
+			if pos >= 0 && pos < n {
+				c[k] = rc[pos]
+			} else {
+				c[k] = Pad
+			}
+		}
+		out.Chunks = append(out.Chunks, c)
+	}
+	if p.DropPartial {
+		// Head chunk is padded iff t > 0; tail chunk iff (n+t) % S != 0.
+		if t > 0 && len(out.Chunks) > 0 {
+			out.Chunks = out.Chunks[1:]
+			out.FirstIndex = 1
+		}
+		if (n+t)%p.S != 0 && len(out.Chunks) > 0 {
+			out.Chunks = out.Chunks[:len(out.Chunks)-1]
+		}
+	}
+	return out
+}
+
+// SplitAll produces all M chunkings of rc.
+func SplitAll(rc []byte, p Params) []Chunked {
+	out := make([]Chunked, p.M)
+	for j := 0; j < p.M; j++ {
+		out[j] = Split(rc, p, j)
+	}
+	return out
+}
+
+// Series is one alignment of a query: the run of full S-symbol chunks
+// obtained after dropping the first A symbols of the query.
+type Series struct {
+	// A is the alignment: the number of query symbols skipped before the
+	// first full chunk.
+	A int
+	// Chunks holds the consecutive full chunks; every chunk has length
+	// exactly S and at least one chunk is present.
+	Chunks [][]byte
+}
+
+// ErrQueryTooShort reports a query shorter than the minimum searchable
+// length for the requested alignment set.
+var ErrQueryTooShort = errors.New("chunk: query too short for chunking geometry")
+
+// QuerySeries generates the alignment series for query q.
+//
+// If all is false, the minimal set of A = S/M alignments is generated
+// (§2.5 semantics: exactly one (chunking, alignment) pair matches per
+// occurrence, so a single site-side hit cannot be cross-checked and false
+// positives rise). If all is true, S alignments are generated (§2.3 basic
+// scheme: every chunking receives a matching series for a true
+// occurrence, so a coordinator can require all chunkings to agree).
+//
+// Every generated series contains at least one full chunk; if any
+// alignment in the requested set would produce an empty series,
+// ErrQueryTooShort is returned.
+func QuerySeries(q []byte, p Params, all bool) ([]Series, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	alignments := p.Alignments()
+	if all {
+		alignments = p.S
+	}
+	if len(q) < p.S+alignments-1 {
+		return nil, fmt.Errorf("%w: len %d < %d (S=%d, alignments=%d)",
+			ErrQueryTooShort, len(q), p.S+alignments-1, p.S, alignments)
+	}
+	out := make([]Series, 0, alignments)
+	for a := 0; a < alignments; a++ {
+		full := (len(q) - a) / p.S
+		s := Series{A: a, Chunks: make([][]byte, 0, full)}
+		for i := 0; i < full; i++ {
+			c := make([]byte, p.S)
+			copy(c, q[a+i*p.S:a+(i+1)*p.S])
+			s.Chunks = append(s.Chunks, c)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Locate maps an occurrence position in the record to the (alignment,
+// chunk index) pair at which chunking j would contain the query's series:
+// the first chunk boundary of chunking j at or after pos is at alignment
+// a = (−(pos + t_j)) mod S, chunk index i = (pos + a + t_j) / S.
+func Locate(pos int, p Params, j int) (a, chunkIdx int) {
+	t := p.Shift(j)
+	a = (p.S - (pos+t)%p.S) % p.S
+	chunkIdx = (pos + a + t) / p.S
+	return a, chunkIdx
+}
+
+// Position inverts Locate: the record position of an occurrence whose
+// series at alignment a matched starting at chunk index i of chunking j.
+func Position(p Params, j, a, i int) int {
+	return i*p.S - p.Shift(j) - a
+}
+
+// MatchChunking reports the chunking whose minimal-alignment series
+// (a < S/M) matches an occurrence at pos, together with that alignment
+// and chunk index. Exactly one chunking qualifies for any pos.
+func MatchChunking(pos int, p Params) (j, a, chunkIdx int) {
+	q := p.Alignments()
+	for j = 0; j < p.M; j++ {
+		a, chunkIdx = Locate(pos, p, j)
+		if a < q {
+			return j, a, chunkIdx
+		}
+	}
+	panic("chunk: no chunking covers position — geometry violated")
+}
+
+// ExpandShortQuery implements the paper's §2.3 "kludge" for queries of
+// length S−1: it returns the |alphabet| queries formed by appending each
+// alphabet symbol, each of which is then searchable at alignment 0. The
+// union of their results over-approximates the true result set. Queries
+// of other lengths are rejected.
+func ExpandShortQuery(q []byte, p Params, alphabet []byte) ([][]byte, error) {
+	if len(q) != p.S-1 {
+		return nil, fmt.Errorf("chunk: ExpandShortQuery needs length S-1=%d, got %d", p.S-1, len(q))
+	}
+	if len(alphabet) == 0 {
+		return nil, errors.New("chunk: empty alphabet")
+	}
+	out := make([][]byte, 0, len(alphabet))
+	for _, c := range alphabet {
+		qq := make([]byte, len(q)+1)
+		copy(qq, q)
+		qq[len(q)] = c
+		out = append(out, qq)
+	}
+	return out, nil
+}

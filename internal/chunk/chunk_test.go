@@ -1,0 +1,369 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{S: 4, M: 4}, true},
+		{Params{S: 4, M: 1}, true},
+		{Params{S: 8, M: 2}, true},
+		{Params{S: 8, M: 4}, true},
+		{Params{S: 1, M: 1}, true},
+		{Params{S: 0, M: 1}, false},
+		{Params{S: 4, M: 0}, false},
+		{Params{S: 4, M: 5}, false},
+		{Params{S: 8, M: 3}, false}, // M does not divide S
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	p := Params{S: 8, M: 4}
+	if p.Alignments() != 2 {
+		t.Errorf("Alignments = %d, want 2", p.Alignments())
+	}
+	if p.MinQueryLen() != 9 { // paper §2.5: s=8, 4 sites → min length s+1
+		t.Errorf("MinQueryLen = %d, want 9", p.MinQueryLen())
+	}
+	p2 := Params{S: 8, M: 2}
+	if p2.MinQueryLen() != 11 { // paper §2.5: two sites → min length s+3
+		t.Errorf("MinQueryLen = %d, want 11", p2.MinQueryLen())
+	}
+	wantShifts := []int{0, 2, 4, 6}
+	for j, w := range wantShifts {
+		if got := p.Shift(j); got != w {
+			t.Errorf("Shift(%d) = %d, want %d", j, got, w)
+		}
+	}
+}
+
+func TestShiftOutOfRangePanics(t *testing.T) {
+	p := Params{S: 4, M: 2}
+	for _, j := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shift(%d): expected panic", j)
+				}
+			}()
+			p.Shift(j)
+		}()
+	}
+}
+
+// TestPaperExampleSection22 mirrors §2.2 exactly: s=4, M=4 (basic
+// scheme), RC = "ABCDEFGHIJKLMNOPQRSTUVWXYZ".
+func TestPaperExampleSection22(t *testing.T) {
+	rc := []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	p := Params{S: 4, M: 4}
+	want := [][]string{
+		{"ABCD", "EFGH", "IJKL", "MNOP", "QRST", "UVWX", "YZ\x00\x00"},
+		{"\x00\x00\x00A", "BCDE", "FGHI", "JKLM", "NOPQ", "RSTU", "VWXY", "Z\x00\x00\x00"},
+		{"\x00\x00AB", "CDEF", "GHIJ", "KLMN", "OPQR", "STUV", "WXYZ"},
+		{"\x00ABC", "DEFG", "HIJK", "LMNO", "PQRS", "TUVW", "XYZ\x00"},
+	}
+	// Note: the paper lists chunkings in order offset 0, 1, 2, 3 — its
+	// "second chunked RC" has 3 leading zeros, i.e. shift 3 in our terms
+	// appears as its chunking #2. Our shift(j) = j, so our j=1 is the
+	// paper's fourth listing, j=3 the paper's second. Compare by shift.
+	byShift := map[int][]string{0: want[0], 3: want[1], 2: want[2], 1: want[3]}
+	for j := 0; j < 4; j++ {
+		got := Split(rc, p, j)
+		exp := byShift[p.Shift(j)]
+		if len(got.Chunks) != len(exp) {
+			t.Fatalf("chunking %d: %d chunks, want %d", j, len(got.Chunks), len(exp))
+		}
+		for i, c := range got.Chunks {
+			if string(c) != exp[i] {
+				t.Errorf("chunking %d chunk %d = %q, want %q", j, i, c, exp[i])
+			}
+		}
+		if got.FirstIndex != 0 {
+			t.Errorf("chunking %d FirstIndex = %d without DropPartial", j, got.FirstIndex)
+		}
+	}
+}
+
+// TestPaperExampleSection24 mirrors §2.4: query "BCDEFGHIJK" at s=4
+// with all alignments gives the four listed series.
+func TestPaperExampleSection24(t *testing.T) {
+	p := Params{S: 4, M: 4}
+	series, err := QuerySeries([]byte("BCDEFGHIJK"), p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"BCDE", "FGHI"},
+		{"CDEF", "GHIJ"},
+		{"DEFG", "HIJK"},
+		{"EFGH"},
+	}
+	if len(series) != 4 {
+		t.Fatalf("%d series, want 4", len(series))
+	}
+	for a, s := range series {
+		if s.A != a {
+			t.Errorf("series %d has A=%d", a, s.A)
+		}
+		if len(s.Chunks) != len(want[a]) {
+			t.Fatalf("series %d: %d chunks, want %d", a, len(s.Chunks), len(want[a]))
+		}
+		for i, c := range s.Chunks {
+			if string(c) != want[a][i] {
+				t.Errorf("series %d chunk %d = %q, want %q", a, i, c, want[a][i])
+			}
+		}
+	}
+}
+
+func TestSplitAllCount(t *testing.T) {
+	p := Params{S: 8, M: 4}
+	all := SplitAll([]byte("HELLO WORLD RECORD"), p)
+	if len(all) != 4 {
+		t.Fatalf("SplitAll returned %d chunkings, want 4", len(all))
+	}
+	for j, c := range all {
+		if c.J != j {
+			t.Errorf("chunking %d labelled J=%d", j, c.J)
+		}
+		for _, ch := range c.Chunks {
+			if len(ch) != p.S {
+				t.Errorf("chunk of length %d, want %d", len(ch), p.S)
+			}
+		}
+	}
+}
+
+func TestDropPartial(t *testing.T) {
+	p := Params{S: 4, M: 4, DropPartial: true}
+	rc := []byte("ABCDEFGHIJ") // 10 symbols
+
+	// Shift 0: chunks ABCD EFGH IJ00 → tail dropped.
+	c0 := Split(rc, p, 0)
+	if len(c0.Chunks) != 2 || c0.FirstIndex != 0 {
+		t.Fatalf("shift 0: got %d chunks, FirstIndex=%d", len(c0.Chunks), c0.FirstIndex)
+	}
+	if string(c0.Chunks[0]) != "ABCD" || string(c0.Chunks[1]) != "EFGH" {
+		t.Errorf("shift 0 chunks = %q %q", c0.Chunks[0], c0.Chunks[1])
+	}
+
+	// Shift 2 (j=2): 00AB CDEF GHIJ → head dropped, tail exact.
+	c2 := Split(rc, p, 2)
+	if len(c2.Chunks) != 2 || c2.FirstIndex != 1 {
+		t.Fatalf("shift 2: got %d chunks, FirstIndex=%d", len(c2.Chunks), c2.FirstIndex)
+	}
+	if string(c2.Chunks[0]) != "CDEF" || string(c2.Chunks[1]) != "GHIJ" {
+		t.Errorf("shift 2 chunks = %q %q", c2.Chunks[0], c2.Chunks[1])
+	}
+}
+
+func TestDropPartialTinyRecord(t *testing.T) {
+	// A record smaller than S with a shift leaves nothing after trimming.
+	p := Params{S: 8, M: 8, DropPartial: true}
+	c := Split([]byte("AB"), p, 3)
+	if len(c.Chunks) != 0 {
+		t.Errorf("expected no chunks, got %d", len(c.Chunks))
+	}
+}
+
+func TestQuerySeriesTooShort(t *testing.T) {
+	p := Params{S: 8, M: 4} // min length 9 for minimal set
+	if _, err := QuerySeries([]byte("12345678"), p, false); err == nil {
+		t.Error("8-symbol query accepted, want ErrQueryTooShort")
+	}
+	if _, err := QuerySeries([]byte("123456789"), p, false); err != nil {
+		t.Errorf("9-symbol query rejected: %v", err)
+	}
+	// Full alignment set needs S + S - 1 = 15.
+	if _, err := QuerySeries([]byte("12345678901234"), p, true); err == nil {
+		t.Error("14-symbol query accepted for full set, want error")
+	}
+	if _, err := QuerySeries([]byte("123456789012345"), p, true); err != nil {
+		t.Errorf("15-symbol query rejected for full set: %v", err)
+	}
+}
+
+func TestQuerySeriesInvalidParams(t *testing.T) {
+	if _, err := QuerySeries([]byte("abc"), Params{S: 4, M: 3}, false); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestLocatePositionInverse(t *testing.T) {
+	for _, p := range []Params{{S: 4, M: 4}, {S: 8, M: 4}, {S: 8, M: 2}, {S: 6, M: 3}, {S: 6, M: 1}} {
+		for j := 0; j < p.M; j++ {
+			for pos := 0; pos < 50; pos++ {
+				a, i := Locate(pos, p, j)
+				if a < 0 || a >= p.S {
+					t.Fatalf("%+v j=%d pos=%d: alignment %d out of range", p, j, pos, a)
+				}
+				if got := Position(p, j, a, i); got != pos {
+					t.Fatalf("%+v j=%d pos=%d: Position(Locate) = %d", p, j, pos, got)
+				}
+				// The chunk boundary property: pos + a + shift ≡ 0 (mod S).
+				if (pos+a+p.Shift(j))%p.S != 0 {
+					t.Fatalf("%+v j=%d pos=%d: boundary property violated", p, j, pos)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchChunkingUnique verifies the coverage theorem behind §2.5: for
+// every position exactly one chunking matches at an alignment below S/M.
+func TestMatchChunkingUnique(t *testing.T) {
+	for _, p := range []Params{{S: 8, M: 4}, {S: 8, M: 2}, {S: 8, M: 8}, {S: 8, M: 1}, {S: 6, M: 2}} {
+		q := p.Alignments()
+		for pos := 0; pos < 100; pos++ {
+			count := 0
+			var matchJ int
+			for j := 0; j < p.M; j++ {
+				a, _ := Locate(pos, p, j)
+				if a < q {
+					count++
+					matchJ = j
+				}
+			}
+			if count != 1 {
+				t.Fatalf("%+v pos=%d: %d chunkings match, want exactly 1", p, pos, count)
+			}
+			j, a, i := MatchChunking(pos, p)
+			if j != matchJ {
+				t.Fatalf("%+v pos=%d: MatchChunking = %d, want %d", p, pos, j, matchJ)
+			}
+			if Position(p, j, a, i) != pos {
+				t.Fatalf("%+v pos=%d: MatchChunking inconsistent with Position", p, pos)
+			}
+		}
+	}
+}
+
+// TestSeriesMatchesSplit is the end-to-end geometric invariant: if the
+// query occurs at position pos in the record, then the series at the
+// alignment Locate reports appears verbatim as consecutive chunks of the
+// matching chunking, starting at the reported chunk index.
+func TestSeriesMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ ")
+	for _, p := range []Params{{S: 4, M: 4}, {S: 4, M: 2}, {S: 8, M: 4}, {S: 6, M: 3}} {
+		for trial := 0; trial < 200; trial++ {
+			n := p.S*3 + rng.Intn(40)
+			rc := make([]byte, n)
+			for i := range rc {
+				rc[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			qlen := p.MinQueryLen() + rng.Intn(10)
+			if qlen > n {
+				continue
+			}
+			pos := rng.Intn(n - qlen + 1)
+			q := rc[pos : pos+qlen]
+
+			series, err := QuerySeries(q, p, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, a, idx := MatchChunking(pos, p)
+			var ser *Series
+			for i := range series {
+				if series[i].A == a {
+					ser = &series[i]
+				}
+			}
+			if ser == nil {
+				t.Fatalf("%+v: no series at alignment %d", p, a)
+			}
+			ck := Split(rc, p, j)
+			for i, sc := range ser.Chunks {
+				stored := ck.Chunks[idx+i]
+				if !bytes.Equal(sc, stored) {
+					t.Fatalf("%+v pos=%d: series chunk %d = %q, stored = %q", p, pos, i, sc, stored)
+				}
+			}
+		}
+	}
+}
+
+// Property: every chunking is a faithful, padded re-slicing — reading the
+// chunks back at the right offsets reconstructs the record.
+func TestSplitReconstructsQuick(t *testing.T) {
+	p := Params{S: 8, M: 4}
+	prop := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		for j := 0; j < p.M; j++ {
+			ck := Split(data, p, j)
+			t0 := p.Shift(j)
+			flat := bytes.Join(ck.Chunks, nil)
+			// flat = t0 pad bytes ∥ data ∥ tail pads.
+			if len(flat) < t0+len(data) {
+				return false
+			}
+			for i := 0; i < t0; i++ {
+				if flat[i] != Pad {
+					return false
+				}
+			}
+			if !bytes.Equal(flat[t0:t0+len(data)], data) {
+				return false
+			}
+			for _, b := range flat[t0+len(data):] {
+				if b != Pad {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandShortQuery(t *testing.T) {
+	p := Params{S: 4, M: 4}
+	got, err := ExpandShortQuery([]byte("ABC"), p, []byte("XY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != "ABCX" || string(got[1]) != "ABCY" {
+		t.Errorf("got %q", got)
+	}
+	if _, err := ExpandShortQuery([]byte("AB"), p, []byte("X")); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := ExpandShortQuery([]byte("ABC"), p, nil); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+}
+
+func TestNumChunks(t *testing.T) {
+	p := Params{S: 4, M: 4}
+	cases := []struct{ n, j, want int }{
+		{26, 0, 7}, // §2.2 first chunking: 7 chunks
+		{26, 3, 8}, // §2.2 shift-3 chunking: 8 chunks
+		{26, 2, 7},
+		{26, 1, 7},
+		{4, 0, 1},
+		{5, 0, 2},
+	}
+	for _, c := range cases {
+		if got := p.NumChunks(c.n, c.j); got != c.want {
+			t.Errorf("NumChunks(%d, %d) = %d, want %d", c.n, c.j, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package cipherx supplies the cryptographic primitives of the encrypted
+// searchable SDDS:
+//
+//   - deterministic "ECB-style" chunk ciphers — keyed pseudorandom
+//     permutations applied independently to each index-record chunk, so
+//     that equal plaintext chunks encrypt to equal ciphertext chunks and
+//     substring search degenerates to matching encrypted chunk runs
+//     (Stage 1 of the paper's scheme);
+//   - strong, authenticated record encryption for the record store site
+//     (AES-CTR with an SIV-style synthetic IV and HMAC-SHA256
+//     authentication), under which no searching is possible; and
+//   - key derivation, so a single client master key yields independent
+//     subkeys per file and per chunking.
+//
+// Chunk widths in the scheme are small (a chunk of s symbols encoded into
+// one of n code values occupies only a few bits), far below the 128-bit
+// AES block. For those widths the package provides a balanced Feistel
+// network over the bit string with an AES-based round function — the
+// standard construction for a small-domain PRP. For widths that are a
+// multiple of 128 bits, plain AES-ECB is used directly.
+package cipherx
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+)
+
+// KeySize is the size in bytes of all keys accepted by this package.
+const KeySize = 32
+
+// Key is a 256-bit secret key.
+type Key [KeySize]byte
+
+// ErrBadKey reports a malformed key.
+var ErrBadKey = errors.New("cipherx: key must be 32 bytes")
+
+// KeyFromBytes copies b into a Key. b must be exactly KeySize bytes.
+func KeyFromBytes(b []byte) (Key, error) {
+	var k Key
+	if len(b) != KeySize {
+		return k, ErrBadKey
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// KeyFromPassphrase derives a Key from an arbitrary passphrase. This is a
+// convenience for examples and tools; production deployments should supply
+// uniformly random keys.
+func KeyFromPassphrase(passphrase string) Key {
+	var k Key
+	sum := sha256.Sum256([]byte("esdds-passphrase-v1\x00" + passphrase))
+	copy(k[:], sum[:])
+	return k
+}
+
+// DeriveKey derives an independent subkey from master for the given label.
+// Distinct labels yield (computationally) independent keys; the
+// construction is HMAC-SHA256(master, label), a one-step HKDF-Expand.
+func DeriveKey(master Key, label string) Key {
+	mac := hmac.New(sha256.New, master[:])
+	mac.Write([]byte(label))
+	var k Key
+	copy(k[:], mac.Sum(nil))
+	return k
+}
+
+// DeriveKeyN derives a numbered subkey, e.g. one key per chunking or per
+// dispersal site.
+func DeriveKeyN(master Key, label string, n uint32) Key {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], n)
+	return DeriveKey(master, label+"\x00"+string(buf[:]))
+}

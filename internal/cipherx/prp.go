@@ -1,0 +1,348 @@
+package cipherx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// ChunkCipher is a deterministic keyed permutation over fixed-width bit
+// values. Encrypt and Decrypt must be inverses and safe for concurrent
+// use.
+//
+// Index-record generation applies a ChunkCipher independently to every
+// chunk of every chunking ("Electronic Code Book" in the paper), which is
+// exactly what makes encrypted substring matching possible — and what
+// Stage 2 (redundancy removal) and Stage 3 (dispersion) then harden
+// against frequency analysis.
+type ChunkCipher interface {
+	// BlockBits returns the permutation's domain width in bits.
+	BlockBits() uint
+	// EncryptBits maps a value with BlockBits significant bits to another
+	// value in the same domain.
+	EncryptBits(x uint64) uint64
+	// DecryptBits inverts EncryptBits.
+	DecryptBits(x uint64) uint64
+}
+
+// feistelRounds is the number of Feistel rounds. Ten rounds of a balanced
+// Feistel network with domain-separated PRF rounds is comfortably beyond
+// the Luby–Rackoff bound for a strong PRP.
+const feistelRounds = 10
+
+// BitPRP is a keyed pseudorandom permutation over w-bit values,
+// 1 <= w <= 64. It is a balanced Feistel network over the width rounded
+// up to an even number of bits, with AES-256 as the round function;
+// odd-width domains are handled by cycle-walking, which preserves the
+// permutation property exactly.
+type BitPRP struct {
+	width    uint   // external domain width
+	halfBits uint   // feistel half width (of the rounded-up even width)
+	halfMask uint64 // mask of halfBits bits
+	domMask  uint64 // mask of width bits
+	rounds   int
+	block    cipher.Block
+}
+
+var _ ChunkCipher = (*BitPRP)(nil)
+
+// NewBitPRP constructs the PRP for the given key and width in bits.
+func NewBitPRP(key Key, widthBits uint) (*BitPRP, error) {
+	if widthBits < 1 || widthBits > 64 {
+		return nil, fmt.Errorf("cipherx: BitPRP width %d out of range 1..64", widthBits)
+	}
+	b, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	even := widthBits
+	if even%2 == 1 {
+		even++
+	}
+	if even < 2 {
+		even = 2
+	}
+	return &BitPRP{
+		width:    widthBits,
+		halfBits: even / 2,
+		halfMask: mask64(even / 2),
+		domMask:  mask64(widthBits),
+		rounds:   feistelRounds,
+		block:    b,
+	}, nil
+}
+
+func mask64(bits uint) uint64 {
+	if bits == 0 {
+		return 0
+	}
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<bits - 1
+}
+
+// BlockBits returns the domain width in bits.
+func (p *BitPRP) BlockBits() uint { return p.width }
+
+// roundF is the Feistel round function: AES(round ∥ width ∥ half)
+// truncated to half width. AES under a secret key is a PRF on distinct
+// inputs; the round counter and width domain-separate rounds and
+// instances.
+func (p *BitPRP) roundF(round int, half uint64) uint64 {
+	var in, out [16]byte
+	in[0] = byte(round)
+	in[1] = byte(p.width)
+	binary.BigEndian.PutUint64(in[8:], half)
+	p.block.Encrypt(out[:], in[:])
+	return binary.BigEndian.Uint64(out[:8]) & p.halfMask
+}
+
+// feistelOnce applies the balanced Feistel network forward over the
+// rounded-up even width.
+func (p *BitPRP) feistelOnce(x uint64) uint64 {
+	l := (x >> p.halfBits) & p.halfMask
+	r := x & p.halfMask
+	for i := 0; i < p.rounds; i++ {
+		l, r = r, l^p.roundF(i, r)
+	}
+	return l<<p.halfBits | r
+}
+
+// feistelOnceInv applies the network backward.
+func (p *BitPRP) feistelOnceInv(x uint64) uint64 {
+	l := (x >> p.halfBits) & p.halfMask
+	r := x & p.halfMask
+	for i := p.rounds - 1; i >= 0; i-- {
+		l, r = r^p.roundF(i, l), l
+	}
+	return l<<p.halfBits | r
+}
+
+// EncryptBits applies the permutation. Bits above the width must be zero.
+func (p *BitPRP) EncryptBits(x uint64) uint64 {
+	if x&^p.domMask != 0 {
+		panic(fmt.Sprintf("cipherx: value %#x exceeds %d-bit domain", x, p.width))
+	}
+	// Cycle-walk: the Feistel domain may be one bit wider than ours; keep
+	// applying the permutation until the result falls back inside. The
+	// walk re-enters the domain because the cycle containing x does.
+	y := p.feistelOnce(x)
+	for y&^p.domMask != 0 {
+		y = p.feistelOnce(y)
+	}
+	return y
+}
+
+// DecryptBits inverts EncryptBits.
+func (p *BitPRP) DecryptBits(x uint64) uint64 {
+	if x&^p.domMask != 0 {
+		panic(fmt.Sprintf("cipherx: value %#x exceeds %d-bit domain", x, p.width))
+	}
+	y := p.feistelOnceInv(x)
+	for y&^p.domMask != 0 {
+		y = p.feistelOnceInv(y)
+	}
+	return y
+}
+
+// ByteCipher is a deterministic keyed permutation over fixed-length byte
+// chunks, the form used for Stage-1 ECB over raw symbol chunks.
+type ByteCipher interface {
+	// ChunkLen returns the chunk length in bytes.
+	ChunkLen() int
+	// Encrypt writes the permuted chunk into dst. len(src) and len(dst)
+	// must both equal ChunkLen; dst may alias src.
+	Encrypt(dst, src []byte)
+	// Decrypt inverts Encrypt with the same length contract.
+	Decrypt(dst, src []byte)
+}
+
+// bitByteCipher adapts a BitPRP to byte chunks of length <= 8.
+type bitByteCipher struct {
+	prp *BitPRP
+	n   int
+}
+
+func (c *bitByteCipher) ChunkLen() int { return c.n }
+
+func (c *bitByteCipher) Encrypt(dst, src []byte) {
+	c.checkLens(dst, src)
+	putUintBE(dst, c.prp.EncryptBits(uintBE(src)), c.n)
+}
+
+func (c *bitByteCipher) Decrypt(dst, src []byte) {
+	c.checkLens(dst, src)
+	putUintBE(dst, c.prp.DecryptBits(uintBE(src)), c.n)
+}
+
+func (c *bitByteCipher) checkLens(dst, src []byte) {
+	if len(dst) != c.n || len(src) != c.n {
+		panic(fmt.Sprintf("cipherx: chunk length must be %d (dst %d, src %d)", c.n, len(dst), len(src)))
+	}
+}
+
+func uintBE(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+func putUintBE(b []byte, v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// aesECBCipher is AES applied to exactly one 16-byte chunk — true ECB.
+type aesECBCipher struct {
+	block cipher.Block
+}
+
+func (c *aesECBCipher) ChunkLen() int { return aes.BlockSize }
+
+func (c *aesECBCipher) Encrypt(dst, src []byte) {
+	if len(dst) != aes.BlockSize || len(src) != aes.BlockSize {
+		panic("cipherx: AES-ECB chunk must be 16 bytes")
+	}
+	c.block.Encrypt(dst, src)
+}
+
+func (c *aesECBCipher) Decrypt(dst, src []byte) {
+	if len(dst) != aes.BlockSize || len(src) != aes.BlockSize {
+		panic("cipherx: AES-ECB chunk must be 16 bytes")
+	}
+	c.block.Decrypt(dst, src)
+}
+
+// byteFeistelCipher is a balanced Feistel network over byte strings of
+// arbitrary fixed length >= 2, with an HMAC-SHA256-based round function
+// extended in counter mode to the half length. It covers chunk lengths
+// between 9 and 15 bytes and lengths above 16 that are not AES blocks.
+type byteFeistelCipher struct {
+	n      int
+	lh     int // left half length (ceil)
+	rh     int // right half length (floor)
+	rounds int
+	macKey [32]byte
+}
+
+func newByteFeistel(key Key, n int) *byteFeistelCipher {
+	c := &byteFeistelCipher{
+		n:      n,
+		lh:     (n + 1) / 2,
+		rh:     n / 2,
+		rounds: feistelRounds,
+	}
+	sub := DeriveKey(key, "byte-feistel")
+	copy(c.macKey[:], sub[:])
+	return c
+}
+
+func (c *byteFeistelCipher) ChunkLen() int { return c.n }
+
+// prf fills out with a keystream derived from (round, in).
+func (c *byteFeistelCipher) prf(round int, in, out []byte) {
+	var ctr uint32
+	off := 0
+	for off < len(out) {
+		mac := hmac.New(sha256.New, c.macKey[:])
+		var hdr [9]byte
+		hdr[0] = byte(round)
+		binary.BigEndian.PutUint32(hdr[1:5], uint32(c.n))
+		binary.BigEndian.PutUint32(hdr[5:9], ctr)
+		mac.Write(hdr[:])
+		mac.Write(in)
+		sum := mac.Sum(nil)
+		off += copy(out[off:], sum)
+		ctr++
+	}
+}
+
+// Encrypt applies the network. For unequal half lengths we use the
+// alternating unbalanced Feistel: even rounds XOR a PRF of the right half
+// into the left half, odd rounds the reverse. Each round is trivially
+// invertible, so the composition is a permutation.
+func (c *byteFeistelCipher) Encrypt(dst, src []byte) {
+	c.checkLens(dst, src)
+	l := append([]byte(nil), src[:c.lh]...)
+	r := append([]byte(nil), src[c.lh:]...)
+	tmp := make([]byte, c.lh)
+	for i := 0; i < c.rounds; i++ {
+		if i%2 == 0 {
+			c.prf(i, r, tmp[:c.lh])
+			for j := range l {
+				l[j] ^= tmp[j]
+			}
+		} else {
+			c.prf(i, l, tmp[:c.rh])
+			for j := range r {
+				r[j] ^= tmp[j]
+			}
+		}
+	}
+	copy(dst, l)
+	copy(dst[c.lh:], r)
+}
+
+// Decrypt inverts Encrypt by replaying rounds in reverse order.
+func (c *byteFeistelCipher) Decrypt(dst, src []byte) {
+	c.checkLens(dst, src)
+	l := append([]byte(nil), src[:c.lh]...)
+	r := append([]byte(nil), src[c.lh:]...)
+	tmp := make([]byte, c.lh)
+	for i := c.rounds - 1; i >= 0; i-- {
+		if i%2 == 0 {
+			c.prf(i, r, tmp[:c.lh])
+			for j := range l {
+				l[j] ^= tmp[j]
+			}
+		} else {
+			c.prf(i, l, tmp[:c.rh])
+			for j := range r {
+				r[j] ^= tmp[j]
+			}
+		}
+	}
+	copy(dst, l)
+	copy(dst[c.lh:], r)
+}
+
+func (c *byteFeistelCipher) checkLens(dst, src []byte) {
+	if len(dst) != c.n || len(src) != c.n {
+		panic(fmt.Sprintf("cipherx: chunk length must be %d (dst %d, src %d)", c.n, len(dst), len(src)))
+	}
+}
+
+// NewByteCipher returns a deterministic permutation over chunks of exactly
+// chunkLen bytes:
+//
+//   - 1..8 bytes: BitPRP over 8*chunkLen bits,
+//   - 16 bytes: AES-256 in true ECB (one chunk = one block),
+//   - anything else >= 2: byte-level Feistel network.
+func NewByteCipher(key Key, chunkLen int) (ByteCipher, error) {
+	switch {
+	case chunkLen < 1:
+		return nil, fmt.Errorf("cipherx: invalid chunk length %d", chunkLen)
+	case chunkLen <= 8:
+		prp, err := NewBitPRP(key, uint(chunkLen)*8)
+		if err != nil {
+			return nil, err
+		}
+		return &bitByteCipher{prp: prp, n: chunkLen}, nil
+	case chunkLen == aes.BlockSize:
+		b, err := aes.NewCipher(key[:])
+		if err != nil {
+			return nil, err
+		}
+		return &aesECBCipher{block: b}, nil
+	default:
+		return newByteFeistel(key, chunkLen), nil
+	}
+}

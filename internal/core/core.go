@@ -1,0 +1,397 @@
+// Package core composes the three stages of the paper's encrypted
+// searchable index into a single pipeline:
+//
+//	record content (RC)
+//	  → optional Stage-2 symbol encoding        (internal/encode)
+//	  → Stage-1 chunking at M shifts            (internal/chunk)
+//	  → optional Stage-2 chunk-level encoding   (internal/encode)
+//	  → Stage-1 ECB encryption per chunk        (internal/cipherx)
+//	  → Stage-3 dispersion into K piece streams (internal/disperse)
+//
+// The output of indexing one record is M index records (one per
+// chunking), each dispersed into K piece streams destined for K
+// dispersion sites. A query runs through the same pipeline to produce,
+// per alignment series, K piece patterns; a site matches its pattern
+// against its streams by exact consecutive-piece comparison, and the
+// coordinator combines per-site hits (all K sites of one chunking must
+// agree at the same offset).
+//
+// The package also provides MemIndex, a single-process reference
+// implementation of the full store/search semantics. The distributed
+// implementation in internal/sdds must agree with it result-for-result,
+// which the integration tests assert.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chunk"
+	"repro/internal/cipherx"
+	"repro/internal/disperse"
+	"repro/internal/encode"
+)
+
+// Params configures the index pipeline for one index file.
+type Params struct {
+	// Chunk fixes the Stage-1 geometry (chunk size S, chunkings M,
+	// partial-chunk suppression).
+	Chunk chunk.Params
+
+	// SymbolCodebook, when non-nil, applies Stage-2 redundancy removal
+	// at the symbol level before chunking: every RC byte is replaced by
+	// its code value. The codebook must have GroupSize 1 and at most 256
+	// codes. This is the configuration of the paper's Table 4.
+	SymbolCodebook *encode.Codebook
+
+	// ChunkCodebook, when non-nil, applies Stage-2 redundancy removal at
+	// the chunk level: every Stage-1 chunk (S raw symbols) is replaced
+	// by one code value. The codebook's GroupSize must equal Chunk.S.
+	// This is the configuration of the paper's Table 5. Mutually
+	// exclusive with SymbolCodebook.
+	ChunkCodebook *encode.Codebook
+
+	// DisperseK is the number of dispersion sites K (Stage 3). 1 means
+	// no dispersion: the encrypted chunk is stored whole on one site.
+	DisperseK int
+
+	// MatrixKind selects the dispersal matrix family. Ignored when
+	// DisperseK is 1.
+	MatrixKind disperse.MatrixKind
+
+	// Key is the client's master key for this index file; the ECB chunk
+	// key and the dispersal matrix are derived from it.
+	Key cipherx.Key
+}
+
+// Pipeline is the compiled form of Params. Immutable and safe for
+// concurrent use.
+type Pipeline struct {
+	p          Params
+	symbolBits uint // bits per stream symbol (8 raw, or codebook bits)
+	chunkBits  uint // bits per packed chunk value
+	ecb        *cipherx.BitPRP
+	disp       *disperse.Disperser // nil when K == 1
+}
+
+// NewPipeline validates params and compiles the pipeline.
+func NewPipeline(p Params) (*Pipeline, error) {
+	if err := p.Chunk.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SymbolCodebook != nil && p.ChunkCodebook != nil {
+		return nil, errors.New("core: symbol and chunk codebooks are mutually exclusive")
+	}
+	pl := &Pipeline{p: p, symbolBits: 8}
+	if cb := p.SymbolCodebook; cb != nil {
+		if cb.GroupSize() != 1 {
+			return nil, fmt.Errorf("core: symbol codebook group size %d, want 1", cb.GroupSize())
+		}
+		if cb.N() > 256 {
+			return nil, fmt.Errorf("core: symbol codebook has %d codes, want <= 256", cb.N())
+		}
+		pl.symbolBits = cb.Bits()
+	}
+	if cb := p.ChunkCodebook; cb != nil {
+		if cb.GroupSize() != p.Chunk.S {
+			return nil, fmt.Errorf("core: chunk codebook group size %d, want S=%d", cb.GroupSize(), p.Chunk.S)
+		}
+		pl.chunkBits = cb.Bits()
+	} else {
+		pl.chunkBits = uint(p.Chunk.S) * pl.symbolBits
+	}
+	if pl.chunkBits < 1 || pl.chunkBits > 64 {
+		return nil, fmt.Errorf("core: packed chunk width %d bits, want 1..64", pl.chunkBits)
+	}
+	ecb, err := cipherx.NewBitPRP(cipherx.DeriveKey(p.Key, "index-ecb"), pl.chunkBits)
+	if err != nil {
+		return nil, err
+	}
+	pl.ecb = ecb
+	if p.DisperseK < 1 {
+		return nil, fmt.Errorf("core: DisperseK %d, want >= 1", p.DisperseK)
+	}
+	if p.DisperseK > 1 {
+		if pl.chunkBits%uint(p.DisperseK) != 0 {
+			return nil, fmt.Errorf("core: DisperseK %d does not divide chunk width %d bits", p.DisperseK, pl.chunkBits)
+		}
+		g := pl.chunkBits / uint(p.DisperseK)
+		if g > 16 {
+			return nil, fmt.Errorf("core: piece width %d bits exceeds 16; raise DisperseK", g)
+		}
+		d, err := disperse.New(disperse.Params{
+			K:    p.DisperseK,
+			G:    g,
+			Kind: p.MatrixKind,
+			Key:  cipherx.DeriveKey(p.Key, "index-dispersal"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pl.disp = d
+	}
+	return pl, nil
+}
+
+// Params returns the pipeline's configuration.
+func (pl *Pipeline) Params() Params { return pl.p }
+
+// ChunkBits returns the packed chunk width in bits.
+func (pl *Pipeline) ChunkBits() uint { return pl.chunkBits }
+
+// K returns the number of dispersion sites (1 = no dispersion).
+func (pl *Pipeline) K() int { return pl.p.DisperseK }
+
+// Chunkings returns M, the number of index records per record.
+func (pl *Pipeline) Chunkings() int { return pl.p.Chunk.M }
+
+// MinQueryLen returns the minimum searchable query length in raw
+// symbols for the minimal alignment set. (A symbol-level codebook maps
+// raw symbols 1:1 onto stream symbols, so the geometry is unchanged.)
+func (pl *Pipeline) MinQueryLen() int {
+	return pl.p.Chunk.S + pl.p.Chunk.Alignments() - 1
+}
+
+// symbolStream maps RC bytes to the pipeline's symbol stream: the
+// identity for raw mode, per-symbol codes under a symbol codebook.
+func (pl *Pipeline) symbolStream(rc []byte) ([]byte, error) {
+	cb := pl.p.SymbolCodebook
+	if cb == nil {
+		return rc, nil
+	}
+	codes, err := cb.Encode(rc, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(codes))
+	for i, c := range codes {
+		out[i] = byte(c)
+	}
+	return out, nil
+}
+
+// packChunk converts one S-symbol chunk into its chunk value: the
+// chunk-codebook code if configured, else the big-endian packing of the
+// symbols at symbolBits each.
+func (pl *Pipeline) packChunk(c []byte) (uint64, error) {
+	if cb := pl.p.ChunkCodebook; cb != nil {
+		code, err := cb.Code(c)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(code), nil
+	}
+	var v uint64
+	for _, s := range c {
+		v = v<<pl.symbolBits | uint64(s)
+	}
+	return v, nil
+}
+
+// encryptChunks runs Stage 1's ECB and Stage 3's dispersion over a chunk
+// sequence, yielding the K piece streams (K = 1 gives one stream of
+// whole encrypted chunk values).
+func (pl *Pipeline) encryptChunks(chunks [][]byte) ([][]disperse.Piece, error) {
+	vals := make([]uint64, len(chunks))
+	for i, c := range chunks {
+		v, err := pl.packChunk(c)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = pl.ecb.EncryptBits(v)
+	}
+	if pl.disp != nil {
+		return pl.disp.DisperseStream(vals), nil
+	}
+	// No dispersion: a single stream. Chunk values can exceed 16 bits
+	// only when packing raw symbols, in which case we must keep whole
+	// values; Piece is 16-bit, so wide undispersed chunks are split into
+	// 16-bit pieces on the single site, preserving exact matching.
+	per := int((pl.chunkBits + 15) / 16)
+	stream := make([]disperse.Piece, 0, len(vals)*per)
+	for _, v := range vals {
+		for s := per - 1; s >= 0; s-- {
+			stream = append(stream, disperse.Piece(v>>(uint(s)*16)))
+		}
+	}
+	return [][]disperse.Piece{stream}, nil
+}
+
+// piecesPerChunk returns how many stored pieces one chunk occupies in a
+// single site's stream (1 when dispersed; ceil(chunkBits/16) when not).
+func (pl *Pipeline) piecesPerChunk() int {
+	if pl.disp != nil {
+		return 1
+	}
+	return int((pl.chunkBits + 15) / 16)
+}
+
+// IndexRecord is the index data of one (record, chunking) pair.
+type IndexRecord struct {
+	// RID identifies the original record.
+	RID uint64
+	// J is the chunking index (0 <= J < M).
+	J int
+	// FirstIndex is the chunk index of the first stored chunk (nonzero
+	// after DropPartial trimming).
+	FirstIndex int
+	// Streams[k] is the piece stream stored on dispersion site k.
+	Streams [][]disperse.Piece
+}
+
+// BuildIndex produces the M index records of one record content.
+func (pl *Pipeline) BuildIndex(rid uint64, rc []byte) ([]IndexRecord, error) {
+	stream, err := pl.symbolStream(rc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IndexRecord, 0, pl.p.Chunk.M)
+	for j := 0; j < pl.p.Chunk.M; j++ {
+		ck := chunk.Split(stream, pl.p.Chunk, j)
+		streams, err := pl.encryptChunks(ck.Chunks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, IndexRecord{
+			RID:        rid,
+			J:          j,
+			FirstIndex: ck.FirstIndex,
+			Streams:    streams,
+		})
+	}
+	return out, nil
+}
+
+// QuerySeries is one alignment of a compiled query: per dispersion site,
+// the consecutive piece pattern to match.
+type QuerySeries struct {
+	// A is the alignment in stream symbols.
+	A int
+	// Patterns[k] is the pattern for dispersion site k.
+	Patterns [][]disperse.Piece
+	// Chunks is the number of chunks in the series.
+	Chunks int
+}
+
+// Query is a compiled substring query.
+type Query struct {
+	// Series holds one entry per generated alignment.
+	Series []QuerySeries
+	// All records whether the full alignment set (S series) was
+	// generated rather than the minimal S/M set.
+	All bool
+}
+
+// BuildQuery compiles a substring query through the same pipeline. With
+// all=false the minimal S/M alignment set is generated (cheapest, most
+// false positives); with all=true the full S-series set (the §2.3 basic
+// scheme, enabling cross-chunking verification).
+func (pl *Pipeline) BuildQuery(q []byte, all bool) (*Query, error) {
+	stream, err := pl.symbolStream(q)
+	if err != nil {
+		return nil, err
+	}
+	series, err := chunk.QuerySeries(stream, pl.p.Chunk, all)
+	if err != nil {
+		return nil, err
+	}
+	out := &Query{All: all, Series: make([]QuerySeries, 0, len(series))}
+	for _, s := range series {
+		streams, err := pl.encryptChunks(s.Chunks)
+		if err != nil {
+			return nil, err
+		}
+		out.Series = append(out.Series, QuerySeries{
+			A:        s.A,
+			Patterns: streams,
+			Chunks:   len(s.Chunks),
+		})
+	}
+	return out, nil
+}
+
+// MatchOffsets returns every offset o (in pieces) at which pattern
+// occurs as a consecutive run in stream. It is the site-side matching
+// primitive: both inputs are opaque encrypted pieces, so a storage site
+// can execute it without any key material.
+func MatchOffsets(stream, pattern []disperse.Piece) []int {
+	if len(pattern) == 0 || len(pattern) > len(stream) {
+		return nil
+	}
+	var out []int
+outer:
+	for o := 0; o+len(pattern) <= len(stream); o++ {
+		for i, p := range pattern {
+			if stream[o+i] != p {
+				continue outer
+			}
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// SeriesHit is one coordinator-level hit: chunking J matched series
+// alignment A with its first chunk at ChunkIndex.
+type SeriesHit struct {
+	RID        uint64
+	J          int
+	A          int
+	ChunkIndex int
+}
+
+// Position returns the record position (in stream symbols) implied by
+// the hit, which may be negative when the match begins in the padded
+// head region.
+func (h SeriesHit) Position(p chunk.Params) int {
+	return chunk.Position(p, h.J, h.A, h.ChunkIndex)
+}
+
+// MatchIndexRecord matches one compiled query against one index record:
+// for each series, the offsets at which all K site streams agree. This
+// is the conjunction the paper specifies: "if all dispersion sites
+// belonging to a certain record chunking report a hit at the same
+// offset, then this is reported as a hit".
+func (pl *Pipeline) MatchIndexRecord(q *Query, rec *IndexRecord) []SeriesHit {
+	ppc := pl.piecesPerChunk()
+	var hits []SeriesHit
+	for _, s := range q.Series {
+		// Site 0 drives; other sites confirm.
+		offs := MatchOffsets(rec.Streams[0], s.Patterns[0])
+		for _, o := range offs {
+			if ppc > 1 && o%ppc != 0 {
+				// Undispersed wide chunks occupy ppc pieces each; only
+				// chunk-aligned offsets correspond to chunk boundaries.
+				continue
+			}
+			ok := true
+			for k := 1; k < len(rec.Streams); k++ {
+				if !hasOffset(rec.Streams[k], s.Patterns[k], o) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hits = append(hits, SeriesHit{
+					RID:        rec.RID,
+					J:          rec.J,
+					A:          s.A,
+					ChunkIndex: rec.FirstIndex + o/ppc,
+				})
+			}
+		}
+	}
+	return hits
+}
+
+func hasOffset(stream, pattern []disperse.Piece, o int) bool {
+	if o+len(pattern) > len(stream) {
+		return false
+	}
+	for i, p := range pattern {
+		if stream[o+i] != p {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,629 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/cipherx"
+	"repro/internal/disperse"
+	"repro/internal/encode"
+)
+
+func testKey() cipherx.Key { return cipherx.KeyFromPassphrase("core-test") }
+
+func rawParams(s, m, k int) Params {
+	return Params{
+		Chunk:      chunk.Params{S: s, M: m},
+		DisperseK:  k,
+		MatrixKind: disperse.MatrixRandom,
+		Key:        testKey(),
+	}
+}
+
+func mustPipeline(t *testing.T, p Params) *Pipeline {
+	t.Helper()
+	pl, err := NewPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	corpus := [][]byte{[]byte("ABCDEFGHIJKLMNOP")}
+	sym, err := encode.Train(corpus, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := encode.Train(corpus, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []Params{
+		{Chunk: chunk.Params{S: 0, M: 1}, DisperseK: 1, Key: testKey()},
+		{Chunk: chunk.Params{S: 4, M: 3}, DisperseK: 1, Key: testKey()},
+		// Both codebooks set.
+		{Chunk: chunk.Params{S: 2, M: 2}, SymbolCodebook: sym, ChunkCodebook: pair, DisperseK: 1, Key: testKey()},
+		// Symbol codebook with wrong group size.
+		{Chunk: chunk.Params{S: 2, M: 2}, SymbolCodebook: pair, DisperseK: 1, Key: testKey()},
+		// Chunk codebook group size != S.
+		{Chunk: chunk.Params{S: 4, M: 4}, ChunkCodebook: pair, DisperseK: 1, Key: testKey()},
+		// DisperseK < 1.
+		{Chunk: chunk.Params{S: 2, M: 2}, DisperseK: 0, Key: testKey()},
+		// K does not divide chunk bits (S=2 raw → 16 bits, K=3).
+		{Chunk: chunk.Params{S: 2, M: 2}, DisperseK: 3, Key: testKey()},
+		// Piece too wide: S=4 raw → 32 bits, K=1... valid; K=2 → 16 ok; use S=8, K=2 → 32 bits/2=16 ok; S=8 K=1 is fine too (split pieces).
+		// Chunk too wide: S=16 raw → 128 bits.
+		{Chunk: chunk.Params{S: 16, M: 1}, DisperseK: 1, Key: testKey()},
+	}
+	for i, p := range bad {
+		if p.MatrixKind == 0 {
+			p.MatrixKind = disperse.MatrixRandom
+		}
+		if _, err := NewPipeline(p); err == nil {
+			t.Errorf("bad[%d] accepted: %+v", i, p)
+		}
+	}
+
+	good := []Params{
+		rawParams(4, 4, 1),
+		rawParams(4, 2, 4),
+		rawParams(8, 4, 8),
+		rawParams(1, 1, 4),
+		{Chunk: chunk.Params{S: 2, M: 2}, SymbolCodebook: sym, DisperseK: 2, MatrixKind: disperse.MatrixRandom, Key: testKey()},
+		{Chunk: chunk.Params{S: 2, M: 2}, ChunkCodebook: pair, DisperseK: 3, MatrixKind: disperse.MatrixRandom, Key: testKey()},
+	}
+	for i, p := range good {
+		if _, err := NewPipeline(p); err != nil {
+			t.Errorf("good[%d] rejected: %v", i, err)
+		}
+	}
+}
+
+func TestPipelineAccessors(t *testing.T) {
+	pl := mustPipeline(t, rawParams(4, 2, 4))
+	if pl.ChunkBits() != 32 {
+		t.Errorf("ChunkBits = %d, want 32", pl.ChunkBits())
+	}
+	if pl.K() != 4 || pl.Chunkings() != 2 {
+		t.Errorf("K=%d M=%d", pl.K(), pl.Chunkings())
+	}
+	if pl.MinQueryLen() != 5 {
+		t.Errorf("MinQueryLen = %d, want 5", pl.MinQueryLen())
+	}
+}
+
+func TestBuildIndexShape(t *testing.T) {
+	pl := mustPipeline(t, rawParams(4, 2, 4))
+	recs, err := pl.BuildIndex(7, []byte("ABCDEFGHIJ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d index records, want 2 (M)", len(recs))
+	}
+	for j, r := range recs {
+		if r.RID != 7 || r.J != j {
+			t.Errorf("record %d: RID=%d J=%d", j, r.RID, r.J)
+		}
+		if len(r.Streams) != 4 {
+			t.Fatalf("record %d: %d streams, want 4 (K)", j, len(r.Streams))
+		}
+		want := chunk.Params{S: 4, M: 2}.NumChunks(10, j)
+		for k, s := range r.Streams {
+			if len(s) != want {
+				t.Errorf("record %d stream %d: %d pieces, want %d", j, k, len(s), want)
+			}
+		}
+	}
+}
+
+func TestIndexDeterministic(t *testing.T) {
+	pl := mustPipeline(t, rawParams(4, 2, 2))
+	a, err := pl.BuildIndex(1, []byte("HELLO WORLD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pl.BuildIndex(1, []byte("HELLO WORLD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a {
+		for k := range a[j].Streams {
+			for i := range a[j].Streams[k] {
+				if a[j].Streams[k][i] != b[j].Streams[k][i] {
+					t.Fatal("indexing not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestIndexKeyed(t *testing.T) {
+	p1 := rawParams(4, 2, 2)
+	p2 := rawParams(4, 2, 2)
+	p2.Key = cipherx.KeyFromPassphrase("other")
+	a, _ := mustPipeline(t, p1).BuildIndex(1, []byte("HELLO WORLD!"))
+	b, _ := mustPipeline(t, p2).BuildIndex(1, []byte("HELLO WORLD!"))
+	same := 0
+	total := 0
+	for j := range a {
+		for k := range a[j].Streams {
+			for i := range a[j].Streams[k] {
+				total++
+				if a[j].Streams[k][i] == b[j].Streams[k][i] {
+					same++
+				}
+			}
+		}
+	}
+	if same == total {
+		t.Error("different keys produced identical index records")
+	}
+}
+
+func TestMatchOffsets(t *testing.T) {
+	s := []disperse.Piece{1, 2, 3, 1, 2, 3, 1}
+	cases := []struct {
+		pattern []disperse.Piece
+		want    []int
+	}{
+		{[]disperse.Piece{1, 2}, []int{0, 3}},
+		{[]disperse.Piece{3, 1}, []int{2, 5}},
+		{[]disperse.Piece{1}, []int{0, 3, 6}},
+		{[]disperse.Piece{9}, nil},
+		{[]disperse.Piece{}, nil},
+		{[]disperse.Piece{1, 2, 3, 1, 2, 3, 1, 9}, nil}, // longer than stream
+	}
+	for _, c := range cases {
+		got := MatchOffsets(s, c.pattern)
+		if len(got) != len(c.want) {
+			t.Errorf("MatchOffsets(%v) = %v, want %v", c.pattern, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("MatchOffsets(%v) = %v, want %v", c.pattern, got, c.want)
+			}
+		}
+	}
+}
+
+// TestNoFalseNegativesRaw is the core guarantee: without lossy encoding,
+// every true substring occurrence is found, across geometries, dispersal
+// widths, and verification modes.
+func TestNoFalseNegativesRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ '&-")
+	configs := []Params{
+		rawParams(4, 4, 1),
+		rawParams(4, 2, 2),
+		rawParams(4, 1, 4),
+		rawParams(8, 4, 4),
+		rawParams(2, 2, 4),
+		rawParams(1, 1, 4),
+	}
+	for _, cfg := range configs {
+		pl := mustPipeline(t, cfg)
+		ix := NewMemIndex(pl)
+		var rcs [][]byte
+		for rid := uint64(0); rid < 30; rid++ {
+			n := cfg.Chunk.S*2 + rng.Intn(30)
+			rc := make([]byte, n)
+			for i := range rc {
+				rc[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			rcs = append(rcs, rc)
+			if err := ix.Insert(rid, rc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 100; trial++ {
+			rid := uint64(rng.Intn(len(rcs)))
+			rc := rcs[rid]
+			minLen := pl.MinQueryLen()
+			fullMin := cfg.Chunk.S*2 - 1 // min length for the full alignment set
+			need := minLen
+			if fullMin > need {
+				need = fullMin
+			}
+			if len(rc) < need {
+				continue
+			}
+			qlen := need + rng.Intn(len(rc)-need+1)
+			pos := rng.Intn(len(rc) - qlen + 1)
+			q := rc[pos : pos+qlen]
+			for _, mode := range []VerifyMode{VerifyAny, VerifyAll, VerifyAligned} {
+				got, err := ix.Search(q, mode)
+				if err != nil {
+					t.Fatalf("cfg %+v mode %v: %v", cfg.Chunk, mode, err)
+				}
+				found := false
+				for _, g := range got {
+					if g == rid {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("cfg %+v mode %v: query %q (pos %d) not found in record %d %q",
+						cfg.Chunk, mode, q, pos, rid, rc)
+				}
+			}
+		}
+	}
+}
+
+// TestAlignedModeIsExact: with no lossy encoding, VerifyAligned matches
+// exactly the records that contain the query as a plaintext substring.
+func TestAlignedModeIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []byte("ABCD") // tiny alphabet to force coincidences
+	pl := mustPipeline(t, rawParams(4, 4, 2))
+	ix := NewMemIndex(pl)
+	var rcs [][]byte
+	for rid := uint64(0); rid < 60; rid++ {
+		n := 10 + rng.Intn(25)
+		rc := make([]byte, n)
+		for i := range rc {
+			rc[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		rcs = append(rcs, rc)
+		if err := ix.Insert(rid, rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		qlen := 7 + rng.Intn(6) // >= 2S-1 for the full alignment set
+		q := make([]byte, qlen)
+		for i := range q {
+			q[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		got, err := ix.Search(q, VerifyAligned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint64
+		for rid, rc := range rcs {
+			if bytes.Contains(rc, q) {
+				want = append(want, uint64(rid))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %q: got %v, want %v", q, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %q: got %v, want %v", q, got, want)
+			}
+		}
+	}
+}
+
+// TestAnyModeOverApproximates: VerifyAny may report extra records but
+// never misses one, and every VerifyAligned hit is also a VerifyAny hit.
+func TestAnyModeOverApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	alphabet := []byte("AB")
+	pl := mustPipeline(t, rawParams(4, 2, 1))
+	ix := NewMemIndex(pl)
+	var rcs [][]byte
+	for rid := uint64(0); rid < 40; rid++ {
+		n := 12 + rng.Intn(16)
+		rc := make([]byte, n)
+		for i := range rc {
+			rc[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		rcs = append(rcs, rc)
+		ix.Insert(rid, rc)
+	}
+	for trial := 0; trial < 100; trial++ {
+		qlen := 7 + rng.Intn(4)
+		q := make([]byte, qlen)
+		for i := range q {
+			q[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		anyHits, err := ix.Search(q, VerifyAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anySet := make(map[uint64]bool)
+		for _, r := range anyHits {
+			anySet[r] = true
+		}
+		for rid, rc := range rcs {
+			if bytes.Contains(rc, q) && !anySet[uint64(rid)] {
+				t.Fatalf("VerifyAny missed true occurrence of %q in record %d", q, rid)
+			}
+		}
+	}
+}
+
+func TestQueryTooShort(t *testing.T) {
+	pl := mustPipeline(t, rawParams(8, 4, 1))
+	ix := NewMemIndex(pl)
+	ix.Insert(1, []byte("ABCDEFGHIJKLMNOP"))
+	if _, err := ix.Search([]byte("ABCDEFGH"), VerifyAny); err == nil {
+		t.Error("8-symbol query accepted (min is 9)")
+	}
+}
+
+func TestDropPartialInteriorMatches(t *testing.T) {
+	p := rawParams(4, 2, 2)
+	p.Chunk.DropPartial = true
+	pl := mustPipeline(t, p)
+	ix := NewMemIndex(pl)
+	rc := []byte("XXXXSCHWARZ THOMASXXXX")
+	ix.Insert(7, rc)
+	// Interior query, fully covered by stored chunks.
+	got, err := ix.Search([]byte("SCHWARZ T"), VerifyAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("interior query not found: %v", got)
+	}
+}
+
+func TestSymbolCodebookPipeline(t *testing.T) {
+	// Table-4 configuration: per-symbol encoding into 8 codes, then
+	// chunk size 2 with 2 chunkings, no dispersion.
+	corpus := [][]byte{[]byte("ABOGADO ALEJANDRO & CATHERINE"), []byte("SCHWARZ THOMAS"), []byte("LITWIN WITOLD")}
+	cb, err := encode.Train(corpus, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Chunk:          chunk.Params{S: 2, M: 2},
+		SymbolCodebook: cb,
+		DisperseK:      1,
+		Key:            testKey(),
+	}
+	pl := mustPipeline(t, p)
+	if pl.ChunkBits() != 6 { // 2 symbols × 3 bits
+		t.Errorf("ChunkBits = %d, want 6", pl.ChunkBits())
+	}
+	ix := NewMemIndex(pl)
+	for i, rc := range corpus {
+		if err := ix.Insert(uint64(i), rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// True positive must be found.
+	got, err := ix.Search([]byte("SCHWARZ"), VerifyAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range got {
+		if r == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SCHWARZ not found under symbol encoding: %v", got)
+	}
+	// The paper's collision: B and V share a code, so AVOGADO does hit
+	// ABOGADO — a Stage-2 false positive by design.
+	col, err := cb.Collides([]byte("B"), []byte("V"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col {
+		got, err = ix.Search([]byte("AVOGADO"), VerifyAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := false
+		for _, r := range got {
+			if r == 0 {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Error("expected Stage-2 false positive for AVOGADO (B/V collide)")
+		}
+	}
+}
+
+func TestChunkCodebookPipeline(t *testing.T) {
+	// Table-5 configuration: 2-symbol chunks encoded into 16 codes, two
+	// chunkings, dispersed over 2 sites (4 bits → 2 pieces of 2 bits).
+	corpus := [][]byte{
+		[]byte("ABOGADO ALEJANDRO & CATHERINE"),
+		[]byte("SCHWARZ THOMAS"),
+		[]byte("MARTINEZ MARIA"),
+		[]byte("WONG MEI"),
+	}
+	cb, err := encode.Train(corpus, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Chunk:         chunk.Params{S: 2, M: 2},
+		ChunkCodebook: cb,
+		DisperseK:     2,
+		MatrixKind:    disperse.MatrixRandom,
+		Key:           testKey(),
+	}
+	pl := mustPipeline(t, p)
+	if pl.ChunkBits() != 4 {
+		t.Errorf("ChunkBits = %d, want 4", pl.ChunkBits())
+	}
+	ix := NewMemIndex(pl)
+	for i, rc := range corpus {
+		if err := ix.Insert(uint64(i), rc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, rc := range corpus {
+		name := rc[:bytes.IndexByte(rc, ' ')]
+		if len(name) < pl.MinQueryLen() {
+			continue
+		}
+		got, err := ix.Search(name, VerifyAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range got {
+			if r == uint64(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("record %d: %q not found: %v", i, name, got)
+		}
+	}
+}
+
+func TestWideUndispersedChunks(t *testing.T) {
+	// S=4 raw, K=1: 32-bit chunks stored as two 16-bit pieces on one
+	// site. Matching must stay chunk-aligned.
+	pl := mustPipeline(t, rawParams(4, 4, 1))
+	ix := NewMemIndex(pl)
+	ix.Insert(1, []byte("ABCDEFGHIJKLMNOP"))
+	ix.Insert(2, []byte("ZZZZZZZZZZZZZZZZ"))
+	got, err := ix.Search([]byte("CDEFGHI"), VerifyAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v, want [1]", got)
+	}
+}
+
+func TestCombineHitsModes(t *testing.T) {
+	geom := chunk.Params{S: 4, M: 2}
+	// A consistent pair of hits: position 2 seen from both chunkings.
+	// chunking 0: a=(4-(2+0)%4)%4=2, idx=(2+2+0)/4=1
+	// chunking 1 (shift 2): a=(4-(2+2)%4)%4=0, idx=(2+0+2)/4=1
+	consistent := []SeriesHit{
+		{RID: 1, J: 0, A: 2, ChunkIndex: 1},
+		{RID: 1, J: 1, A: 0, ChunkIndex: 1},
+	}
+	inconsistent := []SeriesHit{
+		{RID: 1, J: 0, A: 2, ChunkIndex: 1}, // position 2
+		{RID: 1, J: 1, A: 0, ChunkIndex: 2}, // position 6
+	}
+	oneChunking := consistent[:1]
+
+	if CombineHits(nil, 2, VerifyAny, geom) {
+		t.Error("no hits should not match")
+	}
+	if !CombineHits(oneChunking, 2, VerifyAny, geom) {
+		t.Error("VerifyAny should accept a single hit")
+	}
+	if CombineHits(oneChunking, 2, VerifyAll, geom) {
+		t.Error("VerifyAll should reject a single-chunking hit")
+	}
+	if !CombineHits(consistent, 2, VerifyAll, geom) {
+		t.Error("VerifyAll should accept hits from all chunkings")
+	}
+	if !CombineHits(consistent, 2, VerifyAligned, geom) {
+		t.Error("VerifyAligned should accept position-consistent hits")
+	}
+	if CombineHits(inconsistent, 2, VerifyAligned, geom) {
+		t.Error("VerifyAligned should reject position-inconsistent hits")
+	}
+	if CombineHits(consistent, 2, VerifyMode(99), geom) {
+		t.Error("unknown mode should reject")
+	}
+}
+
+func TestVerifyModeString(t *testing.T) {
+	if VerifyAny.String() != "any" || VerifyAll.String() != "all" ||
+		VerifyAligned.String() != "aligned" || VerifyMode(9).String() != "unknown" {
+		t.Error("String() values wrong")
+	}
+}
+
+func TestMemIndexLifecycle(t *testing.T) {
+	pl := mustPipeline(t, rawParams(4, 2, 1))
+	ix := NewMemIndex(pl)
+	if ix.Len() != 0 {
+		t.Error("new index not empty")
+	}
+	ix.Insert(1, []byte("HELLO WORLD AGAIN"))
+	ix.Insert(2, []byte("GOODBYE WORLD NOW"))
+	if ix.Len() != 2 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	got, _ := ix.Search([]byte("WORLD"), VerifyAny)
+	if len(got) != 2 {
+		t.Errorf("WORLD found in %v", got)
+	}
+	// Replace record 1; old content must stop matching.
+	ix.Insert(1, []byte("SOMETHING ELSE HERE"))
+	got, _ = ix.Search([]byte("HELLO"), VerifyAny)
+	if len(got) != 0 {
+		t.Errorf("replaced content still matches: %v", got)
+	}
+	if !ix.Delete(2) {
+		t.Error("Delete(2) = false")
+	}
+	if ix.Delete(2) {
+		t.Error("double delete reported true")
+	}
+	got, _ = ix.Search([]byte("WORLD"), VerifyAny)
+	if len(got) != 0 {
+		t.Errorf("deleted record still matches: %v", got)
+	}
+	if ix.Pipeline() != pl {
+		t.Error("Pipeline accessor wrong")
+	}
+}
+
+func TestSearchHitsDiagnostics(t *testing.T) {
+	pl := mustPipeline(t, rawParams(4, 4, 1))
+	ix := NewMemIndex(pl)
+	rc := []byte("ABCDEFGHIJKLMNOP")
+	ix.Insert(5, rc)
+	hits, err := ix.SearchHits([]byte("CDEFGHIJK"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// Every hit must imply the true position 2.
+	for _, h := range hits {
+		if pos := h.Position(pl.Params().Chunk); pos != 2 {
+			t.Errorf("hit %+v implies position %d, want 2", h, pos)
+		}
+	}
+	// With the full alignment set and M=S=4, all 4 chunkings hit.
+	seenJ := make(map[int]bool)
+	for _, h := range hits {
+		seenJ[h.J] = true
+	}
+	if len(seenJ) != 4 {
+		t.Errorf("hits from %d chunkings, want 4", len(seenJ))
+	}
+}
+
+// TestFigure2Example mirrors the paper's Figure 2: record "SCHWARZ"
+// searched with a leading space, chunk size 4, two chunkings.
+func TestFigure2Example(t *testing.T) {
+	pl := mustPipeline(t, rawParams(4, 2, 1))
+	ix := NewMemIndex(pl)
+	rc := []byte("415-439-0007 SCHWARZ THOMAS")
+	ix.Insert(7, rc)
+	got, err := ix.Search([]byte(" SCHWARZ "), VerifyAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("got %v, want [7]", got)
+	}
+	// Two chunkings → the minimal set compiles two search series.
+	q, err := pl.BuildQuery([]byte(" SCHWARZ "), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Series) != 2 {
+		t.Errorf("%d search series, want 2 (Figure 2b)", len(q.Series))
+	}
+}

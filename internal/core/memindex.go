@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/chunk"
+)
+
+// VerifyMode selects how the coordinator combines per-chunking hits into
+// a record-level match decision. All modes already require agreement of
+// all K dispersion sites within a chunking (that conjunction happens in
+// MatchIndexRecord); the mode governs agreement *across* chunkings.
+type VerifyMode uint8
+
+const (
+	// VerifyAny reports a record as soon as any single (chunking,
+	// alignment) pair matches — the §2.5 storage-reduced semantics. With
+	// the minimal alignment set this is the only possible mode, since
+	// exactly one pair can match a true occurrence.
+	VerifyAny VerifyMode = iota
+	// VerifyAll requires every chunking to report at least one hit —
+	// the §2.3 basic-scheme semantics ("it is not possible that a search
+	// results in false positives from all sites"). Requires the full
+	// alignment set.
+	VerifyAll
+	// VerifyAligned additionally requires the per-chunking hits to agree
+	// on a single occurrence position, the strongest check expressible
+	// over the index records. Requires the full alignment set.
+	VerifyAligned
+)
+
+// String implements fmt.Stringer.
+func (m VerifyMode) String() string {
+	switch m {
+	case VerifyAny:
+		return "any"
+	case VerifyAll:
+		return "all"
+	case VerifyAligned:
+		return "aligned"
+	default:
+		return "unknown"
+	}
+}
+
+// CombineHits reduces per-series hits for one record to a match decision
+// under the given mode. chunkings is M, the number of chunkings the
+// record was indexed with; geom is the chunking geometry (needed to map
+// hits to occurrence positions under VerifyAligned).
+func CombineHits(hits []SeriesHit, chunkings int, mode VerifyMode, geom chunk.Params) bool {
+	if len(hits) == 0 {
+		return false
+	}
+	switch mode {
+	case VerifyAny:
+		return true
+	case VerifyAll:
+		seen := make(map[int]bool)
+		for _, h := range hits {
+			seen[h.J] = true
+		}
+		return len(seen) == chunkings
+	case VerifyAligned:
+		// Positions implied per chunking; a record matches if some
+		// position is implied by every chunking.
+		perJ := make(map[int]map[int]bool)
+		for _, h := range hits {
+			pos := h.Position(geom)
+			if perJ[h.J] == nil {
+				perJ[h.J] = make(map[int]bool)
+			}
+			perJ[h.J][pos] = true
+		}
+		if len(perJ) != chunkings {
+			return false
+		}
+		// Intersect over the smallest set.
+		var smallest map[int]bool
+		for _, s := range perJ {
+			if smallest == nil || len(s) < len(smallest) {
+				smallest = s
+			}
+		}
+		for pos := range smallest {
+			all := true
+			for _, s := range perJ {
+				if !s[pos] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// MemIndex is the single-process reference implementation of the
+// complete scheme: it stores index records in memory and searches them
+// exactly as the distributed coordinator would. The distributed engine
+// must agree with MemIndex result-for-result.
+type MemIndex struct {
+	pl *Pipeline
+
+	mu   sync.RWMutex
+	recs map[uint64][]IndexRecord
+}
+
+// NewMemIndex builds an empty reference index over the pipeline.
+func NewMemIndex(pl *Pipeline) *MemIndex {
+	return &MemIndex{pl: pl, recs: make(map[uint64][]IndexRecord)}
+}
+
+// Pipeline returns the underlying pipeline.
+func (ix *MemIndex) Pipeline() *Pipeline { return ix.pl }
+
+// Len returns the number of indexed records.
+func (ix *MemIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.recs)
+}
+
+// Insert indexes one record content under rid, replacing any previous
+// index for the same rid.
+func (ix *MemIndex) Insert(rid uint64, rc []byte) error {
+	recs, err := ix.pl.BuildIndex(rid, rc)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	ix.recs[rid] = recs
+	ix.mu.Unlock()
+	return nil
+}
+
+// Delete removes a record's index. It reports whether the rid existed.
+func (ix *MemIndex) Delete(rid uint64) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.recs[rid]; !ok {
+		return false
+	}
+	delete(ix.recs, rid)
+	return true
+}
+
+// Search returns the sorted RIDs of records matching the query under
+// the given verification mode. VerifyAll and VerifyAligned compile the
+// full alignment set; VerifyAny the minimal one.
+func (ix *MemIndex) Search(q []byte, mode VerifyMode) ([]uint64, error) {
+	query, err := ix.pl.BuildQuery(q, mode != VerifyAny)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []uint64
+	for rid, recs := range ix.recs {
+		var hits []SeriesHit
+		for i := range recs {
+			hits = append(hits, ix.pl.MatchIndexRecord(query, &recs[i])...)
+		}
+		if CombineHits(hits, ix.pl.Chunkings(), mode, ix.pl.p.Chunk) {
+			out = append(out, rid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SearchHits returns the raw per-series hits for a query — the data a
+// coordinator would see — for diagnostics and experiments.
+func (ix *MemIndex) SearchHits(q []byte, all bool) ([]SeriesHit, error) {
+	query, err := ix.pl.BuildQuery(q, all)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var hits []SeriesHit
+	for _, recs := range ix.recs {
+		for i := range recs {
+			hits = append(hits, ix.pl.MatchIndexRecord(query, &recs[i])...)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
+		if a.RID != b.RID {
+			return a.RID < b.RID
+		}
+		if a.J != b.J {
+			return a.J < b.J
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.ChunkIndex < b.ChunkIndex
+	})
+	return hits, nil
+}

@@ -1,0 +1,241 @@
+// Package disperse implements Stage 3 of the encrypted searchable SDDS:
+// dispersion of index-record chunks over k sites.
+//
+// A chunk of c = k·g bits is viewed as a row vector (c_1, …, c_k) over
+// the Galois field GF(2^g) and multiplied by an invertible k×k matrix E:
+// (d_1, …, d_k) = (c_1, …, c_k)·E. Piece d_i is stored on dispersion
+// site i. Because E is invertible the pieces jointly carry exactly the
+// chunk's information, but — when E is dense — each individual piece
+// depends on the whole chunk, so a single site sees only a 1/k fraction
+// of the (already flattened) information and a per-site frequency
+// analysis degrades accordingly.
+//
+// Searches disperse their chunk series the same way and send piece i to
+// site i; a chunk-level match requires all k sites to match at the same
+// offset, so false positives rise as k grows (each site alone matches
+// more often).
+package disperse
+
+import (
+	"fmt"
+
+	"repro/internal/cipherx"
+	"repro/internal/gf"
+)
+
+// Piece is one dispersed fragment of a chunk: a g-bit value stored on a
+// single dispersion site.
+type Piece uint16
+
+// MatrixKind selects the family of the dispersal matrix E.
+type MatrixKind uint8
+
+const (
+	// MatrixCauchy uses a Cauchy matrix: provably nonsingular with all
+	// entries nonzero — the paper's recommended shape.
+	MatrixCauchy MatrixKind = iota
+	// MatrixVandermonde uses a square Vandermonde matrix.
+	MatrixVandermonde
+	// MatrixRandomDense samples a key-derived random nonsingular matrix
+	// with no zero entries. Such matrices do not exist for every (K, G)
+	// combination (e.g. K=2 over GF(2)); construction fails then.
+	MatrixRandomDense
+	// MatrixRandom samples a key-derived random nonsingular matrix with
+	// no density constraint — the construction of the paper's Table 2
+	// experiment ("a random non-singular matrix"). It works for every
+	// valid (K, G), including K=4 pieces of G=2 bits where the
+	// structured families are impossible.
+	MatrixRandom
+)
+
+// Params configures a Disperser.
+type Params struct {
+	// K is the number of dispersion sites. Must be >= 1; the paper
+	// recommends 2 or 4.
+	K int
+	// G is the piece width in bits (1..16). The chunk width is K*G bits
+	// and must not exceed 64.
+	G uint
+	// Kind selects the dispersal matrix family.
+	Kind MatrixKind
+	// Key seeds key-derived matrices so that a client can regenerate E
+	// deterministically. Required for MatrixRandomDense; ignored for the
+	// structured families.
+	Key cipherx.Key
+}
+
+// Disperser splits chunks into pieces and reassembles them. Immutable
+// and safe for concurrent use after construction.
+type Disperser struct {
+	field *gf.Field
+	e     *gf.Matrix
+	inv   *gf.Matrix
+	k     int
+	g     uint
+}
+
+// New builds a Disperser from params.
+func New(p Params) (*Disperser, error) {
+	if p.K < 1 {
+		return nil, fmt.Errorf("disperse: K=%d, want >= 1", p.K)
+	}
+	if p.G < 1 || p.G > 16 {
+		return nil, fmt.Errorf("disperse: G=%d, want 1..16", p.G)
+	}
+	if uint(p.K)*p.G > 64 {
+		return nil, fmt.Errorf("disperse: chunk width K*G = %d bits exceeds 64", uint(p.K)*p.G)
+	}
+	field, err := gf.New(p.G)
+	if err != nil {
+		return nil, err
+	}
+	var e *gf.Matrix
+	switch p.Kind {
+	case MatrixCauchy:
+		e, err = gf.Cauchy(field, p.K)
+	case MatrixVandermonde:
+		e, err = gf.Vandermonde(field, p.K, p.K)
+	case MatrixRandomDense:
+		e, err = gf.RandomNonsingularDense(field, p.K, keyedSource(p.Key))
+	case MatrixRandom:
+		e, err = gf.RandomNonsingular(field, p.K, keyedSource(p.Key))
+	default:
+		return nil, fmt.Errorf("disperse: unknown matrix kind %d", p.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("disperse: building E: %w", err)
+	}
+	inv, err := e.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("disperse: inverting E: %w", err)
+	}
+	return &Disperser{field: field, e: e, inv: inv, k: p.K, g: p.G}, nil
+}
+
+// keyedSource derives a deterministic uint32 stream from a key via
+// splitmix64 seeded by the key's first bytes.
+func keyedSource(key cipherx.Key) func() uint32 {
+	var seed uint64
+	for i := 0; i < 8; i++ {
+		seed = seed<<8 | uint64(key[i])
+	}
+	state := seed
+	var buf uint64
+	var have bool
+	return func() uint32 {
+		if have {
+			have = false
+			return uint32(buf)
+		}
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		buf = z >> 32
+		have = true
+		return uint32(z)
+	}
+}
+
+// K returns the number of dispersion sites.
+func (d *Disperser) K() int { return d.k }
+
+// G returns the piece width in bits.
+func (d *Disperser) G() uint { return d.g }
+
+// ChunkBits returns the chunk width K*G in bits.
+func (d *Disperser) ChunkBits() uint { return uint(d.k) * d.g }
+
+// Matrix returns (a copy of) the dispersal matrix E.
+func (d *Disperser) Matrix() *gf.Matrix { return d.e.Clone() }
+
+// Disperse splits a chunk (its low ChunkBits bits, big-endian piece
+// order: c_1 is the most significant g bits) into k pieces.
+func (d *Disperser) Disperse(chunk uint64) []Piece {
+	out := make([]Piece, d.k)
+	d.DisperseInto(out, chunk)
+	return out
+}
+
+// DisperseInto is Disperse without allocation. len(dst) must be K.
+func (d *Disperser) DisperseInto(dst []Piece, chunk uint64) {
+	if len(dst) != d.k {
+		panic(fmt.Sprintf("disperse: dst length %d, want %d", len(dst), d.k))
+	}
+	if bits := d.ChunkBits(); bits < 64 && chunk&^(1<<bits-1) != 0 {
+		panic(fmt.Sprintf("disperse: chunk %#x exceeds %d-bit width", chunk, bits))
+	}
+	vec := make([]gf.Elem, d.k)
+	mask := uint64(d.field.Mask())
+	for i := 0; i < d.k; i++ {
+		shift := uint(d.k-1-i) * d.g
+		vec[i] = gf.Elem(chunk >> shift & mask)
+	}
+	res := make([]gf.Elem, d.k)
+	d.e.MulVecInto(res, vec)
+	for i, r := range res {
+		dst[i] = Piece(r)
+	}
+}
+
+// Reconstruct inverts Disperse: given the k pieces it returns the chunk.
+func (d *Disperser) Reconstruct(pieces []Piece) uint64 {
+	if len(pieces) != d.k {
+		panic(fmt.Sprintf("disperse: %d pieces, want %d", len(pieces), d.k))
+	}
+	vec := make([]gf.Elem, d.k)
+	for i, p := range pieces {
+		if !d.field.Valid(gf.Elem(p)) {
+			panic(fmt.Sprintf("disperse: piece %#x exceeds %d-bit width", p, d.g))
+		}
+		vec[i] = gf.Elem(p)
+	}
+	res := make([]gf.Elem, d.k)
+	d.inv.MulVecInto(res, vec)
+	var chunk uint64
+	for _, r := range res {
+		chunk = chunk<<d.g | uint64(r)
+	}
+	return chunk
+}
+
+// DisperseStream splits a sequence of chunks into k parallel piece
+// streams: stream i holds the i-th piece of every chunk, in order. This
+// is the layout stored at dispersion site i for one index record.
+func (d *Disperser) DisperseStream(chunks []uint64) [][]Piece {
+	streams := make([][]Piece, d.k)
+	for i := range streams {
+		streams[i] = make([]Piece, len(chunks))
+	}
+	tmp := make([]Piece, d.k)
+	for ci, c := range chunks {
+		d.DisperseInto(tmp, c)
+		for i, p := range tmp {
+			streams[i][ci] = p
+		}
+	}
+	return streams
+}
+
+// ReconstructStream inverts DisperseStream.
+func (d *Disperser) ReconstructStream(streams [][]Piece) ([]uint64, error) {
+	if len(streams) != d.k {
+		return nil, fmt.Errorf("disperse: %d streams, want %d", len(streams), d.k)
+	}
+	n := len(streams[0])
+	for i, s := range streams {
+		if len(s) != n {
+			return nil, fmt.Errorf("disperse: stream %d length %d, want %d", i, len(s), n)
+		}
+	}
+	chunks := make([]uint64, n)
+	tmp := make([]Piece, d.k)
+	for ci := range chunks {
+		for i := range tmp {
+			tmp[i] = streams[i][ci]
+		}
+		chunks[ci] = d.Reconstruct(tmp)
+	}
+	return chunks, nil
+}

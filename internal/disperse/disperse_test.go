@@ -1,0 +1,267 @@
+package disperse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cipherx"
+)
+
+func params(k int, g uint, kind MatrixKind) Params {
+	return Params{K: k, G: g, Kind: kind, Key: cipherx.KeyFromPassphrase("disperse-test")}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Params{
+		{K: 0, G: 2},
+		{K: 4, G: 0},
+		{K: 4, G: 17},
+		{K: 5, G: 16}, // 80 bits > 64
+		{K: 2, G: 4, Kind: MatrixKind(99)},
+	}
+	for _, p := range bad {
+		p.Key = cipherx.KeyFromPassphrase("x")
+		if _, err := New(p); err == nil {
+			t.Errorf("Params %+v accepted, want error", p)
+		}
+	}
+	good := []Params{
+		{K: 1, G: 8},
+		{K: 4, G: 2, Kind: MatrixRandom},
+		{K: 4, G: 2, Kind: MatrixRandomDense},
+		{K: 2, G: 8, Kind: MatrixVandermonde},
+		{K: 4, G: 16},
+		{K: 8, G: 8},
+	}
+	for _, p := range good {
+		p.Key = cipherx.KeyFromPassphrase("x")
+		if _, err := New(p); err != nil {
+			t.Errorf("Params %+v rejected: %v", p, err)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d, err := New(params(4, 2, MatrixRandom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K() != 4 || d.G() != 2 || d.ChunkBits() != 8 {
+		t.Errorf("K=%d G=%d ChunkBits=%d", d.K(), d.G(), d.ChunkBits())
+	}
+	m := d.Matrix()
+	if m.Rows() != 4 || m.Cols() != 4 {
+		t.Error("Matrix shape wrong")
+	}
+	// Matrix() returns a copy: mutating it must not affect dispersal.
+	before := d.Disperse(0xAB)
+	m.Set(0, 0, 0)
+	after := d.Disperse(0xAB)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Matrix() exposed internal state")
+		}
+	}
+}
+
+func TestRoundTripAllKindsExhaustive8Bit(t *testing.T) {
+	// The paper's Table-2 configuration: one 8-bit symbol dispersed into
+	// four 2-bit pieces. Exhaustive over the whole domain.
+	// Structured families are impossible over GF(4) at k=4, so Table 2's
+	// configuration admits only the random families.
+	for _, kind := range []MatrixKind{MatrixRandom, MatrixRandomDense} {
+		d, err := New(params(4, 2, kind))
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		seen := make(map[[4]Piece]bool)
+		for c := uint64(0); c < 256; c++ {
+			ps := d.Disperse(c)
+			if got := d.Reconstruct(ps); got != c {
+				t.Fatalf("kind %d: Reconstruct(Disperse(%#x)) = %#x", kind, c, got)
+			}
+			var key [4]Piece
+			copy(key[:], ps)
+			if seen[key] {
+				t.Fatalf("kind %d: dispersal not injective at %#x", kind, c)
+			}
+			seen[key] = true
+			for i, p := range ps {
+				if p > 3 {
+					t.Fatalf("kind %d: piece %d = %d exceeds 2 bits", kind, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicFromKey(t *testing.T) {
+	key := cipherx.KeyFromPassphrase("fixed")
+	a, err := New(Params{K: 4, G: 4, Kind: MatrixRandomDense, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Params{K: 4, G: 4, Kind: MatrixRandomDense, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := New(Params{K: 4, G: 4, Kind: MatrixRandomDense, Key: cipherx.KeyFromPassphrase("different")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Matrix().Equal(b.Matrix()) {
+		t.Error("same key gave different matrices")
+	}
+	if a.Matrix().Equal(other.Matrix()) {
+		t.Error("different keys gave equal matrices")
+	}
+}
+
+func TestPieceDependsOnWholeChunk(t *testing.T) {
+	// With a dense matrix, flipping any input piece of the chunk changes
+	// every output piece — the property that defeats per-site frequency
+	// analysis of chunk fragments.
+	d, err := New(params(4, 4, MatrixCauchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := d.Disperse(0x00)
+	for in := 0; in < 4; in++ {
+		flipped := d.Disperse(uint64(1) << (uint(in) * 4))
+		for out := 0; out < 4; out++ {
+			if flipped[out] == base[out] {
+				t.Errorf("input piece %d does not influence output piece %d", in, out)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick64Bit(t *testing.T) {
+	d, err := New(params(4, 16, MatrixCauchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(c uint64) bool {
+		return d.Reconstruct(d.Disperse(c)) == c
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearityQuick(t *testing.T) {
+	// Dispersal is GF-linear: D(a ^ b) == D(a) ^ D(b) piecewise.
+	d, err := New(params(2, 8, MatrixRandomDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint16) bool {
+		da := d.Disperse(uint64(a))
+		db := d.Disperse(uint64(b))
+		dx := d.Disperse(uint64(a ^ b))
+		for i := range dx {
+			if dx[i] != da[i]^db[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDomainPanics(t *testing.T) {
+	d, err := New(params(4, 2, MatrixRandom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics(t, "chunk too wide", func() { d.Disperse(0x100) })
+	assertPanics(t, "dst wrong len", func() { d.DisperseInto(make([]Piece, 3), 1) })
+	assertPanics(t, "pieces wrong len", func() { d.Reconstruct(make([]Piece, 3)) })
+	assertPanics(t, "piece too wide", func() { d.Reconstruct([]Piece{4, 0, 0, 0}) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	d, err := New(params(4, 2, MatrixRandomDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := []uint64{0x00, 0x41, 0x42, 0xFF, 0x7E}
+	streams := d.DisperseStream(chunks)
+	if len(streams) != 4 {
+		t.Fatalf("%d streams, want 4", len(streams))
+	}
+	for i, s := range streams {
+		if len(s) != len(chunks) {
+			t.Fatalf("stream %d length %d, want %d", i, len(s), len(chunks))
+		}
+	}
+	back, err := d.ReconstructStream(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chunks {
+		if back[i] != chunks[i] {
+			t.Errorf("chunk %d: %#x != %#x", i, back[i], chunks[i])
+		}
+	}
+}
+
+func TestReconstructStreamValidation(t *testing.T) {
+	d, err := New(params(2, 4, MatrixCauchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReconstructStream([][]Piece{{1}}); err == nil {
+		t.Error("wrong stream count accepted")
+	}
+	if _, err := d.ReconstructStream([][]Piece{{1, 2}, {3}}); err == nil {
+		t.Error("ragged streams accepted")
+	}
+}
+
+// TestEqualChunksEqualPieces is the search-critical ECB-like property at
+// the piece level: equal chunks produce equal pieces at every site, so
+// per-site matching works.
+func TestEqualChunksEqualPieces(t *testing.T) {
+	d, err := New(params(4, 2, MatrixRandomDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.Disperse(0x53)
+	b := d.Disperse(0x53)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal chunks dispersed differently")
+		}
+	}
+}
+
+func TestSingleSiteDegenerate(t *testing.T) {
+	// K=1 is the degenerate no-dispersion case: the piece is an
+	// invertible transform of the whole chunk.
+	d, err := New(params(1, 8, MatrixCauchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := uint64(0); c < 256; c++ {
+		ps := d.Disperse(c)
+		if len(ps) != 1 {
+			t.Fatal("K=1 should give one piece")
+		}
+		if d.Reconstruct(ps) != c {
+			t.Fatal("K=1 round trip failed")
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package encode implements Stage 2 of the encrypted searchable SDDS:
+// redundancy removal by lossy, frequency-balancing compression.
+//
+// A codebook maps every group of GroupSize consecutive symbols to one of
+// N code values. The codebook is trained on a representative corpus: the
+// distinct groups are sorted by decreasing frequency and assigned
+// greedily to the currently least-loaded code value, so code values end
+// up occurring with (approximately) equal frequency. This flattens the
+// frequency spikes an ECB frequency analysis would exploit — at the cost
+// of collisions (several groups sharing one code), which surface as false
+// positives in searches.
+//
+// The greedy least-loaded rule, with ties broken toward the higher code
+// value, reproduces the paper's Figure 5 assignment exactly for the given
+// counts.
+package encode
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Code is one encoded value, in [0, N).
+type Code uint32
+
+// MaxCodes bounds the codebook size; 2^16 code values is far beyond the
+// paper's experiments (which top out at 128).
+const MaxCodes = 1 << 16
+
+// UnknownPolicy selects what Encode does with a group never seen during
+// training.
+type UnknownPolicy uint8
+
+const (
+	// UnknownHash deterministically assigns unseen groups to
+	// FNV-1a(group) mod N. This keeps the insert and search paths
+	// consistent for novel data at the cost of slightly unbalancing the
+	// code distribution.
+	UnknownHash UnknownPolicy = iota
+	// UnknownError makes Encode return an error for unseen groups.
+	UnknownError
+)
+
+// Codebook is a trained Stage-2 encoder. It is immutable after Train and
+// safe for concurrent use.
+type Codebook struct {
+	groupSize int
+	n         int
+	policy    UnknownPolicy
+	codes     map[string]Code
+	counts    map[string]uint64 // training counts, for reporting
+	loads     []uint64          // total training frequency per code value
+}
+
+// Train builds a codebook over groups of groupSize symbols with n code
+// values from the corpus records. Groups are collected from every record
+// at every phase (offset 0..groupSize-1), mirroring the paper's "collect
+// all these chunks and encode them".
+func Train(corpus [][]byte, groupSize, n int) (*Codebook, error) {
+	return TrainWithPolicy(corpus, groupSize, n, UnknownHash)
+}
+
+// TrainWithPolicy is Train with an explicit unknown-group policy.
+func TrainWithPolicy(corpus [][]byte, groupSize, n int, policy UnknownPolicy) (*Codebook, error) {
+	if groupSize < 1 {
+		return nil, fmt.Errorf("encode: group size %d, want >= 1", groupSize)
+	}
+	if n < 2 || n > MaxCodes {
+		return nil, fmt.Errorf("encode: %d code values, want 2..%d", n, MaxCodes)
+	}
+	counts := make(map[string]uint64)
+	for _, rec := range corpus {
+		for phase := 0; phase < groupSize; phase++ {
+			for i := phase; i+groupSize <= len(rec); i += groupSize {
+				counts[string(rec[i:i+groupSize])]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		return nil, errors.New("encode: corpus contains no full groups")
+	}
+	cb := &Codebook{
+		groupSize: groupSize,
+		n:         n,
+		policy:    policy,
+		codes:     make(map[string]Code, len(counts)),
+		counts:    counts,
+		loads:     make([]uint64, n),
+	}
+	cb.assign()
+	return cb, nil
+}
+
+// assign distributes groups to code values: groups in decreasing
+// frequency order; the first n groups take codes 0..n-1 in that order
+// ("place these characters into buckets, one for each encoded symbol, in
+// order of frequency of occurrence"), and every later group goes to the
+// least-loaded value with ties broken toward the higher value. This exact
+// rule reproduces the paper's Figure 5 assignment from its counts,
+// including the W→7 and '-'→5 tie cases. Equal-frequency groups are
+// ordered lexicographically for determinism.
+func (cb *Codebook) assign() {
+	type gc struct {
+		group string
+		count uint64
+	}
+	gs := make([]gc, 0, len(cb.counts))
+	for g, c := range cb.counts {
+		gs = append(gs, gc{g, c})
+	}
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].count != gs[j].count {
+			return gs[i].count > gs[j].count
+		}
+		return gs[i].group < gs[j].group
+	})
+	for idx, g := range gs {
+		best := idx
+		if idx >= cb.n {
+			best = 0
+			for v := 1; v < cb.n; v++ {
+				if cb.loads[v] <= cb.loads[best] {
+					best = v
+				}
+			}
+		}
+		cb.codes[g.group] = Code(best)
+		cb.loads[best] += g.count
+	}
+}
+
+// GroupSize returns the symbols per group.
+func (cb *Codebook) GroupSize() int { return cb.groupSize }
+
+// N returns the number of code values.
+func (cb *Codebook) N() int { return cb.n }
+
+// Bits returns the number of bits needed per code value: ceil(log2 N).
+func (cb *Codebook) Bits() uint {
+	b := uint(0)
+	for 1<<b < cb.n {
+		b++
+	}
+	return b
+}
+
+// Groups returns the number of distinct trained groups.
+func (cb *Codebook) Groups() int { return len(cb.codes) }
+
+// Policy returns the unknown-group policy.
+func (cb *Codebook) Policy() UnknownPolicy { return cb.policy }
+
+// ErrUnknownGroup reports an unseen group under UnknownError policy.
+var ErrUnknownGroup = errors.New("encode: group not in codebook")
+
+// Code maps one group to its code value. The group must have length
+// GroupSize.
+func (cb *Codebook) Code(group []byte) (Code, error) {
+	if len(group) != cb.groupSize {
+		return 0, fmt.Errorf("encode: group length %d, want %d", len(group), cb.groupSize)
+	}
+	if c, ok := cb.codes[string(group)]; ok {
+		return c, nil
+	}
+	if cb.policy == UnknownError {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return cb.hashCode(group), nil
+}
+
+func (cb *Codebook) hashCode(group []byte) Code {
+	h := fnv.New64a()
+	h.Write(group)
+	return Code(h.Sum64() % uint64(cb.n))
+}
+
+// Encode maps the consecutive groups of data starting at offset phase to
+// code values. Partial head (before phase) and tail groups are dropped,
+// mirroring the paper's experiments ("in the first chunking, we deleted
+// the last, incomplete chunk, in the second one, we deleted the first").
+func (cb *Codebook) Encode(data []byte, phase int) ([]Code, error) {
+	if phase < 0 || phase >= cb.groupSize {
+		return nil, fmt.Errorf("encode: phase %d out of range [0,%d)", phase, cb.groupSize)
+	}
+	out := make([]Code, 0, (len(data)-phase)/cb.groupSize+1)
+	for i := phase; i+cb.groupSize <= len(data); i += cb.groupSize {
+		c, err := cb.Code(data[i : i+cb.groupSize])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// EncodeAllPhases returns the GroupSize encodings of data, one per phase.
+func (cb *Codebook) EncodeAllPhases(data []byte) ([][]Code, error) {
+	out := make([][]Code, cb.groupSize)
+	for phase := 0; phase < cb.groupSize; phase++ {
+		enc, err := cb.Encode(data, phase)
+		if err != nil {
+			return nil, err
+		}
+		out[phase] = enc
+	}
+	return out, nil
+}
+
+// Collides reports whether two distinct groups share a code value — the
+// source of Stage-2 false positives (e.g. the paper's "B" and "V" both
+// encoding to 0, so "AVOGADO" matches "ABOGADO").
+func (cb *Codebook) Collides(a, b []byte) (bool, error) {
+	ca, err := cb.Code(a)
+	if err != nil {
+		return false, err
+	}
+	cbv, err := cb.Code(b)
+	if err != nil {
+		return false, err
+	}
+	return ca == cbv, nil
+}
+
+// Assignment is one row of a Figure-5-style encoding table.
+type Assignment struct {
+	Group string
+	Count uint64
+	Code  Code
+}
+
+// Assignments returns the trained groups in decreasing frequency order
+// (the order the greedy assignment processed them), matching the layout
+// of the paper's Figure 5.
+func (cb *Codebook) Assignments() []Assignment {
+	out := make([]Assignment, 0, len(cb.codes))
+	for g, c := range cb.codes {
+		out = append(out, Assignment{Group: g, Count: cb.counts[g], Code: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out
+}
+
+// Loads returns the total training frequency assigned to each code value.
+// A flat profile is the design goal of Stage 2.
+func (cb *Codebook) Loads() []uint64 {
+	return append([]uint64(nil), cb.loads...)
+}
+
+// codebookMagic identifies the serialization format.
+const codebookMagic = "ESDDSCB1"
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the codebook. The format is a stable little-endian
+// binary layout: magic, group size, n, policy, entry count, then
+// (group, count, code) triples.
+func (cb *Codebook) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	write := func(v any) error {
+		return binary.Write(bw, binary.LittleEndian, v)
+	}
+	if _, err := bw.WriteString(codebookMagic); err != nil {
+		return cw.n, err
+	}
+	hdr := []uint32{uint32(cb.groupSize), uint32(cb.n), uint32(cb.policy), uint32(len(cb.codes))}
+	for _, h := range hdr {
+		if err := write(h); err != nil {
+			return cw.n, err
+		}
+	}
+	// Deterministic order for reproducible files.
+	groups := make([]string, 0, len(cb.codes))
+	for g := range cb.codes {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		if err := write(uint32(len(g))); err != nil {
+			return cw.n, err
+		}
+		if _, err := bw.WriteString(g); err != nil {
+			return cw.n, err
+		}
+		if err := write(cb.counts[g]); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint32(cb.codes[g])); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadCodebook deserializes a codebook written by WriteTo.
+func ReadCodebook(r io.Reader) (*Codebook, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(codebookMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("encode: reading magic: %w", err)
+	}
+	if string(magic) != codebookMagic {
+		return nil, fmt.Errorf("encode: bad magic %q", magic)
+	}
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("encode: reading header: %w", err)
+		}
+	}
+	groupSize, n, policy, entries := int(hdr[0]), int(hdr[1]), UnknownPolicy(hdr[2]), int(hdr[3])
+	if groupSize < 1 || n < 2 || n > MaxCodes || entries < 0 {
+		return nil, fmt.Errorf("encode: corrupt header %v", hdr)
+	}
+	cb := &Codebook{
+		groupSize: groupSize,
+		n:         n,
+		policy:    policy,
+		codes:     make(map[string]Code, entries),
+		counts:    make(map[string]uint64, entries),
+		loads:     make([]uint64, n),
+	}
+	for i := 0; i < entries; i++ {
+		var glen uint32
+		if err := binary.Read(br, binary.LittleEndian, &glen); err != nil {
+			return nil, fmt.Errorf("encode: entry %d: %w", i, err)
+		}
+		if int(glen) != groupSize {
+			return nil, fmt.Errorf("encode: entry %d has group length %d, want %d", i, glen, groupSize)
+		}
+		g := make([]byte, glen)
+		if _, err := io.ReadFull(br, g); err != nil {
+			return nil, fmt.Errorf("encode: entry %d: %w", i, err)
+		}
+		var count uint64
+		var code uint32
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("encode: entry %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &code); err != nil {
+			return nil, fmt.Errorf("encode: entry %d: %w", i, err)
+		}
+		if int(code) >= n {
+			return nil, fmt.Errorf("encode: entry %d has code %d >= n %d", i, code, n)
+		}
+		cb.codes[string(g)] = Code(code)
+		cb.counts[string(g)] = count
+		cb.loads[code] += count
+	}
+	return cb, nil
+}

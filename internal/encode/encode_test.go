@@ -1,0 +1,338 @@
+package encode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainValidation(t *testing.T) {
+	corpus := [][]byte{[]byte("HELLO")}
+	if _, err := Train(corpus, 0, 8); err == nil {
+		t.Error("group size 0 accepted")
+	}
+	if _, err := Train(corpus, 1, 1); err == nil {
+		t.Error("1 code value accepted")
+	}
+	if _, err := Train(corpus, 1, MaxCodes+1); err == nil {
+		t.Error("too many code values accepted")
+	}
+	if _, err := Train([][]byte{[]byte("AB")}, 4, 8); err == nil {
+		t.Error("corpus with no full groups accepted")
+	}
+	if _, err := Train(corpus, 2, 8); err != nil {
+		t.Errorf("valid training failed: %v", err)
+	}
+}
+
+// TestFigure5Assignment reproduces the paper's Figure 5 exactly: given
+// the published symbol counts, the greedy least-loaded assignment with
+// ties to the higher code value yields the published code for every
+// symbol.
+func TestFigure5Assignment(t *testing.T) {
+	// Symbol, count, expected code — transcribed from Figure 5.
+	rows := []struct {
+		sym   byte
+		count int
+		code  Code
+	}{
+		{' ', 503, 0}, {'A', 495, 1}, {'E', 407, 2}, {'N', 383, 3},
+		{'R', 350, 4}, {'I', 300, 5}, {'O', 287, 6}, {'L', 258, 7},
+		{'S', 258, 7}, {'T', 200, 6}, {'H', 186, 5}, {'M', 178, 4},
+		{'C', 159, 3}, {'D', 150, 2}, {'U', 112, 5}, {'G', 108, 6},
+		{'Y', 97, 1}, {'B', 87, 0}, {'K', 74, 7}, {'J', 72, 4},
+		{'P', 71, 3}, {'F', 59, 2}, {'W', 49, 7}, {'V', 45, 0},
+		{'Z', 29, 1}, {'&', 14, 6}, {'X', 6, 5}, {'Q', 5, 4},
+		{'\'', 1, 5}, {'-', 1, 5},
+	}
+	var corpus [][]byte
+	for _, r := range rows {
+		corpus = append(corpus, bytes.Repeat([]byte{r.sym}, r.count))
+	}
+	cb, err := Train(corpus, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		got, err := cb.Code([]byte{r.sym})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.code {
+			t.Errorf("symbol %q: code %d, want %d (Figure 5)", r.sym, got, r.code)
+		}
+	}
+	// L and S share code 7 — the explicit collision Figure 5 shows.
+	col, err := cb.Collides([]byte("L"), []byte("S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col {
+		t.Error("L and S should share a code value")
+	}
+	// B and V share code 0 — the paper's AVOGADO/ABOGADO example.
+	col, err = cb.Collides([]byte("B"), []byte("V"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col {
+		t.Error("B and V should share code 0")
+	}
+}
+
+func TestLoadsAreBalanced(t *testing.T) {
+	// With many distinct groups, greedy balancing should keep the load
+	// spread tight: max/min < 1.05 for a smooth distribution.
+	var corpus [][]byte
+	for i := 0; i < 200; i++ {
+		corpus = append(corpus, bytes.Repeat([]byte{byte(i)}, 1000-4*i))
+	}
+	cb, err := Train(corpus, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := cb.Loads()
+	var min, max uint64 = loads[0], loads[0]
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if min == 0 || float64(max)/float64(min) > 1.05 {
+		t.Errorf("unbalanced loads: min=%d max=%d", min, max)
+	}
+}
+
+func TestBits(t *testing.T) {
+	corpus := [][]byte{[]byte("ABCDEFGH")}
+	for _, c := range []struct {
+		n    int
+		bits uint
+	}{
+		{2, 1}, {3, 2}, {4, 2}, {8, 3}, {16, 4}, {128, 7}, {130, 8},
+	} {
+		cb, err := Train(corpus, 1, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cb.Bits(); got != c.bits {
+			t.Errorf("n=%d: Bits = %d, want %d", c.n, got, c.bits)
+		}
+	}
+}
+
+func TestCodeLengthValidation(t *testing.T) {
+	cb, err := Train([][]byte{[]byte("ABCD")}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Code([]byte("A")); err == nil {
+		t.Error("wrong group length accepted")
+	}
+}
+
+func TestUnknownPolicies(t *testing.T) {
+	corpus := [][]byte{[]byte("AAAABBBB")}
+	hash, err := TrainWithPolicy(corpus, 1, 4, UnknownHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := hash.Code([]byte("Z"))
+	if err != nil {
+		t.Fatalf("UnknownHash should not error: %v", err)
+	}
+	c2, _ := hash.Code([]byte("Z"))
+	if c1 != c2 {
+		t.Error("hash fallback not deterministic")
+	}
+	if int(c1) >= hash.N() {
+		t.Error("hash fallback out of range")
+	}
+
+	strict, err := TrainWithPolicy(corpus, 1, 4, UnknownError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strict.Code([]byte("Z")); err == nil {
+		t.Error("UnknownError should reject unseen group")
+	}
+}
+
+// TestEncodePhases mirrors the paper's §7 example: "ABOGADO ALEJANDRO"
+// chunked at size 2 yields phase-0 groups [AB][OG][AD][O ]… and phase-1
+// groups [BO][GA][DO][ A]…, with partial head/tail dropped.
+func TestEncodePhases(t *testing.T) {
+	data := []byte("ABOGADO ALEJANDRO")
+	cb, err := Train([][]byte{data}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := cb.Encode(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p0) != 8 { // 17 symbols → 8 full groups at phase 0
+		t.Errorf("phase 0: %d groups, want 8", len(p0))
+	}
+	p1, err := cb.Encode(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) != 8 { // (17-1)/2 = 8 full groups at phase 1
+		t.Errorf("phase 1: %d groups, want 8", len(p1))
+	}
+	// Phase-0 group 0 is "AB"; check it agrees with direct coding.
+	want, _ := cb.Code([]byte("AB"))
+	if p0[0] != want {
+		t.Errorf("phase 0 group 0 = %d, want code of AB %d", p0[0], want)
+	}
+	want, _ = cb.Code([]byte("BO"))
+	if p1[0] != want {
+		t.Errorf("phase 1 group 0 = %d, want code of BO %d", p1[0], want)
+	}
+
+	all, err := cb.EncodeAllPhases(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("EncodeAllPhases returned %d phases", len(all))
+	}
+	if len(all[0]) != len(p0) || len(all[1]) != len(p1) {
+		t.Error("EncodeAllPhases disagrees with Encode")
+	}
+}
+
+func TestEncodePhaseValidation(t *testing.T) {
+	cb, err := Train([][]byte{[]byte("ABCD")}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cb.Encode([]byte("ABCD"), -1); err == nil {
+		t.Error("negative phase accepted")
+	}
+	if _, err := cb.Encode([]byte("ABCD"), 2); err == nil {
+		t.Error("phase >= group size accepted")
+	}
+}
+
+// Property: encoding is a function — equal substrings encode equally
+// regardless of the containing record. This is the invariant that makes
+// searching after Stage 2 possible at all.
+func TestEncodingConsistencyQuick(t *testing.T) {
+	corpus := [][]byte{[]byte("THE QUICK BROWN FOX JUMPS OVER THE LAZY DOG")}
+	cb, err := Train(corpus, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b []byte) bool {
+		// Append the same suffix to different prefixes of even length;
+		// the suffix's group codes must be identical.
+		suffix := []byte("WXYZ")
+		pa := append(bytes.Repeat([]byte("Q"), 2*(len(a)%5)), suffix...)
+		pb := append(bytes.Repeat([]byte("R"), 2*(len(b)%7)), suffix...)
+		ea, err := cb.Encode(pa, 0)
+		if err != nil {
+			return false
+		}
+		eb, err := cb.Encode(pb, 0)
+		if err != nil {
+			return false
+		}
+		// Last two groups of both encodings are the suffix groups.
+		na, nb := len(ea), len(eb)
+		return na >= 2 && nb >= 2 && ea[na-1] == eb[nb-1] && ea[na-2] == eb[nb-2]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentsOrdering(t *testing.T) {
+	corpus := [][]byte{[]byte(strings.Repeat("A", 10) + strings.Repeat("B", 5) + "C")}
+	cb, err := Train(corpus, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := cb.Assignments()
+	if len(as) != 3 {
+		t.Fatalf("%d assignments, want 3", len(as))
+	}
+	if as[0].Group != "A" || as[1].Group != "B" || as[2].Group != "C" {
+		t.Errorf("order = %q %q %q", as[0].Group, as[1].Group, as[2].Group)
+	}
+	if as[0].Count != 10 || as[0].Code != 0 { // highest-frequency group takes code 0
+		t.Errorf("A: count=%d code=%d", as[0].Count, as[0].Code)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	corpus := [][]byte{[]byte("ABOGADO ALEJANDRO & CATHERINE"), []byte("LITWIN WITOLD")}
+	for _, gs := range []int{1, 2, 4} {
+		orig, err := TrainWithPolicy(corpus, gs, 8, UnknownError)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		n, err := orig.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+		}
+		got, err := ReadCodebook(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.GroupSize() != orig.GroupSize() || got.N() != orig.N() || got.Policy() != orig.Policy() {
+			t.Error("header fields differ after round trip")
+		}
+		if got.Groups() != orig.Groups() {
+			t.Errorf("groups %d != %d", got.Groups(), orig.Groups())
+		}
+		for _, a := range orig.Assignments() {
+			c, err := got.Code([]byte(a.Group))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != a.Code {
+				t.Errorf("group %q: code %d != %d", a.Group, c, a.Code)
+			}
+		}
+		lo, lg := orig.Loads(), got.Loads()
+		for i := range lo {
+			if lo[i] != lg[i] {
+				t.Errorf("load[%d] %d != %d", i, lg[i], lo[i])
+			}
+		}
+	}
+}
+
+func TestReadCodebookCorrupt(t *testing.T) {
+	orig, err := Train([][]byte{[]byte("ABCD")}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadCodebook(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadCodebook(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadCodebook(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated input accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6–7) on the synthetic SF-directory corpus:
+//
+//	Table 1 — χ² of the raw directory + most common 1/2/3-grams
+//	Table 2 — χ² after dispersion alone (8-bit symbols → four 2-bit pieces)
+//	Table 3 — χ² after redundancy removal alone (chunk sizes × encodings)
+//	Table 4 — false positives after symbol encoding (FP1) and after
+//	          chunking with chunk size 2 (FP2), all entries and >5-char names
+//	Table 5 — false positives after chunk-level encoding
+//	Figure 5 — the 8-code encoding assignment table
+//
+// plus a randomness-battery extension (§6 points to NIST-style testing).
+// Each experiment returns a structured result and renders itself in the
+// paper's layout, so cmd/esdds-repro can print side-by-side comparisons
+// and the benchmark harness can regenerate any row.
+package experiments
+
+import (
+	"repro/internal/phonebook"
+	"repro/internal/stats"
+)
+
+// Corpus is the evaluation dataset: a synthetic SF directory.
+type Corpus struct {
+	// Entries are the generated directory entries.
+	Entries []phonebook.Entry
+	// Names are the record contents (the searchable fields).
+	Names [][]byte
+	// Alphabet is the sorted set of symbols occurring in Names.
+	Alphabet []byte
+}
+
+// PaperCorpusSize is the size of the paper's dataset (282,965 entries).
+const PaperCorpusSize = 282965
+
+// DefaultSeed is the corpus seed used across the repository so results
+// are reproducible run-to-run.
+const DefaultSeed = 20060403 // ICDE 2006 week
+
+// NewCorpus generates an n-entry corpus.
+func NewCorpus(n int, seed int64) *Corpus {
+	entries := phonebook.Generate(n, seed)
+	names := phonebook.Names(entries)
+	return &Corpus{
+		Entries:  entries,
+		Names:    names,
+		Alphabet: stats.Alphabet(names),
+	}
+}
+
+// Sample draws k distinct entries (the paper's "1000 random records").
+func (c *Corpus) Sample(k int, seed int64) *Corpus {
+	entries := phonebook.Sample(c.Entries, k, seed)
+	names := phonebook.Names(entries)
+	return &Corpus{Entries: entries, Names: names, Alphabet: stats.Alphabet(names)}
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cipherx"
+)
+
+// A modest corpus keeps the test suite fast; the shape criteria below
+// are scale-free.
+func testCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	return NewCorpus(8000, DefaultSeed)
+}
+
+func TestCorpusConstruction(t *testing.T) {
+	c := testCorpus(t)
+	if len(c.Entries) != 8000 || len(c.Names) != 8000 {
+		t.Fatal("corpus size")
+	}
+	if len(c.Alphabet) < 20 {
+		t.Errorf("alphabet only %d symbols", len(c.Alphabet))
+	}
+	s := c.Sample(100, 1)
+	if len(s.Entries) != 100 {
+		t.Errorf("sample size %d", len(s.Entries))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	c := testCorpus(t)
+	tab := RunTable1(c)
+	// Shape criteria from the paper: strongly non-uniform, exploding
+	// from singles to doublets to triplets.
+	if !(tab.ChiSingle > 1000) {
+		t.Errorf("single χ² = %.0f, want large", tab.ChiSingle)
+	}
+	if !(tab.ChiDouble > tab.ChiSingle && tab.ChiTriple > tab.ChiDouble) {
+		t.Errorf("ordering: %.0f %.0f %.0f", tab.ChiSingle, tab.ChiDouble, tab.ChiTriple)
+	}
+	if len(tab.TopSingles) != 6 || len(tab.TopDoubles) != 5 || len(tab.TopTriples) != 5 {
+		t.Error("top lists wrong length")
+	}
+	if s := tab.Render(); !strings.Contains(s, "Table 1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	c := testCorpus(t)
+	t1 := RunTable1(c)
+	t2, err := RunTable2(c, cipherx.KeyFromPassphrase("table2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispersion reduces χ² dramatically but does not equalize: the
+	// paper's Table 2 still shows a skewed 2-bit distribution.
+	if !(t2.ChiSingle < t1.ChiSingle/2) {
+		t.Errorf("dispersion did not reduce single χ²: %.0f vs %.0f", t2.ChiSingle, t1.ChiSingle)
+	}
+	if !(t2.ChiTriple < t1.ChiTriple/2) {
+		t.Errorf("dispersion did not reduce triple χ²: %.0f vs %.0f", t2.ChiTriple, t1.ChiTriple)
+	}
+	sum := 0.0
+	for _, f := range t2.SymbolFreq {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("symbol frequencies sum to %f", sum)
+	}
+	// Still non-uniform (χ² single well above the 3 degrees of freedom).
+	if t2.ChiSingle < 100 {
+		t.Errorf("dispersed singles suspiciously uniform: χ² = %.1f", t2.ChiSingle)
+	}
+	if s := t2.Render(); !strings.Contains(s, "Table 2") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	c := testCorpus(t)
+	rows, err := RunTable3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, encs := range Table3Grid {
+		want += len(encs)
+	}
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	byCell := make(map[[2]int]Table3Row)
+	for _, r := range rows {
+		byCell[[2]int{r.ChunkSize, r.Encodings}] = r
+		// Universal shape: balanced codes make singles tiny relative to
+		// doublets/triplets (inter-chunk predictability survives).
+		if r.ChiDouble < r.ChiSingle {
+			t.Errorf("cs=%d enc=%d: doublet χ² %.1f < single %.1f",
+				r.ChunkSize, r.Encodings, r.ChiDouble, r.ChiSingle)
+		}
+		if r.ChiTriple < r.ChiDouble {
+			t.Errorf("cs=%d enc=%d: triple χ² %.1f < double %.1f",
+				r.ChunkSize, r.Encodings, r.ChiTriple, r.ChiDouble)
+		}
+	}
+	// Within one chunk size, more encodings → larger χ² (less
+	// compression, more structure survives). Check the extremes.
+	for cs, encs := range Table3Grid {
+		lo := byCell[[2]int{cs, encs[0]}]
+		hi := byCell[[2]int{cs, encs[len(encs)-1]}]
+		if hi.ChiTriple <= lo.ChiTriple {
+			t.Errorf("cs=%d: triple χ² not increasing with encodings (%.1f -> %.1f)",
+				cs, lo.ChiTriple, hi.ChiTriple)
+		}
+	}
+	// At equal code budget, larger chunks flatten better: compare
+	// cs=2,enc=16 against cs=6,enc=16 doublets (paper: 72,530 vs 1,014).
+	small := byCell[[2]int{2, 16}]
+	large := byCell[[2]int{6, 16}]
+	if large.ChiDouble >= small.ChiDouble {
+		t.Errorf("cs=6 should beat cs=2 at 16 encodings: %.1f vs %.1f",
+			large.ChiDouble, small.ChiDouble)
+	}
+	if s := RenderTable3(rows); !strings.Contains(s, "Chunk Size = 6") {
+		t.Error("render missing blocks")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	c := testCorpus(t)
+	sample := c.Sample(500, 42)
+	res, err := RunTable4(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != len(Table4Encodings) || len(res.Long) != len(Table4Encodings) {
+		t.Fatal("row counts")
+	}
+	for i := range res.All {
+		a, l := res.All[i], res.Long[i]
+		// Chunking adds false positives: FP2 >= FP1.
+		if a.FP2 < a.FP1 {
+			t.Errorf("enc=%d: FP2 %d < FP1 %d", a.Encodings, a.FP2, a.FP1)
+		}
+		// Long names nearly eliminate FPs.
+		if l.FP1 > a.FP1/5+5 {
+			t.Errorf("enc=%d: long-name FP1 %d not ≪ all-entries FP1 %d", a.Encodings, l.FP1, a.FP1)
+		}
+		// χ² grows with encodings (less compression).
+		if i > 0 && a.ChiTriple <= res.All[i-1].ChiTriple {
+			t.Errorf("triple χ² not increasing: %.1f -> %.1f", res.All[i-1].ChiTriple, a.ChiTriple)
+		}
+	}
+	// More encodings → fewer FPs (paper: 6253 → 911 → 0).
+	first, last := res.All[0], res.All[len(res.All)-1]
+	if last.FP1 >= first.FP1 && first.FP1 > 0 {
+		t.Errorf("FP1 not decreasing with encodings: %d -> %d", first.FP1, last.FP1)
+	}
+	if last.FP2 >= first.FP2 && first.FP2 > 0 {
+		t.Errorf("FP2 not decreasing with encodings: %d -> %d", first.FP2, last.FP2)
+	}
+	if s := res.Render(); !strings.Contains(s, "Table 4") {
+		t.Error("render")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	c := testCorpus(t)
+	sample := c.Sample(500, 42)
+	res, err := RunTable5(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.All) != len(Table5Encodings) {
+		t.Fatal("row counts")
+	}
+	for i := range res.All {
+		a, l := res.All[i], res.Long[i]
+		if l.FP > a.FP {
+			t.Errorf("enc=%d: long FP %d > all FP %d", a.Encodings, l.FP, a.FP)
+		}
+		if i > 0 && a.FP > res.All[i-1].FP {
+			t.Errorf("FP not decreasing with encodings: %d -> %d", res.All[i-1].FP, a.FP)
+		}
+	}
+	// Key cross-table comparison at equal code count: chunk-level
+	// encoding flattens the per-code distribution far better than
+	// symbol-level encoding (paper: single χ² 0.002 vs 1.49 at 8 codes)
+	// — the trade-off being its higher false-positive counts.
+	t4, err := RunTable4(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t4row Table4Row
+	for _, r := range t4.All {
+		if r.Encodings == 8 {
+			t4row = r
+		}
+	}
+	var t5row Table5Row
+	for _, r := range res.All {
+		if r.Encodings == 8 {
+			t5row = r
+		}
+	}
+	if t5row.ChiSingle >= t4row.ChiSingle {
+		t.Errorf("chunk encoding should flatten singles more at equal code count: %.3f vs %.3f",
+			t5row.ChiSingle, t4row.ChiSingle)
+	}
+	if s := res.Render(); !strings.Contains(s, "Table 5") {
+		t.Error("render")
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	c := testCorpus(t)
+	sample := c.Sample(1000, 42)
+	fig, err := RunFigure5(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) < 20 {
+		t.Fatalf("only %d symbols", len(fig.Rows))
+	}
+	// Frequency order and code range.
+	for i, r := range fig.Rows {
+		if len(r.Group) != 1 {
+			t.Errorf("row %d group %q not a single symbol", i, r.Group)
+		}
+		if r.Code > 7 {
+			t.Errorf("code %d out of range", r.Code)
+		}
+		if i > 0 && r.Count > fig.Rows[i-1].Count {
+			t.Error("rows not in decreasing frequency order")
+		}
+	}
+	// The first 8 symbols take codes 0..7 in order.
+	for i := 0; i < 8; i++ {
+		if int(fig.Rows[i].Code) != i {
+			t.Errorf("row %d code %d, want %d", i, fig.Rows[i].Code, i)
+		}
+	}
+	if s := fig.Render(); !strings.Contains(s, "space") {
+		t.Error("render should show the space symbol")
+	}
+}
+
+func TestRandomnessExtension(t *testing.T) {
+	c := testCorpus(t)
+	sample := c.Sample(400, 7)
+	res, err := RunRandomness(sample, cipherx.KeyFromPassphrase("battery"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw ASCII text must fail essentially everything.
+	rawFails := 0
+	for _, r := range res.Raw {
+		if !r.Passed {
+			rawFails++
+		}
+	}
+	if rawFails < 3 {
+		t.Errorf("raw plaintext passed too many randomness tests (%d failures)", rawFails)
+	}
+	// The index pieces must look much more random: at least monobit
+	// should pass after encode+ECB+dispersion.
+	idxPasses := 0
+	for _, r := range res.Index {
+		if r.Passed {
+			idxPasses++
+		}
+	}
+	if idxPasses == 0 {
+		t.Error("index pieces failed the entire battery")
+	}
+	if s := res.Render(); !strings.Contains(s, "monobit") {
+		t.Error("render")
+	}
+}
+
+func TestStorageTradeoff(t *testing.T) {
+	c := testCorpus(t)
+	sample := c.Sample(400, 9)
+	rows, err := RunStorageTradeoff(sample, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // M ∈ {1, 2, 4}
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for i, r := range rows {
+		// Storage grows with M (M copies of the chunked record, modulo
+		// per-chunking padding differences).
+		if i > 0 && r.IndexBytes <= rows[i-1].IndexBytes {
+			t.Errorf("M=%d: storage %d not larger than M=%d's %d",
+				r.M, r.IndexBytes, rows[i-1].M, rows[i-1].IndexBytes)
+		}
+		// Minimum query length shrinks as M grows: S + S/M − 1.
+		want := 4 + 4/r.M - 1
+		if r.MinQueryLen != want {
+			t.Errorf("M=%d: MinQueryLen %d, want %d", r.M, r.MinQueryLen, want)
+		}
+		// Aligned verification (full series) never has more FPs than the
+		// cheap mode counted over at least as many queries.
+		if r.FPAligned > r.FPAny && r.QueriesAligned <= r.QueriesAny {
+			t.Errorf("M=%d: FPAligned %d > FPAny %d", r.M, r.FPAligned, r.FPAny)
+		}
+	}
+	// At M=S the aligned mode must be exact: zero false positives.
+	last := rows[len(rows)-1]
+	if last.M == 4 && last.FPAligned != 0 {
+		t.Errorf("M=S aligned mode had %d FPs, want 0 (exactness theorem)", last.FPAligned)
+	}
+	if s := RenderStorage(4, rows); !strings.Contains(s, "trade-off") {
+		t.Error("render")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/disperse"
+)
+
+// StorageRow quantifies the §2.5 trade-off for one chunking count M at
+// fixed chunk size S: how much index storage a record costs, how long
+// queries must be, and how many false positives searches suffer under
+// the cheap (VerifyAny) and strict (VerifyAligned) combination rules.
+type StorageRow struct {
+	M int
+	// Alignments is S/M, the series per (minimal) search.
+	Alignments int
+	// MinQueryLen is the minimal searchable substring length.
+	MinQueryLen int
+	// IndexBytes is the total index storage for the sample.
+	IndexBytes int
+	// StorageRatio is IndexBytes / total record bytes.
+	StorageRatio float64
+	// FPAny counts false-positive (query, record) pairs under VerifyAny
+	// over the queries long enough for the minimal series.
+	FPAny int
+	// QueriesAny is the number of queries the FPAny column ran.
+	QueriesAny int
+	// FPAligned counts false positives under VerifyAligned over the
+	// queries long enough for the full series (>= 2S-1 symbols).
+	FPAligned int
+	// QueriesAligned is the number of queries the FPAligned column ran.
+	QueriesAligned int
+}
+
+// RunStorageTradeoff measures the §2.5 storage-versus-accuracy knob: at
+// fixed S, every divisor M of S from 1 to S, with no Stage-2 encoding so
+// all false positives come from chunk-granular matching alone.
+func RunStorageTradeoff(sample *Corpus, s int) ([]StorageRow, error) {
+	queries := lastNames(sample)
+	var rows []StorageRow
+	for m := 1; m <= s; m++ {
+		if s%m != 0 {
+			continue
+		}
+		row, err := runStorageRow(sample, s, m, queries)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runStorageRow(sample *Corpus, s, m int, queries [][]byte) (*StorageRow, error) {
+	pl, err := core.NewPipeline(core.Params{
+		Chunk:      chunk.Params{S: s, M: m},
+		DisperseK:  1,
+		MatrixKind: disperse.MatrixRandom,
+		Key:        FPKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := core.NewMemIndex(pl)
+	indexBytes, recordBytes := 0, 0
+	for i, name := range sample.Names {
+		if err := ix.Insert(uint64(i), name); err != nil {
+			return nil, err
+		}
+		recordBytes += len(name)
+		recs, err := pl.BuildIndex(uint64(i), name)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			for _, stream := range r.Streams {
+				indexBytes += 2 * len(stream)
+			}
+		}
+	}
+	row := &StorageRow{
+		M:            m,
+		Alignments:   pl.Params().Chunk.Alignments(),
+		MinQueryLen:  pl.MinQueryLen(),
+		IndexBytes:   indexBytes,
+		StorageRatio: float64(indexBytes) / float64(recordBytes),
+	}
+	fullMin := 2*s - 1
+	for _, q := range queries {
+		if len(q) >= row.MinQueryLen {
+			row.QueriesAny++
+			rids, err := ix.Search(q, core.VerifyAny)
+			if err != nil {
+				return nil, err
+			}
+			for _, rid := range rids {
+				if !bytes.Contains(sample.Names[rid], q) {
+					row.FPAny++
+				}
+			}
+		}
+		if len(q) >= fullMin {
+			row.QueriesAligned++
+			rids, err := ix.Search(q, core.VerifyAligned)
+			if err != nil {
+				return nil, err
+			}
+			for _, rid := range rids {
+				if !bytes.Contains(sample.Names[rid], q) {
+					row.FPAligned++
+				}
+			}
+		}
+	}
+	return row, nil
+}
+
+// RenderStorage prints the trade-off table.
+func RenderStorage(s int, rows []StorageRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storage/accuracy trade-off at chunk size S=%d (§2.5)\n", s)
+	fmt.Fprintf(&b, "  %-3s %6s %8s %10s %9s %9s %11s %9s\n",
+		"M", "series", "min qry", "idx bytes", "ratio", "FP(any)", "FP(aligned)", "queries")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-3d %6d %8d %10d %8.2fx %9d %11d %5d/%d\n",
+			r.M, r.Alignments, r.MinQueryLen, r.IndexBytes, r.StorageRatio,
+			r.FPAny, r.FPAligned, r.QueriesAny, r.QueriesAligned)
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cipherx"
+	"repro/internal/disperse"
+	"repro/internal/encode"
+	"repro/internal/stats"
+)
+
+// GramFreq is a decoded frequency-table row.
+type GramFreq struct {
+	Gram string
+	Frac float64
+}
+
+// Table1 is the raw-directory analysis of the paper's Table 1.
+type Table1 struct {
+	ChiSingle, ChiDouble, ChiTriple float64
+	TopSingles                      []GramFreq
+	TopDoubles                      []GramFreq
+	TopTriples                      []GramFreq
+}
+
+func decodeTop(counter *stats.NGramCounter, alphabet []byte, k int) []GramFreq {
+	top := counter.Top(k)
+	out := make([]GramFreq, len(top))
+	for i, g := range top {
+		b := make([]byte, len(g.Gram))
+		for j, s := range g.Gram {
+			b[j] = alphabet[s]
+		}
+		out[i] = GramFreq{Gram: string(b), Frac: g.Frac}
+	}
+	return out
+}
+
+// RunTable1 computes χ² for single characters, doublets, and triplets of
+// the directory and lists the most common grams.
+func RunTable1(c *Corpus) *Table1 {
+	tab := stats.AnalyzeBytes(c.Names, c.Alphabet)
+	return &Table1{
+		ChiSingle:  tab.Single,
+		ChiDouble:  tab.Double,
+		ChiTriple:  tab.Triple,
+		TopSingles: decodeTop(tab.Singles, c.Alphabet, 6),
+		TopDoubles: decodeTop(tab.Doubles, c.Alphabet, 5),
+		TopTriples: decodeTop(tab.Triples, c.Alphabet, 5),
+	}
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: χ²-values for the synthetic SF Phone Directory\n")
+	fmt.Fprintf(&b, "  χ² (Single Letter) %14.0f\n", t.ChiSingle)
+	fmt.Fprintf(&b, "  χ² (Doublets)      %14.0f\n", t.ChiDouble)
+	fmt.Fprintf(&b, "  χ² (Triplets)      %14.0f\n", t.ChiTriple)
+	for _, g := range t.TopSingles {
+		fmt.Fprintf(&b, "  %-4s %6.2f%%\n", g.Gram, 100*g.Frac)
+	}
+	for _, g := range t.TopDoubles {
+		fmt.Fprintf(&b, "  %-4s %6.2f%%\n", g.Gram, 100*g.Frac)
+	}
+	for _, g := range t.TopTriples {
+		fmt.Fprintf(&b, "  %-4s %6.2f%%\n", g.Gram, 100*g.Frac)
+	}
+	return b.String()
+}
+
+// Table2 is the dispersion-alone analysis: every 8-bit symbol dispersed
+// into four 2-bit pieces via a key-derived random nonsingular matrix,
+// then the piece streams analyzed over the 4-symbol alphabet {0,1,2,3}.
+type Table2 struct {
+	ChiSingle, ChiDouble, ChiTriple float64
+	SymbolFreq                      [4]float64 // frequency of 0,1,2,3
+	TopDoubles                      []GramFreq
+	// PerSiteChiSingle is the single-symbol χ² of each dispersion site's
+	// own stream (extension: the paper aggregates).
+	PerSiteChiSingle [4]float64
+}
+
+// RunTable2 disperses the corpus symbol-wise and measures the piece
+// distributions.
+func RunTable2(c *Corpus, key cipherx.Key) (*Table2, error) {
+	d, err := disperse.New(disperse.Params{
+		K:    4,
+		G:    2,
+		Kind: disperse.MatrixRandom,
+		Key:  key,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// All-site aggregate sequences: for each record and each site, the
+	// site's piece stream is one sequence.
+	var agg [][]stats.Symbol
+	perSite := make([][][]stats.Symbol, 4)
+	tmp := make([]disperse.Piece, 4)
+	for _, name := range c.Names {
+		streams := make([][]stats.Symbol, 4)
+		for i := range streams {
+			streams[i] = make([]stats.Symbol, len(name))
+		}
+		for pos, sym := range name {
+			d.DisperseInto(tmp, uint64(sym))
+			for i, p := range tmp {
+				streams[i][pos] = stats.Symbol(p)
+			}
+		}
+		for i := range streams {
+			agg = append(agg, streams[i])
+			perSite[i] = append(perSite[i], streams[i])
+		}
+	}
+	tab := stats.AnalyzeSequences(agg, 4)
+	out := &Table2{
+		ChiSingle: tab.Single,
+		ChiDouble: tab.Double,
+		ChiTriple: tab.Triple,
+	}
+	total := float64(tab.Singles.Total())
+	for s := 0; s < 4; s++ {
+		out.SymbolFreq[s] = float64(tab.Singles.Count([]stats.Symbol{stats.Symbol(s)})) / total
+	}
+	for _, g := range tab.Doubles.Top(4) {
+		out.TopDoubles = append(out.TopDoubles, GramFreq{
+			Gram: fmt.Sprintf("%d%d", g.Gram[0], g.Gram[1]),
+			Frac: g.Frac,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		st := stats.AnalyzeSequences(perSite[i], 4)
+		out.PerSiteChiSingle[i] = st.Single
+	}
+	return out, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table2) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: χ²-values after Dispersion (s=1, k=4, g=2 bits)\n")
+	fmt.Fprintf(&b, "  χ² (Single Letter) %14.0f\n", t.ChiSingle)
+	fmt.Fprintf(&b, "  χ² (Doublets)      %14.0f\n", t.ChiDouble)
+	fmt.Fprintf(&b, "  χ² (Triplets)      %14.0f\n", t.ChiTriple)
+	for s, f := range t.SymbolFreq {
+		fmt.Fprintf(&b, "  %d    %6.1f%%\n", s, 100*f)
+	}
+	for _, g := range t.TopDoubles {
+		fmt.Fprintf(&b, "  %-4s %6.2f%%\n", g.Gram, 100*g.Frac)
+	}
+	return b.String()
+}
+
+// Table3Row is one (chunk size, encodings) cell row of Table 3.
+type Table3Row struct {
+	ChunkSize int
+	Encodings int
+	ChiSingle float64
+	ChiDouble float64
+	ChiTriple float64
+}
+
+// Table3Grid mirrors the paper's parameter grid.
+var Table3Grid = map[int][]int{
+	1: {2, 4, 8, 16},
+	2: {8, 16, 32, 64, 128},
+	4: {16, 32, 64, 128},
+	6: {16, 32, 64, 128},
+}
+
+// RunTable3 measures redundancy removal alone: symbols grouped into
+// chunks of each size, encoded with a frequency-balancing codebook of
+// each encoding count (phase 0, partial tail dropped as in the paper),
+// then χ² of the encoded stream over the code alphabet.
+func RunTable3(c *Corpus) ([]Table3Row, error) {
+	var out []Table3Row
+	for _, cs := range []int{1, 2, 4, 6} {
+		for _, enc := range Table3Grid[cs] {
+			row, err := RunTable3Cell(c, cs, enc)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *row)
+		}
+	}
+	return out, nil
+}
+
+// RunTable3Cell computes one row of Table 3.
+func RunTable3Cell(c *Corpus, chunkSize, encodings int) (*Table3Row, error) {
+	cb, err := encode.Train(c.Names, chunkSize, encodings)
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([][]stats.Symbol, 0, len(c.Names))
+	for _, name := range c.Names {
+		codes, err := cb.Encode(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]stats.Symbol, len(codes))
+		for i, cd := range codes {
+			seq[i] = stats.Symbol(cd)
+		}
+		seqs = append(seqs, seq)
+	}
+	tab := stats.AnalyzeSequences(seqs, encodings)
+	return &Table3Row{
+		ChunkSize: chunkSize,
+		Encodings: encodings,
+		ChiSingle: tab.Single,
+		ChiDouble: tab.Double,
+		ChiTriple: tab.Triple,
+	}, nil
+}
+
+// RenderTable3 prints the grid in the paper's per-chunk-size blocks.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: χ²-values after Pre-Processing\n")
+	last := -1
+	for _, r := range rows {
+		if r.ChunkSize != last {
+			fmt.Fprintf(&b, "Chunk Size = %d\n", r.ChunkSize)
+			fmt.Fprintf(&b, "  %-8s %14s %14s %14s\n", "# encod.", "χ² single", "χ² double", "χ² triple")
+			last = r.ChunkSize
+		}
+		fmt.Fprintf(&b, "  %-8d %14.3f %14.1f %14.1f\n", r.Encodings, r.ChiSingle, r.ChiDouble, r.ChiTriple)
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	for _, g := range []uint{0, 17, 32} {
+		if _, err := New(g); err == nil {
+			t.Errorf("New(%d): want error, got nil", g)
+		}
+	}
+}
+
+func TestNewCachesFields(t *testing.T) {
+	a, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("New(8) returned distinct instances; want cached pointer")
+	}
+}
+
+func TestFieldBasics(t *testing.T) {
+	f := MustNew(8)
+	if f.Width() != 8 {
+		t.Errorf("Width = %d, want 8", f.Width())
+	}
+	if f.Size() != 256 {
+		t.Errorf("Size = %d, want 256", f.Size())
+	}
+	if f.Mask() != 255 {
+		t.Errorf("Mask = %d, want 255", f.Mask())
+	}
+	if !f.Valid(255) || f.Valid(256) {
+		t.Error("Valid misclassifies boundary elements")
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for _, g := range []uint{2, 4, 8, 12, 16} {
+		f := MustNew(g)
+		for a := Elem(1); uint32(a) < f.Size(); a++ {
+			if got := f.Exp(f.Log(a)); got != a {
+				t.Fatalf("GF(2^%d): Exp(Log(%d)) = %d", g, a, got)
+			}
+		}
+	}
+}
+
+func TestGeneratorHasFullOrder(t *testing.T) {
+	// alpha must generate all nonzero elements: the exp table over
+	// [0, 2^g-1) must hit every nonzero element exactly once.
+	for g := uint(1); g <= 16; g++ {
+		f := MustNew(g)
+		seen := make(map[Elem]bool)
+		for i := uint32(0); i < f.Size()-1; i++ {
+			e := f.Exp(i)
+			if e == 0 {
+				t.Fatalf("GF(2^%d): alpha^%d = 0", g, i)
+			}
+			if seen[e] {
+				t.Fatalf("GF(2^%d): alpha^%d repeats element %d — polynomial not primitive", g, i, e)
+			}
+			seen[e] = true
+		}
+		if len(seen) != int(f.Size()-1) {
+			t.Fatalf("GF(2^%d): generator order %d, want %d", g, len(seen), f.Size()-1)
+		}
+	}
+}
+
+func TestMulTableSmallField(t *testing.T) {
+	// GF(4) with x^2+x+1: multiplication table is fully known.
+	f := MustNew(2)
+	want := [4][4]Elem{
+		{0, 0, 0, 0},
+		{0, 1, 2, 3},
+		{0, 2, 3, 1},
+		{0, 3, 1, 2},
+	}
+	for a := Elem(0); a < 4; a++ {
+		for b := Elem(0); b < 4; b++ {
+			if got := f.Mul(a, b); got != want[a][b] {
+				t.Errorf("GF(4): %d*%d = %d, want %d", a, b, got, want[a][b])
+			}
+		}
+	}
+}
+
+func TestMulDivInverse(t *testing.T) {
+	f := MustNew(8)
+	for a := Elem(1); uint32(a) < f.Size(); a++ {
+		inv := f.Inv(a)
+		if f.Mul(a, inv) != 1 {
+			t.Fatalf("a * Inv(a) != 1 for a=%d", a)
+		}
+		for _, b := range []Elem{1, 2, 7, 100, 255} {
+			if f.Div(f.Mul(a, b), b) != a {
+				t.Fatalf("(a*b)/b != a for a=%d b=%d", a, b)
+			}
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	f := MustNew(8)
+	assertPanics(t, "Div", func() { f.Div(1, 0) })
+	assertPanics(t, "Inv", func() { f.Inv(0) })
+	assertPanics(t, "Log", func() { f.Log(0) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestPow(t *testing.T) {
+	f := MustNew(8)
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 != 1")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("0^5 != 0")
+	}
+	for _, a := range []Elem{1, 2, 3, 87, 255} {
+		p := Elem(1)
+		for n := uint32(0); n < 520; n++ {
+			if got := f.Pow(a, n); got != p {
+				t.Fatalf("Pow(%d, %d) = %d, want %d", a, n, got, p)
+			}
+			p = f.Mul(p, a)
+		}
+	}
+}
+
+// Property: field axioms hold for random triples in GF(2^8) and GF(2^16).
+func TestFieldAxiomsQuick(t *testing.T) {
+	for _, g := range []uint{8, 16} {
+		f := MustNew(g)
+		mask := Elem(f.Mask())
+		axioms := func(x, y, z uint32) bool {
+			a, b, c := Elem(x)&mask, Elem(y)&mask, Elem(z)&mask
+			// Commutativity.
+			if f.Add(a, b) != f.Add(b, a) || f.Mul(a, b) != f.Mul(b, a) {
+				return false
+			}
+			// Associativity.
+			if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+				return false
+			}
+			if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+				return false
+			}
+			// Distributivity.
+			if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+				return false
+			}
+			// Identities.
+			if f.Add(a, 0) != a || f.Mul(a, 1) != a {
+				return false
+			}
+			// Additive inverse (self-inverse in char 2).
+			return f.Add(a, a) == 0
+		}
+		if err := quick.Check(axioms, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("GF(2^%d) axioms: %v", g, err)
+		}
+	}
+}
+
+func TestMulSliceAndAddMulSlice(t *testing.T) {
+	f := MustNew(8)
+	src := []Elem{0, 1, 2, 3, 100, 255}
+	dst := make([]Elem, len(src))
+	f.MulSlice(dst, src, 7)
+	for i := range src {
+		if dst[i] != f.Mul(src[i], 7) {
+			t.Fatalf("MulSlice[%d] = %d, want %d", i, dst[i], f.Mul(src[i], 7))
+		}
+	}
+	acc := []Elem{9, 9, 9, 9, 9, 9}
+	f.AddMulSlice(acc, src, 3)
+	for i := range src {
+		want := Elem(9) ^ f.Mul(src[i], 3)
+		if acc[i] != want {
+			t.Fatalf("AddMulSlice[%d] = %d, want %d", i, acc[i], want)
+		}
+	}
+	// c == 0 leaves dst untouched for AddMul, zeroes it for Mul.
+	f.AddMulSlice(acc, src, 0)
+	f.MulSlice(dst, src, 0)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("MulSlice by zero should zero dst")
+		}
+	}
+}
+
+func TestMulSliceByZeroZeroes(t *testing.T) {
+	f := MustNew(8)
+	dst := []Elem{1, 2, 3}
+	f.MulSlice(dst, []Elem{4, 5, 6}, 0)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("MulSlice(c=0) must zero dst")
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	f := MustNew(8)
+	assertPanics(t, "MulSlice", func() { f.MulSlice(make([]Elem, 2), make([]Elem, 3), 1) })
+	assertPanics(t, "AddMulSlice", func() { f.AddMulSlice(make([]Elem, 2), make([]Elem, 3), 1) })
+	assertPanics(t, "DotVec", func() { f.DotVec(make([]Elem, 2), make([]Elem, 3)) })
+}
+
+func TestDotVec(t *testing.T) {
+	f := MustNew(8)
+	a := []Elem{1, 2, 3}
+	b := []Elem{4, 5, 6}
+	want := f.Mul(1, 4) ^ f.Mul(2, 5) ^ f.Mul(3, 6)
+	if got := f.DotVec(a, b); got != want {
+		t.Errorf("DotVec = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,315 @@
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Matrix is a dense rows×cols matrix over a particular field. The zero
+// Matrix is not usable; construct with NewMatrix or one of the generators.
+type Matrix struct {
+	f    *Field
+	rows int
+	cols int
+	a    []Elem // row-major
+}
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("gf: matrix is singular")
+
+// NewMatrix returns a zero rows×cols matrix over f.
+func NewMatrix(f *Field, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{f: f, rows: rows, cols: cols, a: make([]Elem, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix over f.
+func Identity(f *Field, n int) *Matrix {
+	m := NewMatrix(f, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Field returns the field the matrix is defined over.
+func (m *Matrix) Field() *Field { return m.f }
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) Elem { return m.a[r*m.cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v Elem) {
+	if !m.f.Valid(v) {
+		panic(fmt.Sprintf("gf: element %#x out of range for GF(2^%d)", uint32(v), m.f.g))
+	}
+	m.a[r*m.cols+c] = v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.f, m.rows, m.cols)
+	copy(n.a, m.a)
+	return n
+}
+
+// Equal reports whether m and o have the same shape, field, and elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.f != o.f || m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.a {
+		if m.a[i] != o.a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			if c > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%0*x", (m.f.g+3)/4, uint32(m.At(r, c)))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Mul returns m * o. The column count of m must equal the row count of o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("gf: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := NewMatrix(m.f, m.rows, o.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			v := m.At(r, k)
+			if v == 0 {
+				continue
+			}
+			lr := m.f.log[v]
+			for c := 0; c < o.cols; c++ {
+				w := o.At(k, c)
+				if w != 0 {
+					out.a[r*out.cols+c] ^= m.f.exp[lr+m.f.log[w]]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the row vector v * m, the operation used by Stage-3
+// dispersion: a chunk written as a row vector of k field elements times a
+// k×k dispersal matrix. len(v) must equal m.Rows().
+func (m *Matrix) MulVec(v []Elem) []Elem {
+	out := make([]Elem, m.cols)
+	m.MulVecInto(out, v)
+	return out
+}
+
+// MulVecInto computes dst = v * m without allocating. len(v) must equal
+// m.Rows() and len(dst) must equal m.Cols().
+func (m *Matrix) MulVecInto(dst, v []Elem) {
+	if len(v) != m.rows {
+		panic(fmt.Sprintf("gf: vector length %d does not match %d rows", len(v), m.rows))
+	}
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("gf: dst length %d does not match %d cols", len(dst), m.cols))
+	}
+	for c := range dst {
+		dst[c] = 0
+	}
+	for r, x := range v {
+		if x == 0 {
+			continue
+		}
+		lx := m.f.log[x]
+		row := m.a[r*m.cols : (r+1)*m.cols]
+		for c, w := range row {
+			if w != 0 {
+				dst[c] ^= m.f.exp[lx+m.f.log[w]]
+			}
+		}
+	}
+}
+
+// Inverse returns m^-1 via Gauss–Jordan elimination, or ErrSingular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("gf: cannot invert non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	work := m.Clone()
+	inv := Identity(m.f, n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			work.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Scale the pivot row to make the pivot 1.
+		p := work.At(col, col)
+		if p != 1 {
+			ip := m.f.Inv(p)
+			work.scaleRow(col, ip)
+			inv.scaleRow(col, ip)
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.At(r, col)
+			if factor == 0 {
+				continue
+			}
+			work.addMulRow(r, col, factor)
+			inv.addMulRow(r, col, factor)
+		}
+	}
+	return inv, nil
+}
+
+// IsNonsingular reports whether m is square and invertible.
+func (m *Matrix) IsNonsingular() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	_, err := m.Inverse()
+	return err == nil
+}
+
+func (m *Matrix) swapRows(r1, r2 int) {
+	a := m.a[r1*m.cols : (r1+1)*m.cols]
+	b := m.a[r2*m.cols : (r2+1)*m.cols]
+	for i := range a {
+		a[i], b[i] = b[i], a[i]
+	}
+}
+
+func (m *Matrix) scaleRow(r int, c Elem) {
+	row := m.a[r*m.cols : (r+1)*m.cols]
+	m.f.MulSlice(row, row, c)
+}
+
+// addMulRow does row[dst] ^= c * row[src].
+func (m *Matrix) addMulRow(dst, src int, c Elem) {
+	d := m.a[dst*m.cols : (dst+1)*m.cols]
+	s := m.a[src*m.cols : (src+1)*m.cols]
+	m.f.AddMulSlice(d, s, c)
+}
+
+// Cauchy returns the k×k Cauchy matrix with entries 1/(x_i + y_j) where
+// x_i = alpha^i and y_j = alpha^(k+j). Cauchy matrices over a field are
+// always nonsingular and every entry is nonzero — the paper's preferred
+// shape for a dispersal matrix E ("a good E seems to be one where all
+// coefficients are nonzero"). Requires 2k < field size.
+func Cauchy(f *Field, k int) (*Matrix, error) {
+	if uint32(2*k) >= f.size {
+		return nil, fmt.Errorf("gf: Cauchy needs 2k < 2^%d, got k=%d", f.g, k)
+	}
+	m := NewMatrix(f, k, k)
+	for i := 0; i < k; i++ {
+		xi := f.Exp(uint32(i))
+		for j := 0; j < k; j++ {
+			yj := f.Exp(uint32(k + j))
+			if xi == yj {
+				return nil, fmt.Errorf("gf: degenerate Cauchy points")
+			}
+			m.Set(i, j, f.Inv(xi^yj))
+		}
+	}
+	return m, nil
+}
+
+// Vandermonde returns the rows×cols Vandermonde matrix with entries
+// alpha^(i*j). The square version is nonsingular as long as the evaluation
+// points alpha^i are distinct, i.e. rows <= 2^g - 1.
+func Vandermonde(f *Field, rows, cols int) (*Matrix, error) {
+	if uint32(rows) > f.size-1 {
+		return nil, fmt.Errorf("gf: Vandermonde needs rows <= 2^%d-1, got %d", f.g, rows)
+	}
+	m := NewMatrix(f, rows, cols)
+	for i := 0; i < rows; i++ {
+		x := f.Exp(uint32(i))
+		v := Elem(1)
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, v)
+			v = f.Mul(v, x)
+		}
+	}
+	return m, nil
+}
+
+// RandomNonsingular returns a uniformly sampled nonsingular k×k matrix
+// using the supplied deterministic source, retrying until invertible. The
+// source is any function returning pseudorandom uint32s (e.g. a seeded
+// xorshift); determinism keeps dispersal reproducible from a key.
+func RandomNonsingular(f *Field, k int, next func() uint32) (*Matrix, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("gf: invalid dimension %d", k)
+	}
+	for attempt := 0; attempt < 256; attempt++ {
+		m := NewMatrix(f, k, k)
+		for i := range m.a {
+			m.a[i] = Elem(next() & f.mask)
+		}
+		if m.IsNonsingular() {
+			return m, nil
+		}
+	}
+	return nil, errors.New("gf: failed to sample a nonsingular matrix")
+}
+
+// RandomNonsingularDense is RandomNonsingular constrained to matrices with
+// no zero coefficients, matching the paper's recommendation for dispersal
+// matrices (every output piece then depends on the whole chunk).
+func RandomNonsingularDense(f *Field, k int, next func() uint32) (*Matrix, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("gf: invalid dimension %d", k)
+	}
+	if f.size == 2 && k > 1 {
+		// Over GF(2) the only all-nonzero matrix is all-ones, singular
+		// for k > 1.
+		return nil, fmt.Errorf("gf: dense nonsingular %dx%d impossible over GF(2)", k, k)
+	}
+	for attempt := 0; attempt < 4096; attempt++ {
+		m := NewMatrix(f, k, k)
+		for i := range m.a {
+			v := Elem(next() & f.mask)
+			for v == 0 {
+				v = Elem(next() & f.mask)
+			}
+			m.a[i] = v
+		}
+		if m.IsNonsingular() {
+			return m, nil
+		}
+	}
+	return nil, errors.New("gf: failed to sample a dense nonsingular matrix")
+}

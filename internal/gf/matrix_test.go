@@ -1,0 +1,252 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// xorshift32 gives the tests a cheap deterministic source.
+func xorshift32(seed uint32) func() uint32 {
+	s := seed
+	if s == 0 {
+		s = 0x9e3779b9
+	}
+	return func() uint32 {
+		s ^= s << 13
+		s ^= s >> 17
+		s ^= s << 5
+		return s
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	f := MustNew(8)
+	id := Identity(f, 4)
+	v := []Elem{10, 20, 30, 40}
+	got := id.MulVec(v)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("I*v changed the vector: %v -> %v", v, got)
+		}
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	f := MustNew(8)
+	m, err := RandomNonsingular(f, 5, xorshift32(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity(f, 5)
+	if !m.Mul(id).Equal(m) || !id.Mul(m).Equal(m) {
+		t.Error("M*I or I*M != M")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, g := range []uint{4, 8, 16} {
+		f := MustNew(g)
+		for k := 1; k <= 6; k++ {
+			m, err := RandomNonsingular(f, k, xorshift32(uint32(g*100+uint(k))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inv, err := m.Inverse()
+			if err != nil {
+				t.Fatalf("GF(2^%d) k=%d: %v", g, k, err)
+			}
+			if !m.Mul(inv).Equal(Identity(f, k)) {
+				t.Errorf("GF(2^%d) k=%d: M * M^-1 != I", g, k)
+			}
+			if !inv.Mul(m).Equal(Identity(f, k)) {
+				t.Errorf("GF(2^%d) k=%d: M^-1 * M != I", g, k)
+			}
+		}
+	}
+}
+
+func TestSingularMatrixDetected(t *testing.T) {
+	f := MustNew(8)
+	m := NewMatrix(f, 3, 3)
+	// Row 2 = row 0 + row 1 makes the matrix singular.
+	vals := [2][3]Elem{{1, 2, 3}, {4, 5, 6}}
+	for c := 0; c < 3; c++ {
+		m.Set(0, c, vals[0][c])
+		m.Set(1, c, vals[1][c])
+		m.Set(2, c, vals[0][c]^vals[1][c])
+	}
+	if m.IsNonsingular() {
+		t.Error("linearly dependent rows reported nonsingular")
+	}
+	if _, err := m.Inverse(); err != ErrSingular {
+		t.Errorf("Inverse err = %v, want ErrSingular", err)
+	}
+}
+
+func TestNonSquareInverseFails(t *testing.T) {
+	f := MustNew(8)
+	m := NewMatrix(f, 2, 3)
+	if _, err := m.Inverse(); err == nil {
+		t.Error("inverting a 2x3 matrix should fail")
+	}
+	if m.IsNonsingular() {
+		t.Error("non-square matrix cannot be nonsingular")
+	}
+}
+
+func TestCauchyPropertiesAndShape(t *testing.T) {
+	f := MustNew(8)
+	for k := 1; k <= 8; k++ {
+		m, err := Cauchy(f, k)
+		if err != nil {
+			t.Fatalf("Cauchy k=%d: %v", k, err)
+		}
+		if !m.IsNonsingular() {
+			t.Errorf("Cauchy k=%d singular", k)
+		}
+		for r := 0; r < k; r++ {
+			for c := 0; c < k; c++ {
+				if m.At(r, c) == 0 {
+					t.Errorf("Cauchy k=%d has zero entry at (%d,%d)", k, r, c)
+				}
+			}
+		}
+	}
+	// Too large for the field must fail.
+	small := MustNew(2)
+	if _, err := Cauchy(small, 2); err == nil {
+		t.Error("Cauchy over GF(4) with k=2 needs 2k<4; want error")
+	}
+}
+
+func TestVandermondeNonsingular(t *testing.T) {
+	f := MustNew(8)
+	for k := 1; k <= 6; k++ {
+		m, err := Vandermonde(f, k, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.IsNonsingular() {
+			t.Errorf("square Vandermonde k=%d singular", k)
+		}
+	}
+	if _, err := Vandermonde(MustNew(2), 4, 4); err == nil {
+		t.Error("Vandermonde with repeated points should fail")
+	}
+}
+
+func TestRandomNonsingularDense(t *testing.T) {
+	f := MustNew(4)
+	m, err := RandomNonsingularDense(f, 4, xorshift32(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsNonsingular() {
+		t.Error("dense sample singular")
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if m.At(r, c) == 0 {
+				t.Errorf("zero entry at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestRandomNonsingularDenseImpossible(t *testing.T) {
+	// Over GF(2) a 2x2 all-nonzero matrix is all-ones and singular.
+	if _, err := RandomNonsingularDense(MustNew(1), 2, xorshift32(3)); err == nil {
+		t.Error("want error for impossible dense dimension")
+	}
+}
+
+// Property: dispersal round trip — for random vectors v and a fixed
+// nonsingular E, (v*E)*E^-1 == v. This is the exact Stage-3 invariant.
+func TestDispersalRoundTripQuick(t *testing.T) {
+	f := MustNew(4)
+	e, err := RandomNonsingularDense(f, 4, xorshift32(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := e.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b, c, d uint8) bool {
+		v := []Elem{Elem(a) & 15, Elem(b) & 15, Elem(c) & 15, Elem(d) & 15}
+		back := inv.MulVec(e.MulVec(v))
+		for i := range v {
+			if back[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MulVec is linear — (u+v)*E == u*E + v*E.
+func TestMulVecLinearityQuick(t *testing.T) {
+	f := MustNew(8)
+	e, err := Cauchy(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a0, a1, a2, b0, b1, b2 uint8) bool {
+		u := []Elem{Elem(a0), Elem(a1), Elem(a2)}
+		v := []Elem{Elem(b0), Elem(b1), Elem(b2)}
+		sum := []Elem{u[0] ^ v[0], u[1] ^ v[1], u[2] ^ v[2]}
+		lhs := e.MulVec(sum)
+		ue, ve := e.MulVec(u), e.MulVec(v)
+		for i := range lhs {
+			if lhs[i] != ue[i]^ve[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	f := MustNew(8)
+	m, err := Vandermonde(f, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []Elem{7, 0, 200}
+	want := m.MulVec(v)
+	dst := make([]Elem, 5)
+	// Pre-dirty dst to check it gets cleared.
+	for i := range dst {
+		dst[i] = 0xAA
+	}
+	m.MulVecInto(dst, v)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVecInto[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestShapeMismatchesPanic(t *testing.T) {
+	f := MustNew(8)
+	m := NewMatrix(f, 2, 3)
+	assertPanics(t, "Mul", func() { m.Mul(NewMatrix(f, 2, 2)) })
+	assertPanics(t, "MulVec", func() { m.MulVec([]Elem{1}) })
+	assertPanics(t, "MulVecInto", func() { m.MulVecInto(make([]Elem, 2), []Elem{1, 2}) })
+	assertPanics(t, "Set", func() { m.Set(0, 0, 256) })
+	assertPanics(t, "NewMatrix", func() { NewMatrix(f, 0, 1) })
+}
+
+func TestMatrixString(t *testing.T) {
+	f := MustNew(8)
+	m := Identity(f, 2)
+	if s := m.String(); s == "" {
+		t.Error("String() empty")
+	}
+}

@@ -1,0 +1,244 @@
+package lhstar
+
+import (
+	"fmt"
+	"sync"
+)
+
+// File is a single-process LH* file: the coordinator state plus all
+// buckets in one address space. It exercises exactly the algorithms the
+// distributed layer runs across nodes — including client-image
+// addressing, server forwarding, and IAMs — so the distributed engine
+// can be validated against it. Safe for concurrent use.
+type File struct {
+	mu       sync.RWMutex
+	state    State
+	buckets  map[uint64]*Bucket
+	maxLoad  int // split threshold: records per bucket
+	minLoad  int // merge threshold (0 disables shrinking)
+	size     int // total records
+	splits   int // total splits performed
+	merges   int // total merges performed
+	forwards int // total forward hops across operations
+	iamsSent int // total image adjustments issued
+}
+
+// DefaultMaxLoad is the default split threshold.
+const DefaultMaxLoad = 64
+
+// NewFile creates a file with one empty bucket. maxLoad is the per-
+// bucket record threshold that triggers a split (<=0 selects
+// DefaultMaxLoad).
+func NewFile(maxLoad int) *File {
+	if maxLoad <= 0 {
+		maxLoad = DefaultMaxLoad
+	}
+	f := &File{
+		buckets: make(map[uint64]*Bucket),
+		maxLoad: maxLoad,
+		minLoad: maxLoad / 4,
+	}
+	f.buckets[0] = NewBucket(0, 0)
+	return f
+}
+
+// State returns the current coordinator state.
+func (f *File) State() State {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.state
+}
+
+// Buckets returns the current bucket count.
+func (f *File) Buckets() uint64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.state.Buckets()
+}
+
+// Len returns the total number of records.
+func (f *File) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.size
+}
+
+// Stats reports cumulative counters: splits, merges, forward hops, and
+// IAMs issued.
+func (f *File) Stats() (splits, merges, forwards, iams int) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.splits, f.merges, f.forwards, f.iamsSent
+}
+
+// route walks the LH* forwarding chain from the address the image
+// implies to the owning bucket, counting hops. It must be called with
+// the lock held.
+func (f *File) route(img Image, key uint64) (*Bucket, int) {
+	a := img.Address(key)
+	// An outdated image can even point past the current bucket count
+	// only if it overshot, which Adjust prevents; clamp defensively.
+	if a >= f.state.Buckets() {
+		a = f.state.Address(key)
+	}
+	hops := 0
+	for {
+		b := f.buckets[a]
+		next, fwd := ServerAddress(b.addr, b.level, key)
+		if !fwd {
+			return b, hops
+		}
+		a = next
+		hops++
+		if hops > 2 {
+			// The LH* bound guarantees <= 2 hops; exceeding it means a
+			// broken invariant, which must never be masked.
+			panic(fmt.Sprintf("lhstar: forwarding chain exceeded 2 hops for key %d", key))
+		}
+	}
+}
+
+// Insert stores a record using the client image img, returning the IAM
+// information (final bucket address and level) and whether the image
+// should be adjusted. A nil image uses the exact state (a local
+// "perfect client").
+func (f *File) Insert(img *Image, key uint64, value []byte) (iamAddr uint64, iamLevel uint, adjusted bool) {
+	f.mu.Lock()
+	use := f.exactImage(img)
+	b, hops := f.route(use, key)
+	if b.Put(key, value) {
+		f.size++
+	}
+	f.forwards += hops
+	iamAddr, iamLevel = b.addr, b.level
+	if hops > 0 && img != nil {
+		img.Adjust(iamAddr, iamLevel)
+		f.iamsSent++
+		adjusted = true
+	}
+	f.maybeSplit()
+	f.mu.Unlock()
+	return iamAddr, iamLevel, adjusted
+}
+
+// Lookup retrieves a record using the client image.
+func (f *File) Lookup(img *Image, key uint64) ([]byte, bool) {
+	f.mu.RLock()
+	use := f.exactImage(img)
+	b, hops := f.route(use, key)
+	v, ok := b.Get(key)
+	f.mu.RUnlock()
+	if hops > 0 && img != nil {
+		img.Adjust(b.addr, b.level)
+	}
+	return v, ok
+}
+
+// Delete removes a record using the client image, reporting whether it
+// existed.
+func (f *File) Delete(img *Image, key uint64) bool {
+	f.mu.Lock()
+	use := f.exactImage(img)
+	b, _ := f.route(use, key)
+	ok := b.Delete(key)
+	if ok {
+		f.size--
+		f.maybeMerge()
+	}
+	f.mu.Unlock()
+	return ok
+}
+
+func (f *File) exactImage(img *Image) Image {
+	if img == nil {
+		return f.state.Image()
+	}
+	return *img
+}
+
+// Scan calls fn for every record in the file (all buckets) until fn
+// returns false — the parallel-scan primitive the paper's searches use.
+func (f *File) Scan(fn func(key uint64, value []byte) bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for a := uint64(0); a < f.state.Buckets(); a++ {
+		stop := false
+		f.buckets[a].Scan(func(k uint64, v []byte) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// ScanBucket scans a single bucket by address.
+func (f *File) ScanBucket(a uint64, fn func(key uint64, value []byte) bool) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	b, ok := f.buckets[a]
+	if !ok {
+		return fmt.Errorf("lhstar: no bucket %d", a)
+	}
+	b.Scan(fn)
+	return nil
+}
+
+// maybeSplit performs coordinator-driven splits while any bucket exceeds
+// the load threshold. Linear hashing splits bucket n regardless of which
+// bucket overflowed; repeated overflow eventually rotates the pointer
+// past every hot bucket. Called with the lock held.
+func (f *File) maybeSplit() {
+	for f.overloaded() {
+		from, to := f.state.NextSplit()
+		src := f.buckets[from]
+		dst := NewBucket(to, src.level+1)
+		if _, err := src.SplitInto(dst); err != nil {
+			panic("lhstar: " + err.Error())
+		}
+		f.buckets[to] = dst
+		f.state.AdvanceSplit()
+		f.splits++
+	}
+}
+
+func (f *File) overloaded() bool {
+	// Split when the file-wide load factor exceeds the threshold, the
+	// standard uncontrolled-split policy for linear hashing.
+	return f.size > int(f.state.Buckets())*f.maxLoad
+}
+
+// maybeMerge shrinks the file while it is underloaded, one reverse split
+// at a time. Called with the lock held.
+func (f *File) maybeMerge() {
+	if f.minLoad <= 0 {
+		return
+	}
+	for f.state.Buckets() > 1 && f.size < int(f.state.Buckets()-1)*f.minLoad {
+		st := f.state
+		if !st.RetreatSplit() {
+			return
+		}
+		from := st.N
+		to := from + 1<<st.I
+		dst := f.buckets[from]
+		src := f.buckets[to]
+		if err := dst.MergeFrom(src); err != nil {
+			panic("lhstar: " + err.Error())
+		}
+		delete(f.buckets, to)
+		f.state = st
+		f.merges++
+	}
+}
+
+// LoadFactor returns records per bucket.
+func (f *File) LoadFactor() float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return float64(f.size) / float64(f.state.Buckets())
+}

@@ -1,0 +1,474 @@
+package lhstar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageAddressInitial(t *testing.T) {
+	img := Image{}
+	for _, k := range []uint64{0, 1, 7, 1 << 40} {
+		if a := img.Address(k); a != 0 {
+			t.Errorf("initial image Address(%d) = %d, want 0", k, a)
+		}
+	}
+	if img.Buckets() != 1 {
+		t.Errorf("initial Buckets = %d", img.Buckets())
+	}
+}
+
+func TestImageAddressSplitPointer(t *testing.T) {
+	// i=1, n=1: buckets 0,1,2. Keys ≡ 0 (mod 2) below the pointer use
+	// h_2.
+	img := Image{I: 1, N: 1}
+	cases := []struct{ key, want uint64 }{
+		{0, 0}, {2, 2}, {4, 0}, {6, 2}, // even keys split by h_2
+		{1, 1}, {3, 1}, {5, 1}, {7, 1}, // odd keys stay at bucket 1
+	}
+	for _, c := range cases {
+		if got := img.Address(c.key); got != c.want {
+			t.Errorf("Address(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if img.Buckets() != 3 {
+		t.Errorf("Buckets = %d, want 3", img.Buckets())
+	}
+}
+
+func TestImageAdjustMonotone(t *testing.T) {
+	img := Image{}
+	img.Adjust(2, 2) // bucket 2, level 2 → i'=1, n'=3 → normalize: i'=2, n'=0? (3 >= 2^1)
+	if img.Buckets() < 2 {
+		t.Errorf("image did not grow: %+v", img)
+	}
+	before := img.Buckets()
+	img.Adjust(0, 1) // stale IAM must not regress the image
+	if img.Buckets() < before {
+		t.Errorf("image regressed from %d to %d buckets", before, img.Buckets())
+	}
+	// j = 0 is a no-op.
+	img2 := Image{I: 3, N: 2}
+	img2.Adjust(5, 0)
+	if img2 != (Image{I: 3, N: 2}) {
+		t.Error("Adjust with level 0 changed image")
+	}
+}
+
+func TestServerAddressOwnership(t *testing.T) {
+	// Bucket 3 at level 2 owns keys ≡ 3 (mod 4).
+	for _, key := range []uint64{3, 7, 11, 103} {
+		next, fwd := ServerAddress(3, 2, key)
+		if fwd || next != 3 {
+			t.Errorf("key %d: next=%d fwd=%v, want owned", key, next, fwd)
+		}
+	}
+	// Key 2 does not belong to bucket 3.
+	if _, fwd := ServerAddress(3, 2, 2); !fwd {
+		t.Error("key 2 should forward from bucket 3")
+	}
+}
+
+func TestStateMachine(t *testing.T) {
+	var s State
+	if s.Buckets() != 1 {
+		t.Fatal("initial state")
+	}
+	seq := []struct {
+		buckets uint64
+		i       uint
+		n       uint64
+	}{
+		{2, 1, 0}, {3, 1, 1}, {4, 2, 0}, {5, 2, 1}, {6, 2, 2}, {7, 2, 3}, {8, 3, 0},
+	}
+	for _, want := range seq {
+		s.AdvanceSplit()
+		if s.Buckets() != want.buckets || s.I != want.i || s.N != want.n {
+			t.Fatalf("after split: %+v, want %+v", s, want)
+		}
+	}
+	for i := len(seq) - 2; i >= 0; i-- {
+		if !s.RetreatSplit() {
+			t.Fatal("RetreatSplit failed")
+		}
+		want := seq[i]
+		if s.Buckets() != want.buckets {
+			t.Fatalf("after retreat: %+v, want %d buckets", s, want.buckets)
+		}
+	}
+	s = State{}
+	if s.RetreatSplit() {
+		t.Error("retreat from initial state should fail")
+	}
+}
+
+func TestBucketLevel(t *testing.T) {
+	s := State{I: 2, N: 1} // buckets 0..4; bucket 0 split, bucket 4 new
+	cases := []struct {
+		a    uint64
+		want uint
+	}{
+		{0, 3}, {1, 2}, {2, 2}, {3, 2}, {4, 3},
+	}
+	for _, c := range cases {
+		if got := s.BucketLevel(c.a); got != c.want {
+			t.Errorf("BucketLevel(%d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestBucketBasics(t *testing.T) {
+	b := NewBucket(1, 1)
+	if b.Addr() != 1 || b.Level() != 1 || b.Len() != 0 {
+		t.Fatal("constructor fields")
+	}
+	if !b.Belongs(3) || b.Belongs(2) {
+		t.Error("Belongs wrong")
+	}
+	if !b.Put(3, []byte("x")) {
+		t.Error("first Put should report new")
+	}
+	if b.Put(3, []byte("y")) {
+		t.Error("second Put should report replace")
+	}
+	v, ok := b.Get(3)
+	if !ok || string(v) != "y" {
+		t.Error("Get after replace")
+	}
+	if !b.Delete(3) || b.Delete(3) {
+		t.Error("Delete semantics")
+	}
+}
+
+func TestBucketSplitMerge(t *testing.T) {
+	b := NewBucket(0, 0)
+	for k := uint64(0); k < 100; k++ {
+		b.Put(k, []byte{byte(k)})
+	}
+	dst := NewBucket(1, 1)
+	moved, err := b.SplitInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 50 || b.Len() != 50 || dst.Len() != 50 {
+		t.Fatalf("moved %d, left %d, dst %d", moved, b.Len(), dst.Len())
+	}
+	if b.Level() != 1 {
+		t.Error("source level not raised")
+	}
+	b.Scan(func(k uint64, _ []byte) bool {
+		if k%2 != 0 {
+			t.Fatalf("odd key %d left in bucket 0", k)
+		}
+		return true
+	})
+	// Merge back.
+	if err := b.MergeFrom(dst); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 100 || dst.Len() != 0 || b.Level() != 0 {
+		t.Error("merge did not restore")
+	}
+}
+
+func TestSplitIntoValidation(t *testing.T) {
+	b := NewBucket(0, 0)
+	if _, err := b.SplitInto(NewBucket(2, 1)); err == nil {
+		t.Error("wrong destination address accepted")
+	}
+	b2 := NewBucket(0, 0)
+	if _, err := b2.SplitInto(NewBucket(1, 2)); err == nil {
+		t.Error("wrong destination level accepted")
+	}
+	if err := NewBucket(0, 0).MergeFrom(NewBucket(1, 1)); err == nil {
+		t.Error("merge into level-0 accepted")
+	}
+}
+
+func TestFileInsertLookupDelete(t *testing.T) {
+	f := NewFile(8)
+	img := &Image{}
+	for k := uint64(0); k < 1000; k++ {
+		f.Insert(img, k, []byte{byte(k), byte(k >> 8)})
+	}
+	if f.Len() != 1000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Buckets() < 2 {
+		t.Error("file did not grow")
+	}
+	for k := uint64(0); k < 1000; k++ {
+		v, ok := f.Lookup(img, k)
+		if !ok || v[0] != byte(k) {
+			t.Fatalf("Lookup(%d) failed", k)
+		}
+	}
+	if _, ok := f.Lookup(img, 5000); ok {
+		t.Error("phantom key found")
+	}
+	for k := uint64(0); k < 500; k++ {
+		if !f.Delete(img, k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if f.Delete(img, 0) {
+		t.Error("double delete succeeded")
+	}
+	if f.Len() != 500 {
+		t.Errorf("Len = %d after deletes", f.Len())
+	}
+}
+
+func TestFileGrowsAndShrinks(t *testing.T) {
+	f := NewFile(8)
+	for k := uint64(0); k < 2000; k++ {
+		f.Insert(nil, k, []byte("v"))
+	}
+	grown := f.Buckets()
+	if grown < 100 {
+		t.Fatalf("only %d buckets after 2000 inserts at load 8", grown)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		f.Delete(nil, k)
+	}
+	if f.Len() != 0 {
+		t.Fatal("records remain")
+	}
+	if got := f.Buckets(); got >= grown {
+		t.Errorf("file did not shrink: %d -> %d buckets", grown, got)
+	}
+	splits, merges, _, _ := f.Stats()
+	if splits == 0 || merges == 0 {
+		t.Errorf("splits=%d merges=%d", splits, merges)
+	}
+}
+
+// TestStaleImageAlwaysReachesOwner is the LH* core theorem: a client
+// with an arbitrarily stale image reaches the right bucket in at most
+// two forward hops, and IAMs only improve the image.
+func TestStaleImageAlwaysReachesOwner(t *testing.T) {
+	f := NewFile(4)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 8
+		f.Insert(nil, keys[i], []byte{1}) // grow with a perfect client
+	}
+	// A brand-new client with the initial image must find every key;
+	// route panics if any chain exceeds 2 hops.
+	stale := &Image{}
+	for _, k := range keys {
+		if _, ok := f.Lookup(stale, k); !ok {
+			t.Fatalf("stale client missed key %d", k)
+		}
+	}
+	// The image must have improved along the way.
+	if stale.Buckets() == 1 {
+		t.Error("image never adjusted despite forwards")
+	}
+	// And must never overshoot the true state.
+	if stale.Buckets() > f.Buckets() {
+		t.Errorf("image overshoots: %d > %d", stale.Buckets(), f.Buckets())
+	}
+}
+
+// TestImageConvergence: after enough lookups the client image stops
+// causing forwards for previously accessed buckets.
+func TestImageConvergence(t *testing.T) {
+	f := NewFile(4)
+	for k := uint64(0); k < 500; k++ {
+		f.Insert(nil, k, []byte{1})
+	}
+	img := &Image{}
+	for k := uint64(0); k < 500; k++ {
+		f.Lookup(img, k)
+	}
+	_, _, forwardsBefore, _ := f.Stats()
+	// Second pass: the converged image should produce almost no new
+	// forwards (Lookup doesn't count forwards in Stats; use Insert).
+	for k := uint64(0); k < 500; k++ {
+		f.Insert(img, k, []byte{2})
+	}
+	_, _, forwardsAfter, _ := f.Stats()
+	newForwards := forwardsAfter - forwardsBefore
+	if newForwards > 25 { // 5% slack for residual staleness
+		t.Errorf("converged image still caused %d forwards", newForwards)
+	}
+}
+
+func TestScan(t *testing.T) {
+	f := NewFile(8)
+	want := make(map[uint64]bool)
+	for k := uint64(0); k < 300; k++ {
+		f.Insert(nil, k, []byte{byte(k)})
+		want[k] = true
+	}
+	got := make(map[uint64]bool)
+	f.Scan(func(k uint64, v []byte) bool {
+		if got[k] {
+			t.Fatalf("key %d scanned twice", k)
+		}
+		got[k] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Errorf("scanned %d records, want %d", len(got), len(want))
+	}
+	// Early stop.
+	n := 0
+	f.Scan(func(uint64, []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop scanned %d", n)
+	}
+}
+
+func TestScanBucket(t *testing.T) {
+	f := NewFile(4)
+	for k := uint64(0); k < 100; k++ {
+		f.Insert(nil, k, []byte{1})
+	}
+	total := 0
+	for a := uint64(0); a < f.Buckets(); a++ {
+		if err := f.ScanBucket(a, func(uint64, []byte) bool { total++; return true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 100 {
+		t.Errorf("bucket scans covered %d records", total)
+	}
+	if err := f.ScanBucket(9999, func(uint64, []byte) bool { return true }); err == nil {
+		t.Error("missing bucket accepted")
+	}
+}
+
+func TestLoadFactorBounded(t *testing.T) {
+	f := NewFile(16)
+	for k := uint64(0); k < 5000; k++ {
+		f.Insert(nil, k, []byte{1})
+	}
+	if lf := f.LoadFactor(); lf > 16.5 {
+		t.Errorf("load factor %f exceeds threshold", lf)
+	}
+}
+
+// Property: client addressing with the exact image equals the state's
+// own address function, for arbitrary states.
+func TestAddressConsistencyQuick(t *testing.T) {
+	prop := func(key uint64, iRaw uint8, nRaw uint64) bool {
+		i := uint(iRaw % 20)
+		n := nRaw % (1 << i)
+		s := State{I: i, N: n}
+		return s.Address(key) == s.Image().Address(key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the two-hop forwarding bound holds from the address any
+// valid (lagging) client image computes, for any file configuration.
+// LH* does not promise the bound from arbitrary buckets — only from
+// image-derived guesses.
+func TestTwoHopBoundQuick(t *testing.T) {
+	prop := func(key uint64, iRaw uint8, nRaw uint64, imgIRaw uint8, imgNRaw uint64) bool {
+		i := uint(iRaw%16) + 1
+		n := nRaw % (1 << i)
+		s := State{I: i, N: n}
+		imgI := uint(imgIRaw) % (i + 1)
+		imgN := imgNRaw % (1 << imgI)
+		img := Image{I: imgI, N: imgN}
+		if img.Buckets() > s.Buckets() {
+			return true // not a lagging image; out of scope
+		}
+		a := img.Address(key)
+		for hops := 0; hops <= 2; hops++ {
+			level := s.BucketLevel(a)
+			next, fwd := ServerAddress(a, level, key)
+			if !fwd {
+				return a == s.Address(key)
+			}
+			a = next
+			if a >= s.Buckets() {
+				return false
+			}
+		}
+		return false // needed more than 2 hops
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateNextSplit(t *testing.T) {
+	s := State{I: 2, N: 1}
+	from, to := s.NextSplit()
+	if from != 1 || to != 5 {
+		t.Errorf("NextSplit = (%d, %d), want (1, 5)", from, to)
+	}
+}
+
+func TestFileStateAccessors(t *testing.T) {
+	f := NewFile(0) // 0 selects DefaultMaxLoad
+	if f.Buckets() != 1 || f.Len() != 0 {
+		t.Error("fresh file state")
+	}
+	st := f.State()
+	if st.I != 0 || st.N != 0 {
+		t.Errorf("State = %+v", st)
+	}
+	for k := uint64(0); k < uint64(DefaultMaxLoad+2); k++ {
+		f.Insert(nil, k, []byte{1})
+	}
+	if f.Buckets() < 2 {
+		t.Error("default-load file never split")
+	}
+}
+
+func TestLookupAdjustsImage(t *testing.T) {
+	f := NewFile(4)
+	for k := uint64(0); k < 200; k++ {
+		f.Insert(nil, k, []byte{1})
+	}
+	img := &Image{}
+	// A lookup that forwards must adjust the image.
+	f.Lookup(img, 3)
+	f.Lookup(img, 77)
+	if img.Buckets() == 1 {
+		t.Error("Lookup never adjusted the stale image")
+	}
+}
+
+func TestDeleteMissingKeyNoMerge(t *testing.T) {
+	f := NewFile(4)
+	for k := uint64(0); k < 100; k++ {
+		f.Insert(nil, k, []byte{1})
+	}
+	before := f.Buckets()
+	if f.Delete(nil, 99999) {
+		t.Error("phantom delete succeeded")
+	}
+	if f.Buckets() != before {
+		t.Error("failed delete changed bucket count")
+	}
+}
+
+func TestSnapshotEmptyBucket(t *testing.T) {
+	b := NewBucket(3, 1)
+	snap := b.Snapshot()
+	got, err := RestoreBucket(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr() != 3 || got.Level() != 1 || got.Len() != 0 {
+		t.Error("empty snapshot round trip")
+	}
+	// Garbage level detected.
+	bad := append([]byte(nil), snap...)
+	bad[15] = 0xFF // level bytes
+	if _, err := RestoreBucket(bad); err == nil {
+		t.Error("implausible level accepted")
+	}
+}

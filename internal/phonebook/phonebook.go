@@ -1,0 +1,304 @@
+// Package phonebook generates and parses a synthetic stand-in for the
+// paper's evaluation dataset, the San Francisco White Pages directory
+// (282,965 entries of subscriber names keyed by telephone number).
+//
+// The real directory is proprietary, so this package synthesizes records
+// with the same statistical shape the paper describes and exploits:
+//
+//   - upper-case names, surname first, many very short Asian surnames
+//     (YU, WU, LEE, WOO, KIM, OU, IP, BA, LI, LE, …) that dominate the
+//     paper's false-positive analysis;
+//   - a spiky letter distribution topped by A, E, N, R, I, O with
+//     frequent doublets AN/ER/AR/ON/IN and triplets CHA/MAR/SON/ONG/ANG
+//     (Table 1);
+//   - occasional joint entries ("ALEJANDRO & CATHERINE"), bare initials
+//     ("AFDAHL E"), and hyphenated or apostrophized names, so the symbol
+//     alphabet matches Figure 5's (letters, space, &, ', -).
+//
+// Generation is fully deterministic from a seed. Formatting matches the
+// paper's Figure 4 extract: the name padded with '%' to a fixed width,
+// a 415 telephone number, and a "$$" terminator.
+package phonebook
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Entry is one directory record: the telephone number is the record
+// identifier (assumed non-sensitive, as in the paper) and the name is the
+// searchable record content.
+type Entry struct {
+	// Phone is the record identifier, e.g. "415-409-0271".
+	Phone string
+	// Name is the subscriber name, upper case, surname first.
+	Name string
+}
+
+// RID returns the numeric record identifier derived from the phone
+// number (digits only, as a uint64).
+func (e Entry) RID() uint64 {
+	var id uint64
+	for i := 0; i < len(e.Phone); i++ {
+		if c := e.Phone[i]; c >= '0' && c <= '9' {
+			id = id*10 + uint64(c-'0')
+		}
+	}
+	return id
+}
+
+// LastName returns the surname: the first space-delimited token of the
+// name, mirroring the directory's SURNAME GIVEN layout.
+func (e Entry) LastName() string {
+	if i := strings.IndexByte(e.Name, ' '); i >= 0 {
+		return e.Name[:i]
+	}
+	return e.Name
+}
+
+// weighted is a name with a sampling weight.
+type weighted struct {
+	name   string
+	weight int
+}
+
+// surnames approximates the SF directory mix: a heavy short-Asian-surname
+// tail (the source of the paper's false-positive storms) over a base of
+// longer Western and Hispanic surnames rich in AN/ER/AR/ON/IN doublets
+// and CHA/MAR/SON/ONG/ANG triplets.
+var surnames = []weighted{
+	// Very short, very frequent — the paper's FP villains.
+	{"YU", 95}, {"OU", 90}, {"IP", 88}, {"BA", 85}, {"WU", 80},
+	{"LI", 60}, {"LE", 55}, {"NG", 50}, {"HO", 45}, {"LU", 40},
+	{"MA", 38}, {"SO", 30}, {"AU", 28}, {"ON", 25},
+	// Short (3-letter) frequent names from the paper's chunking-FP list.
+	{"WOO", 62}, {"KAY", 58}, {"KIM", 57}, {"LEE", 120}, {"SEE", 40},
+	{"MAI", 42}, {"LIM", 40}, {"MAK", 38}, {"LEW", 36}, {"CHU", 34},
+	{"YEE", 33}, {"LOW", 25}, {"FUNG", 30}, {"TANG", 42}, {"WANG", 55},
+	{"WONG", 110}, {"CHAN", 115}, {"CHANG", 70}, {"CHEN", 85}, {"ONG", 30},
+	{"HUANG", 48}, {"ZHANG", 40}, {"LIANG", 32}, {"YANG", 46}, {"KWAN", 22},
+	{"CHEUNG", 38}, {"LEUNG", 40}, {"CHIN", 28}, {"CHOW", 30}, {"TRAN", 60},
+	{"NGUYEN", 105}, {"PHAM", 35}, {"HOANG", 28}, {"VUONG", 14}, {"DANG", 22},
+	{"LAM", 45}, {"TAM", 25}, {"FONG", 26}, {"KONG", 20}, {"TONG", 22},
+	// Western / Hispanic base.
+	{"ANDERSON", 60}, {"JOHNSON", 75}, {"MARTINEZ", 58}, {"GARCIA", 62},
+	{"HERNANDEZ", 48}, {"RODRIGUEZ", 50}, {"FERNANDEZ", 30}, {"GONZALEZ", 46},
+	{"MARTIN", 40}, {"MARINO", 18}, {"MARSHALL", 22}, {"MARLOWE", 8},
+	{"CHAVEZ", 26}, {"CHAMBERS", 16}, {"CHAPMAN", 18}, {"RICHARDSON", 24},
+	{"ROBINSON", 32}, {"WILSON", 44}, {"THOMPSON", 38}, {"JACKSON", 36},
+	{"HARRISON", 20}, {"NELSON", 30}, {"CARLSON", 18}, {"OLSON", 16},
+	{"PETERSON", 26}, {"HANSON", 18}, {"LARSON", 16}, {"SANDERS", 20},
+	{"ALEXANDER", 22}, {"ARMSTRONG", 18}, {"ARNOLD", 14}, {"BARNES", 18},
+	{"BENNETT", 18}, {"BRENNAN", 12}, {"CANTRELL", 8}, {"CARPENTER", 12},
+	{"FRANKLIN", 14}, {"FREEMAN", 14}, {"GARDNER", 12}, {"GRANT", 12},
+	{"HERMAN", 10}, {"HERNAN", 6}, {"KEARNEY", 6}, {"LANE", 10},
+	{"LANDER", 8}, {"MANNING", 10}, {"MARANO", 5}, {"MERCER", 8},
+	{"MILLER", 48}, {"MILLS", 14}, {"MONTGOMERY", 10}, {"MORENO", 14},
+	{"MORGAN", 18}, {"MORRISON", 14}, {"NEWMAN", 12},
+	{"NORMAN", 10}, {"PARKER", 22}, {"RAMIREZ", 26}, {"REARDON", 6},
+	{"RIVERA", 18}, {"ROMERO", 14}, {"SANTANA", 10}, {"SANTIAGO", 10},
+	{"SCHWARZ", 6}, {"SHANNON", 8}, {"SHERMAN", 10}, {"SPENCER", 12},
+	{"STANTON", 8}, {"SULLIVAN", 18}, {"TANNER", 8}, {"TAYLOR", 30},
+	{"TURNER", 20}, {"VARGAS", 14}, {"WAGNER", 12}, {"WARREN", 12},
+	{"ABOGADO", 4}, {"ADAMS", 22}, {"ADAMSON", 6}, {"AFDAHL", 2},
+	{"AKIMOTO", 5}, {"ALBAREZ", 4}, {"ALGAHIEM", 2}, {"ALGHAZALY", 2},
+	{"ARBELAEZ", 3}, {"ARMENANTE", 3}, {"CORTEZ", 14}, {"DAMSTER", 1},
+	{"ARELLANO", 6}, {"BRANDON", 8}, {"CALDERON", 10}, {"CAMPBELL", 20},
+	{"CARRANZA", 6}, {"CASTELLANO", 5}, {"CERVANTES", 8}, {"DELGADO", 10},
+	{"DURAN", 8}, {"ESCOBAR", 8}, {"ESPINOZA", 10}, {"FIGUEROA", 8},
+	{"FONSECA", 5}, {"GALLARDO", 5}, {"GRANADOS", 4}, {"GUERRERO", 10},
+	{"IBARRA", 6}, {"JARAMILLO", 4}, {"LITWIN", 2}, {"LOPEZ", 30},
+	{"MALDONADO", 8}, {"MANCINI", 4}, {"MARQUEZ", 8}, {"MEDRANO", 4},
+	{"MIRANDA", 10}, {"MONTANO", 5}, {"O'BRIEN", 14}, {"O'CONNOR", 12},
+	{"O'NEILL", 10}, {"OROZCO", 6}, {"PALOMINO", 3}, {"PENA", 10},
+	{"QUINTERO", 5}, {"RENTERIA", 4}, {"SALDANA", 4}, {"SANDOVAL", 10},
+	{"SANTOS", 14}, {"SERRANO", 8}, {"TSUI", 4}, {"VALENZUELA", 6},
+	{"VANDERBERG", 3}, {"VILLANUEVA", 6}, {"ZAMORA", 6}, {"ZEPEDA", 4},
+	{"SMITH-JONES", 3}, {"GARCIA-LOPEZ", 3}, {"WONG-CHAN", 2},
+}
+
+// givens skews toward names reinforcing the target letter shape.
+var givens = []weighted{
+	{"MARIA", 60}, {"ANNA", 40}, {"ANA", 30}, {"JUAN", 30}, {"JOHN", 45},
+	{"JANE", 20}, {"ALAN", 22}, {"ALANA", 10}, {"ANDREA", 24}, {"ANDREW", 26},
+	{"ANGELA", 24}, {"ANTONIO", 26}, {"ARMANDO", 14}, {"ARTURO", 12},
+	{"BRIAN", 22}, {"CARMEN", 18}, {"CAROLINA", 12}, {"CATHERINE", 20},
+	{"CHARLENE", 8}, {"CHRISTINA", 18}, {"DANIEL", 28}, {"DIANA", 16},
+	{"EDUARDO", 14}, {"ELAINE", 12}, {"ELENA", 14}, {"ERIC", 18},
+	{"ERNESTO", 10}, {"ESTHER", 10}, {"FERNANDO", 14}, {"FRANCES", 10},
+	{"GINA", 12}, {"GLORIA", 14}, {"HELEN", 16}, {"IRENE", 14},
+	{"JASON", 18}, {"JENNIFER", 22}, {"JOANNE", 10}, {"JORGE", 14},
+	{"KAREN", 18}, {"KEVIN", 18}, {"LAURA", 16}, {"LEONARD", 8},
+	{"LIBIA", 2}, {"LINDA", 18}, {"MANUEL", 16}, {"MARCO", 10},
+	{"MARGARET", 14}, {"MARIANA", 8}, {"MARIO", 14}, {"MARK", 20},
+	{"MARTIN", 12}, {"MARTHA", 12}, {"MEI", 18}, {"MING", 16},
+	{"NANCY", 16}, {"NATHAN", 10}, {"NORMA", 8}, {"ORLANDO", 8},
+	{"PATRICIA", 18}, {"RAMON", 12}, {"RAMONA", 6}, {"RANDALL", 6},
+	{"RAYMOND", 14}, {"RENE", 8}, {"RICARDO", 12}, {"ROLAND", 8},
+	{"ROSARIO", 8}, {"SANDRA", 16}, {"SEAN", 10}, {"SHARON", 12},
+	{"STEVEN", 18}, {"SUSAN", 18}, {"TERESA", 14}, {"THOMAS", 22},
+	{"VANESSA", 10}, {"VERONICA", 12}, {"VINCENT", 12}, {"WARREN", 6},
+	{"WILLIAM", 24}, {"XAVIER", 4}, {"YOLANDA", 8}, {"YOSHIMI", 3},
+	{"ALEJANDRO", 14}, {"ADRIAN", 12}, {"EBREHIM", 2}, {"WITOLD", 1},
+	{"WEI", 16}, {"JING", 12}, {"HONG", 12}, {"LAN", 10}, {"TUAN", 8},
+	{"MINH", 10}, {"QUAN", 6}, {"KWOK", 6}, {"SIU", 8}, {"WAI", 10},
+}
+
+// sampler draws names proportionally to weight.
+type sampler struct {
+	names  []string
+	cum    []int
+	weight int
+}
+
+func newSampler(ws []weighted) *sampler {
+	s := &sampler{}
+	for _, w := range ws {
+		if w.weight <= 0 {
+			continue
+		}
+		s.weight += w.weight
+		s.names = append(s.names, w.name)
+		s.cum = append(s.cum, s.weight)
+	}
+	return s
+}
+
+func (s *sampler) draw(rng *rand.Rand) string {
+	x := rng.Intn(s.weight)
+	i := sort.SearchInts(s.cum, x+1)
+	return s.names[i]
+}
+
+// NameWidth is the '%'-padded name field width of a formatted record,
+// matching the paper's Figure 4 layout.
+const NameWidth = 30
+
+// Generate produces n deterministic directory entries from the seed.
+// Phone numbers are unique for n up to 10 million.
+func Generate(n int, seed int64) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	sSur := newSampler(surnames)
+	sGiv := newSampler(givens)
+	out := make([]Entry, n)
+	for i := range out {
+		name := composeName(rng, sSur, sGiv)
+		out[i] = Entry{
+			Phone: fmt.Sprintf("415-%03d-%04d", 100+i/10000, i%10000),
+			Name:  name,
+		}
+	}
+	return out
+}
+
+func composeName(rng *rand.Rand, sSur, sGiv *sampler) string {
+	sur := sSur.draw(rng)
+	switch r := rng.Intn(100); {
+	case r < 60: // SURNAME GIVEN
+		return sur + " " + sGiv.draw(rng)
+	case r < 70: // SURNAME GIVEN I
+		return sur + " " + sGiv.draw(rng) + " " + string(rune('A'+rng.Intn(26)))
+	case r < 78: // SURNAME GIVEN & GIVEN (joint entry)
+		return sur + " " + sGiv.draw(rng) + " & " + sGiv.draw(rng)
+	case r < 88: // SURNAME I (bare initial, like "AFDAHL E")
+		return sur + " " + string(rune('A'+rng.Intn(26)))
+	case r < 94: // SURNAME GIVEN GIVEN (two given names)
+		return sur + " " + sGiv.draw(rng) + " " + sGiv.draw(rng)
+	default: // surname only
+		return sur
+	}
+}
+
+// FormatRecord renders an entry as a Figure-4 directory line:
+// NAME%%%…%PHONE$$. Names longer than NameWidth are kept whole with a
+// single '%' separator.
+func FormatRecord(e Entry) string {
+	pad := NameWidth - len(e.Name)
+	if pad < 1 {
+		pad = 1
+	}
+	return e.Name + strings.Repeat("%", pad) + e.Phone + "$$"
+}
+
+// ParseRecord inverts FormatRecord.
+func ParseRecord(line string) (Entry, error) {
+	if !strings.HasSuffix(line, "$$") {
+		return Entry{}, fmt.Errorf("phonebook: missing terminator in %q", line)
+	}
+	body := line[:len(line)-2]
+	i := strings.IndexByte(body, '%')
+	if i < 0 {
+		return Entry{}, fmt.Errorf("phonebook: missing padding in %q", line)
+	}
+	j := strings.LastIndexByte(body, '%')
+	return Entry{Name: body[:i], Phone: body[j+1:]}, nil
+}
+
+// Write renders entries one per line.
+func Write(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := bw.WriteString(FormatRecord(e)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a file written by Write.
+func Read(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	var out []Entry
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		e, err := ParseRecord(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Names extracts the record contents (the searchable fields) from
+// entries.
+func Names(entries []Entry) [][]byte {
+	out := make([][]byte, len(entries))
+	for i, e := range entries {
+		out[i] = []byte(e.Name)
+	}
+	return out
+}
+
+// Sample draws k distinct entries deterministically (Fisher–Yates prefix
+// on a copy), mirroring the paper's "we extracted 1000 random records".
+func Sample(entries []Entry, k int, seed int64) []Entry {
+	if k > len(entries) {
+		k = len(entries)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]Entry, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = entries[idx[i]]
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package phonebook
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(100, 7)
+	b := Generate(100, 7)
+	c := Generate(100, 8)
+	if len(a) != 100 {
+		t.Fatalf("generated %d entries", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different entries")
+		}
+	}
+	same := 0
+	for i := range a {
+		if a[i].Name == c[i].Name {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical directories")
+	}
+}
+
+func TestPhoneNumbersUnique(t *testing.T) {
+	entries := Generate(25000, 1)
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if seen[e.Phone] {
+			t.Fatalf("duplicate phone %s", e.Phone)
+		}
+		seen[e.Phone] = true
+	}
+}
+
+func TestRIDDerivation(t *testing.T) {
+	e := Entry{Phone: "415-409-0271"}
+	if got := e.RID(); got != 4154090271 {
+		t.Errorf("RID = %d, want 4154090271", got)
+	}
+}
+
+func TestRIDsUnique(t *testing.T) {
+	entries := Generate(25000, 2)
+	seen := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		if seen[e.RID()] {
+			t.Fatalf("duplicate RID %d (%s)", e.RID(), e.Phone)
+		}
+		seen[e.RID()] = true
+	}
+}
+
+func TestLastName(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"SCHWARZ THOMAS", "SCHWARZ"},
+		{"AFDAHL E", "AFDAHL"},
+		{"YU", "YU"},
+		{"ABOGADO ALEJANDRO & CATHERINE", "ABOGADO"},
+	}
+	for _, c := range cases {
+		if got := (Entry{Name: c.name}).LastName(); got != c.want {
+			t.Errorf("LastName(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNamesAreWellFormed(t *testing.T) {
+	entries := Generate(5000, 3)
+	for _, e := range entries {
+		if e.Name == "" {
+			t.Fatal("empty name")
+		}
+		if strings.ToUpper(e.Name) != e.Name {
+			t.Fatalf("name %q not upper case", e.Name)
+		}
+		for _, r := range e.Name {
+			ok := (r >= 'A' && r <= 'Z') || r == ' ' || r == '&' || r == '\'' || r == '-'
+			if !ok {
+				t.Fatalf("name %q contains unexpected symbol %q", e.Name, r)
+			}
+		}
+		if strings.Contains(e.Name, "  ") {
+			t.Fatalf("name %q has double space", e.Name)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	entries := Generate(2000, 4)
+	for _, e := range entries {
+		line := FormatRecord(e)
+		if !strings.HasSuffix(line, "$$") {
+			t.Fatalf("line %q missing terminator", line)
+		}
+		if !strings.Contains(line, "%") {
+			t.Fatalf("line %q missing padding", line)
+		}
+		got, err := ParseRecord(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != e {
+			t.Fatalf("round trip: %+v != %+v", got, e)
+		}
+	}
+}
+
+func TestFormatMatchesFigure4Shape(t *testing.T) {
+	line := FormatRecord(Entry{Name: "ADRIAN CORTEZ", Phone: "415-409-0271"})
+	// Figure 4: "ADRIAN CORTEZ%%%…%415-409-0271$$".
+	if !strings.HasPrefix(line, "ADRIAN CORTEZ%") {
+		t.Errorf("line = %q", line)
+	}
+	if !strings.HasSuffix(line, "415-409-0271$$") {
+		t.Errorf("line = %q", line)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	if _, err := ParseRecord("NOPE"); err == nil {
+		t.Error("missing terminator accepted")
+	}
+	if _, err := ParseRecord("NAME-415$$"); err == nil {
+		t.Error("missing padding accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	entries := Generate(500, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("read %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	entries := Generate(1000, 6)
+	s1 := Sample(entries, 100, 42)
+	s2 := Sample(entries, 100, 42)
+	s3 := Sample(entries, 100, 43)
+	if len(s1) != 100 {
+		t.Fatalf("sample size %d", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same seed sampled differently")
+		}
+	}
+	diff := false
+	for i := range s1 {
+		if s1[i] != s3[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds sampled identically")
+	}
+	// Distinctness.
+	seen := make(map[string]bool)
+	for _, e := range s1 {
+		if seen[e.Phone] {
+			t.Fatal("sample repeated an entry")
+		}
+		seen[e.Phone] = true
+	}
+	// Oversized k clips.
+	if got := Sample(entries, 5000, 1); len(got) != 1000 {
+		t.Errorf("oversized sample returned %d", len(got))
+	}
+}
+
+// TestCorpusShapeMatchesPaper checks the Table-1 shape criteria: a spiky
+// single-letter distribution with the paper's top letters ranking high,
+// χ² values exploding from singles to doublets to triplets, and a strong
+// population of very short surnames.
+func TestCorpusShapeMatchesPaper(t *testing.T) {
+	entries := Generate(20000, 1)
+	names := Names(entries)
+	alpha := stats.Alphabet(names)
+	tab := stats.AnalyzeBytes(names, alpha)
+
+	if !(tab.Single > 0 && tab.Double > tab.Single && tab.Triple > tab.Double) {
+		t.Errorf("χ² ordering violated: %.0f, %.0f, %.0f", tab.Single, tab.Double, tab.Triple)
+	}
+	// AnalyzeBytes reports grams as alphabet indices; decode them back
+	// to letters before comparing.
+	decode := func(g stats.GramCount) string {
+		b := make([]byte, len(g.Gram))
+		for i, s := range g.Gram {
+			b[i] = alpha[s]
+		}
+		return string(b)
+	}
+	// Normalized per-letter spikes: A must be the most common letter and
+	// the top-8 must include most of {A, E, N, R, I, O}.
+	top := tab.Singles.Top(8)
+	if decode(top[0]) != "A" && decode(top[1]) != "A" {
+		t.Errorf("A not among the top letters: top = %v", renderAll(top, decode))
+	}
+	want := map[string]bool{"A": true, "E": true, "N": true, "R": true, "I": true, "O": true}
+	hits := 0
+	for _, g := range top {
+		if want[decode(g)] {
+			hits++
+		}
+	}
+	if hits < 4 {
+		t.Errorf("only %d of the paper's top letters in our top-8: %v", hits, renderAll(top, decode))
+	}
+	// AN must be a leading doublet.
+	dtop := tab.Doubles.Top(10)
+	foundAN := false
+	for _, g := range dtop {
+		if decode(g) == "AN" {
+			foundAN = true
+		}
+	}
+	if !foundAN {
+		t.Errorf("AN not among top doublets: %v", renderAll(dtop, decode))
+	}
+	// Short surnames must be plentiful (the paper's FP analysis depends
+	// on them).
+	short := 0
+	for _, e := range entries {
+		if len(e.LastName()) <= 3 {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(len(entries)); frac < 0.10 {
+		t.Errorf("short-surname fraction %.3f, want >= 0.10", frac)
+	}
+}
+
+func renderAll(gs []stats.GramCount, decode func(stats.GramCount) string) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = decode(g)
+	}
+	return out
+}

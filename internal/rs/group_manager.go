@@ -1,0 +1,153 @@
+package rs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BucketGroup is the LH*RS availability unit applied to bucket images: m
+// data shards (serialized bucket snapshots, zero-padded to a common
+// length) protected by k parity shards. Updates are delta-based — the
+// LH*RS property that changing one data bucket touches only the k parity
+// sites, never the sibling data buckets.
+//
+// In LH*RS terms, the data shards live on the group's data sites and the
+// parity shards on dedicated parity sites; RecoverShards is what a
+// spare site runs after up to k simultaneous site failures.
+type BucketGroup struct {
+	mu     sync.Mutex
+	coder  *Group
+	size   int // current shard length (grows as needed)
+	data   [][]byte
+	parity [][]byte
+}
+
+// NewBucketGroup creates an empty group of m data and k parity shards.
+func NewBucketGroup(m, k int) (*BucketGroup, error) {
+	coder, err := NewGroup(m, k)
+	if err != nil {
+		return nil, err
+	}
+	bg := &BucketGroup{coder: coder, size: 0}
+	bg.data = make([][]byte, m)
+	bg.parity = make([][]byte, k)
+	for i := range bg.data {
+		bg.data[i] = []byte{}
+	}
+	for j := range bg.parity {
+		bg.parity[j] = []byte{}
+	}
+	return bg, nil
+}
+
+// M returns the number of data shards.
+func (bg *BucketGroup) M() int { return bg.coder.M() }
+
+// K returns the number of parity shards.
+func (bg *BucketGroup) K() int { return bg.coder.K() }
+
+// ShardSize returns the current (padded) shard length in bytes.
+func (bg *BucketGroup) ShardSize() int {
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	return bg.size
+}
+
+// pad returns image zero-padded to length n (n even).
+func pad(image []byte, n int) []byte {
+	out := make([]byte, n)
+	copy(out, image)
+	return out
+}
+
+// grow extends every shard (zero padding) so new images fit. Zero
+// padding is parity-neutral: parity of extended zeros is zero, so
+// existing parity bytes stay valid and new positions start at zero on
+// both sides. Caller holds the lock.
+func (bg *BucketGroup) grow(n int) {
+	if n%2 == 1 {
+		n++
+	}
+	if n <= bg.size {
+		return
+	}
+	for i := range bg.data {
+		bg.data[i] = pad(bg.data[i], n)
+	}
+	for j := range bg.parity {
+		bg.parity[j] = pad(bg.parity[j], n)
+	}
+	bg.size = n
+}
+
+// Update replaces data shard i with the new bucket image and applies
+// delta updates to every parity shard.
+func (bg *BucketGroup) Update(i int, image []byte) error {
+	if i < 0 || i >= bg.M() {
+		return fmt.Errorf("rs: data shard %d out of range [0,%d)", i, bg.M())
+	}
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	bg.grow(len(image))
+	oldShard := bg.data[i]
+	newShard := pad(image, bg.size)
+	for j := range bg.parity {
+		if err := bg.coder.UpdateDelta(bg.parity[j], j, i, oldShard, newShard); err != nil {
+			return err
+		}
+	}
+	bg.data[i] = newShard
+	return nil
+}
+
+// DataShard returns a copy of data shard i (its padded image).
+func (bg *BucketGroup) DataShard(i int) ([]byte, error) {
+	if i < 0 || i >= bg.M() {
+		return nil, fmt.Errorf("rs: data shard %d out of range", i)
+	}
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	return append([]byte(nil), bg.data[i]...), nil
+}
+
+// ParityShard returns a copy of parity shard j.
+func (bg *BucketGroup) ParityShard(j int) ([]byte, error) {
+	if j < 0 || j >= bg.K() {
+		return nil, fmt.Errorf("rs: parity shard %d out of range", j)
+	}
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	return append([]byte(nil), bg.parity[j]...), nil
+}
+
+// Shards exports copies of all m+k shards (data first) — what survives
+// on the sites after a failure, with nil for the lost ones, feeds
+// RecoverShards.
+func (bg *BucketGroup) Shards() [][]byte {
+	bg.mu.Lock()
+	defer bg.mu.Unlock()
+	out := make([][]byte, 0, bg.M()+bg.K())
+	for _, d := range bg.data {
+		out = append(out, append([]byte(nil), d...))
+	}
+	for _, p := range bg.parity {
+		out = append(out, append([]byte(nil), p...))
+	}
+	return out
+}
+
+// RecoverShards reconstructs up to k missing shards (nil entries) in
+// place from the survivors. It is a pure function of its input — the
+// spare site needs no access to the group's live state.
+func (bg *BucketGroup) RecoverShards(shards [][]byte) error {
+	return bg.coder.Recover(shards)
+}
+
+// Scrub verifies that the stored parity matches the stored data.
+func (bg *BucketGroup) Scrub() (bool, error) {
+	shards := bg.Shards()
+	if bg.ShardSize() == 0 {
+		return true, nil
+	}
+	return bg.coder.Verify(shards)
+}

@@ -1,0 +1,176 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lhstar"
+)
+
+func TestBucketGroupUpdateAndScrub(t *testing.T) {
+	bg, err := NewBucketGroup(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.M() != 4 || bg.K() != 2 {
+		t.Fatal("accessors")
+	}
+	// Sequential updates of varying sizes; parity must stay consistent.
+	images := [][]byte{
+		[]byte("bucket zero image"),
+		[]byte("bucket one"),
+		[]byte("bucket two has rather more content than the others"),
+		[]byte("b3"),
+	}
+	for i, img := range images {
+		if err := bg.Update(i, img); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := bg.Scrub()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("scrub failed after update %d", i)
+		}
+	}
+	// Re-update a shard (delta path with nonzero old value).
+	if err := bg.Update(1, []byte("bucket one, revised and longer")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := bg.Scrub()
+	if err != nil || !ok {
+		t.Fatalf("scrub after re-update: %v %v", ok, err)
+	}
+	d, err := bg.DataShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(d, []byte("bucket one, revised and longer")) {
+		t.Error("data shard content wrong")
+	}
+}
+
+func TestBucketGroupValidation(t *testing.T) {
+	bg, err := NewBucketGroup(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bg.Update(5, []byte("x")); err == nil {
+		t.Error("bad index accepted")
+	}
+	if _, err := bg.DataShard(-1); err == nil {
+		t.Error("bad data index accepted")
+	}
+	if _, err := bg.ParityShard(3); err == nil {
+		t.Error("bad parity index accepted")
+	}
+}
+
+func TestBucketGroupRecoverAfterSiteLoss(t *testing.T) {
+	bg, err := NewBucketGroup(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		img := bytes.Repeat([]byte{byte('A' + i)}, 20+i*7)
+		if err := bg.Update(i, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := bg.Shards()
+	// Lose two sites: one data, one parity.
+	shards := bg.Shards()
+	shards[1], shards[4] = nil, nil
+	if err := bg.RecoverShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(shards[i], want[i]) {
+			t.Fatalf("shard %d not recovered", i)
+		}
+	}
+}
+
+// TestLHStarBucketAvailability is the LH*RS story end to end: live LH*
+// buckets, snapshots kept parity-protected across updates, a site loss,
+// and full bucket reconstruction from the survivors.
+func TestLHStarBucketAvailability(t *testing.T) {
+	const m, k = 4, 2
+	bg, err := NewBucketGroup(m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four live buckets receiving inserts; after every change the owning
+	// site pushes its new snapshot (delta-updating the parity sites).
+	buckets := make([]*lhstar.Bucket, m)
+	for i := range buckets {
+		buckets[i] = lhstar.NewBucket(uint64(i), 2)
+	}
+	for r := 0; r < 200; r++ {
+		i := r % m
+		buckets[i].Put(uint64(r*4+i), []byte{byte(r), byte(r >> 8), byte(i)})
+		if err := bg.Update(i, buckets[i].Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := bg.Scrub()
+	if err != nil || !ok {
+		t.Fatalf("scrub: %v %v", ok, err)
+	}
+
+	// Disaster: sites 0 and 2 burn down. A spare site gathers the
+	// surviving shards and reconstructs.
+	shards := bg.Shards()
+	shards[0], shards[2] = nil, nil
+	if err := bg.RecoverShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	for _, lost := range []int{0, 2} {
+		restored, err := lhstar.RestoreBucket(shards[lost])
+		if err != nil {
+			t.Fatalf("bucket %d: %v", lost, err)
+		}
+		if restored.Addr() != uint64(lost) || restored.Level() != 2 {
+			t.Fatalf("bucket %d header wrong after recovery", lost)
+		}
+		if restored.Len() != buckets[lost].Len() {
+			t.Fatalf("bucket %d has %d records, want %d", lost, restored.Len(), buckets[lost].Len())
+		}
+		buckets[lost].Scan(func(key uint64, value []byte) bool {
+			v, found := restored.Get(key)
+			if !found || !bytes.Equal(v, value) {
+				t.Fatalf("bucket %d record %d lost or corrupted", lost, key)
+			}
+			return true
+		})
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	b := lhstar.NewBucket(5, 3)
+	for i := 0; i < 50; i++ {
+		b.Put(uint64(i*8+5), bytes.Repeat([]byte{byte(i)}, i%9))
+	}
+	snap := b.Snapshot()
+	// Determinism.
+	if !bytes.Equal(snap, b.Snapshot()) {
+		t.Error("snapshot not deterministic")
+	}
+	// Round trip, including with trailing padding.
+	padded := append(append([]byte(nil), snap...), make([]byte, 13)...)
+	got, err := lhstar.RestoreBucket(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr() != 5 || got.Level() != 3 || got.Len() != b.Len() {
+		t.Fatal("restored header/size wrong")
+	}
+	// Corrupt/truncated snapshots rejected.
+	if _, err := lhstar.RestoreBucket(snap[:10]); err == nil {
+		t.Error("short snapshot accepted")
+	}
+	if _, err := lhstar.RestoreBucket(snap[:25]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}

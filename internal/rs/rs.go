@@ -1,0 +1,276 @@
+// Package rs implements the Reed–Solomon parity machinery of LH*RS
+// [LMS05], the scalable high-availability variant of LH* the paper names
+// as a substrate. Buckets are organized into parity groups of m data
+// buckets protected by up to k parity buckets; the code is maximum
+// distance separable, so any k simultaneous bucket losses within a group
+// are recoverable.
+//
+// The code is systematic over GF(2^16) (the field LH*RS uses) with a
+// Cauchy parity matrix, whose every square submatrix is nonsingular —
+// exactly the property that makes [I | C] an MDS generator. Parity
+// maintenance is delta-based: when a record changes in a data bucket,
+// each parity bucket applies Δ = old ⊕ new scaled by its coefficient,
+// without reading the other data buckets.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// Group is one parity group's coding configuration. Immutable and safe
+// for concurrent use.
+type Group struct {
+	m     int // data buckets
+	k     int // parity buckets
+	field *gf.Field
+	p     *gf.Matrix // m×k parity coefficients
+}
+
+// NewGroup builds the coding for m data and k parity buckets.
+func NewGroup(m, k int) (*Group, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("rs: m=%d, want >= 1", m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("rs: k=%d, want >= 1", k)
+	}
+	field := gf.MustNew(16)
+	if uint32(m+k) >= field.Size() {
+		return nil, fmt.Errorf("rs: m+k=%d too large for GF(2^16)", m+k)
+	}
+	// Cauchy parity block: p[i][j] = 1/(x_i + y_j) with x_i = alpha^i,
+	// y_j = alpha^(m+j); all points distinct, so every square submatrix
+	// of p is nonsingular and [I | p] is MDS.
+	p := gf.NewMatrix(field, m, k)
+	for i := 0; i < m; i++ {
+		xi := field.Exp(uint32(i))
+		for j := 0; j < k; j++ {
+			yj := field.Exp(uint32(m + j))
+			p.Set(i, j, field.Inv(xi^yj))
+		}
+	}
+	return &Group{m: m, k: k, field: field, p: p}, nil
+}
+
+// M returns the number of data buckets.
+func (g *Group) M() int { return g.m }
+
+// K returns the number of parity buckets.
+func (g *Group) K() int { return g.k }
+
+// symbols converts a byte slice to GF(2^16) symbols (big-endian pairs).
+// The byte length must be even.
+func symbols(b []byte) []gf.Elem {
+	out := make([]gf.Elem, len(b)/2)
+	for i := range out {
+		out[i] = gf.Elem(uint32(b[2*i])<<8 | uint32(b[2*i+1]))
+	}
+	return out
+}
+
+func bytesOf(sym []gf.Elem) []byte {
+	out := make([]byte, 2*len(sym))
+	for i, s := range sym {
+		out[2*i] = byte(uint32(s) >> 8)
+		out[2*i+1] = byte(s)
+	}
+	return out
+}
+
+func (g *Group) checkShards(shards [][]byte, want int) (int, error) {
+	if len(shards) != want {
+		return 0, fmt.Errorf("rs: %d shards, want %d", len(shards), want)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if len(s)%2 != 0 {
+			return 0, fmt.Errorf("rs: shard %d has odd length %d", i, len(s))
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("rs: shard %d length %d, want %d", i, len(s), size)
+		}
+	}
+	if size == -1 {
+		return 0, errors.New("rs: all shards missing")
+	}
+	return size, nil
+}
+
+// Encode computes the k parity shards for m equal-length data shards
+// (byte lengths must be even — pad with zero bytes if needed).
+func (g *Group) Encode(data [][]byte) ([][]byte, error) {
+	size, err := g.checkShards(data, g.m)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range data {
+		if d == nil {
+			return nil, fmt.Errorf("rs: data shard %d missing", i)
+		}
+	}
+	parity := make([][]gf.Elem, g.k)
+	for j := range parity {
+		parity[j] = make([]gf.Elem, size/2)
+	}
+	for i, d := range data {
+		sym := symbols(d)
+		for j := 0; j < g.k; j++ {
+			g.field.AddMulSlice(parity[j], sym, g.p.At(i, j))
+		}
+	}
+	out := make([][]byte, g.k)
+	for j := range out {
+		out[j] = bytesOf(parity[j])
+	}
+	return out, nil
+}
+
+// UpdateDelta applies a data-bucket change to one parity shard in place:
+// parity_j ^= (old ⊕ new) · p[i][j]. This is the LH*RS single-message
+// parity update — no other data bucket participates.
+func (g *Group) UpdateDelta(parity []byte, j, i int, oldData, newData []byte) error {
+	if j < 0 || j >= g.k {
+		return fmt.Errorf("rs: parity index %d out of range [0,%d)", j, g.k)
+	}
+	if i < 0 || i >= g.m {
+		return fmt.Errorf("rs: data index %d out of range [0,%d)", i, g.m)
+	}
+	if len(oldData) != len(newData) || len(oldData) != len(parity) {
+		return errors.New("rs: delta length mismatch")
+	}
+	if len(parity)%2 != 0 {
+		return errors.New("rs: odd shard length")
+	}
+	delta := make([]byte, len(oldData))
+	for x := range delta {
+		delta[x] = oldData[x] ^ newData[x]
+	}
+	ps := symbols(parity)
+	g.field.AddMulSlice(ps, symbols(delta), g.p.At(i, j))
+	copy(parity, bytesOf(ps))
+	return nil
+}
+
+// Recover reconstructs the missing shards in place. shards must have
+// length m+k with data shards first; missing shards are nil. At most k
+// shards may be missing.
+func (g *Group) Recover(shards [][]byte) error {
+	size, err := g.checkShards(shards, g.m+g.k)
+	if err != nil {
+		return err
+	}
+	missing := 0
+	for _, s := range shards {
+		if s == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	if missing > g.k {
+		return fmt.Errorf("rs: %d shards missing, can recover at most %d", missing, g.k)
+	}
+	// Generator column for shard c: data shard i has e_i; parity shard
+	// m+j has column p[:, j]. Collect m available shards and solve.
+	avail := make([]int, 0, g.m)
+	for c := 0; c < g.m+g.k && len(avail) < g.m; c++ {
+		if shards[c] != nil {
+			avail = append(avail, c)
+		}
+	}
+	// Build the m×m matrix whose rows are the generator columns of the
+	// available shards: shard_c = Σ_i d_i · col_c[i], i.e. the vector of
+	// available shards equals D × A where A's columns are col_c. Using
+	// row-vector convention: [shards] = [d] · A.
+	a := gf.NewMatrix(g.field, g.m, g.m)
+	for idx, c := range avail {
+		for i := 0; i < g.m; i++ {
+			a.Set(i, idx, g.generatorAt(i, c))
+		}
+	}
+	inv, err := a.Inverse()
+	if err != nil {
+		return fmt.Errorf("rs: decode matrix singular: %w", err)
+	}
+	// Recover data symbols column by column.
+	n := size / 2
+	availSyms := make([][]gf.Elem, g.m)
+	for idx, c := range avail {
+		availSyms[idx] = symbols(shards[c])
+	}
+	dataSyms := make([][]gf.Elem, g.m)
+	for i := range dataSyms {
+		dataSyms[i] = make([]gf.Elem, n)
+	}
+	// [d] = [shards_avail] · A^{-1}: d_i = Σ_idx avail_idx · inv[idx][i].
+	for idx := 0; idx < g.m; idx++ {
+		row := availSyms[idx]
+		for i := 0; i < g.m; i++ {
+			g.field.AddMulSlice(dataSyms[i], row, inv.At(idx, i))
+		}
+	}
+	// Fill missing data shards.
+	for i := 0; i < g.m; i++ {
+		if shards[i] == nil {
+			shards[i] = bytesOf(dataSyms[i])
+		}
+	}
+	// Recompute missing parity shards from the (now complete) data.
+	for j := 0; j < g.k; j++ {
+		if shards[g.m+j] != nil {
+			continue
+		}
+		ps := make([]gf.Elem, n)
+		for i := 0; i < g.m; i++ {
+			g.field.AddMulSlice(ps, dataSyms[i], g.p.At(i, j))
+		}
+		shards[g.m+j] = bytesOf(ps)
+	}
+	return nil
+}
+
+// generatorAt returns G[i][c] for the systematic generator [I | P].
+func (g *Group) generatorAt(i, c int) gf.Elem {
+	if c < g.m {
+		if c == i {
+			return 1
+		}
+		return 0
+	}
+	return g.p.At(i, c-g.m)
+}
+
+// Verify recomputes parity from data and reports whether every parity
+// shard matches — a scrub operation.
+func (g *Group) Verify(shards [][]byte) (bool, error) {
+	if _, err := g.checkShards(shards, g.m+g.k); err != nil {
+		return false, err
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false, errors.New("rs: cannot verify with missing shards")
+		}
+	}
+	parity, err := g.Encode(shards[:g.m])
+	if err != nil {
+		return false, err
+	}
+	for j := range parity {
+		stored := shards[g.m+j]
+		for x := range parity[j] {
+			if parity[j][x] != stored[x] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,260 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randShards(t *testing.T, m, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, m)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	for _, c := range []struct{ m, k int }{{0, 1}, {1, 0}, {-1, 2}, {70000, 2}} {
+		if _, err := NewGroup(c.m, c.k); err == nil {
+			t.Errorf("NewGroup(%d, %d) accepted", c.m, c.k)
+		}
+	}
+	g, err := NewGroup(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 || g.K() != 2 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	g, _ := NewGroup(3, 2)
+	if _, err := g.Encode(randShards(t, 2, 10, 1)); err == nil {
+		t.Error("wrong shard count accepted")
+	}
+	bad := randShards(t, 3, 10, 1)
+	bad[1] = bad[1][:9] // odd length
+	if _, err := g.Encode(bad); err == nil {
+		t.Error("odd shard length accepted")
+	}
+	ragged := randShards(t, 3, 10, 1)
+	ragged[2] = ragged[2][:8]
+	if _, err := g.Encode(ragged); err == nil {
+		t.Error("ragged shards accepted")
+	}
+	nils := randShards(t, 3, 10, 1)
+	nils[0] = nil
+	if _, err := g.Encode(nils); err == nil {
+		t.Error("missing data shard accepted")
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	g, _ := NewGroup(4, 3)
+	data := randShards(t, 4, 64, 2)
+	parity, err := g.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parity) != 3 {
+		t.Fatalf("%d parity shards", len(parity))
+	}
+	all := append(append([][]byte{}, data...), parity...)
+	ok, err := g.Verify(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("fresh encode fails verification")
+	}
+	// Corrupt a byte: verification must fail.
+	all[5][3] ^= 1
+	ok, err = g.Verify(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestRecoverAllLossPatterns(t *testing.T) {
+	// Exhaustively drop every subset of up to k shards for a small
+	// group and verify exact recovery — the MDS property.
+	g, err := NewGroup(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(t, 4, 32, 3)
+	parity, err := g.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+	n := len(full)
+	for mask := 0; mask < 1<<n; mask++ {
+		lost := 0
+		for b := 0; b < n; b++ {
+			if mask>>b&1 == 1 {
+				lost++
+			}
+		}
+		if lost == 0 || lost > g.K() {
+			continue
+		}
+		shards := make([][]byte, n)
+		for b := 0; b < n; b++ {
+			if mask>>b&1 == 0 {
+				shards[b] = append([]byte(nil), full[b]...)
+			}
+		}
+		if err := g.Recover(shards); err != nil {
+			t.Fatalf("mask %b: %v", mask, err)
+		}
+		for b := 0; b < n; b++ {
+			if !bytes.Equal(shards[b], full[b]) {
+				t.Fatalf("mask %b: shard %d not recovered correctly", mask, b)
+			}
+		}
+	}
+}
+
+func TestRecoverTooManyLost(t *testing.T) {
+	g, _ := NewGroup(3, 2)
+	data := randShards(t, 3, 16, 4)
+	parity, _ := g.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := g.Recover(shards); err == nil {
+		t.Error("recovery with m lost data shards and only k=2 parity accepted")
+	}
+}
+
+func TestRecoverNoneMissing(t *testing.T) {
+	g, _ := NewGroup(2, 1)
+	data := randShards(t, 2, 8, 5)
+	parity, _ := g.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	if err := g.Recover(shards); err != nil {
+		t.Errorf("no-op recovery failed: %v", err)
+	}
+}
+
+func TestRecoverAllMissing(t *testing.T) {
+	g, _ := NewGroup(2, 1)
+	if err := g.Recover(make([][]byte, 3)); err == nil {
+		t.Error("all-missing accepted")
+	}
+}
+
+func TestUpdateDelta(t *testing.T) {
+	g, err := NewGroup(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(t, 4, 32, 6)
+	parity, err := g.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change data shard 2 and apply deltas to both parity shards.
+	oldData := append([]byte(nil), data[2]...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(data[2])
+	for j := range parity {
+		if err := g.UpdateDelta(parity[j], j, 2, oldData, data[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The incrementally updated parity must equal a full re-encode.
+	want, err := g.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range parity {
+		if !bytes.Equal(parity[j], want[j]) {
+			t.Errorf("parity %d: delta update diverges from re-encode", j)
+		}
+	}
+}
+
+func TestUpdateDeltaValidation(t *testing.T) {
+	g, _ := NewGroup(2, 1)
+	p := make([]byte, 8)
+	if err := g.UpdateDelta(p, 1, 0, make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("bad parity index accepted")
+	}
+	if err := g.UpdateDelta(p, 0, 2, make([]byte, 8), make([]byte, 8)); err == nil {
+		t.Error("bad data index accepted")
+	}
+	if err := g.UpdateDelta(p, 0, 0, make([]byte, 8), make([]byte, 6)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := g.UpdateDelta(make([]byte, 7), 0, 0, make([]byte, 7), make([]byte, 7)); err == nil {
+		t.Error("odd length accepted")
+	}
+}
+
+func TestVerifyValidation(t *testing.T) {
+	g, _ := NewGroup(2, 1)
+	if _, err := g.Verify(make([][]byte, 2)); err == nil {
+		t.Error("wrong count accepted")
+	}
+	shards := randShards(t, 3, 8, 8)
+	shards[1] = nil
+	if _, err := g.Verify(shards); err == nil {
+		t.Error("missing shard accepted in verify")
+	}
+}
+
+func TestSingleDataBucketGroup(t *testing.T) {
+	// m=1 is mirroring-like: parity is a scaled copy.
+	g, err := NewGroup(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(t, 1, 16, 9)
+	parity, err := g.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{nil, parity[0], parity[1]}
+	if err := g.Recover(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[0], data[0]) {
+		t.Error("mirror recovery failed")
+	}
+}
+
+func TestLargeGroup(t *testing.T) {
+	g, err := NewGroup(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randShards(t, 10, 128, 10)
+	parity, err := g.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	// Lose 4 mixed shards.
+	want := make([][]byte, len(shards))
+	for i := range shards {
+		want[i] = append([]byte(nil), shards[i]...)
+	}
+	shards[0], shards[5], shards[10], shards[13] = nil, nil, nil, nil
+	if err := g.Recover(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], want[i]) {
+			t.Fatalf("shard %d wrong after recovery", i)
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package sdds
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lhstar"
+	"repro/internal/transport"
+)
+
+// Cluster is the client-plus-coordinator side of the SDDS: it tracks
+// each file's true state (as the split coordinator), keeps a client
+// image per file (deliberately allowed to lag, exercising forwarding
+// and IAMs), and executes the distributed operations over a Transport.
+//
+// The LH* coordinator is a distinguished site in the paper; here it
+// lives in the client process, which is equivalent for a single-writer
+// deployment and keeps the daemon nodes entirely key- and
+// state-agnostic.
+type Cluster struct {
+	tr    transport.Transport
+	place *Placement
+
+	// opsMu excludes structural changes (splits/merges) from normal
+	// operations: Put/Get/Delete hold it shared, split/merge exclusive.
+	// Without it a record could land in a bucket mid-extraction and be
+	// silently lost or reverted.
+	opsMu sync.RWMutex
+
+	mu    sync.Mutex
+	files map[FileID]*fileState
+}
+
+type fileState struct {
+	state   lhstar.State
+	image   lhstar.Image // client image; lags behind state on purpose
+	size    int          // total records (coordinator's load tracker)
+	maxLoad int
+	minLoad int // merge threshold; 0 disables shrinking
+	splits  int
+	merges  int
+	iams    int
+}
+
+// DefaultMaxLoad is the per-bucket split threshold.
+const DefaultMaxLoad = 128
+
+// NewCluster builds a cluster client over the transport and placement.
+func NewCluster(tr transport.Transport, place *Placement) *Cluster {
+	return &Cluster{tr: tr, place: place, files: make(map[FileID]*fileState)}
+}
+
+// Transport returns the underlying transport.
+func (c *Cluster) Transport() transport.Transport { return c.tr }
+
+// Placement returns the bucket placement.
+func (c *Cluster) Placement() *Placement { return c.place }
+
+func (c *Cluster) file(id FileID) *fileState {
+	f, ok := c.files[id]
+	if !ok {
+		f = &fileState{maxLoad: DefaultMaxLoad, minLoad: DefaultMaxLoad / 4}
+		c.files[id] = f
+	}
+	return f
+}
+
+// SetMaxLoad adjusts a file's split threshold (records per bucket).
+func (c *Cluster) SetMaxLoad(id FileID, maxLoad int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxLoad > 0 {
+		f := c.file(id)
+		f.maxLoad = maxLoad
+		f.minLoad = maxLoad / 4
+	}
+}
+
+// State returns the coordinator state of a file.
+func (c *Cluster) State(id FileID) lhstar.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file(id).state
+}
+
+// Image returns the current client image of a file.
+func (c *Cluster) Image(id FileID) lhstar.Image {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file(id).image
+}
+
+// Stats returns cumulative split and IAM counters for a file.
+func (c *Cluster) Stats(id FileID) (splits, iams int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.file(id)
+	return f.splits, f.iams
+}
+
+// Merges returns the cumulative merge (shrink) counter for a file.
+func (c *Cluster) Merges(id FileID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file(id).merges
+}
+
+// Put stores a key/value pair in a file, splitting the file if it
+// overflows.
+func (c *Cluster) Put(ctx context.Context, id FileID, key uint64, value []byte) error {
+	c.opsMu.RLock()
+	c.mu.Lock()
+	f := c.file(id)
+	addr := f.image.Address(key)
+	c.mu.Unlock()
+
+	req := putReq{file: id, addr: addr, key: key, value: value}
+	node := c.place.NodeOf(addr)
+	raw, err := c.tr.Send(ctx, node, opPut, req.encode())
+	if err != nil {
+		c.opsMu.RUnlock()
+		return err
+	}
+	resp, err := decodePutResp(raw)
+	if err != nil {
+		c.opsMu.RUnlock()
+		return err
+	}
+
+	c.mu.Lock()
+	if resp.iamAddr != addr {
+		f.image.Adjust(resp.iamAddr, uint(resp.iamLevel))
+		f.iams++
+	}
+	if resp.isNew {
+		f.size++
+	}
+	needSplit := f.size > int(f.state.Buckets())*f.maxLoad
+	c.mu.Unlock()
+	c.opsMu.RUnlock()
+
+	if needSplit {
+		return c.split(ctx, id)
+	}
+	return nil
+}
+
+// Get retrieves a value by key.
+func (c *Cluster) Get(ctx context.Context, id FileID, key uint64) ([]byte, bool, error) {
+	c.opsMu.RLock()
+	defer c.opsMu.RUnlock()
+	c.mu.Lock()
+	f := c.file(id)
+	addr := f.image.Address(key)
+	c.mu.Unlock()
+
+	req := keyReq{file: id, addr: addr, key: key}
+	raw, err := c.tr.Send(ctx, c.place.NodeOf(addr), opGet, req.encode())
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := decodeValueResp(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.iamAddr != addr {
+		c.mu.Lock()
+		f.image.Adjust(resp.iamAddr, uint(resp.iamLevel))
+		f.iams++
+		c.mu.Unlock()
+	}
+	if !resp.found {
+		return nil, false, nil
+	}
+	return resp.value, true, nil
+}
+
+// Delete removes a key, reporting whether it existed.
+func (c *Cluster) Delete(ctx context.Context, id FileID, key uint64) (bool, error) {
+	c.opsMu.RLock()
+	c.mu.Lock()
+	f := c.file(id)
+	addr := f.image.Address(key)
+	c.mu.Unlock()
+
+	req := keyReq{file: id, addr: addr, key: key}
+	raw, err := c.tr.Send(ctx, c.place.NodeOf(addr), opDelete, req.encode())
+	if err != nil {
+		c.opsMu.RUnlock()
+		return false, err
+	}
+	resp, err := decodeValueResp(raw)
+	if err != nil {
+		c.opsMu.RUnlock()
+		return false, err
+	}
+	c.mu.Lock()
+	if resp.iamAddr != addr {
+		f.image.Adjust(resp.iamAddr, uint(resp.iamLevel))
+		f.iams++
+	}
+	needMerge := false
+	if resp.found {
+		f.size--
+		needMerge = f.minLoad > 0 && f.state.Buckets() > 1 &&
+			f.size < int(f.state.Buckets()-1)*f.minLoad
+	}
+	c.mu.Unlock()
+	c.opsMu.RUnlock()
+	if needMerge {
+		if err := c.merge(ctx, id); err != nil {
+			return resp.found, err
+		}
+	}
+	return resp.found, nil
+}
+
+// merge performs one coordinator-driven file shrink: close the last
+// split's image bucket, absorb its records back, retreat the state.
+// After a shrink the client image is refreshed from the coordinator
+// state — a shrunken file can otherwise leave images pointing at
+// buckets that no longer exist (LH* shrinking requires coordinator
+// assistance for exactly this reason).
+func (c *Cluster) merge(ctx context.Context, id FileID) error {
+	for {
+		done, err := c.mergeOne(ctx, id)
+		if err != nil || done {
+			return err
+		}
+	}
+}
+
+// mergeOne performs at most one shrink; done reports that no (further)
+// shrink is needed.
+func (c *Cluster) mergeOne(ctx context.Context, id FileID) (done bool, err error) {
+	c.opsMu.Lock()
+	defer c.opsMu.Unlock()
+	c.mu.Lock()
+	f := c.file(id)
+	if f.state.Buckets() <= 1 || f.size >= int(f.state.Buckets()-1)*f.minLoad {
+		c.mu.Unlock()
+		return true, nil
+	}
+	st := f.state
+	if !st.RetreatSplit() {
+		c.mu.Unlock()
+		return true, nil
+	}
+	from := st.N
+	to := from + 1<<st.I
+	c.mu.Unlock()
+
+	closeReq := mergeCloseReq{file: id, addr: to}
+	raw, err := c.tr.Send(ctx, c.place.NodeOf(to), opMergeClose, closeReq.encode())
+	if err != nil {
+		return false, fmt.Errorf("sdds: closing bucket %d: %w", to, err)
+	}
+	batch, err := decodeRecordBatch(raw)
+	if err != nil {
+		return false, err
+	}
+	absorb := mergeAbsorbReq{file: id, addr: from, batch: batch}
+	if _, err := c.tr.Send(ctx, c.place.NodeOf(from), opMergeAbsorb, absorb.encode()); err != nil {
+		return false, fmt.Errorf("sdds: merging into bucket %d: %w", from, err)
+	}
+
+	c.mu.Lock()
+	f.state = st
+	f.merges++
+	f.image = f.state.Image()
+	c.mu.Unlock()
+	return false, nil
+}
+
+// split performs one coordinator-driven LH* split of the file: create
+// the target bucket, extract the upper half from the split bucket, and
+// absorb it at the target. Serialized per cluster.
+func (c *Cluster) split(ctx context.Context, id FileID) error {
+	c.opsMu.Lock()
+	defer c.opsMu.Unlock()
+	c.mu.Lock()
+	f := c.file(id)
+	if f.size <= int(f.state.Buckets())*f.maxLoad {
+		c.mu.Unlock()
+		return nil // lost the race; someone else split already
+	}
+	from, to := f.state.NextSplit()
+	level := f.state.BucketLevel(from)
+	c.mu.Unlock()
+
+	// 1. Create the target bucket.
+	create := bucketCreateReq{file: id, addr: to, level: uint8(level + 1)}
+	if _, err := c.tr.Send(ctx, c.place.NodeOf(to), opBucketCreate, create.encode()); err != nil {
+		return fmt.Errorf("sdds: creating split target %d: %w", to, err)
+	}
+	// 2. Extract moved records from the source.
+	extract := splitExtractReq{file: id, addr: from}
+	raw, err := c.tr.Send(ctx, c.place.NodeOf(from), opSplitExtract, extract.encode())
+	if err != nil {
+		return fmt.Errorf("sdds: extracting from bucket %d: %w", from, err)
+	}
+	batch, err := decodeRecordBatch(raw)
+	if err != nil {
+		return err
+	}
+	// 3. Absorb them at the target.
+	absorb := splitAbsorbReq{file: id, addr: to, batch: batch}
+	if _, err := c.tr.Send(ctx, c.place.NodeOf(to), opSplitAbsorb, absorb.encode()); err != nil {
+		return fmt.Errorf("sdds: absorbing into bucket %d: %w", to, err)
+	}
+
+	c.mu.Lock()
+	f.state.AdvanceSplit()
+	f.splits++
+	// Deliberately do NOT refresh the client image: letting it lag
+	// exercises the real LH* path — server forwarding plus IAMs — on
+	// every run, exactly as a remote client would behave.
+	c.mu.Unlock()
+	return nil
+}
+
+// ResetImage discards the client image (back to the one-bucket initial
+// image), used by tests to exercise forwarding and IAMs.
+func (c *Cluster) ResetImage(id FileID) {
+	c.mu.Lock()
+	c.file(id).image = lhstar.Image{}
+	c.mu.Unlock()
+}
+
+// Size returns the coordinator's record count for a file.
+func (c *Cluster) Size(id FileID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file(id).size
+}
+
+// InsertIndexed stores the index records of one record: every (chunking,
+// site) piece stream becomes one SDDS record under the §5 composite key.
+func (c *Cluster) InsertIndexed(ctx context.Context, id FileID, recs []core.IndexRecord, kSites int, slotBits uint) error {
+	for _, rec := range recs {
+		for k, stream := range rec.Streams {
+			key := ComposeIndexKey(rec.RID, rec.J, k, kSites, slotBits)
+			val := indexValue{firstIndex: uint32(rec.FirstIndex), pieces: stream}.encode()
+			if err := c.Put(ctx, id, key, val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeleteIndexed removes all index pieces of a record.
+func (c *Cluster) DeleteIndexed(ctx context.Context, id FileID, rid uint64, m, kSites int, slotBits uint) error {
+	for j := 0; j < m; j++ {
+		for k := 0; k < kSites; k++ {
+			key := ComposeIndexKey(rid, j, k, kSites, slotBits)
+			if _, err := c.Delete(ctx, id, key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Search broadcasts a compiled query to every node in parallel, gathers
+// the raw per-site hits, and combines them: a series hit requires all K
+// sites of a chunking to agree at the same chunk offset; record-level
+// acceptance follows the verification mode. It returns the sorted
+// matching RIDs and fails if any node is unreachable (use SearchPartial
+// for best-effort results under failures).
+func (c *Cluster) Search(ctx context.Context, id FileID, pl *core.Pipeline, query *core.Query, mode core.VerifyMode) ([]uint64, error) {
+	rids, failed, err := c.SearchPartial(ctx, id, pl, query, mode)
+	if err != nil {
+		return nil, err
+	}
+	if len(failed) > 0 {
+		return nil, fmt.Errorf("sdds: search could not reach nodes %v", failed)
+	}
+	return rids, nil
+}
+
+// SearchPartial is Search with per-node failure tolerance: nodes that
+// cannot be reached are skipped and reported in failed. The result is a
+// best-effort under-approximation — index pieces on failed nodes cannot
+// contribute, so matches whose K-site agreement involved a failed node
+// are lost (never spuriously added: agreement still requires all K
+// sites). Callers needing exactness should retry or recover the failed
+// nodes (see internal/rs for the LH*RS machinery).
+func (c *Cluster) SearchPartial(ctx context.Context, id FileID, pl *core.Pipeline, query *core.Query, mode core.VerifyMode) (rids []uint64, failed []transport.NodeID, err error) {
+	kSites := pl.K()
+	m := pl.Chunkings()
+	req := queryToSearchReq(id, query, m, kSites)
+	// Broadcast over the placement's authoritative membership, not the
+	// transport's live view — a crashed node must surface as a failure,
+	// not be silently skipped.
+	results := transport.Broadcast(ctx, c.tr, c.place.Nodes(), opSearch, req.encode())
+
+	ppc := 1
+	if kSites == 1 {
+		ppc = int((pl.ChunkBits() + 15) / 16)
+	}
+	type hitKey struct {
+		rid      uint64
+		j        int
+		a        int
+		chunkIdx int
+	}
+	agree := make(map[hitKey]map[int]bool)
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r.Node)
+			continue
+		}
+		resp, derr := decodeSearchResp(r.Payload)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		for _, h := range resp.hits {
+			if ppc > 1 && int(h.pieceOffset)%ppc != 0 {
+				continue
+			}
+			k := hitKey{
+				rid:      h.rid,
+				j:        int(h.j),
+				a:        int(h.a),
+				chunkIdx: int(h.firstIndex) + int(h.pieceOffset)/ppc,
+			}
+			if agree[k] == nil {
+				agree[k] = make(map[int]bool)
+			}
+			agree[k][int(h.k)] = true
+		}
+	}
+	byRID := make(map[uint64][]core.SeriesHit)
+	for k, sites := range agree {
+		if len(sites) == kSites {
+			byRID[k.rid] = append(byRID[k.rid], core.SeriesHit{
+				RID:        k.rid,
+				J:          k.j,
+				A:          k.a,
+				ChunkIndex: k.chunkIdx,
+			})
+		}
+	}
+	geom := pl.Params().Chunk
+	for rid, hits := range byRID {
+		if core.CombineHits(hits, m, mode, geom) {
+			rids = append(rids, rid)
+		}
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	return rids, failed, nil
+}
+
+// WordSearch broadcasts one word token to every node and returns the
+// sorted RIDs of records whose word blob contains it — the [SWP00]
+// word-search path. Exact: no false positives, no false negatives.
+func (c *Cluster) WordSearch(ctx context.Context, id FileID, token []byte) ([]uint64, error) {
+	req := wordSearchReq{file: id, token: token}
+	results := transport.Broadcast(ctx, c.tr, c.place.Nodes(), opWordSearch, req.encode())
+	var out []uint64
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		resp, err := decodeWordSearchResp(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, resp.rids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// BucketInventory gathers every node's bucket stats for a file, sorted
+// by address — an operator/debugging view.
+func (c *Cluster) BucketInventory(ctx context.Context, id FileID) ([]BucketInfo, error) {
+	results := transport.Broadcast(ctx, c.tr, c.place.Nodes(), opStats, []byte{byte(id)})
+	var out []BucketInfo
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		resp, err := decodeStatsResp(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range resp.buckets {
+			out = append(out, BucketInfo{
+				Node:  r.Node,
+				Addr:  b.addr,
+				Level: uint(b.level),
+				Size:  int(b.size),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out, nil
+}
+
+// BucketInfo describes one bucket's placement and load.
+type BucketInfo struct {
+	Node  transport.NodeID
+	Addr  uint64
+	Level uint
+	Size  int
+}

@@ -1,0 +1,666 @@
+// Package sdds is the distributed engine of the encrypted searchable
+// SDDS: storage nodes hosting LH* buckets for the record-store file and
+// the index file, a split coordinator, and the client operations —
+// key-based Put/Get/Delete with image-based addressing, server-side
+// forwarding and IAMs, plus the parallel index search that broadcasts
+// encrypted query series to all nodes and combines per-site hits.
+//
+// Index records follow §5 of the paper: the key of an index piece is the
+// RID with the chunking ID and dispersion-site ID appended as least
+// significant bits, so the pieces of one record scatter over different
+// LH* buckets (and therefore different nodes) as soon as the file has
+// grown past 2^(slot bits) buckets.
+package sdds
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disperse"
+)
+
+// FileID identifies a logical SDDS file on the cluster.
+type FileID uint8
+
+const (
+	// FileRecords is the record-store file (sealed records by RID).
+	FileRecords FileID = 0
+	// FileIndex is the searchable index file (piece streams by composite
+	// key).
+	FileIndex FileID = 1
+	// FileWords is the optional word-index file (per-record token blobs
+	// for exact whole-word search, the [SWP00] adaptation).
+	FileWords FileID = 2
+)
+
+// Op codes of the node protocol.
+const (
+	opPut uint8 = iota + 1
+	opGet
+	opDelete
+	opSearch
+	opBucketCreate
+	opSplitExtract
+	opSplitAbsorb
+	opStats
+	opMergeClose
+	opMergeAbsorb
+	opWordSearch
+)
+
+// ComposeIndexKey builds the §5 composite key: RID shifted left by
+// slotBits with (chunking J, site k) packed into the low bits.
+func ComposeIndexKey(rid uint64, j, k, kSites int, slotBits uint) uint64 {
+	slot := uint64(j*kSites + k)
+	return rid<<slotBits | slot
+}
+
+// DecomposeIndexKey inverts ComposeIndexKey.
+func DecomposeIndexKey(key uint64, kSites int, slotBits uint) (rid uint64, j, k int) {
+	slot := key & (1<<slotBits - 1)
+	rid = key >> slotBits
+	j = int(slot) / kSites
+	k = int(slot) % kSites
+	return rid, j, k
+}
+
+// SlotBits returns the number of low bits needed for M chunkings × K
+// sites (Figure 3 uses 3 bits for 2 chunkings × 4 sites).
+func SlotBits(m, k int) uint {
+	slots := m * k
+	bits := uint(0)
+	for 1<<bits < slots {
+		bits++
+	}
+	return bits
+}
+
+// --- binary buffer helpers ---
+
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *writer) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *writer) pieces(v []disperse.Piece) {
+	w.u32(uint32(len(v)))
+	for _, p := range v {
+		w.u16(uint16(p))
+	}
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+var errShortPayload = errors.New("sdds: short payload")
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = errShortPayload
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if !r.need(n) {
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *reader) pieces() []disperse.Piece {
+	n := int(r.u32())
+	if r.err != nil || !r.need(2*n) {
+		return nil
+	}
+	out := make([]disperse.Piece, n)
+	for i := range out {
+		out[i] = disperse.Piece(binary.BigEndian.Uint16(r.b[r.off:]))
+		r.off += 2
+	}
+	return out
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("sdds: %d trailing payload bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- request/response payloads ---
+
+// putReq: file, bucket addr, hop count, key, value.
+type putReq struct {
+	file  FileID
+	addr  uint64
+	hops  uint8
+	key   uint64
+	value []byte
+}
+
+func (m putReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u64(m.addr)
+	w.u8(m.hops)
+	w.u64(m.key)
+	w.bytes(m.value)
+	return w.b
+}
+
+func decodePutReq(b []byte) (putReq, error) {
+	r := &reader{b: b}
+	m := putReq{
+		file: FileID(r.u8()),
+		addr: r.u64(),
+		hops: r.u8(),
+		key:  r.u64(),
+	}
+	m.value = append([]byte(nil), r.bytes()...)
+	return m, r.done()
+}
+
+// putResp: whether the key was new, the owning bucket's address/level
+// (IAM), and the owning bucket's record count (load signal for the
+// coordinator).
+type putResp struct {
+	isNew     bool
+	iamAddr   uint64
+	iamLevel  uint8
+	bucketLen uint32
+}
+
+func (m putResp) encode() []byte {
+	w := &writer{}
+	if m.isNew {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u64(m.iamAddr)
+	w.u8(m.iamLevel)
+	w.u32(m.bucketLen)
+	return w.b
+}
+
+func decodePutResp(b []byte) (putResp, error) {
+	r := &reader{b: b}
+	m := putResp{
+		isNew:     r.u8() == 1,
+		iamAddr:   r.u64(),
+		iamLevel:  r.u8(),
+		bucketLen: r.u32(),
+	}
+	return m, r.done()
+}
+
+// keyReq serves Get and Delete.
+type keyReq struct {
+	file FileID
+	addr uint64
+	hops uint8
+	key  uint64
+}
+
+func (m keyReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u64(m.addr)
+	w.u8(m.hops)
+	w.u64(m.key)
+	return w.b
+}
+
+func decodeKeyReq(b []byte) (keyReq, error) {
+	r := &reader{b: b}
+	m := keyReq{
+		file: FileID(r.u8()),
+		addr: r.u64(),
+		hops: r.u8(),
+		key:  r.u64(),
+	}
+	return m, r.done()
+}
+
+// valueResp serves Get (found+value) and Delete (found).
+type valueResp struct {
+	found    bool
+	iamAddr  uint64
+	iamLevel uint8
+	value    []byte
+}
+
+func (m valueResp) encode() []byte {
+	w := &writer{}
+	if m.found {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u64(m.iamAddr)
+	w.u8(m.iamLevel)
+	w.bytes(m.value)
+	return w.b
+}
+
+func decodeValueResp(b []byte) (valueResp, error) {
+	r := &reader{b: b}
+	m := valueResp{
+		found:    r.u8() == 1,
+		iamAddr:  r.u64(),
+		iamLevel: r.u8(),
+	}
+	m.value = append([]byte(nil), r.bytes()...)
+	return m, r.done()
+}
+
+// indexValue is the stored value of one index piece: the first chunk
+// index (after DropPartial trimming) and the piece stream.
+type indexValue struct {
+	firstIndex uint32
+	pieces     []disperse.Piece
+}
+
+func (m indexValue) encode() []byte {
+	w := &writer{}
+	w.u32(m.firstIndex)
+	w.pieces(m.pieces)
+	return w.b
+}
+
+func decodeIndexValue(b []byte) (indexValue, error) {
+	r := &reader{b: b}
+	m := indexValue{firstIndex: r.u32(), pieces: r.pieces()}
+	return m, r.done()
+}
+
+// searchReq carries a compiled query to every node: for each series, the
+// alignment and the per-site patterns. slotBits is the composite-key
+// slot width (SlotBits(M, K)), which nodes need to decompose entry keys.
+type searchReq struct {
+	file     FileID
+	kSites   uint8
+	slotBits uint8
+	series   []searchSeries
+}
+
+type searchSeries struct {
+	a        uint16
+	patterns [][]disperse.Piece // indexed by site k
+}
+
+func (m searchReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u8(m.kSites)
+	w.u8(m.slotBits)
+	w.u16(uint16(len(m.series)))
+	for _, s := range m.series {
+		w.u16(s.a)
+		w.u8(uint8(len(s.patterns)))
+		for _, p := range s.patterns {
+			w.pieces(p)
+		}
+	}
+	return w.b
+}
+
+func decodeSearchReq(b []byte) (searchReq, error) {
+	r := &reader{b: b}
+	m := searchReq{file: FileID(r.u8()), kSites: r.u8(), slotBits: r.u8()}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		s := searchSeries{a: r.u16()}
+		np := int(r.u8())
+		for p := 0; p < np && r.err == nil; p++ {
+			s.patterns = append(s.patterns, r.pieces())
+		}
+		m.series = append(m.series, s)
+	}
+	return m, r.done()
+}
+
+// rawHit is one node-side match: entry (rid, j, k) matched series a at
+// pieceOffset within a stream whose stored firstIndex is given. The
+// client converts piece offsets to chunk indexes (it knows the
+// pieces-per-chunk factor; nodes don't need to).
+type rawHit struct {
+	rid         uint64
+	j           uint8
+	k           uint8
+	a           uint16
+	firstIndex  uint32
+	pieceOffset uint32
+}
+
+type searchResp struct {
+	hits []rawHit
+}
+
+func (m searchResp) encode() []byte {
+	w := &writer{}
+	w.u32(uint32(len(m.hits)))
+	for _, h := range m.hits {
+		w.u64(h.rid)
+		w.u8(h.j)
+		w.u8(h.k)
+		w.u16(h.a)
+		w.u32(h.firstIndex)
+		w.u32(h.pieceOffset)
+	}
+	return w.b
+}
+
+func decodeSearchResp(b []byte) (searchResp, error) {
+	r := &reader{b: b}
+	n := int(r.u32())
+	m := searchResp{}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.hits = append(m.hits, rawHit{
+			rid:         r.u64(),
+			j:           r.u8(),
+			k:           r.u8(),
+			a:           r.u16(),
+			firstIndex:  r.u32(),
+			pieceOffset: r.u32(),
+		})
+	}
+	return m, r.done()
+}
+
+// bucketCreateReq tells a node to create an empty bucket.
+type bucketCreateReq struct {
+	file  FileID
+	addr  uint64
+	level uint8
+}
+
+func (m bucketCreateReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u64(m.addr)
+	w.u8(m.level)
+	return w.b
+}
+
+func decodeBucketCreateReq(b []byte) (bucketCreateReq, error) {
+	r := &reader{b: b}
+	m := bucketCreateReq{file: FileID(r.u8()), addr: r.u64(), level: r.u8()}
+	return m, r.done()
+}
+
+// splitExtractReq asks the node owning a bucket to raise its level and
+// hand over the records that no longer belong.
+type splitExtractReq struct {
+	file FileID
+	addr uint64
+}
+
+func (m splitExtractReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u64(m.addr)
+	return w.b
+}
+
+func decodeSplitExtractReq(b []byte) (splitExtractReq, error) {
+	r := &reader{b: b}
+	m := splitExtractReq{file: FileID(r.u8()), addr: r.u64()}
+	return m, r.done()
+}
+
+// recordBatch carries moved records during a split.
+type recordBatch struct {
+	records []kv
+}
+
+type kv struct {
+	key   uint64
+	value []byte
+}
+
+func (m recordBatch) encode() []byte {
+	w := &writer{}
+	w.u32(uint32(len(m.records)))
+	for _, r := range m.records {
+		w.u64(r.key)
+		w.bytes(r.value)
+	}
+	return w.b
+}
+
+func decodeRecordBatch(b []byte) (recordBatch, error) {
+	r := &reader{b: b}
+	n := int(r.u32())
+	m := recordBatch{}
+	for i := 0; i < n && r.err == nil; i++ {
+		key := r.u64()
+		val := append([]byte(nil), r.bytes()...)
+		m.records = append(m.records, kv{key: key, value: val})
+	}
+	return m, r.done()
+}
+
+// splitAbsorbReq delivers moved records to the new bucket.
+type splitAbsorbReq struct {
+	file  FileID
+	addr  uint64
+	batch recordBatch
+}
+
+func (m splitAbsorbReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u64(m.addr)
+	w.b = append(w.b, m.batch.encode()...)
+	return w.b
+}
+
+func decodeSplitAbsorbReq(b []byte) (splitAbsorbReq, error) {
+	r := &reader{b: b}
+	m := splitAbsorbReq{file: FileID(r.u8()), addr: r.u64()}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		key := r.u64()
+		val := append([]byte(nil), r.bytes()...)
+		m.batch.records = append(m.batch.records, kv{key: key, value: val})
+	}
+	return m, r.done()
+}
+
+// mergeCloseReq asks a node to remove a bucket and hand over all its
+// records (the first half of a file shrink).
+type mergeCloseReq struct {
+	file FileID
+	addr uint64
+}
+
+func (m mergeCloseReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u64(m.addr)
+	return w.b
+}
+
+func decodeMergeCloseReq(b []byte) (mergeCloseReq, error) {
+	r := &reader{b: b}
+	m := mergeCloseReq{file: FileID(r.u8()), addr: r.u64()}
+	return m, r.done()
+}
+
+// mergeAbsorbReq delivers the closed bucket's records to its merge
+// partner and lowers the partner's level.
+type mergeAbsorbReq struct {
+	file  FileID
+	addr  uint64
+	batch recordBatch
+}
+
+func (m mergeAbsorbReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.u64(m.addr)
+	w.b = append(w.b, m.batch.encode()...)
+	return w.b
+}
+
+func decodeMergeAbsorbReq(b []byte) (mergeAbsorbReq, error) {
+	r := &reader{b: b}
+	m := mergeAbsorbReq{file: FileID(r.u8()), addr: r.u64()}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		key := r.u64()
+		val := append([]byte(nil), r.bytes()...)
+		m.batch.records = append(m.batch.records, kv{key: key, value: val})
+	}
+	return m, r.done()
+}
+
+// statsResp reports a node's bucket inventory for one file.
+type statsResp struct {
+	buckets []bucketStat
+}
+
+type bucketStat struct {
+	addr  uint64
+	level uint8
+	size  uint32
+}
+
+func (m statsResp) encode() []byte {
+	w := &writer{}
+	w.u32(uint32(len(m.buckets)))
+	for _, b := range m.buckets {
+		w.u64(b.addr)
+		w.u8(b.level)
+		w.u32(b.size)
+	}
+	return w.b
+}
+
+func decodeStatsResp(b []byte) (statsResp, error) {
+	r := &reader{b: b}
+	n := int(r.u32())
+	m := statsResp{}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.buckets = append(m.buckets, bucketStat{
+			addr:  r.u64(),
+			level: r.u8(),
+			size:  r.u32(),
+		})
+	}
+	return m, r.done()
+}
+
+// wordSearchReq broadcasts one word token to every node.
+type wordSearchReq struct {
+	file  FileID
+	token []byte
+}
+
+func (m wordSearchReq) encode() []byte {
+	w := &writer{}
+	w.u8(uint8(m.file))
+	w.bytes(m.token)
+	return w.b
+}
+
+func decodeWordSearchReq(b []byte) (wordSearchReq, error) {
+	r := &reader{b: b}
+	m := wordSearchReq{file: FileID(r.u8())}
+	m.token = append([]byte(nil), r.bytes()...)
+	return m, r.done()
+}
+
+// wordSearchResp lists the RIDs whose blobs contain the token.
+type wordSearchResp struct {
+	rids []uint64
+}
+
+func (m wordSearchResp) encode() []byte {
+	w := &writer{}
+	w.u32(uint32(len(m.rids)))
+	for _, r := range m.rids {
+		w.u64(r)
+	}
+	return w.b
+}
+
+func decodeWordSearchResp(b []byte) (wordSearchResp, error) {
+	r := &reader{b: b}
+	n := int(r.u32())
+	m := wordSearchResp{}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.rids = append(m.rids, r.u64())
+	}
+	return m, r.done()
+}
+
+// queryToSearchReq converts a compiled core.Query to the wire form.
+func queryToSearchReq(file FileID, q *core.Query, m0, kSites int) searchReq {
+	m := searchReq{file: file, kSites: uint8(kSites), slotBits: uint8(SlotBits(m0, kSites))}
+	for _, s := range q.Series {
+		m.series = append(m.series, searchSeries{
+			a:        uint16(s.A),
+			patterns: s.Patterns,
+		})
+	}
+	return m
+}

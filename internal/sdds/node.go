@@ -1,0 +1,423 @@
+package sdds
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lhstar"
+	"repro/internal/transport"
+	"repro/internal/wordindex"
+)
+
+// Node is one storage site: it hosts LH* buckets for any number of
+// logical files and serves the SDDS protocol. Nodes hold no key
+// material — they only ever see sealed records, encrypted index pieces,
+// and opaque query patterns.
+type Node struct {
+	id    transport.NodeID
+	peers transport.Transport // for server-to-server forwarding
+	place *Placement
+
+	mu    sync.RWMutex
+	files map[FileID]*nodeFile
+}
+
+type nodeFile struct {
+	buckets map[uint64]*lhstar.Bucket
+}
+
+// Placement maps LH* bucket addresses onto the fixed node pool. The
+// paper's model gives every bucket its own server; with a finite pool we
+// round-robin buckets across nodes, which preserves all LH* mechanics
+// (forwarding simply becomes a message to the peer owning the target
+// bucket).
+type Placement struct {
+	nodes []transport.NodeID
+}
+
+// NewPlacement builds a placement over the given nodes (at least one).
+func NewPlacement(nodes []transport.NodeID) (*Placement, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("sdds: placement needs at least one node")
+	}
+	return &Placement{nodes: append([]transport.NodeID(nil), nodes...)}, nil
+}
+
+// NodeOf returns the node hosting a bucket address.
+func (p *Placement) NodeOf(addr uint64) transport.NodeID {
+	return p.nodes[addr%uint64(len(p.nodes))]
+}
+
+// Nodes returns the node pool.
+func (p *Placement) Nodes() []transport.NodeID {
+	return append([]transport.NodeID(nil), p.nodes...)
+}
+
+// NewNode creates a node. peers is the transport used for forwarding
+// (it may be nil in single-node tests; forwarding then fails loudly).
+func NewNode(id transport.NodeID, peers transport.Transport, placement *Placement) *Node {
+	n := &Node{
+		id:    id,
+		peers: peers,
+		place: placement,
+		files: make(map[FileID]*nodeFile),
+	}
+	// Node 0 starts with the initial bucket of every file lazily; see
+	// getFile.
+	return n
+}
+
+// Handler returns the transport handler serving this node.
+func (n *Node) Handler() transport.Handler {
+	return func(op uint8, payload []byte) ([]byte, error) {
+		switch op {
+		case opPut:
+			return n.handlePut(payload)
+		case opGet:
+			return n.handleGet(payload)
+		case opDelete:
+			return n.handleDelete(payload)
+		case opSearch:
+			return n.handleSearch(payload)
+		case opBucketCreate:
+			return n.handleBucketCreate(payload)
+		case opSplitExtract:
+			return n.handleSplitExtract(payload)
+		case opSplitAbsorb:
+			return n.handleSplitAbsorb(payload)
+		case opStats:
+			return n.handleStats(payload)
+		case opMergeClose:
+			return n.handleMergeClose(payload)
+		case opMergeAbsorb:
+			return n.handleMergeAbsorb(payload)
+		case opWordSearch:
+			return n.handleWordSearch(payload)
+		default:
+			return nil, fmt.Errorf("sdds: unknown op %d", op)
+		}
+	}
+}
+
+// getFile returns the node's bucket table for a file, creating it (and,
+// on the node owning bucket 0, the initial bucket) on first touch.
+func (n *Node) getFile(id FileID) *nodeFile {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f, ok := n.files[id]
+	if !ok {
+		f = &nodeFile{buckets: make(map[uint64]*lhstar.Bucket)}
+		if n.place.NodeOf(0) == n.id {
+			f.buckets[0] = lhstar.NewBucket(0, 0)
+		}
+		n.files[id] = f
+	}
+	return f
+}
+
+func (n *Node) bucket(id FileID, addr uint64) (*lhstar.Bucket, error) {
+	f := n.getFile(id)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	b, ok := f.buckets[addr]
+	if !ok {
+		return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, addr, id)
+	}
+	return b, nil
+}
+
+const maxHops = 3
+
+// forwardDeadline bounds server-to-server forwards.
+const forwardDeadline = 10 * time.Second
+
+// withOwnedBucket runs the LH* server-side address computation and, if
+// the key belongs to the addressed local bucket, executes fn on it while
+// still holding the node lock — so the ownership check and the operation
+// are atomic with respect to concurrent splits. If the key belongs
+// elsewhere, the (re-encoded) request is forwarded to the owning peer
+// and its response relayed.
+func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64, op uint8, reencode func(nextAddr uint64) []byte, fn func(b *lhstar.Bucket) []byte) ([]byte, error) {
+	f := n.getFile(file)
+	n.mu.Lock()
+	b, ok := f.buckets[addr]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, addr, file)
+	}
+	next, fwd := lhstar.ServerAddress(b.Addr(), b.Level(), key)
+	if !fwd {
+		resp := fn(b)
+		n.mu.Unlock()
+		return resp, nil
+	}
+	n.mu.Unlock()
+	if hops+1 >= maxHops {
+		return nil, fmt.Errorf("sdds: forwarding chain exceeded %d hops for key %d", maxHops, key)
+	}
+	if n.peers == nil {
+		return nil, fmt.Errorf("sdds: forward needed but node %d has no peer transport", n.id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), forwardDeadline)
+	defer cancel()
+	return n.peers.Send(ctx, n.place.NodeOf(next), op, reencode(next))
+}
+
+func (n *Node) handlePut(payload []byte) ([]byte, error) {
+	m, err := decodePutReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	return n.withOwnedBucket(m.file, m.addr, m.hops, m.key, opPut, func(next uint64) []byte {
+		fwd := m
+		fwd.addr = next
+		fwd.hops++
+		return fwd.encode()
+	}, func(b *lhstar.Bucket) []byte {
+		isNew := b.Put(m.key, m.value)
+		return putResp{
+			isNew:     isNew,
+			iamAddr:   b.Addr(),
+			iamLevel:  uint8(b.Level()),
+			bucketLen: uint32(b.Len()),
+		}.encode()
+	})
+}
+
+func (n *Node) handleGet(payload []byte) ([]byte, error) {
+	m, err := decodeKeyReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	return n.withOwnedBucket(m.file, m.addr, m.hops, m.key, opGet, func(next uint64) []byte {
+		fwd := m
+		fwd.addr = next
+		fwd.hops++
+		return fwd.encode()
+	}, func(b *lhstar.Bucket) []byte {
+		v, ok := b.Get(m.key)
+		return valueResp{
+			found:    ok,
+			iamAddr:  b.Addr(),
+			iamLevel: uint8(b.Level()),
+			value:    v,
+		}.encode()
+	})
+}
+
+func (n *Node) handleDelete(payload []byte) ([]byte, error) {
+	m, err := decodeKeyReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	return n.withOwnedBucket(m.file, m.addr, m.hops, m.key, opDelete, func(next uint64) []byte {
+		fwd := m
+		fwd.addr = next
+		fwd.hops++
+		return fwd.encode()
+	}, func(b *lhstar.Bucket) []byte {
+		ok := b.Delete(m.key)
+		return valueResp{
+			found:    ok,
+			iamAddr:  b.Addr(),
+			iamLevel: uint8(b.Level()),
+		}.encode()
+	})
+}
+
+// handleSearch scans every local bucket of the index file: each entry is
+// an index piece keyed (rid, j, k); the node matches the query patterns
+// for site k against the entry's piece stream and reports raw hits. The
+// scan is the site-side half of the paper's parallel search — executed
+// entirely on opaque ciphertext.
+func (n *Node) handleSearch(payload []byte) ([]byte, error) {
+	m, err := decodeSearchReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	f := n.getFile(m.file)
+	var resp searchResp
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, b := range f.buckets {
+		b.Scan(func(key uint64, value []byte) bool {
+			iv, err := decodeIndexValue(value)
+			if err != nil {
+				return true // skip foreign entries
+			}
+			rid, j, k := DecomposeIndexKey(key, int(m.kSites), uint(m.slotBits))
+			for _, s := range m.series {
+				if k >= len(s.patterns) {
+					continue
+				}
+				for _, off := range core.MatchOffsets(iv.pieces, s.patterns[k]) {
+					resp.hits = append(resp.hits, rawHit{
+						rid:         rid,
+						j:           uint8(j),
+						k:           uint8(k),
+						a:           s.a,
+						firstIndex:  iv.firstIndex,
+						pieceOffset: uint32(off),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return resp.encode(), nil
+}
+
+func (n *Node) handleBucketCreate(payload []byte) ([]byte, error) {
+	m, err := decodeBucketCreateReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	f := n.getFile(m.file)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := f.buckets[m.addr]; exists {
+		return nil, fmt.Errorf("sdds: bucket %d already exists on node %d", m.addr, n.id)
+	}
+	f.buckets[m.addr] = lhstar.NewBucket(m.addr, uint(m.level))
+	return nil, nil
+}
+
+func (n *Node) handleSplitExtract(payload []byte) ([]byte, error) {
+	m, err := decodeSplitExtractReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	b, err := n.bucket(m.file, m.addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dst := lhstar.NewBucket(b.Addr()+1<<b.Level(), b.Level()+1)
+	if _, err := b.SplitInto(dst); err != nil {
+		return nil, err
+	}
+	var batch recordBatch
+	dst.Scan(func(key uint64, value []byte) bool {
+		batch.records = append(batch.records, kv{key: key, value: value})
+		return true
+	})
+	return batch.encode(), nil
+}
+
+func (n *Node) handleSplitAbsorb(payload []byte) ([]byte, error) {
+	m, err := decodeSplitAbsorbReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	b, err := n.bucket(m.file, m.addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, r := range m.batch.records {
+		b.Put(r.key, r.value)
+	}
+	return nil, nil
+}
+
+// handleWordSearch scans every local bucket of the word file: each
+// entry is (rid → sorted token blob); the node reports the RIDs whose
+// blob contains the query token. Pure equality on opaque tokens — no
+// key material involved.
+func (n *Node) handleWordSearch(payload []byte) ([]byte, error) {
+	m, err := decodeWordSearchReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.token) != wordindex.TokenSize {
+		return nil, fmt.Errorf("sdds: word token length %d, want %d", len(m.token), wordindex.TokenSize)
+	}
+	var token wordindex.Token
+	copy(token[:], m.token)
+	f := n.getFile(m.file)
+	var resp wordSearchResp
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, b := range f.buckets {
+		b.Scan(func(key uint64, value []byte) bool {
+			ok, err := wordindex.BlobContains(value, token)
+			if err == nil && ok {
+				resp.rids = append(resp.rids, key)
+			}
+			return true
+		})
+	}
+	return resp.encode(), nil
+}
+
+// handleMergeClose removes a bucket and returns all of its records for
+// absorption by its merge partner.
+func (n *Node) handleMergeClose(payload []byte) ([]byte, error) {
+	m, err := decodeMergeCloseReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	f := n.getFile(m.file)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := f.buckets[m.addr]
+	if !ok {
+		return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, m.addr, m.file)
+	}
+	var batch recordBatch
+	b.Scan(func(key uint64, value []byte) bool {
+		batch.records = append(batch.records, kv{key: key, value: value})
+		return true
+	})
+	delete(f.buckets, m.addr)
+	return batch.encode(), nil
+}
+
+// handleMergeAbsorb adds the closed bucket's records to the partner and
+// lowers the partner's level by one (undoing the split).
+func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
+	m, err := decodeMergeAbsorbReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	b, err := n.bucket(m.file, m.addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if b.Level() == 0 {
+		return nil, fmt.Errorf("sdds: cannot lower level of bucket %d below 0", m.addr)
+	}
+	src := lhstar.NewBucket(b.Addr()+1<<(b.Level()-1), b.Level())
+	for _, r := range m.batch.records {
+		src.Put(r.key, r.value)
+	}
+	if err := b.MergeFrom(src); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (n *Node) handleStats(payload []byte) ([]byte, error) {
+	if len(payload) != 1 {
+		return nil, errShortPayload
+	}
+	f := n.getFile(FileID(payload[0]))
+	var resp statsResp
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, b := range f.buckets {
+		resp.buckets = append(resp.buckets, bucketStat{
+			addr:  b.Addr(),
+			level: uint8(b.Level()),
+			size:  uint32(b.Len()),
+		})
+	}
+	return resp.encode(), nil
+}

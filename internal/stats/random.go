@@ -1,0 +1,383 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// This file implements a NIST SP 800-22-style randomness battery — the
+// direction §6 of the paper points to for assessing how close dispersed,
+// chunked, preprocessed index records come to true random bits. Each test
+// returns a p-value: under the null hypothesis "the stream is random",
+// p-values are uniform on (0,1), and a p-value below the significance
+// level (conventionally 0.01) rejects randomness.
+
+// Bits is a bit stream stored most-significant-bit first in bytes.
+type Bits struct {
+	data []byte
+	n    int // number of valid bits
+}
+
+// NewBits wraps a byte slice holding n valid bits.
+func NewBits(data []byte, n int) (*Bits, error) {
+	if n < 0 || n > len(data)*8 {
+		return nil, errors.New("stats: bit count out of range")
+	}
+	return &Bits{data: data, n: n}, nil
+}
+
+// BitsFromBytes treats every bit of data as part of the stream.
+func BitsFromBytes(data []byte) *Bits {
+	return &Bits{data: data, n: len(data) * 8}
+}
+
+// BitsFromSymbols packs the low `width` bits of every symbol into a
+// stream — the natural way to view a sequence of Stage-2 codes or
+// dispersed pieces as bits.
+func BitsFromSymbols(syms []Symbol, width uint) (*Bits, error) {
+	if width < 1 || width > 16 {
+		return nil, errors.New("stats: symbol width out of range 1..16")
+	}
+	n := len(syms) * int(width)
+	data := make([]byte, (n+7)/8)
+	pos := 0
+	for _, s := range syms {
+		for b := int(width) - 1; b >= 0; b-- {
+			if s>>uint(b)&1 == 1 {
+				data[pos/8] |= 1 << uint(7-pos%8)
+			}
+			pos++
+		}
+	}
+	return &Bits{data: data, n: n}, nil
+}
+
+// Len returns the number of bits.
+func (b *Bits) Len() int { return b.n }
+
+// Bit returns bit i (0 or 1).
+func (b *Bits) Bit(i int) int {
+	return int(b.data[i/8] >> uint(7-i%8) & 1)
+}
+
+// Ones returns the number of one bits.
+func (b *Bits) Ones() int {
+	ones := 0
+	for i := 0; i < b.n; i++ {
+		ones += b.Bit(i)
+	}
+	return ones
+}
+
+// ErrShortStream reports a stream too short for a test's requirements.
+var ErrShortStream = errors.New("stats: bit stream too short for test")
+
+// Monobit runs the NIST frequency (monobit) test: the proportion of ones
+// should be close to 1/2. Requires at least 100 bits.
+func Monobit(b *Bits) (pvalue float64, err error) {
+	if b.n < 100 {
+		return 0, ErrShortStream
+	}
+	s := 2*b.Ones() - b.n // sum of ±1
+	sObs := math.Abs(float64(s)) / math.Sqrt(float64(b.n))
+	return math.Erfc(sObs / math.Sqrt2), nil
+}
+
+// BlockFrequency runs the NIST block frequency test with block size m.
+func BlockFrequency(b *Bits, m int) (pvalue float64, err error) {
+	if m < 2 || b.n < 2*m {
+		return 0, ErrShortStream
+	}
+	nBlocks := b.n / m
+	var chi float64
+	for i := 0; i < nBlocks; i++ {
+		ones := 0
+		for j := 0; j < m; j++ {
+			ones += b.Bit(i*m + j)
+		}
+		pi := float64(ones) / float64(m)
+		chi += (pi - 0.5) * (pi - 0.5)
+	}
+	chi *= 4 * float64(m)
+	return igamc(float64(nBlocks)/2, chi/2), nil
+}
+
+// Runs runs the NIST runs test: the number of maximal same-bit runs
+// should match the expectation for a random stream. It presupposes the
+// monobit test roughly passes; when the ones proportion deviates too far
+// the test reports p = 0 as NIST prescribes.
+func Runs(b *Bits) (pvalue float64, err error) {
+	if b.n < 100 {
+		return 0, ErrShortStream
+	}
+	n := float64(b.n)
+	pi := float64(b.Ones()) / n
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(n) {
+		return 0, nil
+	}
+	runs := 1
+	for i := 1; i < b.n; i++ {
+		if b.Bit(i) != b.Bit(i-1) {
+			runs++
+		}
+	}
+	num := math.Abs(float64(runs) - 2*n*pi*(1-pi))
+	den := 2 * math.Sqrt(2*n) * pi * (1 - pi)
+	return math.Erfc(num / den), nil
+}
+
+// Serial runs the NIST serial test with pattern length m, returning the
+// first p-value (∇ψ²). It measures whether every m-bit pattern occurs
+// equally often — the bit-level analogue of the paper's doublet/triplet
+// χ² tables.
+func Serial(b *Bits, m int) (pvalue float64, err error) {
+	if m < 2 || b.n < 1<<uint(m+1) {
+		return 0, ErrShortStream
+	}
+	psi := func(mm int) float64 {
+		if mm == 0 {
+			return 0
+		}
+		counts := make([]uint64, 1<<uint(mm))
+		// Wrap around as NIST does: extend the sequence with its first
+		// mm-1 bits.
+		for i := 0; i < b.n; i++ {
+			v := 0
+			for j := 0; j < mm; j++ {
+				v = v<<1 | b.Bit((i+j)%b.n)
+			}
+			counts[v]++
+		}
+		var sum float64
+		for _, c := range counts {
+			sum += float64(c) * float64(c)
+		}
+		return sum*float64(int(1)<<uint(mm))/float64(b.n) - float64(b.n)
+	}
+	d1 := psi(m) - psi(m-1)
+	return igamc(math.Pow(2, float64(m-2)), d1/2), nil
+}
+
+// ApproximateEntropy runs the NIST approximate entropy test with block
+// length m.
+func ApproximateEntropy(b *Bits, m int) (pvalue float64, err error) {
+	if m < 1 || b.n < 1<<uint(m+2) {
+		return 0, ErrShortStream
+	}
+	phi := func(mm int) float64 {
+		counts := make([]uint64, 1<<uint(mm))
+		for i := 0; i < b.n; i++ {
+			v := 0
+			for j := 0; j < mm; j++ {
+				v = v<<1 | b.Bit((i+j)%b.n)
+			}
+			counts[v]++
+		}
+		var sum float64
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(b.n)
+				sum += p * math.Log(p)
+			}
+		}
+		return sum
+	}
+	apen := phi(m) - phi(m+1)
+	chi := 2 * float64(b.n) * (math.Ln2 - apen)
+	return igamc(math.Pow(2, float64(m-1)), chi/2), nil
+}
+
+// TestResult is one battery entry.
+type TestResult struct {
+	Name   string
+	P      float64
+	Passed bool // P >= 0.01
+	Err    error
+}
+
+// Battery runs the full randomness battery on a stream with conventional
+// parameters and a 0.01 significance level.
+func Battery(b *Bits) []TestResult {
+	type tc struct {
+		name string
+		run  func() (float64, error)
+	}
+	tests := []tc{
+		{"monobit", func() (float64, error) { return Monobit(b) }},
+		{"block-frequency(m=128)", func() (float64, error) { return BlockFrequency(b, 128) }},
+		{"runs", func() (float64, error) { return Runs(b) }},
+		{"longest-run(m=8)", func() (float64, error) { return LongestRunOfOnes(b) }},
+		{"cumulative-sums", func() (float64, error) { return CumulativeSums(b) }},
+		{"serial(m=4)", func() (float64, error) { return Serial(b, 4) }},
+		{"approx-entropy(m=4)", func() (float64, error) { return ApproximateEntropy(b, 4) }},
+	}
+	out := make([]TestResult, 0, len(tests))
+	for _, tt := range tests {
+		p, err := tt.run()
+		out = append(out, TestResult{Name: tt.name, P: p, Passed: err == nil && p >= 0.01, Err: err})
+	}
+	return out
+}
+
+// igamc is the complemented (upper) regularized incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a), the tail probability of a χ² distribution with
+// 2a degrees of freedom at 2x. Implementation follows the classic
+// Cephes/Numerical-Recipes split: series for x < a+1, continued fraction
+// otherwise.
+func igamc(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - igamSeries(a, x)
+	}
+	return igamcCF(a, x)
+}
+
+// igamSeries computes the lower regularized incomplete gamma P(a, x) by
+// series expansion.
+func igamSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// igamcCF computes Q(a, x) by continued fraction (modified Lentz).
+func igamcCF(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareP returns the p-value of a χ² statistic with the given degrees
+// of freedom — the tail probability under the null hypothesis. It lets
+// callers turn the paper's raw χ² numbers into accept/reject decisions.
+func ChiSquareP(chi, dof float64) float64 {
+	if dof <= 0 {
+		return math.NaN()
+	}
+	return igamc(dof/2, chi/2)
+}
+
+// CumulativeSums runs the NIST cumulative-sums (cusum) test, forward
+// mode: the maximum partial sum of ±1 bits should stay near zero for a
+// random stream.
+func CumulativeSums(b *Bits) (pvalue float64, err error) {
+	if b.n < 100 {
+		return 0, ErrShortStream
+	}
+	var s, z int
+	for i := 0; i < b.n; i++ {
+		s += 2*b.Bit(i) - 1
+		if s > z {
+			z = s
+		} else if -s > z {
+			z = -s
+		}
+	}
+	n := float64(b.n)
+	zf := float64(z)
+	sqrtN := math.Sqrt(n)
+	// NIST SP 800-22 §2.13 reference distribution.
+	var sum1, sum2 float64
+	kLo := int(math.Floor((-n/zf + 1) / 4))
+	kHi := int(math.Floor((n/zf - 1) / 4))
+	for k := kLo; k <= kHi; k++ {
+		sum1 += phi(float64(4*k+1)*zf/sqrtN) - phi(float64(4*k-1)*zf/sqrtN)
+	}
+	kLo = int(math.Floor((-n/zf - 3) / 4))
+	for k := kLo; k <= kHi; k++ {
+		sum2 += phi(float64(4*k+3)*zf/sqrtN) - phi(float64(4*k+1)*zf/sqrtN)
+	}
+	p := 1 - sum1 + sum2
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// LongestRunOfOnes runs the NIST longest-run-of-ones test with the
+// 128-bit-block parameterization (M=8 requires >= 128 bits).
+func LongestRunOfOnes(b *Bits) (pvalue float64, err error) {
+	if b.n < 128 {
+		return 0, ErrShortStream
+	}
+	// M=8 parameterization: categories <=1,2,3,>=4 with NIST's pi.
+	const m = 8
+	pi := []float64{0.2148, 0.3672, 0.2305, 0.1875}
+	nBlocks := b.n / m
+	var v [4]uint64
+	for i := 0; i < nBlocks; i++ {
+		longest, run := 0, 0
+		for j := 0; j < m; j++ {
+			if b.Bit(i*m+j) == 1 {
+				run++
+				if run > longest {
+					longest = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		switch {
+		case longest <= 1:
+			v[0]++
+		case longest == 2:
+			v[1]++
+		case longest == 3:
+			v[2]++
+		default:
+			v[3]++
+		}
+	}
+	var chi float64
+	for i := range v {
+		e := float64(nBlocks) * pi[i]
+		d := float64(v[i]) - e
+		chi += d * d / e
+	}
+	return igamc(1.5, chi/2), nil
+}

@@ -1,0 +1,327 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// lcgBytes produces deterministic pseudorandom bytes good enough to pass
+// the battery (a full-period 64-bit LCG with output mixing).
+func lcgBytes(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	s := seed
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		out[i] = byte(s >> 33)
+	}
+	return out
+}
+
+func TestNewBitsValidation(t *testing.T) {
+	if _, err := NewBits([]byte{0xFF}, 9); err == nil {
+		t.Error("bit count beyond data accepted")
+	}
+	if _, err := NewBits([]byte{0xFF}, -1); err == nil {
+		t.Error("negative bit count accepted")
+	}
+	b, err := NewBits([]byte{0b10100000}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 || b.Bit(0) != 1 || b.Bit(1) != 0 || b.Bit(2) != 1 {
+		t.Error("bit accessors wrong")
+	}
+	if b.Ones() != 2 {
+		t.Errorf("Ones = %d, want 2", b.Ones())
+	}
+}
+
+func TestBitsFromSymbols(t *testing.T) {
+	// Symbols 0b10, 0b01, 0b11 at width 2 → bits 100111.
+	b, err := BitsFromSymbols([]Symbol{2, 1, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 0, 1, 1, 1}
+	if b.Len() != 6 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for i, w := range want {
+		if b.Bit(i) != w {
+			t.Errorf("bit %d = %d, want %d", i, b.Bit(i), w)
+		}
+	}
+	if _, err := BitsFromSymbols(nil, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := BitsFromSymbols(nil, 17); err == nil {
+		t.Error("width 17 accepted")
+	}
+}
+
+func TestMonobitPassesOnRandom(t *testing.T) {
+	b := BitsFromBytes(lcgBytes(4096, 1))
+	p, err := Monobit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("random stream rejected: p = %g", p)
+	}
+}
+
+func TestMonobitRejectsBiased(t *testing.T) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	p, err := Monobit(BitsFromBytes(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("all-ones stream accepted: p = %g", p)
+	}
+}
+
+func TestMonobitShortStream(t *testing.T) {
+	if _, err := Monobit(BitsFromBytes(make([]byte, 4))); err != ErrShortStream {
+		t.Errorf("err = %v, want ErrShortStream", err)
+	}
+}
+
+func TestBlockFrequency(t *testing.T) {
+	p, err := BlockFrequency(BitsFromBytes(lcgBytes(4096, 2)), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("random stream rejected: p = %g", p)
+	}
+	// Alternating halves of 0x00 and 0xFF blocks fail badly.
+	data := make([]byte, 1024)
+	for i := 512; i < 1024; i++ {
+		data[i] = 0xFF
+	}
+	p, err = BlockFrequency(BitsFromBytes(data), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("blocky stream accepted: p = %g", p)
+	}
+	if _, err := BlockFrequency(BitsFromBytes(lcgBytes(8, 1)), 128); err != ErrShortStream {
+		t.Error("short stream accepted")
+	}
+}
+
+func TestRuns(t *testing.T) {
+	p, err := Runs(BitsFromBytes(lcgBytes(4096, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("random stream rejected: p = %g", p)
+	}
+	// Alternating 0101… has far too many runs.
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = 0x55
+	}
+	p, err = Runs(BitsFromBytes(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("alternating stream accepted: p = %g", p)
+	}
+}
+
+func TestRunsPrerequisiteFailure(t *testing.T) {
+	// Heavily biased stream: Runs reports p = 0 without running.
+	data := make([]byte, 256)
+	p, err := Runs(BitsFromBytes(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("biased stream p = %g, want 0", p)
+	}
+}
+
+func TestSerial(t *testing.T) {
+	p, err := Serial(BitsFromBytes(lcgBytes(4096, 4)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("random stream rejected: p = %g", p)
+	}
+	// A repeating 0xF0 pattern concentrates 4-bit patterns.
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = 0xF0
+	}
+	p, err = Serial(BitsFromBytes(data), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("patterned stream accepted: p = %g", p)
+	}
+	if _, err := Serial(BitsFromBytes(lcgBytes(2, 1)), 4); err != ErrShortStream {
+		t.Error("short stream accepted")
+	}
+}
+
+func TestApproximateEntropy(t *testing.T) {
+	p, err := ApproximateEntropy(BitsFromBytes(lcgBytes(4096, 5)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("random stream rejected: p = %g", p)
+	}
+	data := make([]byte, 1024) // constant zeros: minimal entropy
+	p, err = ApproximateEntropy(BitsFromBytes(data), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("constant stream accepted: p = %g", p)
+	}
+}
+
+func TestBattery(t *testing.T) {
+	results := Battery(BitsFromBytes(lcgBytes(8192, 6)))
+	if len(results) != 7 {
+		t.Fatalf("battery ran %d tests", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+		}
+		if !r.Passed {
+			t.Errorf("%s failed on random input: p = %g", r.Name, r.P)
+		}
+	}
+	// The battery must flag constant data.
+	flagged := 0
+	for _, r := range Battery(BitsFromBytes(make([]byte, 8192))) {
+		if !r.Passed {
+			flagged++
+		}
+	}
+	if flagged < 4 {
+		t.Errorf("only %d tests flagged constant data", flagged)
+	}
+}
+
+func TestIgamcKnownValues(t *testing.T) {
+	// Q(a, x) for a=0.5 equals erfc(sqrt(x)).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := math.Erfc(math.Sqrt(x))
+		got := igamc(0.5, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("igamc(0.5, %g) = %g, want %g", x, got, want)
+		}
+	}
+	// Q(1, x) = exp(-x).
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		want := math.Exp(-x)
+		got := igamc(1, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("igamc(1, %g) = %g, want %g", x, got, want)
+		}
+	}
+	if igamc(1, 0) != 1 {
+		t.Error("igamc(a, 0) != 1")
+	}
+	if !math.IsNaN(igamc(-1, 1)) || !math.IsNaN(igamc(1, -1)) {
+		t.Error("invalid arguments should give NaN")
+	}
+}
+
+func TestChiSquareP(t *testing.T) {
+	// χ² with 1 dof at 3.841 → p ≈ 0.05.
+	p := ChiSquareP(3.841, 1)
+	if math.Abs(p-0.05) > 0.001 {
+		t.Errorf("p(3.841, 1) = %g, want ≈0.05", p)
+	}
+	// χ² with 3 dof at 7.815 → p ≈ 0.05.
+	p = ChiSquareP(7.815, 3)
+	if math.Abs(p-0.05) > 0.001 {
+		t.Errorf("p(7.815, 3) = %g, want ≈0.05", p)
+	}
+	// Huge statistic → essentially zero.
+	if p := ChiSquareP(1e6, 255); p > 1e-100 {
+		t.Errorf("huge χ² p = %g", p)
+	}
+	if !math.IsNaN(ChiSquareP(1, 0)) {
+		t.Error("dof=0 should give NaN")
+	}
+}
+
+func TestCumulativeSums(t *testing.T) {
+	p, err := CumulativeSums(BitsFromBytes(lcgBytes(4096, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("random stream rejected: p = %g", p)
+	}
+	// Strong drift: many more ones than zeros.
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = 0xFE
+	}
+	p, err = CumulativeSums(BitsFromBytes(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("drifting stream accepted: p = %g", p)
+	}
+	if _, err := CumulativeSums(BitsFromBytes(make([]byte, 4))); err != ErrShortStream {
+		t.Error("short stream accepted")
+	}
+}
+
+func TestLongestRunOfOnes(t *testing.T) {
+	p, err := LongestRunOfOnes(BitsFromBytes(lcgBytes(4096, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("random stream rejected: p = %g", p)
+	}
+	// All ones: every block's longest run is 8.
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	p, err = LongestRunOfOnes(BitsFromBytes(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("all-ones stream accepted: p = %g", p)
+	}
+	if _, err := LongestRunOfOnes(BitsFromBytes(make([]byte, 4))); err != ErrShortStream {
+		t.Error("short stream accepted")
+	}
+}
+
+func TestBatteryIncludesNewTests(t *testing.T) {
+	results := Battery(BitsFromBytes(lcgBytes(8192, 9)))
+	if len(results) != 7 {
+		t.Fatalf("battery ran %d tests, want 7", len(results))
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Name] = true
+	}
+	if !names["longest-run(m=8)"] || !names["cumulative-sums"] {
+		t.Error("new tests missing from battery")
+	}
+}

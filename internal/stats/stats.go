@@ -1,0 +1,277 @@
+// Package stats provides the statistical machinery the paper uses to
+// evaluate the encrypted searchable SDDS: n-gram frequency analysis with
+// χ²-against-uniform scores (Tables 1–5), top-k frequency tables, Shannon
+// entropy, and a NIST-style randomness battery (the [S99]/[R&al01] tests
+// §6 points to) for judging how close index records come to random bits.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Symbol is one element of an analyzed sequence: a raw byte, a Stage-2
+// code value, or a dispersed piece. Values must be below 2^16.
+type Symbol uint32
+
+// maxSymbol bounds symbol values so that up to 4 of them pack into a
+// uint64 map key.
+const maxSymbol = 1 << 16
+
+// NGramCounter counts sliding-window n-grams over symbol sequences.
+type NGramCounter struct {
+	n      int
+	counts map[uint64]uint64
+	total  uint64
+}
+
+// NewNGramCounter returns a counter for n-grams, 1 <= n <= 4.
+func NewNGramCounter(n int) *NGramCounter {
+	if n < 1 || n > 4 {
+		panic(fmt.Sprintf("stats: n-gram size %d, want 1..4", n))
+	}
+	return &NGramCounter{n: n, counts: make(map[uint64]uint64)}
+}
+
+// N returns the gram size.
+func (c *NGramCounter) N() int { return c.n }
+
+func (c *NGramCounter) key(gram []Symbol) uint64 {
+	var k uint64
+	for _, s := range gram {
+		if uint32(s) >= maxSymbol {
+			panic(fmt.Sprintf("stats: symbol %d exceeds %d", s, maxSymbol-1))
+		}
+		k = k<<16 | uint64(s)
+	}
+	return k
+}
+
+func (c *NGramCounter) unkey(k uint64) []Symbol {
+	gram := make([]Symbol, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		gram[i] = Symbol(k & (maxSymbol - 1))
+		k >>= 16
+	}
+	return gram
+}
+
+// Add counts every n-gram of seq with a sliding window of stride 1.
+// Sequences shorter than n contribute nothing. n-grams never span
+// sequence boundaries — each record is counted separately, as in the
+// paper's per-record database scans.
+func (c *NGramCounter) Add(seq []Symbol) {
+	if len(seq) < c.n {
+		return
+	}
+	gram := make([]Symbol, c.n)
+	for i := 0; i+c.n <= len(seq); i++ {
+		copy(gram, seq[i:i+c.n])
+		c.counts[c.key(gram)]++
+		c.total++
+	}
+}
+
+// AddBytes counts the n-grams of a byte sequence.
+func (c *NGramCounter) AddBytes(b []byte) {
+	seq := make([]Symbol, len(b))
+	for i, x := range b {
+		seq[i] = Symbol(x)
+	}
+	c.Add(seq)
+}
+
+// Total returns the number of counted n-grams.
+func (c *NGramCounter) Total() uint64 { return c.total }
+
+// Distinct returns the number of distinct n-grams observed.
+func (c *NGramCounter) Distinct() int { return len(c.counts) }
+
+// Count returns the count of one particular gram.
+func (c *NGramCounter) Count(gram []Symbol) uint64 {
+	if len(gram) != c.n {
+		panic(fmt.Sprintf("stats: gram length %d, want %d", len(gram), c.n))
+	}
+	return c.counts[c.key(gram)]
+}
+
+// ChiSquare returns the χ² statistic of the observed n-gram distribution
+// against the uniform distribution over alphabetSize^n cells, including
+// the never-observed cells (each contributes E). This is the statistic
+// of the paper's Tables 1–5: large values mean a spiky, attackable
+// distribution; values near the degrees of freedom (cells−1) mean the
+// sequence is statistically close to uniform.
+func (c *NGramCounter) ChiSquare(alphabetSize int) float64 {
+	if alphabetSize < 1 {
+		panic("stats: alphabet size must be positive")
+	}
+	if c.total == 0 {
+		return 0
+	}
+	cells := math.Pow(float64(alphabetSize), float64(c.n))
+	e := float64(c.total) / cells
+	var chi float64
+	for _, o := range c.counts {
+		d := float64(o) - e
+		chi += d * d / e
+	}
+	// Unobserved cells each contribute (0-E)^2/E = E.
+	chi += (cells - float64(len(c.counts))) * e
+	return chi
+}
+
+// DegreesOfFreedom returns alphabetSize^n − 1.
+func (c *NGramCounter) DegreesOfFreedom(alphabetSize int) float64 {
+	return math.Pow(float64(alphabetSize), float64(c.n)) - 1
+}
+
+// Entropy returns the empirical Shannon entropy of the n-gram
+// distribution in bits per n-gram.
+func (c *NGramCounter) Entropy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var h float64
+	t := float64(c.total)
+	for _, o := range c.counts {
+		p := float64(o) / t
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// GramCount is one row of a frequency table.
+type GramCount struct {
+	Gram  []Symbol
+	Count uint64
+	// Frac is Count/Total.
+	Frac float64
+}
+
+// Top returns the k most frequent n-grams in decreasing order (ties
+// broken by gram value for determinism).
+func (c *NGramCounter) Top(k int) []GramCount {
+	type kv struct {
+		key   uint64
+		count uint64
+	}
+	all := make([]kv, 0, len(c.counts))
+	for key, count := range c.counts {
+		all = append(all, kv{key, count})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].key < all[j].key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]GramCount, k)
+	for i := 0; i < k; i++ {
+		out[i] = GramCount{
+			Gram:  c.unkey(all[i].key),
+			Count: all[i].count,
+			Frac:  float64(all[i].count) / float64(c.total),
+		}
+	}
+	return out
+}
+
+// GramString renders a gram of byte-range symbols as a string, using
+// digits for small code values and characters for printable bytes.
+func GramString(gram []Symbol) string {
+	printable := true
+	for _, s := range gram {
+		if s < 32 || s > 126 {
+			printable = false
+			break
+		}
+	}
+	if printable {
+		b := make([]byte, len(gram))
+		for i, s := range gram {
+			b[i] = byte(s)
+		}
+		return string(b)
+	}
+	out := ""
+	for i, s := range gram {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", s)
+	}
+	return out
+}
+
+// ChiSquareTable computes the single/doublet/triplet χ² triple the paper
+// reports for every experiment, over one pass of the given sequences.
+type ChiSquareTable struct {
+	Single, Double, Triple float64
+	Singles                *NGramCounter
+	Doubles                *NGramCounter
+	Triples                *NGramCounter
+}
+
+// AnalyzeSequences builds the χ² table for symbol sequences drawn from an
+// alphabet of the given size.
+func AnalyzeSequences(seqs [][]Symbol, alphabetSize int) *ChiSquareTable {
+	t := &ChiSquareTable{
+		Singles: NewNGramCounter(1),
+		Doubles: NewNGramCounter(2),
+		Triples: NewNGramCounter(3),
+	}
+	for _, s := range seqs {
+		t.Singles.Add(s)
+		t.Doubles.Add(s)
+		t.Triples.Add(s)
+	}
+	t.Single = t.Singles.ChiSquare(alphabetSize)
+	t.Double = t.Doubles.ChiSquare(alphabetSize)
+	t.Triple = t.Triples.ChiSquare(alphabetSize)
+	return t
+}
+
+// AnalyzeBytes is AnalyzeSequences for raw byte records over a restricted
+// alphabet: alphabet lists the symbols that occur (others panic), and the
+// χ² space is |alphabet|^n. The paper's Table 1 uses the directory's own
+// symbol set as the alphabet.
+func AnalyzeBytes(records [][]byte, alphabet []byte) *ChiSquareTable {
+	index := make(map[byte]Symbol, len(alphabet))
+	for i, b := range alphabet {
+		index[b] = Symbol(i)
+	}
+	seqs := make([][]Symbol, len(records))
+	for i, r := range records {
+		seq := make([]Symbol, len(r))
+		for j, b := range r {
+			s, ok := index[b]
+			if !ok {
+				panic(fmt.Sprintf("stats: symbol %q not in alphabet", b))
+			}
+			seq[j] = s
+		}
+		seqs[i] = seq
+	}
+	return AnalyzeSequences(seqs, len(alphabet))
+}
+
+// Alphabet returns the sorted set of distinct bytes in the records.
+func Alphabet(records [][]byte) []byte {
+	var present [256]bool
+	for _, r := range records {
+		for _, b := range r {
+			present[b] = true
+		}
+	}
+	out := make([]byte, 0, 64)
+	for b := 0; b < 256; b++ {
+		if present[b] {
+			out = append(out, byte(b))
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewNGramCounterValidation(t *testing.T) {
+	for _, n := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d: expected panic", n)
+				}
+			}()
+			NewNGramCounter(n)
+		}()
+	}
+}
+
+func TestSingleCounts(t *testing.T) {
+	c := NewNGramCounter(1)
+	c.AddBytes([]byte("AABAC"))
+	if c.Total() != 5 {
+		t.Errorf("Total = %d, want 5", c.Total())
+	}
+	if c.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", c.Distinct())
+	}
+	if got := c.Count([]Symbol{'A'}); got != 3 {
+		t.Errorf("Count(A) = %d, want 3", got)
+	}
+	if got := c.Count([]Symbol{'B'}); got != 1 {
+		t.Errorf("Count(B) = %d, want 1", got)
+	}
+}
+
+func TestDoubletSlidingWindow(t *testing.T) {
+	c := NewNGramCounter(2)
+	c.AddBytes([]byte("ABAB"))
+	// Sliding doublets: AB, BA, AB.
+	if c.Total() != 3 {
+		t.Errorf("Total = %d, want 3", c.Total())
+	}
+	if got := c.Count([]Symbol{'A', 'B'}); got != 2 {
+		t.Errorf("Count(AB) = %d, want 2", got)
+	}
+	if got := c.Count([]Symbol{'B', 'A'}); got != 1 {
+		t.Errorf("Count(BA) = %d, want 1", got)
+	}
+}
+
+func TestNoCrossBoundaryGrams(t *testing.T) {
+	c := NewNGramCounter(2)
+	c.AddBytes([]byte("AB"))
+	c.AddBytes([]byte("CD"))
+	if got := c.Count([]Symbol{'B', 'C'}); got != 0 {
+		t.Errorf("BC counted across records: %d", got)
+	}
+	if c.Total() != 2 {
+		t.Errorf("Total = %d, want 2", c.Total())
+	}
+}
+
+func TestShortSequenceIgnored(t *testing.T) {
+	c := NewNGramCounter(3)
+	c.AddBytes([]byte("AB"))
+	if c.Total() != 0 {
+		t.Error("3-grams counted in a 2-symbol record")
+	}
+}
+
+func TestChiSquareUniformIsZero(t *testing.T) {
+	// A perfectly uniform distribution over the full alphabet gives
+	// χ² = 0.
+	c := NewNGramCounter(1)
+	seq := make([]Symbol, 400)
+	for i := range seq {
+		seq[i] = Symbol(i % 4)
+	}
+	c.Add(seq)
+	if chi := c.ChiSquare(4); chi != 0 {
+		t.Errorf("uniform χ² = %g, want 0", chi)
+	}
+}
+
+func TestChiSquareSpikeIsLarge(t *testing.T) {
+	// All mass on one symbol of a 4-letter alphabet: χ² = 3N.
+	c := NewNGramCounter(1)
+	seq := make([]Symbol, 1000)
+	c.Add(seq) // all zeros
+	want := 3.0 * 1000
+	if chi := c.ChiSquare(4); math.Abs(chi-want) > 1e-9 {
+		t.Errorf("spike χ² = %g, want %g", chi, want)
+	}
+}
+
+func TestChiSquareCountsUnobservedCells(t *testing.T) {
+	// Two symbols uniform over an alphabet of 4: observed cells give
+	// (N/2 - N/4)²/(N/4) each = N/8·2 = N/4... plus two empty cells at
+	// E = N/4 each. For N=100: 2*(50-25)²/25 + 2*25 = 50 + 50 = 100.
+	c := NewNGramCounter(1)
+	seq := make([]Symbol, 100)
+	for i := range seq {
+		seq[i] = Symbol(i % 2)
+	}
+	c.Add(seq)
+	if chi := c.ChiSquare(4); math.Abs(chi-100) > 1e-9 {
+		t.Errorf("χ² = %g, want 100", chi)
+	}
+}
+
+func TestChiSquareEmptyCounter(t *testing.T) {
+	c := NewNGramCounter(1)
+	if chi := c.ChiSquare(4); chi != 0 {
+		t.Errorf("empty χ² = %g", chi)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	c := NewNGramCounter(1)
+	seq := make([]Symbol, 256)
+	for i := range seq {
+		seq[i] = Symbol(i % 4)
+	}
+	c.Add(seq)
+	if h := c.Entropy(); math.Abs(h-2) > 1e-9 {
+		t.Errorf("uniform-4 entropy = %g, want 2", h)
+	}
+	c2 := NewNGramCounter(1)
+	c2.Add(make([]Symbol, 100))
+	if h := c2.Entropy(); h != 0 {
+		t.Errorf("constant entropy = %g, want 0", h)
+	}
+}
+
+func TestTop(t *testing.T) {
+	c := NewNGramCounter(1)
+	c.AddBytes([]byte("AAABBC"))
+	top := c.Top(2)
+	if len(top) != 2 {
+		t.Fatalf("Top(2) returned %d", len(top))
+	}
+	if top[0].Gram[0] != 'A' || top[0].Count != 3 {
+		t.Errorf("top[0] = %v", top[0])
+	}
+	if top[1].Gram[0] != 'B' || top[1].Count != 2 {
+		t.Errorf("top[1] = %v", top[1])
+	}
+	if math.Abs(top[0].Frac-0.5) > 1e-9 {
+		t.Errorf("top[0].Frac = %g", top[0].Frac)
+	}
+	// k beyond distinct count clips.
+	if got := c.Top(10); len(got) != 3 {
+		t.Errorf("Top(10) returned %d, want 3", len(got))
+	}
+}
+
+func TestGramString(t *testing.T) {
+	if s := GramString([]Symbol{'A', 'N'}); s != "AN" {
+		t.Errorf("GramString = %q", s)
+	}
+	if s := GramString([]Symbol{0, 3}); s != "0,3" {
+		t.Errorf("GramString = %q", s)
+	}
+}
+
+func TestAnalyzeSequences(t *testing.T) {
+	seqs := [][]Symbol{{0, 1, 2, 3}, {0, 1, 2, 3}}
+	tab := AnalyzeSequences(seqs, 4)
+	if tab.Singles.Total() != 8 || tab.Doubles.Total() != 6 || tab.Triples.Total() != 4 {
+		t.Errorf("totals: %d %d %d", tab.Singles.Total(), tab.Doubles.Total(), tab.Triples.Total())
+	}
+	if tab.Single != 0 {
+		t.Errorf("uniform singles χ² = %g", tab.Single)
+	}
+	// Doublets are concentrated on 3 of 16 cells — χ² must be large.
+	if tab.Double < 10 {
+		t.Errorf("doublet χ² = %g, want large", tab.Double)
+	}
+	if tab.Triple < tab.Double {
+		t.Errorf("triple χ² %g < double %g for structured data", tab.Triple, tab.Double)
+	}
+}
+
+func TestAnalyzeBytesAndAlphabet(t *testing.T) {
+	recs := [][]byte{[]byte("ANNA"), []byte("AANA")}
+	alpha := Alphabet(recs)
+	if string(alpha) != "AN" {
+		t.Fatalf("Alphabet = %q", alpha)
+	}
+	tab := AnalyzeBytes(recs, alpha)
+	// 5 As and 3 Ns in 8 symbols over a 2-letter alphabet:
+	// χ² = (5-4)²/4 + (3-4)²/4 = 0.5.
+	if math.Abs(tab.Single-0.5) > 1e-9 {
+		t.Errorf("single χ² = %g, want 0.5", tab.Single)
+	}
+}
+
+func TestAnalyzeBytesRejectsForeignSymbol(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for symbol outside alphabet")
+		}
+	}()
+	AnalyzeBytes([][]byte{[]byte("AB")}, []byte("A"))
+}
+
+func TestCountValidation(t *testing.T) {
+	c := NewNGramCounter(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong gram length")
+		}
+	}()
+	c.Count([]Symbol{1})
+}

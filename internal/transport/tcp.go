@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Frame format, both directions:
+//
+//	uint32 length (of everything after this field, big-endian)
+//	uint8  op     (request) / status (response: 0 ok, 1 error)
+//	bytes  payload
+//
+// maxFrame bounds a frame to keep a malformed peer from exhausting
+// memory.
+const maxFrame = 64 << 20
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+func writeFrame(w *bufio.Writer, tag uint8, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = tag
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (tag uint8, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Server serves the SDDS protocol for one node over TCP.
+type Server struct {
+	handler Handler
+	lis     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a handler; call Serve with a listener to start.
+func NewServer(h Handler) *Server {
+	return &Server{handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener is closed. Each
+// connection carries a sequential request/response stream; concurrency
+// comes from multiple connections.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			return // connection closed or corrupt; drop it
+		}
+		resp, herr := s.handler(op, payload)
+		if herr != nil {
+			if err := writeFrame(w, statusErr, []byte(herr.Error())); err != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(w, statusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes all live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// TCP is the client-side TCP transport: a node-address directory with a
+// small per-node connection pool.
+type TCP struct {
+	mu     sync.Mutex
+	addrs  map[NodeID]string
+	idle   map[NodeID][]*tcpConn
+	closed bool
+
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// PoolSize caps idle connections kept per node.
+	PoolSize int
+}
+
+type tcpConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewTCP creates a transport over the given node address directory.
+func NewTCP(addrs map[NodeID]string) *TCP {
+	cp := make(map[NodeID]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &TCP{
+		addrs:       cp,
+		idle:        make(map[NodeID][]*tcpConn),
+		DialTimeout: 5 * time.Second,
+		PoolSize:    4,
+	}
+}
+
+// AddNode registers (or updates) a node address.
+func (t *TCP) AddNode(node NodeID, addr string) {
+	t.mu.Lock()
+	t.addrs[node] = addr
+	t.mu.Unlock()
+}
+
+// Nodes implements Transport.
+func (t *TCP) Nodes() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NodeID, 0, len(t.addrs))
+	for id := range t.addrs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (t *TCP) getConn(node NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("transport: closed")
+	}
+	addr, ok := t.addrs[node]
+	if !ok {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+	}
+	if pool := t.idle[node]; len(pool) > 0 {
+		c := pool[len(pool)-1]
+		t.idle[node] = pool[:len(pool)-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing node %d: %w", node, err)
+	}
+	return &tcpConn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}, nil
+}
+
+func (t *TCP) putConn(node NodeID, c *tcpConn) {
+	t.mu.Lock()
+	if !t.closed && len(t.idle[node]) < t.PoolSize {
+		t.idle[node] = append(t.idle[node], c)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	c.c.Close()
+}
+
+// Send implements Transport. A request uses one pooled connection for
+// its full round trip; the context deadline maps onto socket deadlines.
+func (t *TCP) Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, err := t.getConn(node)
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.c.SetDeadline(dl)
+	} else {
+		c.c.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(c.w, op, payload); err != nil {
+		c.c.Close()
+		return nil, fmt.Errorf("transport: sending to node %d: %w", node, err)
+	}
+	status, resp, err := readFrame(c.r)
+	if err != nil {
+		c.c.Close()
+		return nil, fmt.Errorf("transport: reading from node %d: %w", node, err)
+	}
+	t.putConn(node, c)
+	if status == statusErr {
+		return nil, &RemoteError{Node: node, Msg: string(resp)}
+	}
+	return resp, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for _, pool := range t.idle {
+		for _, c := range pool {
+			c.c.Close()
+		}
+	}
+	t.idle = make(map[NodeID][]*tcpConn)
+	return nil
+}

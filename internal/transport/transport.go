@@ -1,0 +1,169 @@
+// Package transport carries the SDDS protocol between clients,
+// coordinator, and storage nodes. It deliberately separates transport
+// from protocol: messages are (op, payload) byte frames; the sdds layer
+// defines op codes and payload encodings.
+//
+// Two implementations are provided: an in-memory transport that wires
+// nodes as goroutine handlers (used by tests and examples that simulate
+// a multicomputer in one process) and a TCP transport over real sockets
+// (used by the cmd/esdds-node daemon). Both expose the same interface,
+// so every distributed code path in the repository runs identically over
+// loopback TCP and in memory.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies one storage node.
+type NodeID int
+
+// Handler processes one request on a node and returns the response
+// payload. Handlers must be safe for concurrent use.
+type Handler func(op uint8, payload []byte) ([]byte, error)
+
+// Transport sends requests to nodes and awaits their responses.
+type Transport interface {
+	// Send delivers (op, payload) to the node and returns its response.
+	// Remote handler errors come back as *RemoteError.
+	Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error)
+	// Nodes lists the reachable node IDs in ascending order.
+	Nodes() []NodeID
+	// Close releases connections.
+	Close() error
+}
+
+// RemoteError is an error returned by a node's handler, carried across
+// the transport.
+type RemoteError struct {
+	Node NodeID
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("node %d: %s", e.Node, e.Msg)
+}
+
+// ErrUnknownNode reports a send to an unregistered node.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+// Memory is the in-process transport: a registry of handlers.
+type Memory struct {
+	mu       sync.RWMutex
+	handlers map[NodeID]Handler
+	closed   bool
+}
+
+// NewMemory creates an empty in-memory transport.
+func NewMemory() *Memory {
+	return &Memory{handlers: make(map[NodeID]Handler)}
+}
+
+// Register wires a node's handler. Re-registering replaces the handler.
+func (m *Memory) Register(node NodeID, h Handler) {
+	m.mu.Lock()
+	m.handlers[node] = h
+	m.mu.Unlock()
+}
+
+// Unregister removes a node — simulating a site failure. Subsequent
+// sends to it fail with ErrUnknownNode.
+func (m *Memory) Unregister(node NodeID) {
+	m.mu.Lock()
+	delete(m.handlers, node)
+	m.mu.Unlock()
+}
+
+// Send implements Transport.
+func (m *Memory) Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	h, ok := m.handlers[node]
+	closed := m.closed
+	m.mu.RUnlock()
+	if closed {
+		return nil, errors.New("transport: closed")
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+	}
+	resp, err := h(op, payload)
+	if err != nil {
+		return nil, &RemoteError{Node: node, Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// Nodes implements Transport.
+func (m *Memory) Nodes() []NodeID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]NodeID, 0, len(m.handlers))
+	for id := range m.handlers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Close implements Transport.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	return nil
+}
+
+// Result is one node's reply in a scatter-gather exchange.
+type Result struct {
+	Node    NodeID
+	Payload []byte
+	Err     error
+}
+
+// Broadcast sends the same request to every listed node in parallel and
+// collects all results, ordered by node ID. This is the primitive behind
+// the paper's parallel searches: the query series go to all index sites
+// at once and the coordinator gathers their hits.
+func Broadcast(ctx context.Context, tr Transport, nodes []NodeID, op uint8, payload []byte) []Result {
+	out := make([]Result, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node NodeID) {
+			defer wg.Done()
+			resp, err := tr.Send(ctx, node, op, payload)
+			out[i] = Result{Node: node, Payload: resp, Err: err}
+		}(i, node)
+	}
+	wg.Wait()
+	return out
+}
+
+// Scatter sends a distinct request to each node in parallel; requests
+// maps node → payload. Results are ordered by ascending node ID.
+func Scatter(ctx context.Context, tr Transport, op uint8, requests map[NodeID][]byte) []Result {
+	nodes := make([]NodeID, 0, len(requests))
+	for n := range requests {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	out := make([]Result, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node NodeID) {
+			defer wg.Done()
+			resp, err := tr.Send(ctx, node, op, requests[node])
+			out[i] = Result{Node: node, Payload: resp, Err: err}
+		}(i, node)
+	}
+	wg.Wait()
+	return out
+}

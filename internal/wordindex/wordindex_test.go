@@ -1,0 +1,146 @@
+package wordindex
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cipherx"
+)
+
+func testIndex() *Index {
+	return New(cipherx.KeyFromPassphrase("words"), nil)
+}
+
+func TestLetterTokenizer(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SCHWARZ THOMAS", []string{"SCHWARZ", "THOMAS"}},
+		{"ABOGADO ALEJANDRO & CATHERINE", []string{"ABOGADO", "ALEJANDRO", "CATHERINE"}},
+		{"O'BRIEN SEAN", []string{"O", "BRIEN", "SEAN"}},
+		{"lower case", []string{"LOWER", "CASE"}},
+		{"415-409-0007", nil},
+		{"", nil},
+		{"X", []string{"X"}},
+	}
+	for _, c := range cases {
+		got := LetterTokenizer([]byte(c.in))
+		if len(got) != len(c.want) {
+			t.Errorf("%q: got %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if string(got[i]) != c.want[i] {
+				t.Errorf("%q: got %q, want %q", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestTokensDeterministicKeyedDeduped(t *testing.T) {
+	ix := testIndex()
+	a := ix.Tokens([]byte("ANNA ANNA SMITH"))
+	b := ix.Tokens([]byte("SMITH ANNA"))
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("token counts: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("same word set should give identical sorted tokens")
+		}
+	}
+	other := New(cipherx.KeyFromPassphrase("different"), nil)
+	if other.TokenOf([]byte("ANNA")) == ix.TokenOf([]byte("ANNA")) {
+		t.Error("different keys gave equal tokens")
+	}
+}
+
+func TestBlobContains(t *testing.T) {
+	ix := testIndex()
+	tokens := ix.Tokens([]byte("SCHWARZ THOMAS JUNIOR"))
+	blob := Blob(tokens)
+	for _, w := range []string{"SCHWARZ", "THOMAS", "JUNIOR"} {
+		ok, err := BlobContains(blob, ix.TokenOf([]byte(w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("word %q not found in blob", w)
+		}
+	}
+	ok, err := BlobContains(blob, ix.TokenOf([]byte("SCHWAR"))) // prefix is NOT a word
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("prefix matched as word")
+	}
+	if _, err := BlobContains([]byte{1, 2, 3}, Token{}); err == nil {
+		t.Error("ragged blob accepted")
+	}
+}
+
+func TestBlobTokensRoundTrip(t *testing.T) {
+	ix := testIndex()
+	tokens := ix.Tokens([]byte("ONE TWO THREE FOUR"))
+	got, err := BlobTokens(Blob(tokens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tokens) {
+		t.Fatalf("%d tokens, want %d", len(got), len(tokens))
+	}
+	for i := range got {
+		if got[i] != tokens[i] {
+			t.Error("round trip mismatch")
+		}
+	}
+	if _, err := BlobTokens(make([]byte, 17)); err == nil {
+		t.Error("ragged blob accepted")
+	}
+}
+
+// Property: every tokenized word of any content is found in the
+// content's own blob, and random other words almost never are.
+func TestBlobCompletenessQuick(t *testing.T) {
+	ix := testIndex()
+	prop := func(content []byte) bool {
+		blob := Blob(ix.Tokens(content))
+		for _, w := range LetterTokenizer(content) {
+			ok, err := BlobContains(blob, ix.TokenOf(w))
+			if err != nil || !ok {
+				return false
+			}
+		}
+		ok, err := BlobContains(blob, ix.TokenOf([]byte("QQXXYYZZWORDNOTTHERE")))
+		return err == nil && !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyContent(t *testing.T) {
+	ix := testIndex()
+	blob := Blob(ix.Tokens(nil))
+	if len(blob) != 0 {
+		t.Error("empty content should give empty blob")
+	}
+	ok, err := BlobContains(blob, ix.TokenOf([]byte("X")))
+	if err != nil || ok {
+		t.Error("empty blob should match nothing")
+	}
+}
+
+func TestCustomTokenizer(t *testing.T) {
+	// A tokenizer splitting on '%' exercises the injection point.
+	tok := func(content []byte) [][]byte { return bytes.Split(content, []byte("%")) }
+	ix := New(cipherx.KeyFromPassphrase("custom"), tok)
+	blob := Blob(ix.Tokens([]byte("alpha%beta")))
+	ok, err := BlobContains(blob, ix.TokenOf([]byte("alpha")))
+	if err != nil || !ok {
+		t.Error("custom tokenizer word not found")
+	}
+}
