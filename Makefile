@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: check build vet test race bench fuzz clean
+
+# Tier-1 gate: everything must build, vet clean, and pass under the
+# race detector (the chaos suites are required to be race-clean).
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over every fuzz target (30s each).
+fuzz:
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/transport
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/transport
+	$(GO) test -fuzz=FuzzDecodePutReq -fuzztime=30s ./internal/sdds
+	$(GO) test -fuzz=FuzzDecodeSearchReq -fuzztime=30s ./internal/sdds
+	$(GO) test -fuzz=FuzzDecodeNodeImage -fuzztime=30s ./internal/sdds
+
+clean:
+	$(GO) clean -testcache

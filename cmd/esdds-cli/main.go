@@ -10,6 +10,7 @@
 //	search <substring>      encrypted substring search (filtered)
 //	rawsearch <substring>   encrypted search without client-side filter
 //	stats                   SDDS state (buckets, splits, IAMs)
+//	health                  per-node transport health (retries, breakers)
 //	quit
 //
 // Because the LH* split coordinator lives in the client process, load
@@ -31,9 +32,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/esdds"
 	"repro/internal/phonebook"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -46,6 +49,12 @@ func main() {
 		disperseK  = flag.Int("disperse", 1, "dispersion sites K")
 		symCodes   = flag.Int("symcodes", 0, "Stage-2 symbol encodings (0 = off)")
 		trainFile  = flag.String("train", "", "directory file to train the Stage-2 codebook on")
+
+		retries   = flag.Int("retries", 4, "max delivery attempts per request (1 disables retry)")
+		retryBase = flag.Duration("retry-base", 10*time.Millisecond, "first retry backoff; doubles per retry")
+		retryMax  = flag.Duration("retry-max", time.Second, "backoff cap")
+		breaker   = flag.Int("breaker", 8, "consecutive failures opening a node's circuit breaker (0 disables)")
+		cooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects requests")
 	)
 	flag.Parse()
 	if *passphrase == "" {
@@ -53,17 +62,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	var opts []esdds.ClusterOption
+	if *retries > 1 || *breaker > 0 {
+		opts = append(opts, esdds.WithRetry(transport.RetryPolicy{
+			MaxAttempts:      *retries,
+			BaseDelay:        *retryBase,
+			MaxDelay:         *retryMax,
+			Multiplier:       2,
+			Jitter:           0.2,
+			FailureThreshold: *breaker,
+			Cooldown:         *cooldown,
+		}))
+	}
+
 	var cluster *esdds.Cluster
 	var err error
 	switch {
 	case *mem > 0:
-		cluster = esdds.NewMemoryCluster(*mem)
+		cluster = esdds.NewMemoryCluster(*mem, opts...)
 	case *nodes != "":
 		addrs := make(map[int]string)
 		for i, a := range strings.Split(*nodes, ",") {
 			addrs[i] = strings.TrimSpace(a)
 		}
-		cluster, err = esdds.DialCluster(addrs)
+		cluster, err = esdds.DialCluster(addrs, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,10 +124,10 @@ func main() {
 	fmt.Printf("store open: S=%d M=%d K=%d, min query length %d\n",
 		*chunkSize, *chunkings, *disperseK, store.MinQueryLen())
 
-	repl(store)
+	repl(store, cluster)
 }
 
-func repl(store *esdds.Store) {
+func repl(store *esdds.Store, cluster *esdds.Cluster) {
 	ctx := context.Background()
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -188,8 +210,22 @@ func repl(store *esdds.Store) {
 			st := store.Stats()
 			fmt.Printf("record buckets %d (splits %d), index buckets %d (splits %d), IAMs %d\n",
 				st.RecordBuckets, st.RecordSplits, st.IndexBuckets, st.IndexSplits, st.IAMs)
+		case "health":
+			hs := cluster.RetryStats()
+			if hs == nil {
+				fmt.Println("retry middleware disabled (-retries 1 -breaker 0)")
+				continue
+			}
+			for _, h := range hs {
+				state := "closed"
+				if h.BreakerOpen {
+					state = "OPEN"
+				}
+				fmt.Printf("node %d: sends %d ok %d failures %d retries %d breaker %s (trips %d)\n",
+					h.Node, h.Sends, h.Successes, h.Failures, h.Retries, state, h.BreakerTrips)
+			}
 		default:
-			fmt.Println("commands: load insert get delete search rawsearch stats quit")
+			fmt.Println("commands: load insert get delete search rawsearch stats health quit")
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/sdds"
 	"repro/internal/transport"
@@ -31,6 +32,12 @@ func main() {
 		id     = flag.Int("id", 0, "this node's ID (index into -peers)")
 		listen = flag.String("listen", "127.0.0.1:7001", "listen address")
 		peers  = flag.String("peers", "", "comma-separated addresses of ALL nodes, in ID order")
+
+		retries   = flag.Int("retries", 4, "max delivery attempts for server-to-server forwards (1 disables retry)")
+		retryBase = flag.Duration("retry-base", 10*time.Millisecond, "first retry backoff; doubles per retry")
+		retryMax  = flag.Duration("retry-max", time.Second, "backoff cap")
+		breaker   = flag.Int("breaker", 8, "consecutive failures opening a peer's circuit breaker (0 disables)")
+		cooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects forwards")
 	)
 	flag.Parse()
 
@@ -54,8 +61,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "esdds-node:", err)
 		os.Exit(1)
 	}
-	peerTr := transport.NewTCP(dir)
-	defer peerTr.Close()
+	peerTCP := transport.NewTCP(dir)
+	defer peerTCP.Close()
+	var peerTr transport.Transport = peerTCP
+	if *retries > 1 || *breaker > 0 {
+		peerTr = transport.NewRetry(peerTCP, transport.RetryPolicy{
+			MaxAttempts:      *retries,
+			BaseDelay:        *retryBase,
+			MaxDelay:         *retryMax,
+			Multiplier:       2,
+			Jitter:           0.2,
+			FailureThreshold: *breaker,
+			Cooldown:         *cooldown,
+		}, int64(*id))
+	}
 
 	node := sdds.NewNode(transport.NodeID(*id), peerTr, place)
 	srv := transport.NewServer(node.Handler())

@@ -1,6 +1,7 @@
 package esdds
 
 import (
+	"context"
 	"fmt"
 	"net"
 
@@ -9,21 +10,96 @@ import (
 )
 
 // Cluster is a handle to a set of storage nodes: either an in-process
-// simulated multicomputer or real TCP daemons.
+// simulated multicomputer or real TCP daemons. Every transport the
+// cluster builds can be layered with resilience middleware: a Retry
+// stack (exponential backoff + jitter, per-node circuit breaking) and,
+// for chaos testing, a deterministic fault injector.
 type Cluster struct {
 	inner   *sdds.Cluster
 	servers []*transport.Server // only for in-process TCP test clusters
 	close   []func() error
+
+	// resilience stack handles (nil when the option was not requested)
+	faulty *transport.Faulty
+	retry  *transport.Retry
+
+	// memory-cluster internals enabling node kill/revive for chaos and
+	// recovery scenarios (nil for dialed clusters)
+	mem   *transport.Memory
+	peers transport.Transport
+	place *sdds.Placement
+}
+
+// ClusterOption configures the transport stack of a cluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	retry     *transport.RetryPolicy
+	retrySeed int64
+	faultSeed *int64
+}
+
+// WithRetry layers the retry/backoff/circuit-breaker middleware (with
+// the given policy) over the cluster's transports — both the client
+// side and, for in-process clusters, server-to-server forwarding.
+func WithRetry(p transport.RetryPolicy) ClusterOption {
+	return func(c *clusterConfig) { c.retry = &p }
+}
+
+// WithDefaultRetry is WithRetry(transport.DefaultRetryPolicy()).
+func WithDefaultRetry() ClusterOption {
+	return func(c *clusterConfig) {
+		p := transport.DefaultRetryPolicy()
+		c.retry = &p
+	}
+}
+
+// WithRetrySeed fixes the retry middleware's jitter seed (for
+// reproducible chaos runs). Jitter only shapes backoff pauses; it never
+// changes which attempts happen.
+func WithRetrySeed(seed int64) ClusterOption {
+	return func(c *clusterConfig) { c.retrySeed = seed }
+}
+
+// WithFaultInjection inserts a seeded, deterministic fault injector
+// under the retry layer. Configure it through Cluster.Faults().
+func WithFaultInjection(seed int64) ClusterOption {
+	return func(c *clusterConfig) { c.faultSeed = &seed }
+}
+
+func applyOptions(opts []ClusterOption) clusterConfig {
+	var cfg clusterConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// stack layers the configured middleware over a base transport:
+// base → Faulty (optional) → Retry (optional).
+func (cfg *clusterConfig) stack(base transport.Transport, c *Cluster) transport.Transport {
+	tr := base
+	if cfg.faultSeed != nil {
+		c.faulty = transport.NewFaulty(tr, *cfg.faultSeed)
+		tr = c.faulty
+	}
+	if cfg.retry != nil {
+		c.retry = transport.NewRetry(tr, *cfg.retry, cfg.retrySeed)
+		tr = c.retry
+	}
+	return tr
 }
 
 // NewMemoryCluster simulates a multicomputer of n storage nodes inside
 // the current process. Every distributed code path (addressing,
 // forwarding, splits, scatter-gather search) runs exactly as it would
-// over a network.
-func NewMemoryCluster(n int) *Cluster {
+// over a network. Options layer retry middleware and fault injection
+// over both client operations and server-to-server forwarding.
+func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 	if n < 1 {
 		n = 1
 	}
+	cfg := applyOptions(opts)
 	mem := transport.NewMemory()
 	ids := make([]transport.NodeID, n)
 	for i := range ids {
@@ -33,22 +109,27 @@ func NewMemoryCluster(n int) *Cluster {
 	if err != nil {
 		panic("esdds: " + err.Error()) // n >= 1 makes this impossible
 	}
+	c := &Cluster{mem: mem, place: place}
+	tr := cfg.stack(mem, c)
+	c.peers = tr
 	for _, id := range ids {
-		node := sdds.NewNode(id, mem, place)
+		node := sdds.NewNode(id, tr, place)
 		mem.Register(id, node.Handler())
 	}
-	return &Cluster{
-		inner: sdds.NewCluster(mem, place),
-		close: []func() error{mem.Close},
-	}
+	c.inner = sdds.NewCluster(tr, place)
+	c.close = []func() error{mem.Close}
+	return c
 }
 
 // DialCluster connects to running esdds-node daemons. addrs maps node
-// IDs (0..n-1, dense) to host:port addresses.
-func DialCluster(addrs map[int]string) (*Cluster, error) {
+// IDs (0..n-1, dense) to host:port addresses. Options layer retry
+// middleware (and fault injection, for failure drills against live
+// daemons) over the client transport.
+func DialCluster(addrs map[int]string, opts ...ClusterOption) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("esdds: empty cluster address map")
 	}
+	cfg := applyOptions(opts)
 	ids := make([]transport.NodeID, 0, len(addrs))
 	dir := make(map[transport.NodeID]string, len(addrs))
 	for i := 0; i < len(addrs); i++ {
@@ -64,19 +145,21 @@ func DialCluster(addrs map[int]string) (*Cluster, error) {
 		return nil, err
 	}
 	tcp := transport.NewTCP(dir)
-	return &Cluster{
-		inner: sdds.NewCluster(tcp, place),
-		close: []func() error{tcp.Close},
-	}, nil
+	c := &Cluster{place: place}
+	tr := cfg.stack(tcp, c)
+	c.inner = sdds.NewCluster(tr, place)
+	c.close = []func() error{tcp.Close}
+	return c, nil
 }
 
 // StartLocalTCPCluster spins up n real TCP node daemons on loopback in
 // this process and returns a cluster dialed to them — the quickest way
 // to exercise the full network stack. Close shuts the daemons down.
-func StartLocalTCPCluster(n int) (*Cluster, error) {
+func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	if n < 1 {
 		n = 1
 	}
+	cfg := applyOptions(opts)
 	ids := make([]transport.NodeID, n)
 	for i := range ids {
 		ids[i] = transport.NodeID(i)
@@ -99,7 +182,7 @@ func StartLocalTCPCluster(n int) (*Cluster, error) {
 		addrs[ids[i]] = lis.Addr().String()
 	}
 	peers := transport.NewTCP(addrs)
-	c := &Cluster{}
+	c := &Cluster{place: place}
 	for i, id := range ids {
 		node := sdds.NewNode(id, peers, place)
 		srv := transport.NewServer(node.Handler())
@@ -107,7 +190,9 @@ func StartLocalTCPCluster(n int) (*Cluster, error) {
 		go srv.Serve(listeners[i])
 	}
 	client := transport.NewTCP(addrs)
-	c.inner = sdds.NewCluster(client, place)
+	tr := cfg.stack(client, c)
+	c.peers = peers
+	c.inner = sdds.NewCluster(tr, place)
 	c.close = append(c.close, client.Close, peers.Close)
 	for _, srv := range c.servers {
 		c.close = append(c.close, srv.Close)
@@ -119,6 +204,103 @@ func StartLocalTCPCluster(n int) (*Cluster, error) {
 func (c *Cluster) Nodes() int {
 	return len(c.inner.Transport().Nodes())
 }
+
+// Faults returns the fault injector, or nil unless the cluster was
+// built with WithFaultInjection. Use it to schedule drops, delays,
+// duplicate deliveries, and node blackouts.
+func (c *Cluster) Faults() *transport.Faulty { return c.faulty }
+
+// RetryStats returns per-node health accounting from the retry
+// middleware (nil unless the cluster was built with a retry option).
+func (c *Cluster) RetryStats() []transport.NodeStats {
+	if c.retry == nil {
+		return nil
+	}
+	return c.retry.Stats()
+}
+
+// ResetBreakers force-closes every node's circuit breaker — call after
+// recovering failed nodes so traffic resumes immediately.
+func (c *Cluster) ResetBreakers() {
+	if c.retry == nil {
+		return
+	}
+	for _, id := range c.inner.Transport().Nodes() {
+		c.retry.ResetBreaker(id)
+	}
+}
+
+// KillNode abruptly removes an in-memory node: its handler is
+// deregistered (sends fail) and its state is gone — a crashed site.
+// Only supported on memory clusters.
+func (c *Cluster) KillNode(id int) error {
+	if c.mem == nil {
+		return fmt.Errorf("esdds: KillNode requires a memory cluster")
+	}
+	c.mem.Unregister(transport.NodeID(id))
+	return nil
+}
+
+// ReviveNode registers a fresh, empty node under the given ID — the
+// spare site taking over a killed node's identity. Its buckets are
+// empty until a Guardian recovers them. Only supported on memory
+// clusters.
+func (c *Cluster) ReviveNode(id int) error {
+	if c.mem == nil {
+		return fmt.Errorf("esdds: ReviveNode requires a memory cluster")
+	}
+	node := sdds.NewNode(transport.NodeID(id), c.peers, c.place)
+	c.mem.Register(transport.NodeID(id), node.Handler())
+	return nil
+}
+
+// Guardian is the LH*RS availability layer over a cluster: it keeps
+// every node's bucket inventory under Reed–Solomon parity and can
+// rebuild up to K simultaneously failed nodes with zero record loss.
+type Guardian struct {
+	inner *sdds.Guardian
+	c     *Cluster
+}
+
+// Guardian builds a parity guardian tolerating any k simultaneous node
+// failures. Call Sync while the cluster is healthy to (re)establish the
+// recovery point.
+func (c *Cluster) Guardian(k int) (*Guardian, error) {
+	g, err := sdds.NewGuardian(c.inner.Transport(), c.inner.Placement(), k)
+	if err != nil {
+		return nil, err
+	}
+	return &Guardian{inner: g, c: c}, nil
+}
+
+// K returns the number of tolerated simultaneous node failures.
+func (g *Guardian) K() int { return g.inner.K() }
+
+// Sync pulls every node's current image into the parity group. The last
+// successful Sync is the recovery point.
+func (g *Guardian) Sync(ctx context.Context) error { return g.inner.Sync(ctx) }
+
+// Recover rebuilds the given (dead, already revived-empty) nodes from
+// parity and reinstalls their bucket images. More than K dead nodes
+// fails loudly. Breakers for the recovered nodes are reset.
+func (g *Guardian) Recover(ctx context.Context, nodes ...int) error {
+	ids := make([]transport.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = transport.NodeID(n)
+	}
+	if err := g.inner.Recover(ctx, ids); err != nil {
+		return err
+	}
+	if g.c.retry != nil {
+		for _, id := range ids {
+			g.c.retry.ResetBreaker(id)
+		}
+	}
+	return nil
+}
+
+// Scrub verifies parity against the last-synced images.
+func (g *Guardian) Scrub() (bool, error) { return g.inner.Scrub() }
 
 // Close releases transports and stops any in-process daemons.
 func (c *Cluster) Close() error {

@@ -1,85 +1,139 @@
-// Availability: the LH*RS substrate in action. Four live LH* buckets
-// hold (encrypted) records; their snapshots are kept under Reed–Solomon
-// parity on two parity sites with delta-based updates. Two sites then
-// fail simultaneously, and a spare reconstructs both bucket images
-// bit-exactly from the survivors — the high-availability story of
-// LH*RS [LMS05] that the paper names as its storage substrate.
+// Availability: the full resilience stack end to end. A six-node
+// in-process multicomputer runs an encrypted workload over a lossy
+// network (seeded fault injection; retries with exponential backoff
+// mask every drop). An LH*RS guardian then puts each node's bucket
+// inventory under Reed–Solomon parity, two nodes die mid-flight,
+// best-effort search degrades gracefully and names exactly the dead
+// sites, and the guardian reconstructs both nodes bit-exactly from
+// parity — the high-availability story of LH*RS [LMS05] that the paper
+// names as its storage substrate, driven through the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/cipherx"
-	"repro/internal/lhstar"
+	"repro/esdds"
 	"repro/internal/phonebook"
-	"repro/internal/rs"
+	"repro/internal/transport"
 )
 
 func main() {
-	const m, k = 4, 2
-	group, err := rs.NewBucketGroup(m, k)
+	const (
+		nodes = 6
+		k     = 2 // parity shards: any k simultaneous node failures survive
+		seed  = 42
+	)
+	cluster := esdds.NewMemoryCluster(nodes,
+		esdds.WithFaultInjection(seed),
+		esdds.WithRetry(transport.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   500 * time.Microsecond,
+			MaxDelay:    5 * time.Millisecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+		}),
+		esdds.WithRetrySeed(seed),
+	)
+	defer cluster.Close()
+
+	store, err := esdds.Open(cluster, esdds.KeyFromPassphrase("availability-demo"), esdds.Config{
+		ChunkSize:     4,
+		Chunkings:     2,
+		MaxBucketLoad: 8,
+	}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("parity group: %d data buckets + %d parity sites (survives any %d failures)\n\n", m, k, k)
+	ctx := context.Background()
 
-	// Four LH* buckets receiving sealed records; every update pushes the
-	// new snapshot through a delta-based parity update.
-	sealer := cipherx.NewRecordCipher(cipherx.KeyFromPassphrase("availability-demo"))
-	buckets := make([]*lhstar.Bucket, m)
-	for i := range buckets {
-		buckets[i] = lhstar.NewBucket(uint64(i), 2)
-	}
-	entries := phonebook.Generate(200, 42)
+	// Phase 1 — insert sealed records through a lossy network: 15% of
+	// sends are dropped, 10% delayed. The retry middleware masks all of
+	// it; the client sees zero errors.
+	cluster.Faults().SetDefault(transport.Fault{
+		Drop:      0.15,
+		DelayProb: 0.10,
+		Delay:     200 * time.Microsecond,
+	})
+	entries := phonebook.Generate(150, seed)
 	for _, e := range entries {
-		rid := e.RID()
-		i := int(rid % m)
-		sealed := sealer.Seal([]byte(e.Phone), []byte(e.Name))
-		buckets[i].Put(rid, sealed)
-		if err := group.Update(i, buckets[i].Snapshot()); err != nil {
+		if err := store.Insert(ctx, e.RID(), []byte(e.Name)); err != nil {
+			log.Fatalf("insert through lossy network failed: %v", err)
+		}
+	}
+	var dropped, retries uint64
+	for _, st := range cluster.Faults().Stats() {
+		dropped += st.Dropped
+	}
+	for _, st := range cluster.RetryStats() {
+		retries += st.Retries
+	}
+	fmt.Printf("loaded %d sealed records over a lossy network: %d sends dropped, %d retries, 0 client errors\n",
+		len(entries), dropped, retries)
+
+	query := []byte(entries[0].Name[:7])
+	baseline, err := store.Search(ctx, query, esdds.SearchVerified)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline search %q: %d hits\n\n", query, len(baseline))
+
+	// Phase 2 — establish the recovery point: the guardian pulls every
+	// node's bucket image under Reed–Solomon parity (m data + k parity).
+	cluster.Faults().ClearFaults()
+	guard, err := cluster.Guardian(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := guard.Sync(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guardian synced: %d node images + %d parity shards (survives any %d failures)\n\n",
+		nodes, k, k)
+
+	// Phase 3 — disaster: node 1 crashes outright, node 4 is partitioned.
+	fmt.Println("*** nodes lost: 1 (crashed), 4 (partitioned) ***")
+	if err := cluster.KillNode(1); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.KillNode(4); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Faults().Blackout(4)
+
+	hits, failed, err := store.SearchBestEffort(ctx, query, esdds.SearchVerified)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best-effort search: %d/%d hits, failed nodes reported: %v\n", len(hits), len(baseline), failed)
+
+	// Phase 4 — recovery: spare nodes take over the dead IDs, the
+	// guardian rebuilds their buckets from the survivors plus parity.
+	cluster.Faults().Restore(4)
+	for _, id := range failed {
+		if err := cluster.ReviveNode(id); err != nil {
 			log.Fatal(err)
 		}
 	}
-	ok, err := group.Scrub()
-	if err != nil || !ok {
-		log.Fatalf("scrub failed: %v %v", ok, err)
-	}
-	fmt.Printf("loaded %d sealed records across %d buckets; parity scrub clean\n", len(entries), m)
-	for i, b := range buckets {
-		fmt.Printf("  bucket %d: %d records\n", i, b.Len())
-	}
-
-	// Disaster: data site 1 and parity site 0 fail at once.
-	fmt.Println("\n*** sites lost: data bucket 1, parity site 0 ***")
-	shards := group.Shards()
-	shards[1] = nil   // data bucket 1
-	shards[m+0] = nil // parity site 0
-	if err := group.RecoverShards(shards); err != nil {
+	if err := guard.Recover(ctx, failed...); err != nil {
 		log.Fatal(err)
 	}
-	restored, err := lhstar.RestoreBucket(shards[1])
+	healed, err := store.Search(ctx, query, esdds.SearchVerified)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("spare site reconstructed bucket 1: %d records (was %d)\n",
-		restored.Len(), buckets[1].Len())
+	fmt.Printf("\nguardian recovered nodes %v from parity\n", failed)
+	fmt.Printf("full search after recovery: %d hits (baseline %d)\n", len(healed), len(baseline))
 
-	// Prove the payloads survived: decrypt a few reconstructed records.
-	fmt.Println("\ndecrypting reconstructed records:")
-	shown := 0
-	restored.Scan(func(key uint64, sealed []byte) bool {
-		for _, e := range entries {
-			if e.RID() == key {
-				name, err := sealer.Open([]byte(e.Phone), sealed)
-				if err != nil {
-					log.Fatalf("rid %d: %v", key, err)
-				}
-				fmt.Printf("  %s  %s\n", e.Phone, name)
-				shown++
-				break
-			}
+	// Prove the payloads survived end to end: decrypt recovered records.
+	fmt.Println("\ndecrypting recovered records:")
+	for i, e := range entries[:5] {
+		got, err := store.Get(ctx, e.RID())
+		if err != nil {
+			log.Fatalf("rid %d: %v", e.RID(), err)
 		}
-		return shown < 5
-	})
+		fmt.Printf("  %d: %s\n", i, got)
+	}
 }

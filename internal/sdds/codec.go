@@ -48,6 +48,8 @@ const (
 	opMergeClose
 	opMergeAbsorb
 	opWordSearch
+	opNodeSnapshot
+	opNodeRestore
 )
 
 // ComposeIndexKey builds the §5 composite key: RID shifted left by
@@ -651,6 +653,60 @@ func decodeWordSearchResp(b []byte) (wordSearchResp, error) {
 		m.rids = append(m.rids, r.u64())
 	}
 	return m, r.done()
+}
+
+// nodeImage is a node's full serialized bucket inventory across all
+// files — what a spare site needs to take over the node's identity.
+// The encoding is deterministic (files by ID, buckets by address), so
+// byte-identical logical state yields byte-identical images; that is
+// what lets the LH*RS parity machinery in internal/rs protect images as
+// opaque shards.
+type nodeImage struct {
+	files []fileImage
+}
+
+type fileImage struct {
+	file    FileID
+	buckets [][]byte // lhstar bucket snapshots, sorted by address
+}
+
+func (m nodeImage) encode() []byte {
+	w := &writer{}
+	w.u32(uint32(len(m.files)))
+	for _, f := range m.files {
+		w.u8(uint8(f.file))
+		w.u32(uint32(len(f.buckets)))
+		for _, b := range f.buckets {
+			w.bytes(b)
+		}
+	}
+	return w.b
+}
+
+// decodeNodeImage decodes a node image, tolerating trailing zero bytes:
+// parity-group shards are zero-padded to a common length, and a
+// recovered image comes back with that padding attached.
+func decodeNodeImage(b []byte) (nodeImage, error) {
+	r := &reader{b: b}
+	nf := int(r.u32())
+	m := nodeImage{}
+	for i := 0; i < nf && r.err == nil; i++ {
+		f := fileImage{file: FileID(r.u8())}
+		nb := int(r.u32())
+		for j := 0; j < nb && r.err == nil; j++ {
+			f.buckets = append(f.buckets, append([]byte(nil), r.bytes()...))
+		}
+		m.files = append(m.files, f)
+	}
+	if r.err != nil {
+		return m, r.err
+	}
+	for _, x := range r.b[r.off:] {
+		if x != 0 {
+			return m, fmt.Errorf("sdds: %d trailing payload bytes", len(r.b)-r.off)
+		}
+	}
+	return m, nil
 }
 
 // queryToSearchReq converts a compiled core.Query to the wire form.

@@ -2,7 +2,9 @@ package sdds
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -96,6 +98,10 @@ func (n *Node) Handler() transport.Handler {
 			return n.handleMergeAbsorb(payload)
 		case opWordSearch:
 			return n.handleWordSearch(payload)
+		case opNodeSnapshot:
+			return n.handleNodeSnapshot(payload)
+		case opNodeRestore:
+			return n.handleNodeRestore(payload)
 		default:
 			return nil, fmt.Errorf("sdds: unknown op %d", op)
 		}
@@ -401,6 +407,64 @@ func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
 	if err := b.MergeFrom(src); err != nil {
 		return nil, err
 	}
+	return nil, nil
+}
+
+// handleNodeSnapshot serializes this node's entire bucket inventory
+// (all files) into a deterministic image — the data shard the LH*RS
+// parity layer protects. Nodes hold no key material, so the image is as
+// opaque as the buckets themselves.
+func (n *Node) handleNodeSnapshot(payload []byte) ([]byte, error) {
+	if len(payload) != 0 {
+		return nil, errors.New("sdds: node snapshot takes no payload")
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	fileIDs := make([]FileID, 0, len(n.files))
+	for id := range n.files {
+		fileIDs = append(fileIDs, id)
+	}
+	sort.Slice(fileIDs, func(i, j int) bool { return fileIDs[i] < fileIDs[j] })
+	var img nodeImage
+	for _, id := range fileIDs {
+		f := n.files[id]
+		addrs := make([]uint64, 0, len(f.buckets))
+		for a := range f.buckets {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		fi := fileImage{file: id}
+		for _, a := range addrs {
+			fi.buckets = append(fi.buckets, f.buckets[a].Snapshot())
+		}
+		img.files = append(img.files, fi)
+	}
+	return img.encode(), nil
+}
+
+// handleNodeRestore replaces this node's entire bucket inventory with a
+// reconstructed image — what a spare site runs when taking over a
+// failed node's identity after LH*RS recovery.
+func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
+	img, err := decodeNodeImage(payload)
+	if err != nil {
+		return nil, err
+	}
+	files := make(map[FileID]*nodeFile, len(img.files))
+	for _, fi := range img.files {
+		nf := &nodeFile{buckets: make(map[uint64]*lhstar.Bucket, len(fi.buckets))}
+		for _, snap := range fi.buckets {
+			b, err := lhstar.RestoreBucket(snap)
+			if err != nil {
+				return nil, fmt.Errorf("sdds: restoring file %d: %w", fi.file, err)
+			}
+			nf.buckets[b.Addr()] = b
+		}
+		files[fi.file] = nf
+	}
+	n.mu.Lock()
+	n.files = files
+	n.mu.Unlock()
 	return nil, nil
 }
 

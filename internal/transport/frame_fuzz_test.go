@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                   // length 0 — below minimum
+	f.Add([]byte{0, 0, 0, 1, 7})                // minimal valid frame
+	f.Add([]byte{0, 0, 0, 5, 1, 'a', 'b', 'c'}) // truncated payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})    // oversized length
+	big := make([]byte, 4)
+	binary.BigEndian.PutUint32(big, maxFrame+1)
+	f.Add(append(big, 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; may only error or return a frame consistent
+		// with the input.
+		tag, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(data) < 5 {
+			t.Fatalf("frame decoded from %d bytes", len(data))
+		}
+		n := binary.BigEndian.Uint32(data)
+		if n < 1 || n > maxFrame {
+			t.Fatalf("out-of-range length %d accepted", n)
+		}
+		if tag != data[4] {
+			t.Fatalf("tag = %d, want %d", tag, data[4])
+		}
+		if len(payload) != int(n)-1 {
+			t.Fatalf("payload length %d, want %d", len(payload), n-1)
+		}
+	})
+}
+
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(7), []byte("payload"))
+	f.Add(uint8(255), make([]byte, 1024))
+	f.Fuzz(func(t *testing.T, tag uint8, payload []byte) {
+		var buf bytes.Buffer
+		if err := writeFrame(bufio.NewWriter(&buf), tag, payload); err != nil {
+			t.Fatal(err)
+		}
+		gotTag, gotPayload, err := readFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if gotTag != tag || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip: (%d, %q) -> (%d, %q)", tag, payload, gotTag, gotPayload)
+		}
+	})
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(bufio.NewWriter(&buf), 7, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail with an error, never hang or panic.
+	for n := 0; n < len(full); n++ {
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(full[:n])))
+		if err == nil {
+			t.Fatalf("truncated frame of %d/%d bytes accepted", n, len(full))
+		}
+		if n > 4 {
+			// Header and part of the body arrived; the loss is mid-frame.
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("prefix %d: err = %v, want unexpected EOF", n, err)
+			}
+		}
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = 1
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("oversized frame: err = %v", err)
+	}
+	// Zero-length frame (no tag byte) is equally invalid.
+	var zero [4]byte
+	_, _, err = readFrame(bufio.NewReader(bytes.NewReader(zero[:])))
+	if err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}

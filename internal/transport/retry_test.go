@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scripted is a Transport whose per-node responses follow a script of
+// errors (nil = success). Past the script's end it always succeeds.
+type scripted struct {
+	mu     sync.Mutex
+	script map[NodeID][]error
+	calls  map[NodeID]int
+}
+
+func newScripted() *scripted {
+	return &scripted{script: make(map[NodeID][]error), calls: make(map[NodeID]int)}
+}
+
+func (s *scripted) Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := s.calls[node]
+	s.calls[node]++
+	if seq := s.script[node]; i < len(seq) && seq[i] != nil {
+		return nil, seq[i]
+	}
+	return []byte("ok"), nil
+}
+
+func (s *scripted) callCount(node NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[node]
+}
+
+func (s *scripted) Nodes() []NodeID { return nil }
+func (s *scripted) Close() error    { return nil }
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:      4,
+		BaseDelay:        time.Millisecond,
+		MaxDelay:         5 * time.Millisecond,
+		Multiplier:       2,
+		Jitter:           0.2,
+		FailureThreshold: 0,
+	}
+}
+
+func TestRetryMasksTransientFailures(t *testing.T) {
+	s := newScripted()
+	s.script[1] = []error{ErrInjectedDrop, ErrInjectedDrop, nil}
+	r := NewRetry(s, fastPolicy(), 1)
+	resp, err := r.Send(context.Background(), 1, 1, nil)
+	if err != nil {
+		t.Fatalf("transient failures not masked: %v", err)
+	}
+	if string(resp) != "ok" {
+		t.Errorf("resp = %q", resp)
+	}
+	if got := s.callCount(1); got != 3 {
+		t.Errorf("%d attempts, want 3", got)
+	}
+	st := r.NodeStats(1)
+	if st.Retries != 2 || st.Failures != 2 || st.Successes != 1 || st.Sends != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ConsecutiveFailures != 0 {
+		t.Errorf("success did not reset consecutive failures: %+v", st)
+	}
+}
+
+func TestRetryExhaustionReturnsUnderlyingError(t *testing.T) {
+	s := newScripted()
+	s.script[2] = []error{ErrInjectedDrop, ErrInjectedDrop, ErrInjectedDrop, ErrInjectedDrop, ErrInjectedDrop}
+	r := NewRetry(s, fastPolicy(), 1)
+	_, err := r.Send(context.Background(), 2, 1, nil)
+	if err == nil {
+		t.Fatal("exhaustion returned success")
+	}
+	// The real cause must survive wrapping — no timeout masquerade.
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Errorf("underlying error lost: %v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("exhaustion disguised as deadline: %v", err)
+	}
+	if got := s.callCount(2); got != 4 {
+		t.Errorf("%d attempts, want MaxAttempts=4", got)
+	}
+}
+
+func TestRetryDoesNotRetryRemoteErrors(t *testing.T) {
+	s := newScripted()
+	s.script[1] = []error{&RemoteError{Node: 1, Msg: "no bucket"}}
+	r := NewRetry(s, fastPolicy(), 1)
+	_, err := r.Send(context.Background(), 1, 1, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := s.callCount(1); got != 1 {
+		t.Errorf("remote error retried: %d attempts", got)
+	}
+	// Unknown node: also no retry.
+	s.script[9] = []error{fmt.Errorf("%w: 9", ErrUnknownNode), nil}
+	if _, err := r.Send(context.Background(), 9, 1, nil); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v", err)
+	}
+	if got := s.callCount(9); got != 1 {
+		t.Errorf("unknown node retried: %d attempts", got)
+	}
+}
+
+func TestRetryDeadlineDuringBackoffKeepsCause(t *testing.T) {
+	s := newScripted()
+	s.script[1] = []error{ErrInjectedFault, ErrInjectedFault, ErrInjectedFault, ErrInjectedFault}
+	p := fastPolicy()
+	p.BaseDelay = 200 * time.Millisecond
+	p.MaxDelay = 200 * time.Millisecond
+	r := NewRetry(s, p, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := r.Send(ctx, 1, 1, nil)
+	if err == nil {
+		t.Fatal("send succeeded past deadline")
+	}
+	if !errors.Is(err, ErrInjectedFault) {
+		t.Errorf("cause lost under deadline: %v", err)
+	}
+}
+
+func TestRetryCircuitBreaker(t *testing.T) {
+	s := newScripted()
+	fail := make([]error, 20)
+	for i := range fail {
+		fail[i] = ErrInjectedDrop
+	}
+	s.script[3] = fail
+	p := fastPolicy()
+	p.FailureThreshold = 4
+	p.Cooldown = 50 * time.Millisecond
+	r := NewRetry(s, p, 1)
+
+	// First send: 4 attempts all fail → breaker trips at the threshold.
+	if _, err := r.Send(context.Background(), 3, 1, nil); err == nil {
+		t.Fatal("want failure")
+	}
+	st := r.NodeStats(3)
+	if !st.BreakerOpen || st.BreakerTrips != 1 {
+		t.Fatalf("breaker not open after threshold: %+v", st)
+	}
+	// While open: fail fast, no network attempts.
+	before := s.callCount(3)
+	_, err := r.Send(context.Background(), 3, 1, nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.callCount(3) != before {
+		t.Error("open breaker let an attempt through")
+	}
+	if Retryable(err) {
+		t.Error("ErrCircuitOpen classified retryable")
+	}
+	// After cooldown, a probe goes through; the scripted errors are
+	// exhausted by then, so it succeeds and the breaker closes.
+	time.Sleep(p.Cooldown + 10*time.Millisecond)
+	s.mu.Lock()
+	s.script[3] = nil // node healthy again
+	s.mu.Unlock()
+	if _, err := r.Send(context.Background(), 3, 1, nil); err != nil {
+		t.Fatalf("probe after cooldown failed: %v", err)
+	}
+	if st := r.NodeStats(3); st.BreakerOpen || st.ConsecutiveFailures != 0 {
+		t.Errorf("breaker did not close on success: %+v", st)
+	}
+}
+
+func TestRetryResetBreaker(t *testing.T) {
+	s := newScripted()
+	fail := make([]error, 8)
+	for i := range fail {
+		fail[i] = ErrInjectedDrop
+	}
+	s.script[1] = fail
+	p := fastPolicy()
+	p.FailureThreshold = 2
+	p.Cooldown = time.Hour // would stay open forever
+	r := NewRetry(s, p, 1)
+	r.Send(context.Background(), 1, 1, nil) //nolint:errcheck
+	if !r.NodeStats(1).BreakerOpen {
+		t.Fatal("breaker not open")
+	}
+	r.ResetBreaker(1)
+	s.mu.Lock()
+	s.script[1] = nil
+	s.mu.Unlock()
+	if _, err := r.Send(context.Background(), 1, 1, nil); err != nil {
+		t.Fatalf("send after ResetBreaker failed: %v", err)
+	}
+}
+
+func TestRetryStatsSorted(t *testing.T) {
+	s := newScripted()
+	r := NewRetry(s, fastPolicy(), 1)
+	for _, n := range []NodeID{5, 1, 3} {
+		r.Send(context.Background(), n, 1, nil) //nolint:errcheck
+	}
+	st := r.Stats()
+	if len(st) != 3 || st[0].Node != 1 || st[1].Node != 3 || st[2].Node != 5 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestRetryOverFaultyEndToEnd(t *testing.T) {
+	// The composed stack: Memory → Faulty(drops) → Retry. With
+	// MaxAttempts comfortably above the drop rate, every request
+	// succeeds — retries fully mask the transient faults.
+	f, _ := faultyOverEcho(4, 1234)
+	f.SetDefault(Fault{Drop: 0.4})
+	p := fastPolicy()
+	p.MaxAttempts = 8
+	r := NewRetry(f, p, 99)
+	for i := 0; i < 300; i++ {
+		node := NodeID(i % 4)
+		if _, err := r.Send(context.Background(), node, 1, []byte{byte(i)}); err != nil {
+			t.Fatalf("request %d not masked: %v", i, err)
+		}
+	}
+	var retries uint64
+	for _, st := range r.Stats() {
+		retries += st.Retries
+	}
+	if retries == 0 {
+		t.Error("no retries recorded — faults were not injected")
+	}
+}

@@ -206,24 +206,34 @@ func (t *TCP) Nodes() []NodeID {
 	return out
 }
 
-func (t *TCP) getConn(node NodeID) (*tcpConn, error) {
+// getConn returns a pooled connection (pooled reports true) or dials a
+// fresh one.
+func (t *TCP) getConn(node NodeID) (c *tcpConn, pooled bool, err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return nil, errors.New("transport: closed")
+		return nil, false, errors.New("transport: closed")
 	}
 	addr, ok := t.addrs[node]
 	if !ok {
 		t.mu.Unlock()
-		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+		return nil, false, fmt.Errorf("%w: %d", ErrUnknownNode, node)
 	}
 	if pool := t.idle[node]; len(pool) > 0 {
 		c := pool[len(pool)-1]
 		t.idle[node] = pool[:len(pool)-1]
 		t.mu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
 	t.mu.Unlock()
+	nc, err := t.dial(node, addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return nc, false, nil
+}
+
+func (t *TCP) dial(node NodeID, addr string) (*tcpConn, error) {
 	nc, err := net.DialTimeout("tcp", addr, t.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing node %d: %w", node, err)
@@ -248,14 +258,35 @@ func (t *TCP) Send(ctx context.Context, node NodeID, op uint8, payload []byte) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c, err := t.getConn(node)
+	c, pooled, err := t.getConn(node)
 	if err != nil {
 		return nil, err
 	}
-	if dl, ok := ctx.Deadline(); ok {
-		c.c.SetDeadline(dl)
-	} else {
-		c.c.SetDeadline(time.Time{})
+	var dl time.Time // zero clears any deadline a pooled conn carries
+	if d, ok := ctx.Deadline(); ok {
+		dl = d
+	}
+	if serr := c.c.SetDeadline(dl); serr != nil {
+		// A pooled connection that rejects a deadline is poisoned
+		// (already closed by the peer or the OS); a stale frame must
+		// never be read off it. Drop it and retry once on a fresh dial.
+		c.c.Close()
+		if !pooled {
+			return nil, fmt.Errorf("transport: setting deadline for node %d: %w", node, serr)
+		}
+		t.mu.Lock()
+		addr, ok := t.addrs[node]
+		t.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+		}
+		if c, err = t.dial(node, addr); err != nil {
+			return nil, err
+		}
+		if serr := c.c.SetDeadline(dl); serr != nil {
+			c.c.Close()
+			return nil, fmt.Errorf("transport: setting deadline for node %d: %w", node, serr)
+		}
 	}
 	if err := writeFrame(c.w, op, payload); err != nil {
 		c.c.Close()
