@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz clean
+.PHONY: check build vet test race bench bench-smoke bench-json fuzz clean
 
-# Tier-1 gate: everything must build, vet clean, and pass under the
-# race detector (the chaos suites are required to be race-clean).
-check: build vet race
+# Tier-1 gate: everything must build, vet clean, pass under the race
+# detector (the chaos suites are required to be race-clean), and every
+# benchmark must still execute (one iteration each).
+check: build vet race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Every benchmark runs one iteration — a cheap guard against benchmarks
+# rotting while the code under them moves.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Machine-readable search/insert performance snapshot. Compare against
+# the committed BENCH_search.json to spot regressions across revisions.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkInsertIndexed|BenchmarkPlacementNodes' \
+		-benchmem ./internal/sdds | $(GO) run ./cmd/benchjson > BENCH_search.json
+	@cat BENCH_search.json
 
 # Short fuzz pass over every fuzz target (30s each).
 fuzz:

@@ -38,6 +38,8 @@ func main() {
 		retryMax  = flag.Duration("retry-max", time.Second, "backoff cap")
 		breaker   = flag.Int("breaker", 8, "consecutive failures opening a peer's circuit breaker (0 disables)")
 		cooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects forwards")
+
+		linearScan = flag.Bool("linear-scan", false, "disable the posting index; serve searches by full linear scan")
 	)
 	flag.Parse()
 
@@ -77,6 +79,9 @@ func main() {
 	}
 
 	node := sdds.NewNode(transport.NodeID(*id), peerTr, place)
+	if *linearScan {
+		node.DisablePostingIndex()
+	}
 	srv := transport.NewServer(node.Handler())
 
 	lis, err := net.Listen("tcp", *listen)

@@ -28,15 +28,29 @@ type Cluster struct {
 	mem   *transport.Memory
 	peers transport.Transport
 	place *sdds.Placement
+
+	// linearScan records the WithLinearScan option so revived nodes
+	// match the rest of the cluster.
+	linearScan bool
 }
 
 // ClusterOption configures the transport stack of a cluster.
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
-	retry     *transport.RetryPolicy
-	retrySeed int64
-	faultSeed *int64
+	retry      *transport.RetryPolicy
+	retrySeed  int64
+	faultSeed  *int64
+	linearScan bool
+}
+
+// WithLinearScan disables the node-side posting index, making every
+// search a full linear scan over bucket contents — the reference
+// behavior the posting index is differentially tested against. Only
+// meaningful for clusters that construct their own nodes (memory and
+// local-TCP clusters).
+func WithLinearScan() ClusterOption {
+	return func(c *clusterConfig) { c.linearScan = true }
 }
 
 // WithRetry layers the retry/backoff/circuit-breaker middleware (with
@@ -109,11 +123,14 @@ func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 	if err != nil {
 		panic("esdds: " + err.Error()) // n >= 1 makes this impossible
 	}
-	c := &Cluster{mem: mem, place: place}
+	c := &Cluster{mem: mem, place: place, linearScan: cfg.linearScan}
 	tr := cfg.stack(mem, c)
 	c.peers = tr
 	for _, id := range ids {
 		node := sdds.NewNode(id, tr, place)
+		if cfg.linearScan {
+			node.DisablePostingIndex()
+		}
 		mem.Register(id, node.Handler())
 	}
 	c.inner = sdds.NewCluster(tr, place)
@@ -182,9 +199,12 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 		addrs[ids[i]] = lis.Addr().String()
 	}
 	peers := transport.NewTCP(addrs)
-	c := &Cluster{place: place}
+	c := &Cluster{place: place, linearScan: cfg.linearScan}
 	for i, id := range ids {
 		node := sdds.NewNode(id, peers, place)
+		if cfg.linearScan {
+			node.DisablePostingIndex()
+		}
 		srv := transport.NewServer(node.Handler())
 		c.servers = append(c.servers, srv)
 		go srv.Serve(listeners[i])
@@ -250,6 +270,9 @@ func (c *Cluster) ReviveNode(id int) error {
 		return fmt.Errorf("esdds: ReviveNode requires a memory cluster")
 	}
 	node := sdds.NewNode(transport.NodeID(id), c.peers, c.place)
+	if c.linearScan {
+		node.DisablePostingIndex()
+	}
 	c.mem.Register(transport.NodeID(id), node.Handler())
 	return nil
 }

@@ -27,6 +27,7 @@
 package esdds
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -369,27 +370,11 @@ func (s *Store) SearchRecordsFiltered(ctx context.Context, substring []byte, mod
 	}
 	out := recs[:0]
 	for _, r := range recs {
-		if containsSub(r.Content, substring) {
+		if bytes.Contains(r.Content, substring) {
 			out = append(out, r)
 		}
 	}
 	return out, nil
-}
-
-func containsSub(haystack, needle []byte) bool {
-	if len(needle) == 0 {
-		return true
-	}
-outer:
-	for i := 0; i+len(needle) <= len(haystack); i++ {
-		for j := range needle {
-			if haystack[i+j] != needle[j] {
-				continue outer
-			}
-		}
-		return true
-	}
-	return false
 }
 
 // Stats reports the store's SDDS state: bucket counts and split/IAM

@@ -25,6 +25,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/chunk"
 	"repro/internal/cipherx"
@@ -188,11 +189,23 @@ func (pl *Pipeline) packChunk(c []byte) (uint64, error) {
 	return v, nil
 }
 
+// valsPool recycles the encrypted-chunk scratch vector of
+// encryptChunks: the values are dead once the piece streams are built,
+// so the buffer never escapes an encryptChunks call.
+var valsPool = sync.Pool{New: func() any { return new([]uint64) }}
+
 // encryptChunks runs Stage 1's ECB and Stage 3's dispersion over a chunk
 // sequence, yielding the K piece streams (K = 1 gives one stream of
-// whole encrypted chunk values).
+// whole encrypted chunk values). The dispersion loop writes pieces
+// straight into the output streams via DisperseInto — one backing
+// allocation for all K streams, no per-chunk garbage.
 func (pl *Pipeline) encryptChunks(chunks [][]byte) ([][]disperse.Piece, error) {
-	vals := make([]uint64, len(chunks))
+	vp := valsPool.Get().(*[]uint64)
+	defer valsPool.Put(vp)
+	if cap(*vp) < len(chunks) {
+		*vp = make([]uint64, len(chunks))
+	}
+	vals := (*vp)[:len(chunks)]
 	for i, c := range chunks {
 		v, err := pl.packChunk(c)
 		if err != nil {
@@ -201,7 +214,20 @@ func (pl *Pipeline) encryptChunks(chunks [][]byte) ([][]disperse.Piece, error) {
 		vals[i] = pl.ecb.EncryptBits(v)
 	}
 	if pl.disp != nil {
-		return pl.disp.DisperseStream(vals), nil
+		k := pl.disp.K()
+		streams := make([][]disperse.Piece, k)
+		backing := make([]disperse.Piece, k*len(vals))
+		for i := range streams {
+			streams[i] = backing[i*len(vals) : (i+1)*len(vals) : (i+1)*len(vals)]
+		}
+		var tmp [64]disperse.Piece // K*G <= 64 bits bounds K at 64
+		for ci, v := range vals {
+			pl.disp.DisperseInto(tmp[:k], v)
+			for i := 0; i < k; i++ {
+				streams[i][ci] = tmp[i]
+			}
+		}
+		return streams, nil
 	}
 	// No dispersion: a single stream. Chunk values can exceed 16 bits
 	// only when packing raw symbols, in which case we must keep whole
@@ -366,7 +392,7 @@ func (pl *Pipeline) MatchIndexRecord(q *Query, rec *IndexRecord) []SeriesHit {
 			}
 			ok := true
 			for k := 1; k < len(rec.Streams); k++ {
-				if !hasOffset(rec.Streams[k], s.Patterns[k], o) {
+				if !MatchAt(rec.Streams[k], s.Patterns[k], o) {
 					ok = false
 					break
 				}
@@ -384,8 +410,11 @@ func (pl *Pipeline) MatchIndexRecord(q *Query, rec *IndexRecord) []SeriesHit {
 	return hits
 }
 
-func hasOffset(stream, pattern []disperse.Piece, o int) bool {
-	if o+len(pattern) > len(stream) {
+// MatchAt reports whether pattern occurs in stream at offset o — the
+// single-candidate form of MatchOffsets, used by posting-list probes
+// that already know the candidate positions.
+func MatchAt(stream, pattern []disperse.Piece, o int) bool {
+	if o < 0 || o+len(pattern) > len(stream) || len(pattern) == 0 {
 		return false
 	}
 	for i, p := range pattern {

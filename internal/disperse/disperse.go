@@ -159,6 +159,8 @@ func (d *Disperser) Disperse(chunk uint64) []Piece {
 }
 
 // DisperseInto is Disperse without allocation. len(dst) must be K.
+// It is the pipeline's per-chunk hot path, so the scratch vectors live
+// on the stack (K*G <= 64 bits bounds K at 64).
 func (d *Disperser) DisperseInto(dst []Piece, chunk uint64) {
 	if len(dst) != d.k {
 		panic(fmt.Sprintf("disperse: dst length %d, want %d", len(dst), d.k))
@@ -166,13 +168,13 @@ func (d *Disperser) DisperseInto(dst []Piece, chunk uint64) {
 	if bits := d.ChunkBits(); bits < 64 && chunk&^(1<<bits-1) != 0 {
 		panic(fmt.Sprintf("disperse: chunk %#x exceeds %d-bit width", chunk, bits))
 	}
-	vec := make([]gf.Elem, d.k)
+	var vecArr, resArr [64]gf.Elem
+	vec, res := vecArr[:d.k], resArr[:d.k]
 	mask := uint64(d.field.Mask())
 	for i := 0; i < d.k; i++ {
 		shift := uint(d.k-1-i) * d.g
 		vec[i] = gf.Elem(chunk >> shift & mask)
 	}
-	res := make([]gf.Elem, d.k)
 	d.e.MulVecInto(res, vec)
 	for i, r := range res {
 		dst[i] = Piece(r)

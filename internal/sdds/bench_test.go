@@ -1,0 +1,269 @@
+package sdds
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/cipherx"
+	"repro/internal/core"
+	"repro/internal/disperse"
+	"repro/internal/transport"
+)
+
+// --- Node-side search: posting index vs linear scan ---
+//
+// One 20k-record corpus per mode, built once and shared across
+// benchmark iterations. The query is a selective 9-symbol substring of
+// a known record, so the measured work is the node-side lookup, not
+// result marshalling.
+
+type searchBench struct {
+	cluster *Cluster
+	pl      *core.Pipeline
+	query   *core.Query
+}
+
+const benchSearchRecords = 20000
+
+var (
+	searchBenchOnce sync.Once
+	searchBenches   map[string]*searchBench
+)
+
+func buildSearchBench(b *testing.B, linear bool) *searchBench {
+	rng := rand.New(rand.NewSource(99))
+	mem := transport.NewMemory()
+	ids := []transport.NodeID{0, 1, 2, 3}
+	place, err := NewPlacement(ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range ids {
+		node := NewNode(id, mem, place)
+		if linear {
+			node.DisablePostingIndex()
+		}
+		mem.Register(id, node.Handler())
+	}
+	c := NewCluster(mem, place)
+
+	pl := benchPipeline(b, 4, 2, 2)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+	var needle []byte
+	for rid := uint64(1); rid <= benchSearchRecords; rid++ {
+		rc := make([]byte, 24)
+		for i := range rc {
+			rc[i] = byte('A' + rng.Intn(26))
+		}
+		if rid == benchSearchRecords/2 {
+			needle = append([]byte(nil), rc[4:13]...)
+		}
+		recs, err := pl.BuildIndex(rid, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query, err := pl.BuildQuery(needle, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &searchBench{cluster: c, pl: pl, query: query}
+}
+
+func getSearchBench(b *testing.B, mode string) *searchBench {
+	searchBenchOnce.Do(func() {
+		searchBenches = map[string]*searchBench{
+			"posting": buildSearchBench(b, false),
+			"linear":  buildSearchBench(b, true),
+		}
+	})
+	return searchBenches[mode]
+}
+
+func benchPipeline(tb testing.TB, s, m, k int) *core.Pipeline {
+	tb.Helper()
+	pl, err := core.NewPipeline(core.Params{
+		Chunk:      chunk.Params{S: s, M: m},
+		DisperseK:  k,
+		MatrixKind: disperse.MatrixRandom,
+		Key:        cipherx.KeyFromPassphrase("sdds-test"),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return pl
+}
+
+func benchmarkNodeSearch(b *testing.B, mode string) {
+	sb := getSearchBench(b, mode)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits, err := sb.cluster.Search(ctx, FileIndex, sb.pl, sb.query, core.VerifyAny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(hits) == 0 {
+			b.Fatal("query lost its record")
+		}
+	}
+}
+
+func BenchmarkNodeSearch(b *testing.B) {
+	b.Run("linear", func(b *testing.B) { benchmarkNodeSearch(b, "linear") })
+	b.Run("posting", func(b *testing.B) { benchmarkNodeSearch(b, "posting") })
+}
+
+// --- Batched vs sequential InsertIndexed ---
+
+// countingTransport counts client-issued RPCs; node-to-node forwards
+// bypass it (nodes hold the raw memory transport), so the count is
+// exactly the client's message cost.
+type countingTransport struct {
+	transport.Transport
+	sends atomic.Int64
+}
+
+func (c *countingTransport) Send(ctx context.Context, node transport.NodeID, op uint8, payload []byte) ([]byte, error) {
+	c.sends.Add(1)
+	return c.Transport.Send(ctx, node, op, payload)
+}
+
+func insertBenchCluster(tb testing.TB, nodes int) (*Cluster, *countingTransport) {
+	tb.Helper()
+	mem := transport.NewMemory()
+	ids := make([]transport.NodeID, nodes)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	place, err := NewPlacement(ids)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, id := range ids {
+		node := NewNode(id, mem, place)
+		mem.Register(id, node.Handler())
+	}
+	ct := &countingTransport{Transport: mem}
+	return NewCluster(ct, place), ct
+}
+
+func benchmarkInsertIndexed(b *testing.B, batched bool) {
+	rng := rand.New(rand.NewSource(7))
+	pl := benchPipeline(b, 4, 2, 4)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+
+	const records = 200
+	recSets := make([][]core.IndexRecord, records)
+	for i := range recSets {
+		rc := make([]byte, 24)
+		for j := range rc {
+			rc[j] = byte('A' + rng.Intn(26))
+		}
+		recs, err := pl.BuildIndex(uint64(i+1), rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recSets[i] = recs
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rpcs, inserted int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, ct := insertBenchCluster(b, 4)
+		b.StartTimer()
+		for _, recs := range recSets {
+			var err error
+			if batched {
+				err = c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits)
+			} else {
+				err = c.InsertIndexedSequential(ctx, FileIndex, recs, pl.K(), slotBits)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rpcs += ct.sends.Load()
+		inserted += records
+	}
+	b.ReportMetric(float64(rpcs)/float64(inserted), "rpcs/record")
+}
+
+func BenchmarkInsertIndexed(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchmarkInsertIndexed(b, false) })
+	b.Run("batched", func(b *testing.B) { benchmarkInsertIndexed(b, true) })
+}
+
+// TestBatchedInsertRPCBound pins the batching contract: one insert of a
+// multi-piece record costs at most one RPC per destination node (no
+// splits pending).
+func TestBatchedInsertRPCBound(t *testing.T) {
+	pl := testPipeline(t, 4, 2, 4)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+	c, ct := insertBenchCluster(t, 4)
+	c.SetMaxLoad(FileIndex, 1000) // no splits: isolate the batch cost
+
+	recs, err := pl.BuildIndex(1, []byte("AN ENCRYPTED CONTENT SEARCHABLE SCALABLE STRUCTURE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pieces int
+	for _, r := range recs {
+		pieces += len(r.Streams)
+	}
+	before := ct.sends.Load()
+	if err := c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+		t.Fatal(err)
+	}
+	rpcs := ct.sends.Load() - before
+	if nodes := int64(len(c.place.Nodes())); rpcs > nodes {
+		t.Fatalf("batched insert used %d RPCs for %d nodes", rpcs, nodes)
+	}
+	if rpcs >= int64(pieces) {
+		t.Fatalf("batching saved nothing: %d RPCs for %d pieces", rpcs, pieces)
+	}
+}
+
+// --- Placement.Nodes: cached immutable slice, zero allocations ---
+
+func TestPlacementNodesZeroAlloc(t *testing.T) {
+	place, err := NewPlacement([]transport.NodeID{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(place.Nodes()) != 5 {
+			t.Fatal("wrong node count")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Placement.Nodes allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkPlacementNodes(b *testing.B) {
+	place, err := NewPlacement([]transport.NodeID{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(place.Nodes()) == 0 {
+			b.Fatal("empty placement")
+		}
+	}
+}

@@ -119,7 +119,10 @@ func (c *Cluster) Put(ctx context.Context, id FileID, key uint64, value []byte) 
 
 	req := putReq{file: id, addr: addr, key: key, value: value}
 	node := c.place.NodeOf(addr)
-	raw, err := c.tr.Send(ctx, node, opPut, req.encode())
+	w := getWriter()
+	req.encodeTo(w)
+	raw, err := c.tr.Send(ctx, node, opPut, w.b)
+	putWriter(w)
 	if err != nil {
 		c.opsMu.RUnlock()
 		return err
@@ -158,7 +161,10 @@ func (c *Cluster) Get(ctx context.Context, id FileID, key uint64) ([]byte, bool,
 	c.mu.Unlock()
 
 	req := keyReq{file: id, addr: addr, key: key}
-	raw, err := c.tr.Send(ctx, c.place.NodeOf(addr), opGet, req.encode())
+	w := getWriter()
+	req.encodeTo(w)
+	raw, err := c.tr.Send(ctx, c.place.NodeOf(addr), opGet, w.b)
+	putWriter(w)
 	if err != nil {
 		return nil, false, err
 	}
@@ -187,7 +193,10 @@ func (c *Cluster) Delete(ctx context.Context, id FileID, key uint64) (bool, erro
 	c.mu.Unlock()
 
 	req := keyReq{file: id, addr: addr, key: key}
-	raw, err := c.tr.Send(ctx, c.place.NodeOf(addr), opDelete, req.encode())
+	w := getWriter()
+	req.encodeTo(w)
+	raw, err := c.tr.Send(ctx, c.place.NodeOf(addr), opDelete, w.b)
+	putWriter(w)
 	if err != nil {
 		c.opsMu.RUnlock()
 		return false, err
@@ -337,9 +346,139 @@ func (c *Cluster) Size(id FileID) int {
 	return c.file(id).size
 }
 
+// NodeFailure is one node's error in a batched operation.
+type NodeFailure struct {
+	Node transport.NodeID
+	Err  error
+}
+
+// BatchError reports the nodes whose part of a batched operation
+// failed; the remaining nodes' parts were applied. It composes with
+// the transport Retry middleware: a node is listed only after the
+// retry layer has exhausted its attempts against it, so callers can
+// re-drive just the failed portion (the puts are idempotent).
+type BatchError struct {
+	Failures []NodeFailure
+}
+
+func (e *BatchError) Error() string {
+	nodes := make([]transport.NodeID, len(e.Failures))
+	for i, f := range e.Failures {
+		nodes[i] = f.Node
+	}
+	return fmt.Sprintf("sdds: batch failed on nodes %v: %v", nodes, e.Failures[0].Err)
+}
+
+// Unwrap exposes the per-node errors to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f.Err
+	}
+	return out
+}
+
 // InsertIndexed stores the index records of one record: every (chunking,
 // site) piece stream becomes one SDDS record under the §5 composite key.
+// The m·k piece records are coalesced by destination node into one
+// opPutBatch message each and sent concurrently, so one record costs at
+// most one RPC per destination node instead of m·k sequential puts. On
+// partial failure the successful nodes' entries remain applied and a
+// *BatchError names the failed nodes.
 func (c *Cluster) InsertIndexed(ctx context.Context, id FileID, recs []core.IndexRecord, kSites int, slotBits uint) error {
+	c.opsMu.RLock()
+	c.mu.Lock()
+	f := c.file(id)
+	batches := make(map[transport.NodeID]*putBatchReq)
+	for _, rec := range recs {
+		for k, stream := range rec.Streams {
+			key := ComposeIndexKey(rec.RID, rec.J, k, kSites, slotBits)
+			addr := f.image.Address(key)
+			node := c.place.NodeOf(addr)
+			b := batches[node]
+			if b == nil {
+				b = &putBatchReq{file: id}
+				batches[node] = b
+			}
+			b.entries = append(b.entries, batchEntry{
+				addr:  addr,
+				key:   key,
+				value: indexValue{firstIndex: uint32(rec.FirstIndex), pieces: stream}.encode(),
+			})
+		}
+	}
+	c.mu.Unlock()
+
+	reqs := make(map[transport.NodeID][]byte, len(batches))
+	ws := make([]*writer, 0, len(batches))
+	for node, b := range batches {
+		w := getWriter()
+		b.encodeTo(w)
+		reqs[node] = w.b
+		ws = append(ws, w)
+	}
+	results := transport.Scatter(ctx, c.tr, opPutBatch, reqs)
+	for _, w := range ws {
+		putWriter(w)
+	}
+
+	var batchErr *BatchError
+	c.mu.Lock()
+	for _, r := range results {
+		if r.Err != nil {
+			if batchErr == nil {
+				batchErr = &BatchError{}
+			}
+			batchErr.Failures = append(batchErr.Failures, NodeFailure{Node: r.Node, Err: r.Err})
+			continue
+		}
+		resp, derr := decodePutBatchResp(r.Payload)
+		if derr == nil && len(resp.resps) != len(batches[r.Node].entries) {
+			derr = fmt.Errorf("sdds: batch response has %d entries, want %d", len(resp.resps), len(batches[r.Node].entries))
+		}
+		if derr != nil {
+			c.mu.Unlock()
+			c.opsMu.RUnlock()
+			return derr
+		}
+		ents := batches[r.Node].entries
+		for i, pr := range resp.resps {
+			if pr.iamAddr != ents[i].addr {
+				f.image.Adjust(pr.iamAddr, uint(pr.iamLevel))
+				f.iams++
+			}
+			if pr.isNew {
+				f.size++
+			}
+		}
+	}
+	needSplit := f.size > int(f.state.Buckets())*f.maxLoad
+	c.mu.Unlock()
+	c.opsMu.RUnlock()
+
+	// With unreachable nodes a split would likely fail too and mask the
+	// partial-failure report; leave the overflow for the next insert.
+	if batchErr != nil {
+		return batchErr
+	}
+	// A batch can overflow the file by more than one bucket's worth;
+	// split until the load invariant holds again (split itself no-ops
+	// when it finds the condition already restored).
+	for needSplit {
+		if err := c.split(ctx, id); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		needSplit = f.size > int(f.state.Buckets())*f.maxLoad
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// InsertIndexedSequential is the pre-batching insert path: one Put RPC
+// per (chunking, site) piece. Kept as the reference implementation the
+// batched path is benchmarked and tested against.
+func (c *Cluster) InsertIndexedSequential(ctx context.Context, id FileID, recs []core.IndexRecord, kSites int, slotBits uint) error {
 	for _, rec := range recs {
 		for k, stream := range rec.Streams {
 			key := ComposeIndexKey(rec.RID, rec.J, k, kSites, slotBits)

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/disperse"
@@ -50,6 +51,7 @@ const (
 	opWordSearch
 	opNodeSnapshot
 	opNodeRestore
+	opPutBatch
 )
 
 // ComposeIndexKey builds the §5 composite key: RID shifted left by
@@ -96,6 +98,27 @@ func (w *writer) pieces(v []disperse.Piece) {
 	for _, p := range v {
 		w.u16(uint16(p))
 	}
+}
+
+// writerPool recycles request-encode scratch buffers on the client hot
+// path. A pooled buffer may be handed to Transport.Send and released
+// immediately after it returns: transports (including the Retry and
+// Faulty middleware, whose retries and duplicate deliveries are
+// synchronous) must not retain request payloads past Send, and the
+// node-side decoders copy every byte they keep.
+var writerPool = sync.Pool{New: func() any { return new(writer) }}
+
+func getWriter() *writer {
+	w := writerPool.Get().(*writer)
+	w.b = w.b[:0]
+	return w
+}
+
+func putWriter(w *writer) {
+	if cap(w.b) > 1<<20 {
+		return // don't let one huge record pin a large buffer
+	}
+	writerPool.Put(w)
 }
 
 type reader struct {
@@ -199,12 +222,16 @@ type putReq struct {
 
 func (m putReq) encode() []byte {
 	w := &writer{}
+	m.encodeTo(w)
+	return w.b
+}
+
+func (m putReq) encodeTo(w *writer) {
 	w.u8(uint8(m.file))
 	w.u64(m.addr)
 	w.u8(m.hops)
 	w.u64(m.key)
 	w.bytes(m.value)
-	return w.b
 }
 
 func decodePutReq(b []byte) (putReq, error) {
@@ -253,6 +280,85 @@ func decodePutResp(b []byte) (putResp, error) {
 	return m, r.done()
 }
 
+// putBatchReq carries the coalesced index-piece puts destined for one
+// node: every entry is independently addressed (entries of one record
+// scatter over many buckets), so the node re-runs the LH* ownership
+// check per entry and forwards strays individually.
+type putBatchReq struct {
+	file    FileID
+	entries []batchEntry
+}
+
+type batchEntry struct {
+	addr  uint64
+	key   uint64
+	value []byte
+}
+
+func (m putBatchReq) encode() []byte {
+	w := &writer{}
+	m.encodeTo(w)
+	return w.b
+}
+
+func (m putBatchReq) encodeTo(w *writer) {
+	w.u8(uint8(m.file))
+	w.u32(uint32(len(m.entries)))
+	for _, e := range m.entries {
+		w.u64(e.addr)
+		w.u64(e.key)
+		w.bytes(e.value)
+	}
+}
+
+func decodePutBatchReq(b []byte) (putBatchReq, error) {
+	r := &reader{b: b}
+	m := putBatchReq{file: FileID(r.u8())}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		e := batchEntry{addr: r.u64(), key: r.u64()}
+		e.value = append([]byte(nil), r.bytes()...)
+		m.entries = append(m.entries, e)
+	}
+	return m, r.done()
+}
+
+// putBatchResp returns one putResp per batch entry, in request order.
+type putBatchResp struct {
+	resps []putResp
+}
+
+func (m putBatchResp) encode() []byte {
+	w := &writer{}
+	w.u32(uint32(len(m.resps)))
+	for _, p := range m.resps {
+		if p.isNew {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.u64(p.iamAddr)
+		w.u8(p.iamLevel)
+		w.u32(p.bucketLen)
+	}
+	return w.b
+}
+
+func decodePutBatchResp(b []byte) (putBatchResp, error) {
+	r := &reader{b: b}
+	n := int(r.u32())
+	m := putBatchResp{}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.resps = append(m.resps, putResp{
+			isNew:     r.u8() == 1,
+			iamAddr:   r.u64(),
+			iamLevel:  r.u8(),
+			bucketLen: r.u32(),
+		})
+	}
+	return m, r.done()
+}
+
 // keyReq serves Get and Delete.
 type keyReq struct {
 	file FileID
@@ -263,11 +369,15 @@ type keyReq struct {
 
 func (m keyReq) encode() []byte {
 	w := &writer{}
+	m.encodeTo(w)
+	return w.b
+}
+
+func (m keyReq) encodeTo(w *writer) {
 	w.u8(uint8(m.file))
 	w.u64(m.addr)
 	w.u8(m.hops)
 	w.u64(m.key)
-	return w.b
 }
 
 func decodeKeyReq(b []byte) (keyReq, error) {

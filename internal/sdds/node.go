@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/disperse"
 	"repro/internal/lhstar"
 	"repro/internal/transport"
 	"repro/internal/wordindex"
@@ -23,12 +24,106 @@ type Node struct {
 	peers transport.Transport // for server-to-server forwarding
 	place *Placement
 
+	// linearSearch disables the posting index (set before serving any
+	// traffic); handleSearch then falls back to the full linear scan.
+	linearSearch bool
+
 	mu    sync.RWMutex
 	files map[FileID]*nodeFile
 }
 
 type nodeFile struct {
 	buckets map[uint64]*lhstar.Bucket
+	// idx is the posting index accelerating handleSearch; non-nil only
+	// for the index file on nodes that keep the posting index enabled.
+	idx *searchIndex
+}
+
+// searchIndex is a per-file inverted index over encrypted piece values:
+// post[p] lists, per composite entry key, the stream offsets at which
+// piece value p occurs; entries caches the decoded piece stream so a
+// probe can verify candidates without re-decoding bucket values. It is
+// maintained incrementally under the node lock on every mutation
+// (put/delete/split/merge) and rebuilt wholesale on restore. Because
+// Stage-1 ECB maps equal plaintext chunks to equal ciphertext chunks,
+// the first piece of a query pattern is an exact-match anchor into this
+// structure, making node-side search cost scale with candidate count
+// instead of file size.
+type searchIndex struct {
+	post    map[disperse.Piece]map[uint64][]uint32
+	entries map[uint64]postEntry
+}
+
+type postEntry struct {
+	firstIndex uint32
+	pieces     []disperse.Piece
+}
+
+func newSearchIndex() *searchIndex {
+	return &searchIndex{
+		post:    make(map[disperse.Piece]map[uint64][]uint32),
+		entries: make(map[uint64]postEntry),
+	}
+}
+
+// indexPut (re)indexes one stored value. Values that do not decode as
+// index pieces (foreign entries) are kept out of the index, mirroring
+// the linear scan's skip. Callers must hold the node lock.
+func (f *nodeFile) indexPut(key uint64, value []byte) {
+	if f.idx == nil {
+		return
+	}
+	f.indexDelete(key) // a Put may overwrite an existing entry
+	iv, err := decodeIndexValue(value)
+	if err != nil {
+		return
+	}
+	f.idx.entries[key] = postEntry{firstIndex: iv.firstIndex, pieces: iv.pieces}
+	for off, p := range iv.pieces {
+		m := f.idx.post[p]
+		if m == nil {
+			m = make(map[uint64][]uint32)
+			f.idx.post[p] = m
+		}
+		m[key] = append(m[key], uint32(off))
+	}
+}
+
+// indexDelete removes one key's postings. Callers must hold the node
+// lock.
+func (f *nodeFile) indexDelete(key uint64) {
+	if f.idx == nil {
+		return
+	}
+	e, ok := f.idx.entries[key]
+	if !ok {
+		return
+	}
+	delete(f.idx.entries, key)
+	for _, p := range e.pieces {
+		if m := f.idx.post[p]; m != nil {
+			delete(m, key)
+			if len(m) == 0 {
+				delete(f.idx.post, p)
+			}
+		}
+	}
+}
+
+// rebuildIndex reconstructs the posting index from bucket contents —
+// used after a wholesale state replacement (restore/recovery). Callers
+// must hold the node lock.
+func (f *nodeFile) rebuildIndex() {
+	if f.idx == nil {
+		return
+	}
+	f.idx = newSearchIndex()
+	for _, b := range f.buckets {
+		b.Scan(func(key uint64, value []byte) bool {
+			f.indexPut(key, value)
+			return true
+		})
+	}
 }
 
 // Placement maps LH* bucket addresses onto the fixed node pool. The
@@ -53,9 +148,12 @@ func (p *Placement) NodeOf(addr uint64) transport.NodeID {
 	return p.nodes[addr%uint64(len(p.nodes))]
 }
 
-// Nodes returns the node pool.
+// Nodes returns the node pool. The returned slice is the placement's
+// cached, immutable membership — callers must not modify it. (Every
+// broadcast consults it, so handing out copies would put an allocation
+// on the search hot path.)
 func (p *Placement) Nodes() []transport.NodeID {
-	return append([]transport.NodeID(nil), p.nodes...)
+	return p.nodes
 }
 
 // NewNode creates a node. peers is the transport used for forwarding
@@ -70,6 +168,18 @@ func NewNode(id transport.NodeID, peers transport.Transport, placement *Placemen
 	// Node 0 starts with the initial bucket of every file lazily; see
 	// getFile.
 	return n
+}
+
+// DisablePostingIndex switches the node to the linear search scan —
+// the reference implementation the posting index must agree with. Call
+// it before the node serves any traffic.
+func (n *Node) DisablePostingIndex() {
+	n.mu.Lock()
+	n.linearSearch = true
+	for _, f := range n.files {
+		f.idx = nil
+	}
+	n.mu.Unlock()
 }
 
 // Handler returns the transport handler serving this node.
@@ -102,6 +212,8 @@ func (n *Node) Handler() transport.Handler {
 			return n.handleNodeSnapshot(payload)
 		case opNodeRestore:
 			return n.handleNodeRestore(payload)
+		case opPutBatch:
+			return n.handlePutBatch(payload)
 		default:
 			return nil, fmt.Errorf("sdds: unknown op %d", op)
 		}
@@ -115,11 +227,22 @@ func (n *Node) getFile(id FileID) *nodeFile {
 	defer n.mu.Unlock()
 	f, ok := n.files[id]
 	if !ok {
-		f = &nodeFile{buckets: make(map[uint64]*lhstar.Bucket)}
+		f = n.newFileLocked(id)
 		if n.place.NodeOf(0) == n.id {
 			f.buckets[0] = lhstar.NewBucket(0, 0)
 		}
 		n.files[id] = f
+	}
+	return f
+}
+
+// newFileLocked builds an empty per-file state: the index file gets a
+// posting index unless the node runs in linear-scan mode. Callers must
+// hold the node lock.
+func (n *Node) newFileLocked(id FileID) *nodeFile {
+	f := &nodeFile{buckets: make(map[uint64]*lhstar.Bucket)}
+	if !n.linearSearch && id == FileIndex {
+		f.idx = newSearchIndex()
 	}
 	return f
 }
@@ -146,7 +269,7 @@ const forwardDeadline = 10 * time.Second
 // are atomic with respect to concurrent splits. If the key belongs
 // elsewhere, the (re-encoded) request is forwarded to the owning peer
 // and its response relayed.
-func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64, op uint8, reencode func(nextAddr uint64) []byte, fn func(b *lhstar.Bucket) []byte) ([]byte, error) {
+func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64, op uint8, reencode func(nextAddr uint64) []byte, fn func(f *nodeFile, b *lhstar.Bucket) []byte) ([]byte, error) {
 	f := n.getFile(file)
 	n.mu.Lock()
 	b, ok := f.buckets[addr]
@@ -156,7 +279,7 @@ func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64,
 	}
 	next, fwd := lhstar.ServerAddress(b.Addr(), b.Level(), key)
 	if !fwd {
-		resp := fn(b)
+		resp := fn(f, b)
 		n.mu.Unlock()
 		return resp, nil
 	}
@@ -182,8 +305,9 @@ func (n *Node) handlePut(payload []byte) ([]byte, error) {
 		fwd.addr = next
 		fwd.hops++
 		return fwd.encode()
-	}, func(b *lhstar.Bucket) []byte {
+	}, func(f *nodeFile, b *lhstar.Bucket) []byte {
 		isNew := b.Put(m.key, m.value)
+		f.indexPut(m.key, m.value)
 		return putResp{
 			isNew:     isNew,
 			iamAddr:   b.Addr(),
@@ -191,6 +315,68 @@ func (n *Node) handlePut(payload []byte) ([]byte, error) {
 			bucketLen: uint32(b.Len()),
 		}.encode()
 	})
+}
+
+// handlePutBatch applies a coalesced batch of independently addressed
+// puts in one message: entries owned by a local bucket are applied
+// under a single lock acquisition; entries whose bucket has split away
+// are forwarded individually as plain puts (the forward carries the
+// server-computed address, so the LH* hop bound still holds). The
+// response carries one putResp per entry in request order, so the
+// client receives every IAM it would have gotten from sequential puts.
+func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
+	m, err := decodePutBatchReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	f := n.getFile(m.file)
+	resps := make([]putResp, len(m.entries))
+	type fwd struct {
+		i    int
+		addr uint64
+	}
+	var fwds []fwd
+	n.mu.Lock()
+	for i, e := range m.entries {
+		b, ok := f.buckets[e.addr]
+		if !ok {
+			n.mu.Unlock()
+			return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, e.addr, m.file)
+		}
+		next, needFwd := lhstar.ServerAddress(b.Addr(), b.Level(), e.key)
+		if needFwd {
+			fwds = append(fwds, fwd{i: i, addr: next})
+			continue
+		}
+		isNew := b.Put(e.key, e.value)
+		f.indexPut(e.key, e.value)
+		resps[i] = putResp{
+			isNew:     isNew,
+			iamAddr:   b.Addr(),
+			iamLevel:  uint8(b.Level()),
+			bucketLen: uint32(b.Len()),
+		}
+	}
+	n.mu.Unlock()
+	if len(fwds) > 0 && n.peers == nil {
+		return nil, fmt.Errorf("sdds: forward needed but node %d has no peer transport", n.id)
+	}
+	for _, fw := range fwds {
+		e := m.entries[fw.i]
+		req := putReq{file: m.file, addr: fw.addr, hops: 1, key: e.key, value: e.value}
+		ctx, cancel := context.WithTimeout(context.Background(), forwardDeadline)
+		raw, err := n.peers.Send(ctx, n.place.NodeOf(fw.addr), opPut, req.encode())
+		cancel()
+		if err != nil {
+			return nil, err
+		}
+		pr, err := decodePutResp(raw)
+		if err != nil {
+			return nil, err
+		}
+		resps[fw.i] = pr
+	}
+	return putBatchResp{resps: resps}.encode(), nil
 }
 
 func (n *Node) handleGet(payload []byte) ([]byte, error) {
@@ -203,7 +389,7 @@ func (n *Node) handleGet(payload []byte) ([]byte, error) {
 		fwd.addr = next
 		fwd.hops++
 		return fwd.encode()
-	}, func(b *lhstar.Bucket) []byte {
+	}, func(_ *nodeFile, b *lhstar.Bucket) []byte {
 		v, ok := b.Get(m.key)
 		return valueResp{
 			found:    ok,
@@ -224,8 +410,11 @@ func (n *Node) handleDelete(payload []byte) ([]byte, error) {
 		fwd.addr = next
 		fwd.hops++
 		return fwd.encode()
-	}, func(b *lhstar.Bucket) []byte {
+	}, func(f *nodeFile, b *lhstar.Bucket) []byte {
 		ok := b.Delete(m.key)
+		if ok {
+			f.indexDelete(m.key)
+		}
 		return valueResp{
 			found:    ok,
 			iamAddr:  b.Addr(),
@@ -234,11 +423,12 @@ func (n *Node) handleDelete(payload []byte) ([]byte, error) {
 	})
 }
 
-// handleSearch scans every local bucket of the index file: each entry is
-// an index piece keyed (rid, j, k); the node matches the query patterns
-// for site k against the entry's piece stream and reports raw hits. The
-// scan is the site-side half of the paper's parallel search — executed
-// entirely on opaque ciphertext.
+// handleSearch answers the site-side half of the paper's parallel
+// search — executed entirely on opaque ciphertext. With the posting
+// index enabled it probes the index by each pattern's anchor piece
+// (its first piece) and verifies only the candidate positions; without
+// it, it falls back to the reference linear scan over every bucket →
+// entry → series. Both paths report the identical raw hit set.
 func (n *Node) handleSearch(payload []byte) ([]byte, error) {
 	m, err := decodeSearchReq(payload)
 	if err != nil {
@@ -248,6 +438,53 @@ func (n *Node) handleSearch(payload []byte) ([]byte, error) {
 	var resp searchResp
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if f.idx != nil {
+		n.searchPosting(f.idx, &m, &resp)
+	} else {
+		n.searchLinear(f, &m, &resp)
+	}
+	return resp.encode(), nil
+}
+
+// searchPosting probes the posting index: for each (series, site)
+// pattern, the entries whose streams contain the anchor piece are the
+// only candidates, and each candidate offset is verified against the
+// full pattern. Cost scales with candidate count, not file size.
+// Callers must hold the node lock (shared suffices).
+func (n *Node) searchPosting(idx *searchIndex, m *searchReq, resp *searchResp) {
+	for _, s := range m.series {
+		for k, pat := range s.patterns {
+			if len(pat) == 0 {
+				continue
+			}
+			for key, offs := range idx.post[pat[0]] {
+				rid, j, ek := DecomposeIndexKey(key, int(m.kSites), uint(m.slotBits))
+				if ek != k {
+					continue
+				}
+				e := idx.entries[key]
+				for _, off := range offs {
+					if !core.MatchAt(e.pieces, pat, int(off)) {
+						continue
+					}
+					resp.hits = append(resp.hits, rawHit{
+						rid:         rid,
+						j:           uint8(j),
+						k:           uint8(ek),
+						a:           s.a,
+						firstIndex:  e.firstIndex,
+						pieceOffset: off,
+					})
+				}
+			}
+		}
+	}
+}
+
+// searchLinear is the reference full scan: every bucket → entry →
+// series → MatchOffsets. Callers must hold the node lock (shared
+// suffices).
+func (n *Node) searchLinear(f *nodeFile, m *searchReq, resp *searchResp) {
 	for _, b := range f.buckets {
 		b.Scan(func(key uint64, value []byte) bool {
 			iv, err := decodeIndexValue(value)
@@ -273,7 +510,6 @@ func (n *Node) handleSearch(payload []byte) ([]byte, error) {
 			return true
 		})
 	}
-	return resp.encode(), nil
 }
 
 func (n *Node) handleBucketCreate(payload []byte) ([]byte, error) {
@@ -296,6 +532,7 @@ func (n *Node) handleSplitExtract(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	f := n.getFile(m.file)
 	b, err := n.bucket(m.file, m.addr)
 	if err != nil {
 		return nil, err
@@ -309,6 +546,7 @@ func (n *Node) handleSplitExtract(payload []byte) ([]byte, error) {
 	var batch recordBatch
 	dst.Scan(func(key uint64, value []byte) bool {
 		batch.records = append(batch.records, kv{key: key, value: value})
+		f.indexDelete(key) // record leaves this node's buckets
 		return true
 	})
 	return batch.encode(), nil
@@ -319,6 +557,7 @@ func (n *Node) handleSplitAbsorb(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	f := n.getFile(m.file)
 	b, err := n.bucket(m.file, m.addr)
 	if err != nil {
 		return nil, err
@@ -327,6 +566,7 @@ func (n *Node) handleSplitAbsorb(payload []byte) ([]byte, error) {
 	defer n.mu.Unlock()
 	for _, r := range m.batch.records {
 		b.Put(r.key, r.value)
+		f.indexPut(r.key, r.value)
 	}
 	return nil, nil
 }
@@ -378,6 +618,7 @@ func (n *Node) handleMergeClose(payload []byte) ([]byte, error) {
 	var batch recordBatch
 	b.Scan(func(key uint64, value []byte) bool {
 		batch.records = append(batch.records, kv{key: key, value: value})
+		f.indexDelete(key) // bucket is being closed
 		return true
 	})
 	delete(f.buckets, m.addr)
@@ -391,6 +632,7 @@ func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	f := n.getFile(m.file)
 	b, err := n.bucket(m.file, m.addr)
 	if err != nil {
 		return nil, err
@@ -406,6 +648,9 @@ func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
 	}
 	if err := b.MergeFrom(src); err != nil {
 		return nil, err
+	}
+	for _, r := range m.batch.records {
+		f.indexPut(r.key, r.value)
 	}
 	return nil, nil
 }
@@ -450,9 +695,11 @@ func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	files := make(map[FileID]*nodeFile, len(img.files))
 	for _, fi := range img.files {
-		nf := &nodeFile{buckets: make(map[uint64]*lhstar.Bucket, len(fi.buckets))}
+		nf := n.newFileLocked(fi.file)
 		for _, snap := range fi.buckets {
 			b, err := lhstar.RestoreBucket(snap)
 			if err != nil {
@@ -460,11 +707,10 @@ func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
 			}
 			nf.buckets[b.Addr()] = b
 		}
+		nf.rebuildIndex()
 		files[fi.file] = nf
 	}
-	n.mu.Lock()
 	n.files = files
-	n.mu.Unlock()
 	return nil, nil
 }
 

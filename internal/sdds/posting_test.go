@@ -1,0 +1,366 @@
+package sdds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// memClusterNodes is memCluster, also returning the node handles (for
+// white-box posting-index inspection) with optional linear-scan mode.
+func memClusterNodes(t *testing.T, n int, linear bool) (*Cluster, []*Node) {
+	t.Helper()
+	mem := transport.NewMemory()
+	ids := make([]transport.NodeID, n)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	place, err := NewPlacement(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*Node, n)
+	for i, id := range ids {
+		node := NewNode(id, mem, place)
+		if linear {
+			node.DisablePostingIndex()
+		}
+		nodes[i] = node
+		mem.Register(id, node.Handler())
+	}
+	return NewCluster(mem, place), nodes
+}
+
+// checkPostingInvariants verifies that every node's incremental posting
+// index is exactly what a from-scratch rebuild of its bucket contents
+// would produce — the invariant that makes posting search equivalent to
+// the linear scan by construction.
+func checkPostingInvariants(t *testing.T, nodes []*Node) {
+	t.Helper()
+	for _, n := range nodes {
+		n.mu.Lock()
+		for id, f := range n.files {
+			if f.idx == nil {
+				if id == FileIndex && !n.linearSearch {
+					t.Errorf("node %d: index file has no posting index", n.id)
+				}
+				continue
+			}
+			want := &nodeFile{buckets: f.buckets, idx: newSearchIndex()}
+			want.rebuildIndex()
+			if len(f.idx.entries) != len(want.idx.entries) {
+				t.Errorf("node %d file %d: %d indexed entries, rebuild has %d",
+					n.id, id, len(f.idx.entries), len(want.idx.entries))
+			}
+			for key, e := range f.idx.entries {
+				we, ok := want.idx.entries[key]
+				if !ok || !reflect.DeepEqual(e, we) {
+					t.Errorf("node %d file %d: entry %d diverges from rebuild", n.id, id, key)
+				}
+			}
+			if len(f.idx.post) != len(want.idx.post) {
+				t.Errorf("node %d file %d: %d posting lists, rebuild has %d",
+					n.id, id, len(f.idx.post), len(want.idx.post))
+			}
+			for p, m := range f.idx.post {
+				wm := want.idx.post[p]
+				if len(m) != len(wm) {
+					t.Errorf("node %d file %d: piece %d has %d keys, rebuild has %d",
+						n.id, id, p, len(m), len(wm))
+					continue
+				}
+				for key, offs := range m {
+					if !reflect.DeepEqual(offs, wm[key]) {
+						t.Errorf("node %d file %d: piece %d key %d offsets %v, rebuild %v",
+							n.id, id, p, key, offs, wm[key])
+					}
+				}
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// randomRecord builds an uppercase record of 8..39 symbols.
+func randomRecord(rng *rand.Rand) []byte {
+	n := 8 + rng.Intn(32)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('A' + rng.Intn(26))
+	}
+	return b
+}
+
+// TestPostingSearchMatchesLinearScan drives two identical clusters —
+// posting-indexed and linear-scan — through randomized inserts, deletes
+// (forcing splits and merges), and compares Search results for every
+// query and verify mode. The posting index must be observationally
+// indistinguishable from the reference scan.
+func TestPostingSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pl := testPipeline(t, 4, 2, 2)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+
+	post, postNodes := memClusterNodes(t, 3, false)
+	lin, _ := memClusterNodes(t, 3, true)
+	for _, c := range []*Cluster{post, lin} {
+		c.SetMaxLoad(FileIndex, 8) // force plenty of splits
+	}
+
+	contents := make(map[uint64][]byte)
+	for rid := uint64(1); rid <= 120; rid++ {
+		rc := randomRecord(rng)
+		contents[rid] = rc
+		recs, err := pl.BuildIndex(rid, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := post.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+		if err := lin.InsertIndexedSequential(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if post.State(FileIndex).Buckets() < 4 {
+		t.Fatalf("index file did not split: %d buckets", post.State(FileIndex).Buckets())
+	}
+
+	compare := func(stage string) {
+		t.Helper()
+		queries := [][]byte{[]byte("ZZZZZZZZ")}
+		for rid, rc := range contents {
+			if len(queries) > 12 {
+				break
+			}
+			if len(rc) >= 10 {
+				off := rng.Intn(len(rc) - 9)
+				queries = append(queries, rc[off:off+9])
+			}
+			_ = rid
+		}
+		for qi, q := range queries {
+			for _, mode := range []core.VerifyMode{core.VerifyAny, core.VerifyAll, core.VerifyAligned} {
+				all := mode != core.VerifyAny
+				query, err := pl.BuildQuery(q, all)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := post.Search(ctx, FileIndex, pl, query, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := lin.Search(ctx, FileIndex, pl, query, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: query %d (%q) mode %d: posting %v, linear %v",
+						stage, qi, q, mode, got, want)
+				}
+			}
+		}
+		checkPostingInvariants(t, postNodes)
+	}
+
+	compare("after inserts")
+
+	// Delete enough records to trigger merges, then re-compare.
+	var rids []uint64
+	for rid := range contents {
+		rids = append(rids, rid)
+	}
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	for _, rid := range rids[:110] {
+		if err := post.DeleteIndexed(ctx, FileIndex, rid, pl.Chunkings(), pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+		if err := lin.DeleteIndexed(ctx, FileIndex, rid, pl.Chunkings(), pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+		delete(contents, rid)
+	}
+	if post.Merges(FileIndex) == 0 {
+		t.Error("deletes triggered no merges")
+	}
+	compare("after deletes and merges")
+}
+
+// TestPostingIndexSurvivesSnapshotRestore round-trips every node
+// through snapshot + restore and requires the rebuilt posting index to
+// match the incremental one.
+func TestPostingIndexSurvivesSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pl := testPipeline(t, 4, 2, 2)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+	c, nodes := memClusterNodes(t, 3, false)
+	c.SetMaxLoad(FileIndex, 8)
+	for rid := uint64(1); rid <= 60; rid++ {
+		recs, err := pl.BuildIndex(rid, randomRecord(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		img, err := n.Handler()(opNodeSnapshot, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Handler()(opNodeRestore, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkPostingInvariants(t, nodes)
+	query, err := pl.BuildQuery([]byte("AAAAAAA"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(ctx, FileIndex, pl, query, core.VerifyAny); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertIndexedBatchedMatchesSequential checks the batched insert
+// path produces the same searchable state as the sequential one.
+func TestInsertIndexedBatchedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pl := testPipeline(t, 4, 2, 4)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+	batched, _ := memClusterNodes(t, 4, false)
+	seq, _ := memClusterNodes(t, 4, false)
+	for _, c := range []*Cluster{batched, seq} {
+		c.SetMaxLoad(FileIndex, 8)
+	}
+	contents := make(map[uint64][]byte)
+	for rid := uint64(1); rid <= 80; rid++ {
+		rc := randomRecord(rng)
+		contents[rid] = rc
+		recs, err := pl.BuildIndex(rid, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := batched.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.InsertIndexedSequential(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := batched.Size(FileIndex), seq.Size(FileIndex); got != want {
+		t.Fatalf("batched size %d, sequential %d", got, want)
+	}
+	for rid, rc := range contents {
+		if len(rc) < 9 {
+			continue
+		}
+		q := rc[:9]
+		query, err := pl.BuildQuery(q, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := batched.Search(ctx, FileIndex, pl, query, core.VerifyAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := seq.Search(ctx, FileIndex, pl, query, core.VerifyAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rid %d query %q: batched %v, sequential %v", rid, q, got, want)
+		}
+	}
+}
+
+// failingTransport refuses sends to one node, for partial-failure runs.
+type failingTransport struct {
+	transport.Transport
+	dead transport.NodeID
+}
+
+func (f *failingTransport) Send(ctx context.Context, node transport.NodeID, op uint8, payload []byte) ([]byte, error) {
+	if node == f.dead {
+		return nil, fmt.Errorf("node %d: injected outage", node)
+	}
+	return f.Transport.Send(ctx, node, op, payload)
+}
+
+// TestInsertIndexedPartialFailure kills one node and requires the
+// batched insert to report exactly that node in a *BatchError while the
+// surviving nodes' entries are applied.
+func TestInsertIndexedPartialFailure(t *testing.T) {
+	pl := testPipeline(t, 4, 2, 4)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+
+	mem := transport.NewMemory()
+	ids := []transport.NodeID{0, 1, 2}
+	place, err := NewPlacement(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		node := NewNode(id, mem, place)
+		mem.Register(id, node.Handler())
+	}
+	c := NewCluster(&failingTransport{Transport: mem, dead: 1}, place)
+
+	// Pre-split the file so entries scatter across several nodes. Do it
+	// over the healthy transport to get a multi-bucket image.
+	healthy := NewCluster(mem, place)
+	healthy.SetMaxLoad(FileIndex, 4)
+	for rid := uint64(100); rid < 140; rid++ {
+		recs, err := pl.BuildIndex(rid, []byte("PRIMERECORDCONTENT"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := healthy.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Share the grown file state with the failing-transport cluster.
+	c.mu.Lock()
+	c.files[FileIndex] = healthy.files[FileIndex]
+	c.mu.Unlock()
+
+	recs, err := pl.BuildIndex(7, []byte("SCHWARZ THOMAS AND COMPANY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits)
+	if err == nil {
+		t.Fatal("expected partial failure")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T (%v), want *BatchError", err, err)
+	}
+	for _, f := range be.Failures {
+		if f.Node != 1 {
+			t.Errorf("failure reported for healthy node %d", f.Node)
+		}
+	}
+	// Surviving nodes' pieces must be present: SearchPartial over the
+	// healthy transport skipping nothing should find entries for rid 7
+	// unless every piece happened to land on node 1.
+	query, err := pl.BuildQuery([]byte("SCHWARZ T"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := healthy.SearchPartial(ctx, FileIndex, pl, query, core.VerifyAny); err != nil {
+		t.Fatal(err)
+	}
+}
