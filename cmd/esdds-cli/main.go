@@ -10,7 +10,11 @@
 //	search <substring>      encrypted substring search (filtered)
 //	rawsearch <substring>   encrypted search without client-side filter
 //	stats                   SDDS state (buckets, splits, IAMs)
-//	health                  per-node transport health (retries, breakers)
+//	health                  per-node health: detector state, retry and
+//	                        breaker accounting, injected-fault counters
+//	sync                    establish the LH*RS recovery point (-self-heal)
+//	heal                    wait for automatic repair to converge (-self-heal)
+//	kill <node>             crash a node (-mem clusters; pairs with -self-heal)
 //	quit
 //
 // Because the LH* split coordinator lives in the client process, load
@@ -55,6 +59,9 @@ func main() {
 		retryMax  = flag.Duration("retry-max", time.Second, "backoff cap")
 		breaker   = flag.Int("breaker", 8, "consecutive failures opening a node's circuit breaker (0 disables)")
 		cooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects requests")
+
+		selfHeal  = flag.Int("self-heal", 0, "enable self-healing with this parity (tolerated simultaneous node failures)")
+		faultSeed = flag.Int64("fault-seed", 0, "insert a deterministic fault injector with this seed (0 = off)")
 	)
 	flag.Parse()
 	if *passphrase == "" {
@@ -72,6 +79,14 @@ func main() {
 			Jitter:           0.2,
 			FailureThreshold: *breaker,
 			Cooldown:         *cooldown,
+		}))
+	}
+	if *faultSeed != 0 {
+		opts = append(opts, esdds.WithFaultInjection(*faultSeed))
+	}
+	if *selfHeal > 0 {
+		opts = append(opts, esdds.WithSelfHealing(esdds.SelfHealingConfig{
+			Parity: *selfHeal,
 		}))
 	}
 
@@ -211,22 +226,92 @@ func repl(store *esdds.Store, cluster *esdds.Cluster) {
 			fmt.Printf("record buckets %d (splits %d), index buckets %d (splits %d), IAMs %d\n",
 				st.RecordBuckets, st.RecordSplits, st.IndexBuckets, st.IndexSplits, st.IAMs)
 		case "health":
-			hs := cluster.RetryStats()
-			if hs == nil {
-				fmt.Println("retry middleware disabled (-retries 1 -breaker 0)")
+			printHealth(cluster)
+		case "sync":
+			heal := cluster.SelfHealing()
+			if heal == nil {
+				fmt.Println("self-healing disabled (run with -self-heal <k>)")
 				continue
 			}
-			for _, h := range hs {
-				state := "closed"
-				if h.BreakerOpen {
-					state = "OPEN"
-				}
-				fmt.Printf("node %d: sends %d ok %d failures %d retries %d breaker %s (trips %d)\n",
-					h.Node, h.Sends, h.Successes, h.Failures, h.Retries, state, h.BreakerTrips)
+			if err := heal.Sync(ctx); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				at, seq := heal.LastSync()
+				fmt.Printf("recovery point established: sync #%d at %s\n", seq, at.Format(time.RFC3339))
+			}
+		case "heal":
+			heal := cluster.SelfHealing()
+			if heal == nil {
+				fmt.Println("self-healing disabled (run with -self-heal <k>)")
+				continue
+			}
+			hctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			err := heal.AwaitHealthy(hctx)
+			cancel()
+			switch {
+			case err == nil:
+				fmt.Printf("cluster healthy (%d repairs completed)\n", heal.Repairs())
+			default:
+				fmt.Println("error:", err)
+			}
+		case "kill":
+			id, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				fmt.Println("usage: kill <node>")
+				continue
+			}
+			if err := cluster.KillNode(id); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("node %d killed\n", id)
 			}
 		default:
-			fmt.Println("commands: load insert get delete search rawsearch stats health quit")
+			fmt.Println("commands: load insert get delete search rawsearch stats health sync heal kill quit")
 		}
+	}
+}
+
+// printHealth renders the full availability picture: detector verdicts,
+// retry/breaker accounting, injected-fault counters, repair status, and
+// the parity recovery point.
+func printHealth(cluster *esdds.Cluster) {
+	h := cluster.ClusterHealth()
+	for _, n := range h.Nodes {
+		line := fmt.Sprintf("node %d: state %s", n.Node, n.State)
+		if n.State == "down" || n.State == "suspect" {
+			line += fmt.Sprintf(" (consecutive failures %d, last error %q)", n.ConsecutiveFailures, n.LastError)
+		}
+		line += fmt.Sprintf(" | sends %d failures %d retries %d", n.Sends, n.Failures, n.Retries)
+		if n.BreakerOpen {
+			line += fmt.Sprintf(" breaker OPEN (trips %d)", n.BreakerTrips)
+		} else if n.BreakerTrips > 0 {
+			line += fmt.Sprintf(" breaker closed (trips %d)", n.BreakerTrips)
+		}
+		if n.ActiveProbes > 0 || n.PassiveSignals > 0 {
+			line += fmt.Sprintf(" | probes %d passive %d", n.ActiveProbes, n.PassiveSignals)
+		}
+		if f := n.Faults; f != nil {
+			line += fmt.Sprintf(" | faults: dropped %d failed %d delayed %d duplicated %d blacked %d",
+				f.Dropped, f.Failed, f.Delayed, f.Duplicated, f.Blacked)
+		}
+		fmt.Println(line)
+	}
+	if !h.SelfHealing {
+		fmt.Println("self-healing: off")
+		return
+	}
+	switch {
+	case h.Alarm != "":
+		fmt.Println("ALARM:", h.Alarm)
+	case len(h.Down) > 0:
+		fmt.Printf("repair in progress: nodes %v down\n", h.Down)
+	default:
+		fmt.Printf("self-healing: healthy (%d repairs completed)\n", h.Repairs)
+	}
+	if h.SyncSeq == 0 {
+		fmt.Println("recovery point: never synced — run `sync`")
+	} else {
+		fmt.Printf("recovery point: sync #%d at %s\n", h.SyncSeq, h.LastSync.Format(time.RFC3339))
 	}
 }
 

@@ -11,6 +11,11 @@
 //
 // The -peers list is positional: entry i is node i's address; every node
 // must receive the same list so LH* forwarding can reach any bucket.
+//
+// Every node answers health probes (the ping opcode) automatically, so
+// a client opened with esdds.WithSelfHealing can detect daemon failures
+// and serve degraded searches; automatic restore onto a replacement
+// daemon requires restarting it under the dead node's ID and address.
 package main
 
 import (

@@ -23,6 +23,14 @@ type Cluster struct {
 	faulty *transport.Faulty
 	retry  *transport.Retry
 
+	// self-healing availability loop (nil without WithSelfHealing).
+	// probeTr is the transport below the retry layer: health probes must
+	// not be masked by open circuit breakers.
+	probeTr transport.Transport
+	det     *transport.Detector
+	sup     *sdds.Supervisor
+	guard   *sdds.Guardian
+
 	// memory-cluster internals enabling node kill/revive for chaos and
 	// recovery scenarios (nil for dialed clusters)
 	mem   *transport.Memory
@@ -42,6 +50,7 @@ type clusterConfig struct {
 	retrySeed  int64
 	faultSeed  *int64
 	linearScan bool
+	selfHeal   *SelfHealingConfig
 }
 
 // WithLinearScan disables the node-side posting index, making every
@@ -97,6 +106,7 @@ func (cfg *clusterConfig) stack(base transport.Transport, c *Cluster) transport.
 		c.faulty = transport.NewFaulty(tr, *cfg.faultSeed)
 		tr = c.faulty
 	}
+	c.probeTr = tr
 	if cfg.retry != nil {
 		c.retry = transport.NewRetry(tr, *cfg.retry, cfg.retrySeed)
 		tr = c.retry
@@ -135,6 +145,11 @@ func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 	}
 	c.inner = sdds.NewCluster(tr, place)
 	c.close = []func() error{mem.Close}
+	if cfg.selfHeal != nil {
+		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
+			panic("esdds: self-healing: " + err.Error()) // bad Parity config
+		}
+	}
 	return c
 }
 
@@ -166,6 +181,12 @@ func DialCluster(addrs map[int]string, opts ...ClusterOption) (*Cluster, error) 
 	tr := cfg.stack(tcp, c)
 	c.inner = sdds.NewCluster(tr, place)
 	c.close = []func() error{tcp.Close}
+	if cfg.selfHeal != nil {
+		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -216,6 +237,12 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	c.close = append(c.close, client.Close, peers.Close)
 	for _, srv := range c.servers {
 		c.close = append(c.close, srv.Close)
+	}
+	if cfg.selfHeal != nil {
+		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
+			c.Close()
+			return nil, err
+		}
 	}
 	return c, nil
 }

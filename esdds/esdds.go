@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/cipherx"
@@ -326,6 +327,12 @@ func (s *Store) Delete(ctx context.Context, rid uint64) error {
 // Search returns the RIDs of records whose content (appears to) contain
 // the substring. Depending on the mode and Stage-2 lossiness the result
 // may include false positives, but never misses a true occurrence.
+//
+// On a self-healing cluster (WithSelfHealing), Search stays complete
+// while at most Parity nodes are down: unreachable nodes' index buckets
+// are answered transparently from the guardian's last-synced parity
+// images. Use SearchDetailed to observe when that happened and how
+// stale the served images were.
 func (s *Store) Search(ctx context.Context, substring []byte, mode SearchMode) ([]uint64, error) {
 	query, err := s.pipeline.BuildQuery(substring, mode != SearchFast)
 	if err != nil {
@@ -404,21 +411,64 @@ func (s *Store) Stats() Stats {
 // nodes are skipped and reported in failedNodes instead of failing the
 // whole search. Results are an under-approximation — hits whose index
 // pieces lived on failed nodes are lost, but nothing spurious is ever
-// added (K-site agreement still applies). Recover the failed sites (see
-// the LH*RS machinery demonstrated in examples/availability) to restore
-// exactness.
+// added (K-site agreement still applies). On a self-healing cluster a
+// down node within the parity budget is served from its last-synced
+// image instead of being reported failed; see SearchDetailed. Recover
+// the failed sites (see the LH*RS machinery demonstrated in
+// examples/availability) to restore exactness.
 func (s *Store) SearchBestEffort(ctx context.Context, substring []byte, mode SearchMode) (rids []uint64, failedNodes []int, err error) {
+	out, err := s.SearchDetailed(ctx, substring, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.RIDs, out.FailedNodes, nil
+}
+
+// SearchOutcome carries a search's results plus its availability
+// metadata: whether the answer is complete, which nodes (if any) were
+// served degraded from last-synced parity images, and how stale those
+// images were.
+type SearchOutcome struct {
+	// RIDs are the matching record IDs (sorted, deduplicated).
+	RIDs []uint64
+	// Complete is true when every node's index buckets contributed —
+	// live or served degraded. False means FailedNodes' hits are
+	// missing.
+	Complete bool
+	// DegradedNodes were unreachable but answered from the guardian's
+	// last-synced images; their contribution may miss records inserted
+	// after StaleSince (nothing spurious is added).
+	DegradedNodes []int
+	// FailedNodes were unreachable with no degraded coverage.
+	FailedNodes []int
+	// StaleSince is the recovery point the degraded nodes were served
+	// from (zero when DegradedNodes is empty).
+	StaleSince time.Time
+}
+
+// SearchDetailed is Search with full availability metadata. Unlike
+// Search it does not fail on unreachable nodes — inspect
+// Outcome.Complete / FailedNodes to decide whether the
+// under-approximation is acceptable.
+func (s *Store) SearchDetailed(ctx context.Context, substring []byte, mode SearchMode) (SearchOutcome, error) {
 	query, err := s.pipeline.BuildQuery(substring, mode != SearchFast)
 	if err != nil {
-		return nil, nil, err
+		return SearchOutcome{}, err
 	}
-	got, failed, err := s.cluster.SearchPartial(ctx, sdds.FileIndex, s.pipeline, query, mode.internal())
+	rids, info, err := s.cluster.SearchPartialInfo(ctx, sdds.FileIndex, s.pipeline, query, mode.internal())
 	if err != nil {
-		return nil, nil, err
+		return SearchOutcome{}, err
 	}
-	out := make([]int, len(failed))
-	for i, n := range failed {
-		out[i] = int(n)
+	out := SearchOutcome{
+		RIDs:       rids,
+		Complete:   info.Complete(),
+		StaleSince: info.StaleSince,
 	}
-	return got, out, nil
+	for _, n := range info.Degraded {
+		out.DegradedNodes = append(out.DegradedNodes, int(n))
+	}
+	for _, n := range info.Failed {
+		out.FailedNodes = append(out.FailedNodes, int(n))
+	}
+	return out, nil
 }

@@ -1,0 +1,251 @@
+package esdds
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/sdds"
+	"repro/internal/transport"
+)
+
+// SelfHealingConfig tunes the availability loop enabled by
+// WithSelfHealing: a failure detector probing every node, a repair
+// supervisor that automatically restores failed nodes from LH*RS
+// parity, and degraded-mode search serving down nodes' index buckets
+// from the guardian's last-synced images.
+type SelfHealingConfig struct {
+	// Parity is k, the number of simultaneous node failures the cluster
+	// survives with zero record loss. Required, >= 1.
+	Parity int
+
+	// Failure detector tuning (zero values take transport defaults).
+	ProbeInterval time.Duration // active health-probe period (default 50ms)
+	ProbeTimeout  time.Duration // per-probe deadline
+	DownAfter     int           // consecutive failures before "down"
+	UpAfter       int           // consecutive successes before "up"
+
+	// Repair supervisor tuning (zero values take sdds defaults).
+	Debounce      time.Duration // confirmed-down dwell before repair
+	RepairBackoff time.Duration // pause between failed repair attempts
+	SyncInterval  time.Duration // periodic recovery-point refresh (0: manual Sync only)
+}
+
+// WithSelfHealing turns the cluster into a self-healing one: node
+// images are kept under Reed–Solomon parity (tolerating cfg.Parity
+// simultaneous failures), a detector probes node health, a supervisor
+// automatically revives and restores confirmed-dead nodes, and
+// searches transparently stay complete while at most Parity nodes are
+// down by answering their share from the last-synced parity images.
+//
+// Call Store inserts as usual, then SelfHealing().Sync (or set
+// SyncInterval) to establish the recovery point. Inspect progress with
+// ClusterHealth, SelfHealing().Journal, and SelfHealing().Alarm.
+func WithSelfHealing(cfg SelfHealingConfig) ClusterOption {
+	return func(c *clusterConfig) { c.selfHeal = &cfg }
+}
+
+// RepairRecord is one entry of the supervisor's repair journal.
+type RepairRecord = sdds.RepairRecord
+
+// enableSelfHealing wires guardian + detector + supervisor over an
+// already-built cluster and registers their shutdown ahead of the
+// transport teardown.
+func (c *Cluster) enableSelfHealing(sh SelfHealingConfig) error {
+	guard, err := sdds.NewGuardian(c.inner.Transport(), c.inner.Placement(), sh.Parity)
+	if err != nil {
+		return err
+	}
+	probeTr := c.probeTr
+	if probeTr == nil {
+		probeTr = c.inner.Transport()
+	}
+	if sh.ProbeInterval == 0 {
+		sh.ProbeInterval = 50 * time.Millisecond
+	}
+	det := transport.NewDetector(probeTr, c.inner.Placement().Nodes(), transport.DetectorPolicy{
+		ProbeOp:       sdds.PingOp,
+		ProbeInterval: sh.ProbeInterval,
+		ProbeTimeout:  sh.ProbeTimeout,
+		DownAfter:     sh.DownAfter,
+		UpAfter:       sh.UpAfter,
+	})
+	if c.retry != nil {
+		// Passive signals: every send the retry layer makes doubles as a
+		// health observation, so failures surface faster than the probe
+		// period.
+		c.retry.SetObserver(det)
+	}
+	var revive sdds.Reviver
+	if c.mem != nil {
+		revive = func(_ context.Context, node transport.NodeID) error {
+			return c.ReviveNode(int(node))
+		}
+	}
+	sup := sdds.NewSupervisor(det, guard, c.retry, revive, sdds.SupervisorConfig{
+		Debounce:      sh.Debounce,
+		RepairBackoff: sh.RepairBackoff,
+		SyncInterval:  sh.SyncInterval,
+	})
+	c.inner.SetDegradedProvider(sup)
+	det.Start()
+	sup.Start()
+	c.det, c.sup, c.guard = det, sup, guard
+	// Stop the loops before the transports they probe are closed.
+	c.close = append([]func() error{func() error {
+		sup.Stop()
+		det.Stop()
+		return nil
+	}}, c.close...)
+	return nil
+}
+
+// SelfHealing is the handle to a self-healing cluster's availability
+// loop.
+type SelfHealing struct{ c *Cluster }
+
+// SelfHealing returns the availability-loop handle, or nil unless the
+// cluster was built with WithSelfHealing.
+func (c *Cluster) SelfHealing() *SelfHealing {
+	if c.sup == nil {
+		return nil
+	}
+	return &SelfHealing{c: c}
+}
+
+// Sync establishes (or refreshes) the recovery point: every node's
+// current image is folded into the parity group. Run it after bulk
+// loads and periodically during quiet moments — degraded reads and
+// repairs restore to the last Sync.
+func (h *SelfHealing) Sync(ctx context.Context) error { return h.c.guard.Sync(ctx) }
+
+// LastSync reports the recovery point time and sequence (zero values:
+// never synced).
+func (h *SelfHealing) LastSync() (time.Time, uint64) { return h.c.guard.LastSync() }
+
+// AwaitHealthy blocks until every node is up and no repair is pending,
+// or the context ends. An active alarm (more failures than Parity)
+// fails immediately with sdds.ErrRepairBudgetExceeded. Detection is
+// asynchronous: called in the instant between a failure and its first
+// failed probe or send, AwaitHealthy can truthfully report healthy.
+func (h *SelfHealing) AwaitHealthy(ctx context.Context) error { return h.c.sup.AwaitHealthy(ctx) }
+
+// Alarm returns the active alarm message, or "" while the failure
+// budget holds. An alarm means more nodes are confirmed down than
+// parity can restore; the supervisor stands down until the operator
+// intervenes (data already synced remains recoverable once enough
+// nodes return).
+func (h *SelfHealing) Alarm() string { return h.c.sup.Alarm() }
+
+// Down lists nodes currently confirmed down, ascending.
+func (h *SelfHealing) Down() []int {
+	ids := h.c.sup.Down()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// Repairs returns the number of node repairs completed so far.
+func (h *SelfHealing) Repairs() uint64 { return h.c.sup.Repairs() }
+
+// Journal returns the ordered repair journal: every detection, flap,
+// repair attempt, completion, and alarm.
+func (h *SelfHealing) Journal() []RepairRecord { return h.c.sup.Journal() }
+
+// NodeHealth is one node's health as seen by the cluster's middleware:
+// the failure detector's verdict plus retry-layer accounting and (for
+// fault-injected clusters) injected-fault counters.
+type NodeHealth struct {
+	Node  int
+	State string // "up", "suspect", "down" — "n/a" without self-healing
+
+	// Failure detector (zero without self-healing).
+	ConsecutiveFailures int
+	LastError           string
+	ActiveProbes        uint64
+	PassiveSignals      uint64
+
+	// Retry middleware (zero without a retry option).
+	Sends        uint64
+	Failures     uint64
+	Retries      uint64
+	BreakerTrips uint64
+	BreakerOpen  bool
+
+	// Fault injection (nil without WithFaultInjection).
+	Faults *transport.FaultStats
+}
+
+// ClusterHealth is a point-in-time availability snapshot.
+type ClusterHealth struct {
+	Nodes       []NodeHealth
+	SelfHealing bool
+	Alarm       string    // "" when nominal
+	Down        []int     // confirmed-down nodes under repair
+	Repairs     uint64    // completed repairs
+	LastSync    time.Time // recovery point (zero: never synced)
+	SyncSeq     uint64
+}
+
+// ClusterHealth assembles the availability picture across every layer:
+// detector verdicts, retry/breaker accounting, injected-fault counters,
+// and the parity recovery point. It works on any cluster; without
+// WithSelfHealing the detector fields read "n/a"/zero.
+func (c *Cluster) ClusterHealth() ClusterHealth {
+	n := len(c.inner.Placement().Nodes())
+	out := ClusterHealth{Nodes: make([]NodeHealth, n)}
+	for i := range out.Nodes {
+		out.Nodes[i] = NodeHealth{Node: i, State: "n/a"}
+	}
+	if c.det != nil {
+		out.SelfHealing = true
+		for _, nh := range c.det.Snapshot() {
+			i := int(nh.Node)
+			if i < 0 || i >= n {
+				continue
+			}
+			out.Nodes[i].State = nh.State.String()
+			out.Nodes[i].ConsecutiveFailures = nh.ConsecutiveFailures
+			if nh.LastError != "" {
+				out.Nodes[i].LastError = nh.LastError
+			}
+			out.Nodes[i].ActiveProbes = nh.ActiveProbes
+			out.Nodes[i].PassiveSignals = nh.PassiveSignals
+		}
+	}
+	if c.retry != nil {
+		for _, st := range c.retry.Stats() {
+			i := int(st.Node)
+			if i < 0 || i >= n {
+				continue
+			}
+			out.Nodes[i].Sends = st.Sends
+			out.Nodes[i].Failures = st.Failures
+			out.Nodes[i].Retries = st.Retries
+			out.Nodes[i].BreakerTrips = st.BreakerTrips
+			out.Nodes[i].BreakerOpen = st.BreakerOpen
+		}
+	}
+	if c.faulty != nil {
+		for _, fs := range c.faulty.Stats() {
+			i := int(fs.Node)
+			if i < 0 || i >= n {
+				continue
+			}
+			fs := fs
+			out.Nodes[i].Faults = &fs
+		}
+	}
+	if c.sup != nil {
+		out.Alarm = c.sup.Alarm()
+		for _, id := range c.sup.Down() {
+			out.Down = append(out.Down, int(id))
+		}
+		out.Repairs = c.sup.Repairs()
+	}
+	if c.guard != nil {
+		out.LastSync, out.SyncSeq = c.guard.LastSync()
+	}
+	return out
+}

@@ -215,3 +215,73 @@ func (cc *chaosCorpus) record(rid uint64) []byte {
 	}
 	return []byte(fmt.Sprintf("RECORD %04d IS PERFECTLY ORDINARY", rid))
 }
+
+// TestSearchPartialUnderDupAndDelayFaults: duplicate deliveries and
+// reordering delays must never change a search's answer — per-site hits
+// are deduplicated by the K-site agreement combine, so repeated runs
+// over a dup/delay-faulty network return the same dup-free, sorted RID
+// set as a clean run.
+func TestSearchPartialUnderDupAndDelayFaults(t *testing.T) {
+	c, faulty, _, _ := chaosCluster(t, 4, 777, chaosPolicy())
+	pl := testPipeline(t, 4, 2, 2)
+	ctx := context.Background()
+
+	rng := newChaosCorpus()
+	for rid := uint64(1); rid <= 40; rid++ {
+		recs, err := pl.BuildIndex(rid, rng.record(rid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.InsertIndexed(ctx, FileIndex, recs, pl.K(), SlotBits(pl.Chunkings(), pl.K())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query, err := pl.BuildQuery([]byte("GRIDLOCK"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, failed, err := c.SearchPartial(ctx, FileIndex, pl, query, core.VerifyAny)
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("clean SearchPartial: failed=%v err=%v", failed, err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("baseline found no hits")
+	}
+	for i := 1; i < len(baseline); i++ {
+		if baseline[i] <= baseline[i-1] {
+			t.Fatalf("baseline not sorted/deduplicated: %v", baseline)
+		}
+	}
+
+	faulty.SetDefault(transport.Fault{
+		Dup:       0.5,
+		DelayProb: 0.3,
+		Delay:     200 * time.Microsecond,
+	})
+	for run := 0; run < 5; run++ {
+		rids, failed, err := c.SearchPartial(ctx, FileIndex, pl, query, core.VerifyAny)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(failed) != 0 {
+			t.Fatalf("run %d: dup/delay faults reported failures: %v", run, failed)
+		}
+		if len(rids) != len(baseline) {
+			t.Fatalf("run %d: %v, want baseline %v", run, rids, baseline)
+		}
+		for i := range rids {
+			if rids[i] != baseline[i] {
+				t.Fatalf("run %d diverged: %v, want %v", run, rids, baseline)
+			}
+		}
+	}
+	// The faults actually fired.
+	var dup, delayed uint64
+	for _, fs := range faulty.Stats() {
+		dup += fs.Duplicated
+		delayed += fs.Delayed
+	}
+	if dup == 0 || delayed == 0 {
+		t.Fatalf("fault schedule inert: dup=%d delayed=%d", dup, delayed)
+	}
+}

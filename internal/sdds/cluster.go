@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lhstar"
@@ -32,6 +33,35 @@ type Cluster struct {
 
 	mu    sync.Mutex
 	files map[FileID]*fileState
+
+	degradedMu sync.RWMutex
+	degraded   DegradedProvider
+}
+
+// DegradedProvider supplies last-synced node images for degraded-mode
+// search: when a broadcast cannot reach a node, the cluster asks the
+// provider for that node's image and serves the node's index buckets
+// from it instead of dropping their matches. A Supervisor implements
+// this over its Guardian.
+type DegradedProvider interface {
+	// DegradedImage returns the node's last-synced serialized image and
+	// the sync time, or ok=false when the node must not be served
+	// degraded (healthy, never synced, or failure budget exceeded).
+	DegradedImage(node transport.NodeID) (img []byte, syncedAt time.Time, ok bool)
+}
+
+// SetDegradedProvider installs (or, with nil, removes) the degraded
+// search provider.
+func (c *Cluster) SetDegradedProvider(p DegradedProvider) {
+	c.degradedMu.Lock()
+	c.degraded = p
+	c.degradedMu.Unlock()
+}
+
+func (c *Cluster) degradedProvider() DegradedProvider {
+	c.degradedMu.RLock()
+	defer c.degradedMu.RUnlock()
+	return c.degraded
 }
 
 type fileState struct {
@@ -504,31 +534,61 @@ func (c *Cluster) DeleteIndexed(ctx context.Context, id FileID, rid uint64, m, k
 	return nil
 }
 
+// SearchInfo reports how a search's per-node fan-out went.
+type SearchInfo struct {
+	// Failed lists the nodes that could not be reached AND could not be
+	// served degraded — their matches are missing from the result.
+	Failed []transport.NodeID
+	// Degraded lists the unreachable nodes whose index buckets were
+	// served from the guardian's last-synced images instead; their
+	// matches are present, as of StaleSince.
+	Degraded []transport.NodeID
+	// StaleSince is the guardian sync time the degraded buckets reflect
+	// (zero when Degraded is empty). Writes after this instant that
+	// landed on the degraded nodes are not visible.
+	StaleSince time.Time
+}
+
+// Complete reports whether the result misses no node's matches (live or
+// degraded-served).
+func (i SearchInfo) Complete() bool { return len(i.Failed) == 0 }
+
 // Search broadcasts a compiled query to every node in parallel, gathers
 // the raw per-site hits, and combines them: a series hit requires all K
 // sites of a chunking to agree at the same chunk offset; record-level
 // acceptance follows the verification mode. It returns the sorted
-// matching RIDs and fails if any node is unreachable (use SearchPartial
-// for best-effort results under failures).
+// matching RIDs. Unreachable nodes are transparently served from the
+// degraded provider's last-synced images when one is installed; Search
+// fails only when some node is neither reachable nor degraded-servable
+// (use SearchPartial for best-effort results in that case).
 func (c *Cluster) Search(ctx context.Context, id FileID, pl *core.Pipeline, query *core.Query, mode core.VerifyMode) ([]uint64, error) {
-	rids, failed, err := c.SearchPartial(ctx, id, pl, query, mode)
+	rids, info, err := c.SearchPartialInfo(ctx, id, pl, query, mode)
 	if err != nil {
 		return nil, err
 	}
-	if len(failed) > 0 {
-		return nil, fmt.Errorf("sdds: search could not reach nodes %v", failed)
+	if !info.Complete() {
+		return nil, fmt.Errorf("sdds: search could not reach nodes %v (no degraded coverage)", info.Failed)
 	}
 	return rids, nil
 }
 
 // SearchPartial is Search with per-node failure tolerance: nodes that
-// cannot be reached are skipped and reported in failed. The result is a
-// best-effort under-approximation — index pieces on failed nodes cannot
-// contribute, so matches whose K-site agreement involved a failed node
-// are lost (never spuriously added: agreement still requires all K
-// sites). Callers needing exactness should retry or recover the failed
-// nodes (see internal/rs for the LH*RS machinery).
+// can be neither reached nor degraded-served are skipped and reported
+// in failed. The result is then a best-effort under-approximation —
+// index pieces on failed nodes cannot contribute, so matches whose
+// K-site agreement involved a failed node are lost (never spuriously
+// added: agreement still requires all K sites). Callers needing the
+// degraded/staleness detail should use SearchPartialInfo.
 func (c *Cluster) SearchPartial(ctx context.Context, id FileID, pl *core.Pipeline, query *core.Query, mode core.VerifyMode) (rids []uint64, failed []transport.NodeID, err error) {
+	rids, info, err := c.SearchPartialInfo(ctx, id, pl, query, mode)
+	return rids, info.Failed, err
+}
+
+// SearchPartialInfo is the full-fidelity search: it tolerates per-node
+// failures, serves confirmed-down nodes from the degraded provider's
+// last-synced images, and reports exactly which nodes failed, which
+// were served degraded, and how stale the degraded buckets are.
+func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pipeline, query *core.Query, mode core.VerifyMode) (rids []uint64, info SearchInfo, err error) {
 	kSites := pl.K()
 	m := pl.Chunkings()
 	req := queryToSearchReq(id, query, m, kSites)
@@ -536,6 +596,9 @@ func (c *Cluster) SearchPartial(ctx context.Context, id FileID, pl *core.Pipelin
 	// transport's live view — a crashed node must surface as a failure,
 	// not be silently skipped.
 	results := transport.Broadcast(ctx, c.tr, c.place.Nodes(), opSearch, req.encode())
+	if err := ctx.Err(); err != nil {
+		return nil, SearchInfo{}, err
+	}
 
 	ppc := 1
 	if kSites == 1 {
@@ -548,15 +611,7 @@ func (c *Cluster) SearchPartial(ctx context.Context, id FileID, pl *core.Pipelin
 		chunkIdx int
 	}
 	agree := make(map[hitKey]map[int]bool)
-	for _, r := range results {
-		if r.Err != nil {
-			failed = append(failed, r.Node)
-			continue
-		}
-		resp, derr := decodeSearchResp(r.Payload)
-		if derr != nil {
-			return nil, nil, derr
-		}
+	addHits := func(resp *searchResp) {
 		for _, h := range resp.hits {
 			if ppc > 1 && int(h.pieceOffset)%ppc != 0 {
 				continue
@@ -572,6 +627,29 @@ func (c *Cluster) SearchPartial(ctx context.Context, id FileID, pl *core.Pipelin
 			}
 			agree[k][int(h.k)] = true
 		}
+	}
+	provider := c.degradedProvider()
+	for _, r := range results {
+		if r.Err != nil {
+			if provider != nil {
+				if img, syncedAt, ok := provider.DegradedImage(r.Node); ok {
+					resp, derr := searchNodeImage(img, &req)
+					if derr == nil {
+						addHits(&resp)
+						info.Degraded = append(info.Degraded, r.Node)
+						info.StaleSince = syncedAt
+						continue
+					}
+				}
+			}
+			info.Failed = append(info.Failed, r.Node)
+			continue
+		}
+		resp, derr := decodeSearchResp(r.Payload)
+		if derr != nil {
+			return nil, SearchInfo{}, derr
+		}
+		addHits(&resp)
 	}
 	byRID := make(map[uint64][]core.SeriesHit)
 	for k, sites := range agree {
@@ -591,7 +669,7 @@ func (c *Cluster) SearchPartial(ctx context.Context, id FileID, pl *core.Pipelin
 		}
 	}
 	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
-	return rids, failed, nil
+	return rids, info, nil
 }
 
 // WordSearch broadcasts one word token to every node and returns the

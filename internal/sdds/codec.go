@@ -52,7 +52,13 @@ const (
 	opNodeSnapshot
 	opNodeRestore
 	opPutBatch
+	opPing
 )
+
+// PingOp is the exported health-probe op code: nodes answer it with an
+// empty payload and no side effects, making it the natural ProbeOp for
+// a transport.Detector watching sdds nodes.
+const PingOp = opPing
 
 // ComposeIndexKey builds the §5 composite key: RID shifted left by
 // slotBits with (chunking J, site k) packed into the low bits.

@@ -2,12 +2,20 @@ package sdds
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/rs"
 	"repro/internal/transport"
 )
+
+// ErrNeverSynced reports a recovery (or degraded read) attempted before
+// the guardian's first successful Sync: there is no recovery point, so
+// there is nothing to restore. Callers automating repair should treat
+// it as "restart the node empty", not as a parity failure.
+var ErrNeverSynced = errors.New("sdds: guardian has never synced; nothing to recover from")
 
 // Guardian is the LH*RS availability layer applied to whole nodes: it
 // keeps every node's serialized bucket inventory (its "image") under
@@ -30,10 +38,13 @@ type Guardian struct {
 	tr    transport.Transport
 	place *Placement
 
-	mu     sync.Mutex
-	group  *rs.BucketGroup
-	pos    map[transport.NodeID]int // node → data shard index
-	synced bool
+	mu       sync.Mutex
+	group    *rs.BucketGroup
+	pos      map[transport.NodeID]int // node → data shard index
+	synced   bool
+	syncedAt time.Time
+	syncSeq  uint64
+	now      func() time.Time // injectable clock for tests
 }
 
 // NewGuardian builds a guardian over the placement's nodes with k
@@ -48,7 +59,7 @@ func NewGuardian(tr transport.Transport, place *Placement, k int) (*Guardian, er
 	for i, n := range nodes {
 		pos[n] = i
 	}
-	return &Guardian{tr: tr, place: place, group: group, pos: pos}, nil
+	return &Guardian{tr: tr, place: place, group: group, pos: pos, now: time.Now}, nil
 }
 
 // K returns the number of parity shards (tolerated failures).
@@ -77,7 +88,47 @@ func (g *Guardian) Sync(ctx context.Context) error {
 		}
 	}
 	g.synced = true
+	g.syncedAt = g.now()
+	g.syncSeq++
 	return nil
+}
+
+// LastSync reports the recovery point: the time of the last successful
+// Sync and a monotonically increasing sync sequence number (0 means
+// never synced).
+func (g *Guardian) LastSync() (time.Time, uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.syncedAt, g.syncSeq
+}
+
+// Synced reports whether at least one Sync has completed.
+func (g *Guardian) Synced() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.synced
+}
+
+// SyncedImage returns a copy of one node's last-synced image (its data
+// shard, possibly zero-padded — the image codec tolerates the padding)
+// plus the sync time. ok is false before the first Sync or for nodes
+// the guardian does not protect. This is what degraded-mode search
+// serves while the node itself is down.
+func (g *Guardian) SyncedImage(node transport.NodeID) (img []byte, syncedAt time.Time, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.synced {
+		return nil, time.Time{}, false
+	}
+	i, okPos := g.pos[node]
+	if !okPos {
+		return nil, time.Time{}, false
+	}
+	img, err := g.group.DataShard(i)
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	return img, g.syncedAt, true
 }
 
 // Recover reconstructs the images of the dead nodes from the survivors'
@@ -92,7 +143,7 @@ func (g *Guardian) Recover(ctx context.Context, dead []transport.NodeID) error {
 	g.mu.Lock()
 	if !g.synced {
 		g.mu.Unlock()
-		return fmt.Errorf("sdds: guardian has never synced; nothing to recover from")
+		return ErrNeverSynced
 	}
 	shards := g.group.Shards()
 	for _, d := range dead {

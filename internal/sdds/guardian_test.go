@@ -2,6 +2,7 @@ package sdds
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -17,6 +18,7 @@ type guardedCluster struct {
 	mem     *transport.Memory
 	place   *Placement
 	tr      transport.Transport
+	nodes   map[transport.NodeID]*Node // originals, for partition-heal scenarios
 }
 
 func newGuardedCluster(t *testing.T, n int) *guardedCluster {
@@ -30,16 +32,27 @@ func newGuardedCluster(t *testing.T, n int) *guardedCluster {
 	if err != nil {
 		t.Fatal(err)
 	}
+	nodes := make(map[transport.NodeID]*Node, n)
 	for _, id := range ids {
 		node := NewNode(id, mem, place)
+		nodes[id] = node
 		mem.Register(id, node.Handler())
 	}
-	return &guardedCluster{cluster: NewCluster(mem, place), mem: mem, place: place, tr: mem}
+	return &guardedCluster{cluster: NewCluster(mem, place), mem: mem, place: place, tr: mem, nodes: nodes}
 }
 
 func (g *guardedCluster) kill(ids ...transport.NodeID) {
 	for _, id := range ids {
 		g.mem.Unregister(id)
+	}
+}
+
+// healPartition re-registers the original node objects — the node comes
+// back with its state intact, as after a healed network partition (vs
+// reviveEmpty, which models a fresh replacement site).
+func (g *guardedCluster) healPartition(ids ...transport.NodeID) {
+	for _, id := range ids {
+		g.mem.Register(id, g.nodes[id].Handler())
 	}
 }
 
@@ -198,8 +211,17 @@ func TestGuardianPreconditions(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	if err := guard.Recover(ctx, []transport.NodeID{0}); err == nil {
-		t.Error("recover before any sync succeeded")
+	// Recover before any Sync must fail with the dedicated sentinel so a
+	// repair supervisor can distinguish "nothing to restore" from a real
+	// parity failure.
+	if err := guard.Recover(ctx, []transport.NodeID{0}); !errors.Is(err, ErrNeverSynced) {
+		t.Errorf("recover before any sync: err = %v, want ErrNeverSynced", err)
+	}
+	if _, _, ok := guard.SyncedImage(0); ok {
+		t.Error("SyncedImage available before any sync")
+	}
+	if guard.Synced() {
+		t.Error("Synced() true before any sync")
 	}
 	if err := guard.Sync(ctx); err != nil {
 		t.Fatal(err)

@@ -214,6 +214,8 @@ func (n *Node) Handler() transport.Handler {
 			return n.handleNodeRestore(payload)
 		case opPutBatch:
 			return n.handlePutBatch(payload)
+		case opPing:
+			return nil, nil // health probe: answering is the point
 		default:
 			return nil, fmt.Errorf("sdds: unknown op %d", op)
 		}
@@ -486,30 +488,63 @@ func (n *Node) searchPosting(idx *searchIndex, m *searchReq, resp *searchResp) {
 // suffices).
 func (n *Node) searchLinear(f *nodeFile, m *searchReq, resp *searchResp) {
 	for _, b := range f.buckets {
-		b.Scan(func(key uint64, value []byte) bool {
-			iv, err := decodeIndexValue(value)
-			if err != nil {
-				return true // skip foreign entries
-			}
-			rid, j, k := DecomposeIndexKey(key, int(m.kSites), uint(m.slotBits))
-			for _, s := range m.series {
-				if k >= len(s.patterns) {
-					continue
-				}
-				for _, off := range core.MatchOffsets(iv.pieces, s.patterns[k]) {
-					resp.hits = append(resp.hits, rawHit{
-						rid:         rid,
-						j:           uint8(j),
-						k:           uint8(k),
-						a:           s.a,
-						firstIndex:  iv.firstIndex,
-						pieceOffset: uint32(off),
-					})
-				}
-			}
-			return true
-		})
+		searchBucket(b, m, resp)
 	}
+}
+
+// searchBucket runs the reference scan over one bucket's entries. It is
+// shared by the node's linear fallback and by degraded-mode search over
+// guardian images.
+func searchBucket(b *lhstar.Bucket, m *searchReq, resp *searchResp) {
+	b.Scan(func(key uint64, value []byte) bool {
+		iv, err := decodeIndexValue(value)
+		if err != nil {
+			return true // skip foreign entries
+		}
+		rid, j, k := DecomposeIndexKey(key, int(m.kSites), uint(m.slotBits))
+		for _, s := range m.series {
+			if k >= len(s.patterns) {
+				continue
+			}
+			for _, off := range core.MatchOffsets(iv.pieces, s.patterns[k]) {
+				resp.hits = append(resp.hits, rawHit{
+					rid:         rid,
+					j:           uint8(j),
+					k:           uint8(k),
+					a:           s.a,
+					firstIndex:  iv.firstIndex,
+					pieceOffset: uint32(off),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// searchNodeImage answers a search request from a serialized node image
+// — the degraded-mode path: while a node is down, its last-synced
+// guardian image stands in for it, so the dead node's index buckets
+// still contribute their hits. The scan is the same reference walk the
+// node's linear fallback uses, guaranteeing identical raw hit sets.
+func searchNodeImage(raw []byte, m *searchReq) (searchResp, error) {
+	var resp searchResp
+	img, err := decodeNodeImage(raw)
+	if err != nil {
+		return resp, fmt.Errorf("sdds: degraded search: decoding image: %w", err)
+	}
+	for _, fi := range img.files {
+		if fi.file != m.file {
+			continue
+		}
+		for _, snap := range fi.buckets {
+			b, err := lhstar.RestoreBucket(snap)
+			if err != nil {
+				return resp, fmt.Errorf("sdds: degraded search: restoring bucket: %w", err)
+			}
+			searchBucket(b, m, &resp)
+		}
+	}
+	return resp, nil
 }
 
 func (n *Node) handleBucketCreate(payload []byte) ([]byte, error) {

@@ -1,0 +1,301 @@
+package sdds
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// supervisedCluster wires the full availability loop over a guarded
+// memory cluster: detector (manual probing for deterministic stepping),
+// guardian, and supervisor with an in-memory reviver.
+type supervisedCluster struct {
+	*guardedCluster
+	guard *Guardian
+	det   *transport.Detector
+	sup   *Supervisor
+}
+
+func newSupervisedCluster(t *testing.T, n, k int, cfg SupervisorConfig) *supervisedCluster {
+	t.Helper()
+	gc := newGuardedCluster(t, n)
+	guard, err := NewGuardian(gc.tr, gc.place, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := transport.NewDetector(gc.tr, gc.place.Nodes(), transport.DetectorPolicy{
+		ProbeOp:      PingOp,
+		ProbeTimeout: 200 * time.Millisecond,
+		DownAfter:    1,
+		UpAfter:      1,
+	})
+	revive := func(_ context.Context, node transport.NodeID) error {
+		gc.reviveEmpty(node)
+		return nil
+	}
+	sup := NewSupervisor(det, guard, nil, revive, cfg)
+	gc.cluster.SetDegradedProvider(sup)
+	return &supervisedCluster{guardedCluster: gc, guard: guard, det: det, sup: sup}
+}
+
+// step runs one probe round plus one supervision pass.
+func (sc *supervisedCluster) step(ctx context.Context) {
+	sc.det.ProbeOnce(ctx)
+	sc.sup.Reconcile(ctx)
+}
+
+func phases(j []RepairRecord, node transport.NodeID) []RepairPhase {
+	var out []RepairPhase
+	for _, r := range j {
+		if r.Node == node {
+			out = append(out, r.Phase)
+		}
+	}
+	return out
+}
+
+func TestSupervisorAutoRepairsKilledNodes(t *testing.T) {
+	sc := newSupervisedCluster(t, 4, 2, SupervisorConfig{
+		Debounce:      time.Millisecond,
+		RepairBackoff: time.Millisecond,
+	})
+	ctx := context.Background()
+	want := loadRecords(t, sc.cluster, 60)
+	if err := sc.guard.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sc.kill(1, 3)
+	sc.step(ctx) // detect both down
+	if got := sc.sup.Down(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Down = %v, want [1 3]", got)
+	}
+	time.Sleep(5 * time.Millisecond) // let the debounce elapse
+	sc.step(ctx)                     // revive + restore
+
+	if got := sc.sup.Down(); len(got) != 0 {
+		t.Fatalf("Down after repair = %v", got)
+	}
+	if n := sc.sup.Repairs(); n != 2 {
+		t.Fatalf("Repairs = %d, want 2", n)
+	}
+	verifyRecords(t, sc.cluster, want) // zero record loss
+	for _, node := range []transport.NodeID{1, 3} {
+		got := phases(sc.sup.Journal(), node)
+		if len(got) < 2 || got[0] != RepairDetected || got[len(got)-1] != RepairCompleted {
+			t.Fatalf("node %d journal phases = %v", node, got)
+		}
+		if st := sc.det.State(node); st != transport.NodeUp {
+			t.Fatalf("node %d post-repair state = %v", node, st)
+		}
+	}
+	if err := sc.sup.AwaitHealthy(ctx); err != nil {
+		t.Fatalf("AwaitHealthy after repair: %v", err)
+	}
+}
+
+func TestSupervisorNeverSyncedRevivesEmpty(t *testing.T) {
+	sc := newSupervisedCluster(t, 3, 1, SupervisorConfig{
+		Debounce:      time.Millisecond,
+		RepairBackoff: time.Millisecond,
+	})
+	ctx := context.Background()
+	// No Sync has ever happened: a failed node has no recovery point and
+	// must come back empty without the supervisor treating it as a
+	// parity failure.
+	sc.kill(2)
+	sc.step(ctx)
+	time.Sleep(5 * time.Millisecond)
+	sc.step(ctx)
+
+	if got := sc.sup.Down(); len(got) != 0 {
+		t.Fatalf("Down = %v, want empty (revived empty)", got)
+	}
+	got := phases(sc.sup.Journal(), 2)
+	if len(got) < 2 || got[len(got)-1] != RepairNothingToRestore {
+		t.Fatalf("journal phases = %v, want ... nothing-to-restore", got)
+	}
+	if st := sc.det.State(2); st != transport.NodeUp {
+		t.Fatalf("revived node state = %v", st)
+	}
+	if sc.sup.Alarm() != "" {
+		t.Fatalf("alarm raised for never-synced revive: %q", sc.sup.Alarm())
+	}
+}
+
+func TestSupervisorAbsorbsFlaps(t *testing.T) {
+	sc := newSupervisedCluster(t, 3, 1, SupervisorConfig{
+		Debounce: time.Hour, // nothing becomes ripe in this test
+	})
+	ctx := context.Background()
+	loadRecords(t, sc.cluster, 20)
+	if err := sc.guard.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sc.kill(1)
+	sc.step(ctx)
+	if got := sc.sup.Down(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Down = %v", got)
+	}
+	// The node returns before the debounce elapses: the supervisor must
+	// drop it without a restore.
+	sc.reviveEmpty(1)
+	sc.step(ctx)
+	if got := sc.sup.Down(); len(got) != 0 {
+		t.Fatalf("Down after flap = %v", got)
+	}
+	got := phases(sc.sup.Journal(), 1)
+	if len(got) != 2 || got[0] != RepairDetected || got[1] != RepairFlap {
+		t.Fatalf("journal phases = %v, want [detected flap]", got)
+	}
+	if n := sc.sup.Repairs(); n != 0 {
+		t.Fatalf("Repairs = %d for a flap", n)
+	}
+}
+
+func TestSupervisorAlarmsBeyondBudget(t *testing.T) {
+	sc := newSupervisedCluster(t, 4, 1, SupervisorConfig{
+		Debounce:      time.Millisecond,
+		RepairBackoff: time.Millisecond,
+	})
+	ctx := context.Background()
+	want := loadRecords(t, sc.cluster, 40)
+	if err := sc.guard.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// k=1 but two nodes die: repair must refuse and alarm, not corrupt.
+	sc.kill(1, 2)
+	sc.step(ctx)
+	time.Sleep(5 * time.Millisecond)
+	sc.step(ctx)
+
+	if sc.sup.Alarm() == "" {
+		t.Fatal("no alarm with failures beyond the parity budget")
+	}
+	if n := sc.sup.Repairs(); n != 0 {
+		t.Fatalf("Repairs = %d despite exceeded budget", n)
+	}
+	for _, r := range sc.sup.Journal() {
+		if r.Phase == RepairStarted || r.Phase == RepairCompleted {
+			t.Fatalf("repair attempted beyond budget: %+v", r)
+		}
+	}
+	actx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if err := sc.sup.AwaitHealthy(actx); !errors.Is(err, ErrRepairBudgetExceeded) {
+		t.Fatalf("AwaitHealthy = %v, want ErrRepairBudgetExceeded", err)
+	}
+	// Degraded serving must refuse too: completeness cannot be promised.
+	if _, _, ok := sc.sup.DegradedImage(1); ok {
+		t.Fatal("degraded image served while alarmed")
+	}
+
+	// The partition around node 1 heals (it returns with its data): the
+	// budget is met again, the alarm clears, the flap exits cleanly, and
+	// the remaining real failure is repaired with all records intact.
+	sc.healPartition(1)
+	sc.step(ctx)
+	sc.step(ctx)
+	time.Sleep(5 * time.Millisecond)
+	sc.step(ctx)
+	if a := sc.sup.Alarm(); a != "" {
+		t.Fatalf("alarm still active after recovery: %q", a)
+	}
+	awctx, cancel2 := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel2()
+	for sc.sup.AwaitHealthy(awctx) != nil {
+		time.Sleep(2 * time.Millisecond)
+		sc.step(ctx)
+		if awctx.Err() != nil {
+			t.Fatal("cluster never converged after operator intervention")
+		}
+	}
+	verifyRecords(t, sc.cluster, want)
+}
+
+func TestDegradedSearchStaysCompleteWithDownNodes(t *testing.T) {
+	sc := newSupervisedCluster(t, 5, 2, SupervisorConfig{
+		Debounce: time.Hour, // keep nodes down: this test exercises serving, not repair
+	})
+	pl := testPipeline(t, 4, 2, 2)
+	ctx := context.Background()
+
+	rng := newChaosCorpus()
+	for rid := uint64(1); rid <= 40; rid++ {
+		recs, err := pl.BuildIndex(rid, rng.record(rid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.cluster.InsertIndexed(ctx, FileIndex, recs, pl.K(), SlotBits(pl.Chunkings(), pl.K())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query, err := pl.BuildQuery([]byte("GRIDLOCK"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, info, err := sc.cluster.SearchPartialInfo(ctx, FileIndex, pl, query, core.VerifyAny)
+	if err != nil || !info.Complete() || len(info.Degraded) != 0 {
+		t.Fatalf("healthy search: info=%+v err=%v", info, err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("baseline found no hits")
+	}
+	if err := sc.guard.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two nodes die (the full parity budget). Search must still answer
+	// the complete baseline, naming the nodes served degraded.
+	sc.kill(1, 3)
+	sc.step(ctx)
+	rids, info, err := sc.cluster.SearchPartialInfo(ctx, FileIndex, pl, query, core.VerifyAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Complete() || len(info.Failed) != 0 {
+		t.Fatalf("degraded search incomplete: %+v", info)
+	}
+	sort.Slice(info.Degraded, func(i, j int) bool { return info.Degraded[i] < info.Degraded[j] })
+	if len(info.Degraded) != 2 || info.Degraded[0] != 1 || info.Degraded[1] != 3 {
+		t.Fatalf("Degraded = %v, want [1 3]", info.Degraded)
+	}
+	if info.StaleSince.IsZero() {
+		t.Fatal("StaleSince not reported for degraded nodes")
+	}
+	if len(rids) != len(baseline) {
+		t.Fatalf("degraded search lost results: %v vs baseline %v", rids, baseline)
+	}
+	for i := range rids {
+		if rids[i] != baseline[i] {
+			t.Fatalf("degraded search diverged: %v vs baseline %v", rids, baseline)
+		}
+	}
+	// Search (the strict API) must also succeed transparently.
+	strict, err := sc.cluster.Search(ctx, FileIndex, pl, query, core.VerifyAny)
+	if err != nil {
+		t.Fatalf("Search with degraded coverage failed: %v", err)
+	}
+	if len(strict) != len(baseline) {
+		t.Fatalf("strict search lost results: %v", strict)
+	}
+
+	// A third failure exceeds the budget: completeness can no longer be
+	// promised, so the dead nodes must surface as Failed again.
+	sc.kill(4)
+	sc.step(ctx)
+	_, info, err = sc.cluster.SearchPartialInfo(ctx, FileIndex, pl, query, core.VerifyAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Complete() {
+		t.Fatal("search claimed completeness beyond the parity budget")
+	}
+}

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeState is a failure detector's verdict on one node.
+type NodeState uint8
+
+const (
+	// NodeUp: the node answered its most recent signals.
+	NodeUp NodeState = iota
+	// NodeSuspect: at least one recent signal failed, but not enough to
+	// confirm the node down.
+	NodeSuspect
+	// NodeDown: DownAfter consecutive signals failed — the node is
+	// presumed dead or partitioned until it answers again.
+	NodeDown
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeSuspect:
+		return "suspect"
+	case NodeDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectorPolicy tunes a Detector.
+type DetectorPolicy struct {
+	// ProbeOp is the op code sent as an active health probe. A node that
+	// answers — even with a handler error — is alive; only transport
+	// failures count against it.
+	ProbeOp uint8
+	// ProbeInterval is the background probing period. 0 disables active
+	// probing (the detector then runs on passive signals only).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 1s).
+	ProbeTimeout time.Duration
+	// DownAfter is the number of consecutive failed signals confirming a
+	// node down (default 2). The first failure alone moves it to
+	// NodeSuspect.
+	DownAfter int
+	// UpAfter is the number of consecutive successful signals taking a
+	// suspect/down node back to NodeUp (default 1).
+	UpAfter int
+}
+
+func (p *DetectorPolicy) fillDefaults() {
+	if p.ProbeTimeout <= 0 {
+		p.ProbeTimeout = time.Second
+	}
+	if p.DownAfter < 1 {
+		p.DownAfter = 2
+	}
+	if p.UpAfter < 1 {
+		p.UpAfter = 1
+	}
+}
+
+// HealthEvent is one node's state transition.
+type HealthEvent struct {
+	Node  NodeID
+	State NodeState
+	At    time.Time
+	// Cause is the error string that drove a transition to
+	// Suspect/Down; empty for transitions to Up.
+	Cause string
+}
+
+// NodeHealth is a snapshot of one node's detector accounting.
+type NodeHealth struct {
+	Node                NodeID
+	State               NodeState
+	ConsecutiveFailures int
+	LastTransition      time.Time
+	LastError           string
+	ActiveProbes        uint64 // probe signals seen
+	PassiveSignals      uint64 // signals fed by ObserveSend
+}
+
+type detNode struct {
+	NodeHealth
+	consecOK int
+}
+
+// Detector is a lightweight per-node failure detector: it combines
+// active health probes (a periodic ProbeOp to every member) with
+// passive signals from live traffic (feed it as the Retry middleware's
+// SendObserver) into a three-state verdict per node, and publishes
+// state transitions to subscribers.
+//
+// Membership is authoritative, not discovered: the detector watches
+// exactly the nodes it was constructed with, so a crashed node that
+// drops out of the transport's directory still gets probed and
+// confirmed down instead of silently disappearing.
+type Detector struct {
+	tr      Transport
+	policy  DetectorPolicy
+	members []NodeID
+
+	mu      sync.Mutex
+	nodes   map[NodeID]*detNode
+	subs    []chan HealthEvent
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+	now     func() time.Time // injectable clock for tests
+}
+
+// NewDetector builds a detector over the transport watching the given
+// membership. Start begins background probing; ProbeOnce and
+// ObserveSend work without it.
+func NewDetector(tr Transport, members []NodeID, policy DetectorPolicy) *Detector {
+	policy.fillDefaults()
+	d := &Detector{
+		tr:      tr,
+		policy:  policy,
+		members: append([]NodeID(nil), members...),
+		nodes:   make(map[NodeID]*detNode, len(members)),
+		now:     time.Now,
+	}
+	for _, n := range members {
+		d.nodes[n] = &detNode{NodeHealth: NodeHealth{Node: n, State: NodeUp}}
+	}
+	return d
+}
+
+// Policy returns the effective policy (defaults filled).
+func (d *Detector) Policy() DetectorPolicy { return d.policy }
+
+// Members returns the watched membership.
+func (d *Detector) Members() []NodeID {
+	return append([]NodeID(nil), d.members...)
+}
+
+// Start launches the background probe loop (no-op when ProbeInterval
+// is 0 or the detector already runs).
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.started || d.policy.ProbeInterval <= 0 {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	stop, done := d.stop, d.done
+	d.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(d.policy.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				d.ProbeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts background probing. Subscriptions stay open (no further
+// active events; passive signals keep flowing if traffic does).
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if !d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = false
+	stop, done := d.stop, d.done
+	d.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// ProbeOnce runs one synchronous probe round over all members.
+func (d *Detector) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, node := range d.members {
+		wg.Add(1)
+		go func(node NodeID) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, d.policy.ProbeTimeout)
+			defer cancel()
+			_, err := d.tr.Send(pctx, node, d.policy.ProbeOp, nil)
+			d.signal(node, err, false)
+		}(node)
+	}
+	wg.Wait()
+}
+
+// ObserveSend feeds a passive signal from live traffic; it implements
+// the Retry middleware's SendObserver. A nil error (or a remote handler
+// error, which proves the node answered) counts as alive; transport
+// failures count against the node.
+func (d *Detector) ObserveSend(node NodeID, err error) {
+	d.signal(node, err, true)
+}
+
+// alive classifies a send outcome: the node is alive if the request got
+// an answer, even an application-level error.
+func alive(err error) bool {
+	var re *RemoteError
+	return err == nil || errors.As(err, &re)
+}
+
+// signal folds one outcome into the node's state machine and publishes
+// any transition.
+func (d *Detector) signal(node NodeID, err error, passive bool) {
+	d.mu.Lock()
+	n, ok := d.nodes[node]
+	if !ok {
+		d.mu.Unlock()
+		return // not a watched member
+	}
+	if passive {
+		n.PassiveSignals++
+	} else {
+		n.ActiveProbes++
+	}
+	var events []HealthEvent
+	if alive(err) {
+		n.ConsecutiveFailures = 0
+		n.consecOK++
+		if n.State != NodeUp && n.consecOK >= d.policy.UpAfter {
+			n.State = NodeUp
+			n.LastTransition = d.now()
+			n.LastError = ""
+			events = append(events, HealthEvent{Node: node, State: NodeUp, At: n.LastTransition})
+		}
+	} else {
+		n.consecOK = 0
+		n.ConsecutiveFailures++
+		n.LastError = err.Error()
+		switch {
+		case n.ConsecutiveFailures >= d.policy.DownAfter && n.State != NodeDown:
+			n.State = NodeDown
+			n.LastTransition = d.now()
+			events = append(events, HealthEvent{Node: node, State: NodeDown, At: n.LastTransition, Cause: n.LastError})
+		case n.State == NodeUp:
+			n.State = NodeSuspect
+			n.LastTransition = d.now()
+			events = append(events, HealthEvent{Node: node, State: NodeSuspect, At: n.LastTransition, Cause: n.LastError})
+		}
+	}
+	subs := append([]chan HealthEvent(nil), d.subs...)
+	d.mu.Unlock()
+	for _, ev := range events {
+		for _, sub := range subs {
+			select {
+			case sub <- ev:
+			default: // never block the signal path; snapshots backstop
+			}
+		}
+	}
+}
+
+// Subscribe returns a channel of state transitions. Delivery is
+// best-effort: events are dropped when the buffer is full, so consumers
+// needing completeness must also reconcile against Snapshot.
+func (d *Detector) Subscribe(buffer int) <-chan HealthEvent {
+	if buffer < 1 {
+		buffer = 16
+	}
+	ch := make(chan HealthEvent, buffer)
+	d.mu.Lock()
+	d.subs = append(d.subs, ch)
+	d.mu.Unlock()
+	return ch
+}
+
+// State returns the current verdict on one node (NodeUp for unknown
+// nodes: the detector has no evidence against them).
+func (d *Detector) State(node NodeID) NodeState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n, ok := d.nodes[node]; ok {
+		return n.State
+	}
+	return NodeUp
+}
+
+// Down lists the confirmed-down members in ascending order.
+func (d *Detector) Down() []NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []NodeID
+	for _, n := range d.nodes {
+		if n.State == NodeDown {
+			out = append(out, n.Node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot returns every member's health, sorted by node ID.
+func (d *Detector) Snapshot() []NodeHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]NodeHealth, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		out = append(out, n.NodeHealth)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

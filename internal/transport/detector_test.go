@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestDetector(m *Memory, members []NodeID, downAfter, upAfter int) *Detector {
+	return NewDetector(m, members, DetectorPolicy{
+		ProbeOp:      0,
+		ProbeTimeout: 200 * time.Millisecond,
+		DownAfter:    downAfter,
+		UpAfter:      upAfter,
+	})
+}
+
+func TestDetectorStateTransitions(t *testing.T) {
+	m := NewMemory()
+	members := []NodeID{0, 1, 2}
+	for _, id := range members {
+		m.Register(id, echoHandler)
+	}
+	d := newTestDetector(m, members, 2, 2)
+	ctx := context.Background()
+
+	d.ProbeOnce(ctx)
+	for _, id := range members {
+		if st := d.State(id); st != NodeUp {
+			t.Fatalf("node %d after healthy probe: %v", id, st)
+		}
+	}
+
+	// Kill node 1: first failed probe → suspect, second → down.
+	m.Unregister(1)
+	d.ProbeOnce(ctx)
+	if st := d.State(1); st != NodeSuspect {
+		t.Fatalf("node 1 after one failure: %v, want suspect", st)
+	}
+	d.ProbeOnce(ctx)
+	if st := d.State(1); st != NodeDown {
+		t.Fatalf("node 1 after two failures: %v, want down", st)
+	}
+	if down := d.Down(); len(down) != 1 || down[0] != 1 {
+		t.Fatalf("Down = %v", down)
+	}
+	// Healthy peers unaffected.
+	if d.State(0) != NodeUp || d.State(2) != NodeUp {
+		t.Fatal("healthy nodes disturbed by peer failure")
+	}
+
+	// Revive: UpAfter=2 means one success is not enough.
+	m.Register(1, echoHandler)
+	d.ProbeOnce(ctx)
+	if st := d.State(1); st != NodeDown {
+		t.Fatalf("node 1 after one success: %v, want still down (UpAfter=2)", st)
+	}
+	d.ProbeOnce(ctx)
+	if st := d.State(1); st != NodeUp {
+		t.Fatalf("node 1 after two successes: %v, want up", st)
+	}
+	if down := d.Down(); len(down) != 0 {
+		t.Fatalf("Down after recovery = %v", down)
+	}
+}
+
+func TestDetectorRemoteErrorCountsAsAlive(t *testing.T) {
+	m := NewMemory()
+	m.Register(0, func(op uint8, p []byte) ([]byte, error) {
+		return nil, errors.New("handler rejects probes")
+	})
+	d := newTestDetector(m, []NodeID{0}, 1, 1)
+	d.ProbeOnce(context.Background())
+	if st := d.State(0); st != NodeUp {
+		t.Fatalf("node answering with a handler error marked %v, want up", st)
+	}
+}
+
+func TestDetectorPassiveSignals(t *testing.T) {
+	m := NewMemory()
+	m.Register(0, echoHandler)
+	d := newTestDetector(m, []NodeID{0}, 2, 1)
+
+	// Passive failures confirm a node down without any probe.
+	d.ObserveSend(0, ErrUnknownNode)
+	d.ObserveSend(0, ErrUnknownNode)
+	if st := d.State(0); st != NodeDown {
+		t.Fatalf("after two passive failures: %v, want down", st)
+	}
+	// A passive success brings it back.
+	d.ObserveSend(0, nil)
+	if st := d.State(0); st != NodeUp {
+		t.Fatalf("after passive success: %v, want up", st)
+	}
+	// Unknown nodes are ignored (not watched membership).
+	d.ObserveSend(42, ErrUnknownNode)
+	if st := d.State(42); st != NodeUp {
+		t.Fatalf("unwatched node state = %v", st)
+	}
+	snap := d.Snapshot()
+	if len(snap) != 1 || snap[0].PassiveSignals != 3 || snap[0].ActiveProbes != 0 {
+		t.Fatalf("snapshot accounting = %+v", snap)
+	}
+}
+
+func TestDetectorRetryObserverIntegration(t *testing.T) {
+	// Wire the detector as the Retry middleware's observer: a send to a
+	// dead node must mark it down purely from live-traffic signals.
+	m := NewMemory()
+	m.Register(0, echoHandler)
+	m.Register(1, echoHandler)
+	r := NewRetry(m, RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Multiplier:  2,
+	}, 1)
+	d := newTestDetector(m, []NodeID{0, 1}, 2, 1)
+	r.SetObserver(d)
+	ctx := context.Background()
+
+	m.Unregister(1)
+	// ErrUnknownNode is not retryable, so each Send is one attempt = one
+	// passive failure; the second confirms the node down.
+	if _, err := r.Send(ctx, 1, 7, nil); err == nil {
+		t.Fatal("send to dead node succeeded")
+	}
+	if st := d.State(1); st != NodeSuspect {
+		t.Fatalf("node 1 after one failed send: %v, want suspect", st)
+	}
+	if _, err := r.Send(ctx, 1, 7, nil); err == nil {
+		t.Fatal("send to dead node succeeded")
+	}
+	if st := d.State(1); st != NodeDown {
+		t.Fatalf("node 1 after two failed sends: %v, want down", st)
+	}
+	// Healthy traffic keeps node 0 up and counts signals.
+	if _, err := r.Send(ctx, 0, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if snap[0].PassiveSignals == 0 {
+		t.Fatal("successful send produced no passive signal")
+	}
+	if snap[1].State != NodeDown || snap[1].LastError == "" {
+		t.Fatalf("node 1 health = %+v", snap[1])
+	}
+}
+
+func TestDetectorSubscribe(t *testing.T) {
+	m := NewMemory()
+	m.Register(0, echoHandler)
+	d := newTestDetector(m, []NodeID{0}, 2, 1)
+	events := d.Subscribe(16)
+	ctx := context.Background()
+
+	m.Unregister(0)
+	d.ProbeOnce(ctx) // → suspect
+	d.ProbeOnce(ctx) // → down
+	m.Register(0, echoHandler)
+	d.ProbeOnce(ctx) // → up
+
+	want := []NodeState{NodeSuspect, NodeDown, NodeUp}
+	for i, w := range want {
+		select {
+		case ev := <-events:
+			if ev.Node != 0 || ev.State != w {
+				t.Fatalf("event %d = %+v, want state %v", i, ev, w)
+			}
+			if w != NodeUp && ev.Cause == "" {
+				t.Fatalf("failure event %d missing cause", i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("missing event %d (%v)", i, w)
+		}
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("unexpected extra event %+v", ev)
+	default:
+	}
+}
+
+func TestDetectorBackgroundProbing(t *testing.T) {
+	m := NewMemory()
+	m.Register(0, echoHandler)
+	d := NewDetector(m, []NodeID{0}, DetectorPolicy{
+		ProbeInterval: time.Millisecond,
+		ProbeTimeout:  100 * time.Millisecond,
+		DownAfter:     2,
+		UpAfter:       1,
+	})
+	events := d.Subscribe(16)
+	d.Start()
+	defer d.Stop()
+
+	m.Unregister(0)
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.State == NodeDown {
+				return // background loop confirmed the failure on its own
+			}
+		case <-deadline:
+			t.Fatal("background probing never confirmed the node down")
+		}
+	}
+}

@@ -109,6 +109,16 @@ type nodeHealth struct {
 	openUntil time.Time
 }
 
+// SendObserver receives the outcome of every delivery attempt a Retry
+// makes — the passive half of failure detection. err is nil when the
+// node answered (including with a handler error, which proves it
+// alive); attempts the middleware never made (open breaker) and
+// caller-side context expiry are not reported, since they carry no
+// evidence about the node.
+type SendObserver interface {
+	ObserveSend(node NodeID, err error)
+}
+
 // Retry is a Transport middleware adding exponential-backoff retries
 // with jitter, context-deadline awareness, and a per-node circuit
 // breaker with health accounting.
@@ -116,10 +126,11 @@ type Retry struct {
 	inner  Transport
 	policy RetryPolicy
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	nodes map[NodeID]*nodeHealth
-	now   func() time.Time // injectable clock for tests
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nodes    map[NodeID]*nodeHealth
+	now      func() time.Time // injectable clock for tests
+	observer SendObserver
 }
 
 // NewRetry wraps a transport with the retry/breaker middleware. The
@@ -137,6 +148,37 @@ func NewRetry(inner Transport, policy RetryPolicy, seed int64) *Retry {
 
 // Policy returns the effective policy (defaults filled).
 func (r *Retry) Policy() RetryPolicy { return r.policy }
+
+// SetObserver installs a per-attempt outcome observer (typically a
+// Detector, to fold live-traffic evidence into failure detection).
+// Passing nil removes it.
+func (r *Retry) SetObserver(o SendObserver) {
+	r.mu.Lock()
+	r.observer = o
+	r.mu.Unlock()
+}
+
+// observe reports one attempt's outcome to the observer, outside the
+// lock (observers may call back into this transport).
+func (r *Retry) observe(node NodeID, err error) {
+	r.mu.Lock()
+	o := r.observer
+	r.mu.Unlock()
+	if o == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return // the caller gave up; says nothing about the node
+	case errors.Is(err, ErrCircuitOpen):
+		return // no attempt was made
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		err = nil // the node answered; it is alive
+	}
+	o.ObserveSend(node, err)
+}
 
 func (r *Retry) healthOf(node NodeID) *nodeHealth {
 	h, ok := r.nodes[node]
@@ -202,6 +244,7 @@ func (r *Retry) Send(ctx context.Context, node NodeID, op uint8, payload []byte)
 			}
 		}
 		resp, err := r.inner.Send(ctx, node, op, payload)
+		r.observe(node, err)
 		if err == nil {
 			r.mu.Lock()
 			h.Successes++

@@ -127,10 +127,33 @@ type Result struct {
 	Err     error
 }
 
+// sendAbortable runs one Send but returns as soon as the context ends,
+// carrying ctx.Err(), even if the underlying transport ignores
+// cancellation (a hung node, a blocked in-memory handler). The
+// abandoned send finishes (and is discarded) on its own goroutine.
+func sendAbortable(ctx context.Context, tr Transport, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	type outcome struct {
+		payload []byte
+		err     error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		resp, err := tr.Send(ctx, node, op, payload)
+		ch <- outcome{resp, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.payload, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Broadcast sends the same request to every listed node in parallel and
 // collects all results, ordered by node ID. This is the primitive behind
 // the paper's parallel searches: the query series go to all index sites
-// at once and the coordinator gathers their hits.
+// at once and the coordinator gathers their hits. When the context ends,
+// pending sends abort promptly and their Results carry ctx.Err().
 func Broadcast(ctx context.Context, tr Transport, nodes []NodeID, op uint8, payload []byte) []Result {
 	out := make([]Result, len(nodes))
 	var wg sync.WaitGroup
@@ -138,7 +161,7 @@ func Broadcast(ctx context.Context, tr Transport, nodes []NodeID, op uint8, payl
 		wg.Add(1)
 		go func(i int, node NodeID) {
 			defer wg.Done()
-			resp, err := tr.Send(ctx, node, op, payload)
+			resp, err := sendAbortable(ctx, tr, node, op, payload)
 			out[i] = Result{Node: node, Payload: resp, Err: err}
 		}(i, node)
 	}
@@ -147,7 +170,9 @@ func Broadcast(ctx context.Context, tr Transport, nodes []NodeID, op uint8, payl
 }
 
 // Scatter sends a distinct request to each node in parallel; requests
-// maps node → payload. Results are ordered by ascending node ID.
+// maps node → payload. Results are ordered by ascending node ID. When
+// the context ends, pending sends abort promptly and their Results
+// carry ctx.Err().
 func Scatter(ctx context.Context, tr Transport, op uint8, requests map[NodeID][]byte) []Result {
 	nodes := make([]NodeID, 0, len(requests))
 	for n := range requests {
@@ -160,7 +185,7 @@ func Scatter(ctx context.Context, tr Transport, op uint8, requests map[NodeID][]
 		wg.Add(1)
 		go func(i int, node NodeID) {
 			defer wg.Done()
-			resp, err := tr.Send(ctx, node, op, requests[node])
+			resp, err := sendAbortable(ctx, tr, node, op, requests[node])
 			out[i] = Result{Node: node, Payload: resp, Err: err}
 		}(i, node)
 	}

@@ -312,3 +312,60 @@ func TestTCPAddNode(t *testing.T) {
 		t.Errorf("Nodes = %v", nodes)
 	}
 }
+
+func TestScatterAbortsOnContextCancel(t *testing.T) {
+	m := NewMemory()
+	m.Register(0, echoHandler)
+	release := make(chan struct{})
+	m.Register(1, func(op uint8, p []byte) ([]byte, error) {
+		<-release // a hung node: never answers until cleanup
+		return nil, nil
+	})
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	results := Scatter(ctx, m, 7, map[NodeID][]byte{
+		0: []byte("a"),
+		1: []byte("b"),
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Scatter blocked %v on a hung node instead of aborting", elapsed)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	// Node 0 answered before the cancel; node 1's pending send must
+	// carry the context error.
+	if results[0].Err != nil {
+		t.Errorf("healthy node result: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("hung node err = %v, want context.Canceled", results[1].Err)
+	}
+}
+
+func TestBroadcastAbortsOnContextDeadline(t *testing.T) {
+	m := NewMemory()
+	release := make(chan struct{})
+	m.Register(0, echoHandler)
+	m.Register(1, func(op uint8, p []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	results := Broadcast(ctx, m, []NodeID{0, 1}, 7, nil)
+	if results[0].Err != nil {
+		t.Errorf("healthy node result: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, context.DeadlineExceeded) {
+		t.Errorf("hung node err = %v, want context.DeadlineExceeded", results[1].Err)
+	}
+}
