@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodePutReq -fuzztime=30s ./internal/sdds
 	$(GO) test -fuzz=FuzzDecodeSearchReq -fuzztime=30s ./internal/sdds
 	$(GO) test -fuzz=FuzzDecodeNodeImage -fuzztime=30s ./internal/sdds
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/wal
 
 clean:
 	$(GO) clean -testcache

@@ -62,6 +62,7 @@ func main() {
 
 		selfHeal  = flag.Int("self-heal", 0, "enable self-healing with this parity (tolerated simultaneous node failures)")
 		faultSeed = flag.Int64("fault-seed", 0, "insert a deterministic fault injector with this seed (0 = off)")
+		dataDir   = flag.String("data-dir", "", "make -mem nodes durable: per-node write-ahead logs under this directory")
 	)
 	flag.Parse()
 	if *passphrase == "" {
@@ -88,6 +89,9 @@ func main() {
 		opts = append(opts, esdds.WithSelfHealing(esdds.SelfHealingConfig{
 			Parity: *selfHeal,
 		}))
+	}
+	if *dataDir != "" {
+		opts = append(opts, esdds.WithDataDir(*dataDir))
 	}
 
 	var cluster *esdds.Cluster
@@ -294,6 +298,9 @@ func printHealth(cluster *esdds.Cluster) {
 			line += fmt.Sprintf(" | faults: dropped %d failed %d delayed %d duplicated %d blacked %d",
 				f.Dropped, f.Failed, f.Delayed, f.Duplicated, f.Blacked)
 		}
+		if n.Durability != "" {
+			line += " | durability " + n.Durability
+		}
 		fmt.Println(line)
 	}
 	if !h.SelfHealing {
@@ -312,6 +319,13 @@ func printHealth(cluster *esdds.Cluster) {
 		fmt.Println("recovery point: never synced — run `sync`")
 	} else {
 		fmt.Printf("recovery point: sync #%d at %s\n", h.SyncSeq, h.LastSync.Format(time.RFC3339))
+	}
+	if h.JournalCap > 0 {
+		line := fmt.Sprintf("repair journal: %d/%d records", h.JournalLen, h.JournalCap)
+		if h.JournalDropped > 0 {
+			line += fmt.Sprintf(" (%d oldest dropped)", h.JournalDropped)
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -16,6 +16,12 @@
 // a client opened with esdds.WithSelfHealing can detect daemon failures
 // and serve degraded searches; automatic restore onto a replacement
 // daemon requires restarting it under the dead node's ID and address.
+//
+// With -data-dir the node is durable: every mutation is journaled to a
+// checksummed write-ahead log (with periodic checkpoints) before it is
+// applied, and a restarted daemon replays checkpoint+journal to rejoin
+// already whole — no parity restore needed. SIGINT/SIGTERM shut down
+// gracefully: the journal is flushed and a final checkpoint written.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"repro/internal/sdds"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -45,6 +52,7 @@ func main() {
 		cooldown  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker rejects forwards")
 
 		linearScan = flag.Bool("linear-scan", false, "disable the posting index; serve searches by full linear scan")
+		dataDir    = flag.String("data-dir", "", "directory for the node's write-ahead log and checkpoints (empty: in-memory only)")
 	)
 	flag.Parse()
 
@@ -87,6 +95,28 @@ func main() {
 	if *linearScan {
 		node.DisablePostingIndex()
 	}
+	if *dataDir != "" {
+		st, err := wal.Open(wal.OSFS{}, *dataDir, wal.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esdds-node: opening data dir:", err)
+			os.Exit(1)
+		}
+		switch out, err := node.AttachStore(st); out {
+		case wal.OutcomeCorrupt:
+			// Loud, never silent: the node serves empty and waits for a
+			// guardian restore (which re-establishes durability).
+			fmt.Fprintf(os.Stderr, "esdds-node: local state in %s failed verification (%v); starting empty, needs parity restore\n", *dataDir, err)
+		case wal.OutcomeRecovered:
+			fmt.Printf("esdds-node %d recovered local state from %s (seq %d)\n", *id, *dataDir, st.Seq())
+		default:
+			fmt.Printf("esdds-node %d starting fresh journal in %s\n", *id, *dataDir)
+		}
+		defer func() {
+			if err := node.CloseStore(); err != nil {
+				fmt.Fprintln(os.Stderr, "esdds-node: closing store:", err)
+			}
+		}()
+	}
 	srv := transport.NewServer(node.Handler())
 
 	lis, err := net.Listen("tcp", *listen)
@@ -109,6 +139,9 @@ func main() {
 	case err := <-done:
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esdds-node:", err)
+			if *dataDir != "" {
+				node.CloseStore() //nolint:errcheck // already failing
+			}
 			os.Exit(1)
 		}
 	}

@@ -4,9 +4,13 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"path/filepath"
+	"sort"
+	"sync"
 
 	"repro/internal/sdds"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Cluster is a handle to a set of storage nodes: either an in-process
@@ -40,6 +44,24 @@ type Cluster struct {
 	// linearScan records the WithLinearScan option so revived nodes
 	// match the rest of the cluster.
 	linearScan bool
+
+	// durable node state (WithDataDir; empty/nil otherwise). storeMu
+	// guards the maps: the supervisor's reviver mutates them from its
+	// own goroutine.
+	dataDir  string
+	storeMu  sync.Mutex
+	nodes    map[int]*sdds.Node
+	stores   map[int]*wal.Store
+	recovery map[int]NodeRecovery
+}
+
+// NodeRecovery reports how a durable node's local state came to be at
+// its most recent (re)start: "fresh" (no prior state), "recovered"
+// (checkpoint+journal replayed), or "corrupt" (verification failed; the
+// node came up empty and needs a parity restore — Err says why).
+type NodeRecovery struct {
+	Outcome string
+	Err     string
 }
 
 // ClusterOption configures the transport stack of a cluster.
@@ -51,6 +73,21 @@ type clusterConfig struct {
 	faultSeed  *int64
 	linearScan bool
 	selfHeal   *SelfHealingConfig
+	dataDir    string
+}
+
+// WithDataDir makes every node durable: each journals its mutations to
+// a checksummed write-ahead log (with periodic checkpoints) under
+// dir/node-<id>/ and replays it on restart, so reopening a cluster over
+// the same directory — or reviving a killed node — recovers its state
+// locally instead of consuming LH*RS parity-repair capacity. A journal
+// that fails checksum verification is detected and reported (see
+// NodeRecovery); the node then comes up empty for a parity restore.
+// Only meaningful for clusters that host their own nodes (memory and
+// local-TCP); DialCluster rejects it — a dialed daemon owns its own
+// data directory (see cmd/esdds-node -data-dir).
+func WithDataDir(dir string) ClusterOption {
+	return func(c *clusterConfig) { c.dataDir = dir }
 }
 
 // WithLinearScan disables the node-side posting index, making every
@@ -134,6 +171,7 @@ func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 		panic("esdds: " + err.Error()) // n >= 1 makes this impossible
 	}
 	c := &Cluster{mem: mem, place: place, linearScan: cfg.linearScan}
+	c.initStores(cfg.dataDir)
 	tr := cfg.stack(mem, c)
 	c.peers = tr
 	for _, id := range ids {
@@ -141,10 +179,13 @@ func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 		if cfg.linearScan {
 			node.DisablePostingIndex()
 		}
+		if err := c.attachNodeStore(int(id), node); err != nil {
+			panic("esdds: " + err.Error()) // unusable data dir
+		}
 		mem.Register(id, node.Handler())
 	}
 	c.inner = sdds.NewCluster(tr, place)
-	c.close = []func() error{mem.Close}
+	c.close = []func() error{c.closeStores, mem.Close}
 	if cfg.selfHeal != nil {
 		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
 			panic("esdds: self-healing: " + err.Error()) // bad Parity config
@@ -162,6 +203,9 @@ func DialCluster(addrs map[int]string, opts ...ClusterOption) (*Cluster, error) 
 		return nil, fmt.Errorf("esdds: empty cluster address map")
 	}
 	cfg := applyOptions(opts)
+	if cfg.dataDir != "" {
+		return nil, fmt.Errorf("esdds: WithDataDir requires a cluster that hosts its own nodes; daemons own their data dirs (esdds-node -data-dir)")
+	}
 	ids := make([]transport.NodeID, 0, len(addrs))
 	dir := make(map[transport.NodeID]string, len(addrs))
 	for i := 0; i < len(addrs); i++ {
@@ -221,10 +265,21 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	}
 	peers := transport.NewTCP(addrs)
 	c := &Cluster{place: place, linearScan: cfg.linearScan}
+	c.initStores(cfg.dataDir)
 	for i, id := range ids {
 		node := sdds.NewNode(id, peers, place)
 		if cfg.linearScan {
 			node.DisablePostingIndex()
+		}
+		if err := c.attachNodeStore(int(id), node); err != nil {
+			for _, srv := range c.servers {
+				srv.Close() //nolint:errcheck // best-effort unwind
+			}
+			for _, l := range listeners {
+				l.Close()
+			}
+			c.closeStores() //nolint:errcheck // best-effort unwind
+			return nil, err
 		}
 		srv := transport.NewServer(node.Handler())
 		c.servers = append(c.servers, srv)
@@ -234,7 +289,7 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	tr := cfg.stack(client, c)
 	c.peers = peers
 	c.inner = sdds.NewCluster(tr, place)
-	c.close = append(c.close, client.Close, peers.Close)
+	c.close = append(c.close, c.closeStores, client.Close, peers.Close)
 	for _, srv := range c.servers {
 		c.close = append(c.close, srv.Close)
 	}
@@ -245,6 +300,79 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// initStores prepares the durable-store bookkeeping for clusters that
+// host their own nodes. The node map is kept even without a data dir so
+// revive and shutdown paths stay uniform.
+func (c *Cluster) initStores(dataDir string) {
+	c.dataDir = dataDir
+	c.nodes = make(map[int]*sdds.Node)
+	c.stores = make(map[int]*wal.Store)
+	c.recovery = make(map[int]NodeRecovery)
+}
+
+// attachNodeStore opens (or reopens) a node's durable store under the
+// cluster data dir, replays whatever it holds, and records the recovery
+// outcome. Corruption is not an error here: it is detected, recorded,
+// and left for a parity restore — the node comes up empty with a reset,
+// armed store. Call before the node starts serving traffic.
+func (c *Cluster) attachNodeStore(id int, node *sdds.Node) error {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	c.nodes[id] = node
+	if c.dataDir == "" {
+		return nil
+	}
+	st, err := wal.Open(wal.OSFS{}, filepath.Join(c.dataDir, fmt.Sprintf("node-%d", id)), wal.Options{})
+	if err != nil {
+		return fmt.Errorf("esdds: opening node %d store: %w", id, err)
+	}
+	out, aerr := node.AttachStore(st)
+	rec := NodeRecovery{Outcome: out.String()}
+	if aerr != nil {
+		rec.Err = aerr.Error()
+		if out != wal.OutcomeCorrupt {
+			st.Close() //nolint:errcheck // best-effort unwind
+			return fmt.Errorf("esdds: attaching node %d store: %w", id, aerr)
+		}
+	}
+	c.stores[id] = st
+	c.recovery[id] = rec
+	return nil
+}
+
+// closeStores gracefully checkpoints and closes every durable node
+// store (no-op for ephemeral clusters and already-killed nodes).
+func (c *Cluster) closeStores() error {
+	c.storeMu.Lock()
+	ids := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	nodes := make([]*sdds.Node, len(ids))
+	for i, id := range ids {
+		nodes[i] = c.nodes[id]
+	}
+	c.storeMu.Unlock()
+	var first error
+	for _, node := range nodes {
+		if err := node.CloseStore(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NodeRecovery reports how a durable node's state came to be at its
+// most recent (re)start; ok is false for ephemeral nodes (no data dir)
+// and dialed clusters.
+func (c *Cluster) NodeRecovery(id int) (NodeRecovery, bool) {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	rec, ok := c.recovery[id]
+	return rec, ok
 }
 
 // Nodes returns the cluster's node count.
@@ -285,13 +413,24 @@ func (c *Cluster) KillNode(id int) error {
 		return fmt.Errorf("esdds: KillNode requires a memory cluster")
 	}
 	c.mem.Unregister(transport.NodeID(id))
+	// Tear the durable store down without flushing — the crash
+	// semantics. Whatever the journal discipline already made durable is
+	// exactly what a revival finds.
+	c.storeMu.Lock()
+	st := c.stores[id]
+	c.storeMu.Unlock()
+	if st != nil {
+		st.Abort()
+	}
 	return nil
 }
 
-// ReviveNode registers a fresh, empty node under the given ID — the
-// spare site taking over a killed node's identity. Its buckets are
-// empty until a Guardian recovers them. Only supported on memory
-// clusters.
+// ReviveNode registers a node under the given ID — the spare site
+// taking over a killed node's identity. On an ephemeral cluster it
+// comes up empty (buckets restorable only by a Guardian); with
+// WithDataDir it reopens its durable store first and replays
+// checkpoint+journal, so it rejoins already whole and the Supervisor
+// skips the parity restore. Only supported on memory clusters.
 func (c *Cluster) ReviveNode(id int) error {
 	if c.mem == nil {
 		return fmt.Errorf("esdds: ReviveNode requires a memory cluster")
@@ -299,6 +438,9 @@ func (c *Cluster) ReviveNode(id int) error {
 	node := sdds.NewNode(transport.NodeID(id), c.peers, c.place)
 	if c.linearScan {
 		node.DisablePostingIndex()
+	}
+	if err := c.attachNodeStore(id, node); err != nil {
+		return err
 	}
 	c.mem.Register(transport.NodeID(id), node.Handler())
 	return nil

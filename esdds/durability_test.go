@@ -1,0 +1,357 @@
+package esdds
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sdds"
+)
+
+func durableConfig() Config {
+	return Config{ChunkSize: 4, Chunkings: 2, MaxBucketLoad: 4, WordSearch: true}
+}
+
+func sortedRIDs(rids []uint64) []uint64 {
+	out := append([]uint64(nil), rids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameRIDs(a, b []uint64) bool {
+	a, b = sortedRIDs(a), sortedRIDs(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// searchAllModes runs the same query under every search mode.
+func searchAllModes(t *testing.T, ctx context.Context, st *Store, query []byte) map[SearchMode][]uint64 {
+	t.Helper()
+	out := make(map[SearchMode][]uint64)
+	for _, mode := range []SearchMode{SearchFast, SearchVerified, SearchExact} {
+		rids, err := st.Search(ctx, query, mode)
+		if err != nil {
+			t.Fatalf("search mode %v: %v", mode, err)
+		}
+		out[mode] = sortedRIDs(rids)
+	}
+	return out
+}
+
+// TestClusterRestartRecoversState is the whole-cluster half of the
+// durability story: every record inserted into a WithDataDir cluster
+// must come back — by Get, by substring search in every mode, and by
+// word search — after the cluster is closed and reopened over the same
+// directory, with every node reporting a local "recovered" outcome.
+// A third reopen with WithLinearScan then checks the satellite
+// equivalence: the posting index rebuilt from durable replay must
+// answer exactly like the linear-scan reference (and like the fresh
+// in-memory insert baseline).
+func TestClusterRestartRecoversState(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	key := KeyFromPassphrase("durability")
+	query := []byte("durable payload")
+
+	contents := make(map[uint64][]byte)
+	for i := 1; i <= 12; i++ {
+		contents[uint64(i)] = []byte(fmt.Sprintf("durable payload record %02d", i))
+	}
+
+	c1 := NewMemoryCluster(3, WithDataDir(dir))
+	st1, err := Open(c1, key, durableConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rid, content := range contents {
+		if err := st1.Insert(ctx, rid, content); err != nil {
+			t.Fatalf("insert %d: %v", rid, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rec, ok := c1.NodeRecovery(i)
+		if !ok || rec.Outcome != "fresh" {
+			t.Fatalf("node %d recovery on first start = %+v, %v; want fresh", i, rec, ok)
+		}
+	}
+	baseline := searchAllModes(t, ctx, st1, query)
+	if len(baseline[SearchVerified]) != len(contents) {
+		t.Fatalf("baseline verified search found %d of %d records", len(baseline[SearchVerified]), len(contents))
+	}
+	baselineWords, err := st1.SearchWord(ctx, []byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("closing first cluster: %v", err)
+	}
+
+	// Reopen over the same directory: state must come back from local
+	// checkpoints+journals alone (no parity, no re-insert).
+	c2 := NewMemoryCluster(3, WithDataDir(dir))
+	defer c2.Close()
+	for i := 0; i < 3; i++ {
+		rec, ok := c2.NodeRecovery(i)
+		if !ok || rec.Outcome != "recovered" {
+			t.Fatalf("node %d recovery on restart = %+v, %v; want recovered", i, rec, ok)
+		}
+	}
+	st2, err := Open(c2, key, durableConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rid, want := range contents {
+		got, err := st2.Get(ctx, rid)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) after restart = %q, %v; want %q", rid, got, err, want)
+		}
+	}
+	replayed := searchAllModes(t, ctx, st2, query)
+	for mode, want := range baseline {
+		if !sameRIDs(replayed[mode], want) {
+			t.Fatalf("mode %v after restart: %v, want %v", mode, replayed[mode], want)
+		}
+	}
+	words, err := st2.SearchWord(ctx, []byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRIDs(words, baselineWords) {
+		t.Fatalf("word search after restart: %v, want %v", words, baselineWords)
+	}
+
+	// Posting-index equivalence: the index rebuilt during replay must be
+	// indistinguishable from the linear-scan reference over the same
+	// durable state.
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3 := NewMemoryCluster(3, WithDataDir(dir), WithLinearScan())
+	defer c3.Close()
+	st3, err := Open(c3, key, durableConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := searchAllModes(t, ctx, st3, query)
+	for mode, want := range baseline {
+		if !sameRIDs(linear[mode], want) {
+			t.Fatalf("mode %v linear-scan after restart: %v, want %v", mode, linear[mode], want)
+		}
+	}
+}
+
+// victimNode picks the node whose journal has the most durable state —
+// the interesting one to kill.
+func victimNode(t *testing.T, dir string, n int) int {
+	t.Helper()
+	best, bestSize := -1, int64(0)
+	for i := 0; i < n; i++ {
+		fi, err := os.Stat(filepath.Join(dir, fmt.Sprintf("node-%d", i), "wal.log"))
+		if err != nil {
+			continue
+		}
+		if fi.Size() > bestSize {
+			best, bestSize = i, fi.Size()
+		}
+	}
+	if best < 0 || bestSize < 64 {
+		t.Fatalf("no node accumulated a meaningful journal (best %d, %d bytes)", best, bestSize)
+	}
+	return best
+}
+
+func phasesFor(journal []RepairRecord, node int) []sdds.RepairPhase {
+	var out []sdds.RepairPhase
+	for _, r := range journal {
+		if int(r.Node) == node {
+			out = append(out, r.Phase)
+		}
+	}
+	return out
+}
+
+func awaitPhase(t *testing.T, heal *SelfHealing, node int, want sdds.RepairPhase) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, p := range phasesFor(heal.Journal(), node) {
+			if p == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d never reached repair phase %v; journal: %v",
+				node, want, heal.Journal())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSelfHealingPrefersLocalRecovery kills a durable node AFTER writes
+// that were never folded into the parity group. The supervisor must let
+// the revived node replay its own journal (RepairLocalRecovery) instead
+// of rolling it back to the recovery point with Guardian.Recover — the
+// post-sync records surviving is the proof, and the parity budget stays
+// untouched for real losses.
+func TestSelfHealingPrefersLocalRecovery(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	c := NewMemoryCluster(4, WithDataDir(dir), WithSelfHealing(fastSelfHealing(1)))
+	defer c.Close()
+	st, err := Open(c, KeyFromPassphrase("durability"), durableConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heal := c.SelfHealing()
+
+	contents := make(map[uint64][]byte)
+	insert := func(lo, hi int, tag string) {
+		for i := lo; i <= hi; i++ {
+			content := []byte(fmt.Sprintf("durable payload %s %02d", tag, i))
+			contents[uint64(i)] = content
+			if err := st.Insert(ctx, uint64(i), content); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+	}
+	insert(1, 12, "synced")
+	if err := heal.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	insert(13, 20, "beyond-sync") // the recovery point does NOT have these
+
+	victim := victimNode(t, dir, 4)
+	if err := c.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	awaitPhase(t, heal, victim, sdds.RepairLocalRecovery)
+	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := heal.AwaitHealthy(hctx); err != nil {
+		t.Fatalf("AwaitHealthy after local recovery: %v", err)
+	}
+	for _, p := range phasesFor(heal.Journal(), victim) {
+		if p == sdds.RepairParityFallback || p == sdds.RepairCompleted {
+			t.Fatalf("node %d consumed a parity restore (%v) despite a replayable journal", victim, p)
+		}
+	}
+
+	// Every record — including the ones past the recovery point — must
+	// have survived the crash, which only local replay can deliver.
+	for rid, want := range contents {
+		got, err := st.Get(ctx, rid)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) after local recovery = %q, %v; want %q", rid, got, err, want)
+		}
+	}
+	rids, err := st.Search(ctx, []byte("durable payload"), SearchVerified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != len(contents) {
+		t.Fatalf("search after local recovery found %d of %d records", len(rids), len(contents))
+	}
+
+	health := c.ClusterHealth()
+	if d := health.Nodes[victim].Durability; d != "recovered" {
+		t.Fatalf("node %d durability = %q, want recovered", victim, d)
+	}
+	if health.JournalCap == 0 || health.JournalLen == 0 {
+		t.Fatalf("health journal accounting missing: len=%d cap=%d", health.JournalLen, health.JournalCap)
+	}
+}
+
+// TestSelfHealingParityFallbackOnCorruptJournal flips one bit in a live
+// node's on-disk journal and then kills the node. The revived node must
+// detect the corruption (never silently replay past it), report it, and
+// the supervisor must fall back to a parity restore — corruption is
+// loud, and the data still comes back.
+func TestSelfHealingParityFallbackOnCorruptJournal(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	c := NewMemoryCluster(4, WithDataDir(dir), WithSelfHealing(fastSelfHealing(1)))
+	defer c.Close()
+	st, err := Open(c, KeyFromPassphrase("durability"), durableConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heal := c.SelfHealing()
+
+	contents := make(map[uint64][]byte)
+	for i := 1; i <= 16; i++ {
+		content := []byte(fmt.Sprintf("durable payload record %02d", i))
+		contents[uint64(i)] = content
+		if err := st.Insert(ctx, uint64(i), content); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := heal.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := victimNode(t, dir, 4)
+	// Flip one bit inside the first frame's checksum field (byte 13:
+	// past the 8-byte magic, inside the CRC at offset 12..15): a
+	// complete frame that no longer verifies — corruption, not a torn
+	// tail.
+	walPath := filepath.Join(dir, fmt.Sprintf("node-%d", victim), "wal.log")
+	f, err := os.OpenFile(walPath, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := [1]byte{raw[13] ^ 0x20}
+	if _, err := f.WriteAt(one[:], 13); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	awaitPhase(t, heal, victim, sdds.RepairParityFallback)
+	awaitPhase(t, heal, victim, sdds.RepairCompleted)
+	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := heal.AwaitHealthy(hctx); err != nil {
+		t.Fatalf("AwaitHealthy after parity fallback: %v", err)
+	}
+
+	// The corruption was detected and reported, never silently replayed.
+	rec, ok := c.NodeRecovery(victim)
+	if !ok || rec.Outcome != "corrupt" || rec.Err == "" {
+		t.Fatalf("node %d recovery = %+v, %v; want a reported corrupt outcome", victim, rec, ok)
+	}
+
+	// ... and parity made the node whole anyway.
+	for rid, want := range contents {
+		got, err := st.Get(ctx, rid)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%d) after parity fallback = %q, %v; want %q", rid, got, err, want)
+		}
+	}
+	rids, err := st.Search(ctx, []byte("durable payload"), SearchVerified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != len(contents) {
+		t.Fatalf("search after parity fallback found %d of %d records", len(rids), len(contents))
+	}
+}

@@ -28,6 +28,7 @@ type SelfHealingConfig struct {
 	Debounce      time.Duration // confirmed-down dwell before repair
 	RepairBackoff time.Duration // pause between failed repair attempts
 	SyncInterval  time.Duration // periodic recovery-point refresh (0: manual Sync only)
+	JournalCap    int           // repair-journal ring bound (default 512)
 }
 
 // WithSelfHealing turns the cluster into a self-healing one: node
@@ -85,6 +86,7 @@ func (c *Cluster) enableSelfHealing(sh SelfHealingConfig) error {
 		Debounce:      sh.Debounce,
 		RepairBackoff: sh.RepairBackoff,
 		SyncInterval:  sh.SyncInterval,
+		JournalCap:    sh.JournalCap,
 	})
 	c.inner.SetDegradedProvider(sup)
 	det.Start()
@@ -175,6 +177,11 @@ type NodeHealth struct {
 
 	// Fault injection (nil without WithFaultInjection).
 	Faults *transport.FaultStats
+
+	// Durability is the node's recovery outcome at its most recent
+	// (re)start — "fresh", "recovered", or "corrupt" — or "" for
+	// ephemeral nodes (no WithDataDir).
+	Durability string
 }
 
 // ClusterHealth is a point-in-time availability snapshot.
@@ -186,6 +193,12 @@ type ClusterHealth struct {
 	Repairs     uint64    // completed repairs
 	LastSync    time.Time // recovery point (zero: never synced)
 	SyncSeq     uint64
+
+	// Repair-journal bookkeeping (zero without self-healing): current
+	// length, capacity, and how many old records the ring bound shed.
+	JournalLen     int
+	JournalCap     int
+	JournalDropped uint64
 }
 
 // ClusterHealth assembles the availability picture across every layer:
@@ -243,7 +256,15 @@ func (c *Cluster) ClusterHealth() ClusterHealth {
 			out.Down = append(out.Down, int(id))
 		}
 		out.Repairs = c.sup.Repairs()
+		out.JournalLen, out.JournalDropped, out.JournalCap = c.sup.JournalStats()
 	}
+	c.storeMu.Lock()
+	for id, rec := range c.recovery {
+		if id >= 0 && id < n {
+			out.Nodes[id].Durability = rec.Outcome
+		}
+	}
+	c.storeMu.Unlock()
 	if c.guard != nil {
 		out.LastSync, out.SyncSeq = c.guard.LastSync()
 	}

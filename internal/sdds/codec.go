@@ -53,12 +53,54 @@ const (
 	opNodeRestore
 	opPutBatch
 	opPing
+	opRecoveryState
 )
 
 // PingOp is the exported health-probe op code: nodes answer it with an
 // empty payload and no side effects, making it the natural ProbeOp for
 // a transport.Detector watching sdds nodes.
 const PingOp = opPing
+
+// Recovery modes reported by opRecoveryState — how a node's local state
+// came to be. The Supervisor uses them to pick the cheapest sound repair:
+// a durable node that replayed its own journal needs no parity
+// reconstruction; a node whose journal was absent or corrupt does.
+const (
+	// recoveryEphemeral: no durable store attached — every restart is a
+	// total state loss.
+	recoveryEphemeral uint8 = iota
+	// recoveryFresh: durable store attached but it held no prior state.
+	recoveryFresh
+	// recoveryRecovered: state replayed from the local checkpoint+journal.
+	recoveryRecovered
+	// recoveryCorrupt: durable state failed checksum verification and was
+	// reset; the node restarted empty and needs a remote restore.
+	recoveryCorrupt
+)
+
+// recoveryStateResp reports a node's durable-recovery status: the mode
+// above, the last journaled sequence number, and (for corrupt) the
+// verification failure detail.
+type recoveryStateResp struct {
+	mode   uint8
+	seq    uint64
+	detail string
+}
+
+func (m recoveryStateResp) encode() []byte {
+	w := &writer{}
+	w.u8(m.mode)
+	w.u64(m.seq)
+	w.bytes([]byte(m.detail))
+	return w.b
+}
+
+func decodeRecoveryStateResp(b []byte) (recoveryStateResp, error) {
+	r := &reader{b: b}
+	m := recoveryStateResp{mode: r.u8(), seq: r.u64()}
+	m.detail = string(r.bytes())
+	return m, r.done()
+}
 
 // ComposeIndexKey builds the §5 composite key: RID shifted left by
 // slotBits with (chunking J, site k) packed into the low bits.

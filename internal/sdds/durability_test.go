@@ -1,0 +1,340 @@
+package sdds
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// durableHarness pairs a store-backed node with an ephemeral reference
+// node receiving the same operations — the in-memory truth the crash
+// matrix checks replay against.
+type durableHarness struct {
+	t     *testing.T
+	fs    *wal.MemFS
+	place *Placement
+
+	live *Node
+	ref  *Node
+
+	// inflight is the operation whose acknowledgment the crash
+	// swallowed: the one request allowed to be present-or-absent in the
+	// replayed state (anything else is silent loss or invention).
+	inflight *struct {
+		op      uint8
+		payload []byte
+	}
+}
+
+func newDurableHarness(t *testing.T, fs *wal.MemFS) *durableHarness {
+	t.Helper()
+	place, err := NewPlacement([]transport.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &durableHarness{t: t, fs: fs, place: place}
+
+	liveMem := transport.NewMemory()
+	h.live = NewNode(0, liveMem, place)
+	st, err := wal.Open(fs, "node", wal.Options{CheckpointBytes: 600})
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	if out, err := h.live.AttachStore(st); err != nil || out != wal.OutcomeFresh {
+		t.Fatalf("AttachStore on fresh fs = %v, %v", out, err)
+	}
+	liveMem.Register(0, h.live.Handler())
+
+	refMem := transport.NewMemory()
+	h.ref = NewNode(0, refMem, place)
+	refMem.Register(0, h.ref.Handler())
+	return h
+}
+
+// do applies one operation to the durable node and mirrors it onto the
+// reference on success. It reports false once the injected crash fires
+// (recording the in-flight op); any other failure is fatal.
+func (h *durableHarness) do(op uint8, payload []byte) ([]byte, bool) {
+	h.t.Helper()
+	resp, err := h.live.Handler()(op, payload)
+	if err != nil {
+		if !h.fs.Crashed() {
+			h.t.Fatalf("op %d failed without a crash: %v", op, err)
+		}
+		h.inflight = &struct {
+			op      uint8
+			payload []byte
+		}{op, append([]byte(nil), payload...)}
+		return nil, false
+	}
+	if _, err := h.ref.Handler()(op, payload); err != nil {
+		h.t.Fatalf("reference node rejected op %d: %v", op, err)
+	}
+	return resp, true
+}
+
+func recVal(i int) []byte {
+	return []byte(fmt.Sprintf("record-%04d body padding to exercise checkpoints", i))
+}
+
+// workload drives a fixed mutation script — puts, deletes, two splits,
+// one merge — through every journaled handler. It reports false when
+// the injected crash cut it short.
+func (h *durableHarness) workload() bool {
+	put := func(key uint64, i int) bool {
+		req := putReq{file: FileRecords, addr: 0, key: key, value: recVal(i)}
+		_, ok := h.do(opPut, req.encode())
+		return ok
+	}
+	del := func(key uint64) bool {
+		req := keyReq{file: FileRecords, addr: 0, key: key}
+		_, ok := h.do(opDelete, req.encode())
+		return ok
+	}
+	split := func(newAddr uint64, newLevel uint8) bool {
+		if _, ok := h.do(opBucketCreate, bucketCreateReq{file: FileRecords, addr: newAddr, level: newLevel}.encode()); !ok {
+			return false
+		}
+		batch, ok := h.do(opSplitExtract, splitExtractReq{file: FileRecords, addr: 0}.encode())
+		if !ok {
+			return false
+		}
+		// Reuse the live node's extracted batch for BOTH absorbs: batch
+		// byte order follows map iteration, but the record set — and so
+		// the resulting state — is deterministic.
+		absorb := append([]byte{uint8(FileRecords)}, encodeU64(newAddr)...)
+		absorb = append(absorb, batch...)
+		_, ok = h.do(opSplitAbsorb, absorb)
+		return ok
+	}
+	merge := func(fromAddr uint64) bool {
+		batch, ok := h.do(opMergeClose, mergeCloseReq{file: FileRecords, addr: fromAddr}.encode())
+		if !ok {
+			return false
+		}
+		absorb := append([]byte{uint8(FileRecords)}, encodeU64(0)...)
+		absorb = append(absorb, batch...)
+		_, ok = h.do(opMergeAbsorb, absorb)
+		return ok
+	}
+
+	for i := 1; i <= 10; i++ {
+		if !put(uint64(i), i) {
+			return false
+		}
+	}
+	if !split(1, 1) { // bucket 0 (level 0→1) spills into bucket 1
+		return false
+	}
+	for i := 11; i <= 16; i++ {
+		if !put(uint64(i), i) {
+			return false
+		}
+	}
+	for _, k := range []uint64{2, 11, 7} {
+		if !del(k) {
+			return false
+		}
+	}
+	if !split(2, 2) { // bucket 0 (level 1→2) spills into bucket 2
+		return false
+	}
+	for i := 17; i <= 20; i++ {
+		if !put(uint64(i), i) {
+			return false
+		}
+	}
+	if !merge(2) { // undo the second split
+		return false
+	}
+	for i := 21; i <= 23; i++ {
+		if !put(uint64(i), i) {
+			return false
+		}
+	}
+	return true
+}
+
+func encodeU64(v uint64) []byte {
+	w := &writer{}
+	w.u64(v)
+	return w.b
+}
+
+func (h *durableHarness) snapshot(n *Node) []byte {
+	h.t.Helper()
+	snap, err := n.Handler()(opNodeSnapshot, nil)
+	if err != nil {
+		h.t.Fatalf("snapshot: %v", err)
+	}
+	return snap
+}
+
+// restart reopens the durable state after a crash (or abort) into a
+// fresh node, as a restarted process would.
+func (h *durableHarness) restart() (*Node, wal.Outcome, error) {
+	h.t.Helper()
+	h.fs.Restart()
+	st, err := wal.Open(h.fs, "node", wal.Options{CheckpointBytes: 600})
+	if err != nil {
+		h.t.Fatalf("reopening store: %v", err)
+	}
+	n := NewNode(0, nil, h.place)
+	out, aerr := n.AttachStore(st)
+	return n, out, aerr
+}
+
+// TestNodeCrashMatrix is the node-level half of the fault matrix: the
+// full mutation workload (puts, deletes, splits, merges, checkpoint
+// churn) is killed at every filesystem operation in every tear mode,
+// and the restarted node's replayed state must be byte-equivalent to
+// the in-memory reference — allowing only for the single in-flight
+// operation whose acknowledgment the crash swallowed. A corrupt verdict
+// for a pure crash, a lost acknowledged mutation, or an invented one
+// all fail: zero silent data loss.
+func TestNodeCrashMatrix(t *testing.T) {
+	// Dry run: count the workload's crash points.
+	probe := wal.NewMemFS()
+	dry := newDurableHarness(t, probe)
+	probe.SetCrash(0, wal.CrashDrop) // reset the op counter, stay disarmed
+	if !dry.workload() {
+		t.Fatal("dry run crashed")
+	}
+	totalOps := probe.Ops()
+	if totalOps < 40 {
+		t.Fatalf("workload too small for a meaningful matrix: %d fs ops", totalOps)
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	for _, mode := range []wal.CrashMode{wal.CrashDrop, wal.CrashKeep, wal.CrashTorn} {
+		for at := 1; at <= totalOps; at += stride {
+			t.Run(fmt.Sprintf("%s/op%03d", mode, at), func(t *testing.T) {
+				fs := wal.NewMemFS()
+				h := newDurableHarness(t, fs)
+				fs.SetCrash(at, mode)
+				if h.workload() {
+					t.Fatalf("crash point %d never fired", at)
+				}
+
+				node, out, err := h.restart()
+				if out == wal.OutcomeCorrupt {
+					t.Fatalf("a crash (not corruption) produced a corrupt verdict: %v", err)
+				}
+				if err != nil {
+					t.Fatalf("restart recovery: %v", err)
+				}
+				got := h.snapshot(node)
+				want := h.snapshot(h.ref)
+				if bytes.Equal(got, want) {
+					return
+				}
+				// Not the acked state: the only other legal outcome is
+				// acked + the in-flight op (journaled durably in the
+				// same instant the crash killed its acknowledgment).
+				if h.inflight == nil {
+					t.Fatal("replayed state diverges from reference with no op in flight")
+				}
+				if _, err := h.ref.Handler()(h.inflight.op, h.inflight.payload); err != nil {
+					t.Fatalf("applying in-flight op %d to reference: %v", h.inflight.op, err)
+				}
+				if want = h.snapshot(h.ref); !bytes.Equal(got, want) {
+					t.Fatalf("replayed state matches neither acked nor acked+inflight (op %d at fs op %d)",
+						h.inflight.op, at)
+				}
+			})
+		}
+	}
+}
+
+// TestNodeBitFlipDetectedAndRepaired covers the media-corruption row of
+// the matrix: a flipped bit in the durable checkpoint must surface as a
+// deterministic corrupt verdict (never a silent partial replay), after
+// which a whole-image restore — the Guardian.Recover path — repairs the
+// node AND re-establishes local durability for the next restart.
+func TestNodeBitFlipDetectedAndRepaired(t *testing.T) {
+	fs := wal.NewMemFS()
+	h := newDurableHarness(t, fs)
+	if !h.workload() {
+		t.Fatal("workload crashed without injection")
+	}
+	refSnap := h.snapshot(h.ref)
+
+	if err := h.live.CloseStore(); err != nil {
+		t.Fatalf("CloseStore: %v", err)
+	}
+	// CloseStore checkpointed, so the checkpoint holds the whole state.
+	if sz, err := fs.Size("node/checkpoint"); err != nil || sz < 64 {
+		t.Fatalf("checkpoint missing after CloseStore: %d, %v", sz, err)
+	}
+	if err := fs.FlipBit("node/checkpoint", 40, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	node, out, err := h.restart()
+	if out != wal.OutcomeCorrupt || err == nil {
+		t.Fatalf("flipped checkpoint bit: recovery = %v, %v; want detected corruption", out, err)
+	}
+	// The node is up, empty, and honest about it.
+	raw, herr := node.Handler()(opRecoveryState, nil)
+	if herr != nil {
+		t.Fatal(herr)
+	}
+	rs, derr := decodeRecoveryStateResp(raw)
+	if derr != nil || rs.mode != recoveryCorrupt || rs.detail == "" {
+		t.Fatalf("recovery state after corruption = %+v, %v", rs, derr)
+	}
+
+	// Repair via whole-image restore (what Guardian.Recover pushes).
+	if _, err := node.Handler()(opNodeRestore, refSnap); err != nil {
+		t.Fatalf("restore after corruption: %v", err)
+	}
+	if got := h.snapshot(node); !bytes.Equal(got, refSnap) {
+		t.Fatal("restored state diverges from reference")
+	}
+	raw, _ = node.Handler()(opRecoveryState, nil)
+	if rs, _ := decodeRecoveryStateResp(raw); rs.mode != recoveryRecovered {
+		t.Fatalf("recovery state after repair = %+v, want recovered", rs)
+	}
+
+	// The restore was checkpointed: the NEXT restart recovers locally.
+	if err := node.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	node2, out, err := h.restart()
+	if err != nil || out != wal.OutcomeRecovered {
+		t.Fatalf("restart after repair = %v, %v; want local recovery", out, err)
+	}
+	if got := h.snapshot(node2); !bytes.Equal(got, refSnap) {
+		t.Fatal("post-repair restart lost state")
+	}
+}
+
+// TestNodeRestartAfterGracefulClose: CloseStore → reopen must replay to
+// the identical state from the checkpoint alone.
+func TestNodeRestartAfterGracefulClose(t *testing.T) {
+	fs := wal.NewMemFS()
+	h := newDurableHarness(t, fs)
+	if !h.workload() {
+		t.Fatal("workload crashed without injection")
+	}
+	want := h.snapshot(h.live)
+	if !bytes.Equal(want, h.snapshot(h.ref)) {
+		t.Fatal("live and reference diverged before restart")
+	}
+	if err := h.live.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	node, out, err := h.restart()
+	if err != nil || out != wal.OutcomeRecovered {
+		t.Fatalf("recovery after graceful close = %v, %v", out, err)
+	}
+	if !bytes.Equal(h.snapshot(node), want) {
+		t.Fatal("state diverged across graceful restart")
+	}
+}

@@ -12,8 +12,34 @@ import (
 	"repro/internal/disperse"
 	"repro/internal/lhstar"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wordindex"
 )
+
+// Store is the durable backing a node journals into — the narrow
+// surface of *wal.Store the node needs. A storeless node is ephemeral:
+// every restart is a total state loss that only LH*RS parity can repair.
+// With a store attached, every mutating handler journals before
+// applying, so a restarted node replays checkpoint+journal back to its
+// last acknowledged state and rejoins without touching the parity
+// budget.
+type Store interface {
+	// Recover replays durable state: restore with the checkpoint image,
+	// then apply per journal entry. See wal.Store.Recover.
+	Recover(restore func(image []byte) error, apply func(op uint8, payload []byte) error) (wal.Outcome, error)
+	// Journal durably appends one operation before it is applied.
+	Journal(op uint8, payload []byte) error
+	// CheckpointDue reports that the journal has outgrown the cadence.
+	CheckpointDue() bool
+	// Checkpoint persists a full state image and prunes the journal.
+	Checkpoint(image []byte) error
+	// Reset wipes the store — the exit from the corrupt state.
+	Reset() error
+	// Seq returns the last journaled sequence number.
+	Seq() uint64
+	// Close flushes and closes the store.
+	Close() error
+}
 
 // Node is one storage site: it hosts LH* buckets for any number of
 // logical files and serves the SDDS protocol. Nodes hold no key
@@ -30,6 +56,13 @@ type Node struct {
 
 	mu    sync.RWMutex
 	files map[FileID]*nodeFile
+
+	// store, when non-nil, is the durable journal every mutation goes
+	// through; storeOutcome/storeDetail record how the last AttachStore
+	// recovery went (surfaced via opRecoveryState).
+	store        Store
+	storeOutcome wal.Outcome
+	storeDetail  string
 }
 
 type nodeFile struct {
@@ -182,6 +215,211 @@ func (n *Node) DisablePostingIndex() {
 	n.mu.Unlock()
 }
 
+// AttachStore gives the node a durable backing and replays whatever
+// state the store recovered — call it before the node serves traffic.
+// The returned outcome distinguishes a fresh store, a successful replay,
+// and corruption. On ANY recovery failure (checksum mismatch, sequence
+// gap, or a replay that no longer applies) the local state is
+// untrusted: the node comes up EMPTY with the store reset and re-armed,
+// the corrupt outcome is returned (and kept for opRecoveryState), and
+// the caller must restore from elsewhere — detected, never silently
+// ignored.
+func (n *Node) AttachStore(s Store) (wal.Outcome, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out, err := s.Recover(n.restoreImageLocked, n.applyLoggedLocked)
+	if err != nil {
+		n.files = make(map[FileID]*nodeFile)
+		if rerr := s.Reset(); rerr != nil {
+			return wal.OutcomeCorrupt, fmt.Errorf("sdds: node %d: resetting store after failed recovery (%v): %w", n.id, err, rerr)
+		}
+		n.store = s
+		n.storeOutcome = wal.OutcomeCorrupt
+		n.storeDetail = err.Error()
+		return wal.OutcomeCorrupt, err
+	}
+	n.store = s
+	n.storeOutcome = out
+	n.storeDetail = ""
+	return out, nil
+}
+
+// CloseStore checkpoints the node's current state and closes the store —
+// the graceful-shutdown path. A node whose store was already torn down
+// out from under it (a simulated kill) is not an error.
+func (n *Node) CloseStore() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.store == nil {
+		return nil
+	}
+	s := n.store
+	n.store = nil
+	err := s.Checkpoint(n.snapshotLocked())
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, wal.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// journalLocked durably appends one mutation to the store (free on
+// ephemeral nodes). Handlers call it under the write lock BEFORE
+// applying, so the journal order is the apply order and a crash between
+// the two replays the op the client never saw acknowledged — the
+// at-least-once side of redo logging, safe because every journaled op
+// is deterministic. Callers must hold the node lock.
+func (n *Node) journalLocked(op uint8, payload []byte) error {
+	if n.store == nil {
+		return nil
+	}
+	if err := n.store.Journal(op, payload); err != nil {
+		return fmt.Errorf("sdds: node %d: journaling op %d: %w", n.id, op, err)
+	}
+	return nil
+}
+
+// maybeCheckpointLocked folds the journal into a fresh checkpoint once
+// it outgrows the cadence. Callers must hold the write lock.
+func (n *Node) maybeCheckpointLocked() error {
+	if n.store == nil || !n.store.CheckpointDue() {
+		return nil
+	}
+	if err := n.store.Checkpoint(n.snapshotLocked()); err != nil {
+		return fmt.Errorf("sdds: node %d: checkpoint: %w", n.id, err)
+	}
+	return nil
+}
+
+// applyLoggedLocked re-applies one journaled mutation during replay. It
+// mirrors exactly what each handler does after its journalLocked call —
+// minus forwarding, IAM responses and re-journaling. Callers must hold
+// the write lock.
+func (n *Node) applyLoggedLocked(op uint8, payload []byte) error {
+	replayBucket := func(file FileID, addr uint64) (*nodeFile, *lhstar.Bucket, error) {
+		f := n.fileLocked(file)
+		b, ok := f.buckets[addr]
+		if !ok {
+			return nil, nil, fmt.Errorf("sdds: replay: node %d has no bucket %d of file %d", n.id, addr, file)
+		}
+		return f, b, nil
+	}
+	switch op {
+	case opPut:
+		m, err := decodePutReq(payload)
+		if err != nil {
+			return err
+		}
+		f, b, err := replayBucket(m.file, m.addr)
+		if err != nil {
+			return err
+		}
+		b.Put(m.key, m.value)
+		f.indexPut(m.key, m.value)
+		return nil
+	case opDelete:
+		m, err := decodeKeyReq(payload)
+		if err != nil {
+			return err
+		}
+		f, b, err := replayBucket(m.file, m.addr)
+		if err != nil {
+			return err
+		}
+		if b.Delete(m.key) {
+			f.indexDelete(m.key)
+		}
+		return nil
+	case opBucketCreate:
+		m, err := decodeBucketCreateReq(payload)
+		if err != nil {
+			return err
+		}
+		f := n.fileLocked(m.file)
+		if _, exists := f.buckets[m.addr]; exists {
+			return fmt.Errorf("sdds: replay: bucket %d of file %d already exists on node %d", m.addr, m.file, n.id)
+		}
+		f.buckets[m.addr] = lhstar.NewBucket(m.addr, uint(m.level))
+		return nil
+	case opSplitExtract:
+		m, err := decodeSplitExtractReq(payload)
+		if err != nil {
+			return err
+		}
+		f, b, err := replayBucket(m.file, m.addr)
+		if err != nil {
+			return err
+		}
+		dst := lhstar.NewBucket(b.Addr()+1<<b.Level(), b.Level()+1)
+		if _, err := b.SplitInto(dst); err != nil {
+			return err
+		}
+		// The extracted records left for the absorbing node (which
+		// journaled its own splitAbsorb); here they only leave the index.
+		dst.Scan(func(key uint64, _ []byte) bool {
+			f.indexDelete(key)
+			return true
+		})
+		return nil
+	case opSplitAbsorb:
+		m, err := decodeSplitAbsorbReq(payload)
+		if err != nil {
+			return err
+		}
+		f, b, err := replayBucket(m.file, m.addr)
+		if err != nil {
+			return err
+		}
+		for _, r := range m.batch.records {
+			b.Put(r.key, r.value)
+			f.indexPut(r.key, r.value)
+		}
+		return nil
+	case opMergeClose:
+		m, err := decodeMergeCloseReq(payload)
+		if err != nil {
+			return err
+		}
+		f, b, err := replayBucket(m.file, m.addr)
+		if err != nil {
+			return err
+		}
+		b.Scan(func(key uint64, _ []byte) bool {
+			f.indexDelete(key)
+			return true
+		})
+		delete(f.buckets, m.addr)
+		return nil
+	case opMergeAbsorb:
+		m, err := decodeMergeAbsorbReq(payload)
+		if err != nil {
+			return err
+		}
+		f, b, err := replayBucket(m.file, m.addr)
+		if err != nil {
+			return err
+		}
+		if b.Level() == 0 {
+			return fmt.Errorf("sdds: replay: cannot lower level of bucket %d below 0", m.addr)
+		}
+		src := lhstar.NewBucket(b.Addr()+1<<(b.Level()-1), b.Level())
+		for _, r := range m.batch.records {
+			src.Put(r.key, r.value)
+		}
+		if err := b.MergeFrom(src); err != nil {
+			return err
+		}
+		for _, r := range m.batch.records {
+			f.indexPut(r.key, r.value)
+		}
+		return nil
+	default:
+		return fmt.Errorf("sdds: replay: op %d is not a journaled mutation", op)
+	}
+}
+
 // Handler returns the transport handler serving this node.
 func (n *Node) Handler() transport.Handler {
 	return func(op uint8, payload []byte) ([]byte, error) {
@@ -216,6 +454,8 @@ func (n *Node) Handler() transport.Handler {
 			return n.handlePutBatch(payload)
 		case opPing:
 			return nil, nil // health probe: answering is the point
+		case opRecoveryState:
+			return n.handleRecoveryState(payload)
 		default:
 			return nil, fmt.Errorf("sdds: unknown op %d", op)
 		}
@@ -227,6 +467,13 @@ func (n *Node) Handler() transport.Handler {
 func (n *Node) getFile(id FileID) *nodeFile {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.fileLocked(id)
+}
+
+// fileLocked is getFile under an already-held lock. The lazy bucket-0
+// creation is deterministic (it depends only on the placement), so it
+// needs no journal entry: replay re-creates it the same way.
+func (n *Node) fileLocked(id FileID) *nodeFile {
 	f, ok := n.files[id]
 	if !ok {
 		f = n.newFileLocked(id)
@@ -271,7 +518,7 @@ const forwardDeadline = 10 * time.Second
 // are atomic with respect to concurrent splits. If the key belongs
 // elsewhere, the (re-encoded) request is forwarded to the owning peer
 // and its response relayed.
-func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64, op uint8, reencode func(nextAddr uint64) []byte, fn func(f *nodeFile, b *lhstar.Bucket) []byte) ([]byte, error) {
+func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64, op uint8, reencode func(nextAddr uint64) []byte, fn func(f *nodeFile, b *lhstar.Bucket) ([]byte, error)) ([]byte, error) {
 	f := n.getFile(file)
 	n.mu.Lock()
 	b, ok := f.buckets[addr]
@@ -281,9 +528,9 @@ func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64,
 	}
 	next, fwd := lhstar.ServerAddress(b.Addr(), b.Level(), key)
 	if !fwd {
-		resp := fn(f, b)
+		resp, err := fn(f, b)
 		n.mu.Unlock()
-		return resp, nil
+		return resp, err
 	}
 	n.mu.Unlock()
 	if hops+1 >= maxHops {
@@ -307,15 +554,24 @@ func (n *Node) handlePut(payload []byte) ([]byte, error) {
 		fwd.addr = next
 		fwd.hops++
 		return fwd.encode()
-	}, func(f *nodeFile, b *lhstar.Bucket) []byte {
+	}, func(f *nodeFile, b *lhstar.Bucket) ([]byte, error) {
+		// Journal with the resolved local address so replay applies
+		// directly, without re-running the forwarding computation.
+		logged := m
+		logged.addr = b.Addr()
+		logged.hops = 0
+		if err := n.journalLocked(opPut, logged.encode()); err != nil {
+			return nil, err
+		}
 		isNew := b.Put(m.key, m.value)
 		f.indexPut(m.key, m.value)
-		return putResp{
+		resp := putResp{
 			isNew:     isNew,
 			iamAddr:   b.Addr(),
 			iamLevel:  uint8(b.Level()),
 			bucketLen: uint32(b.Len()),
 		}.encode()
+		return resp, n.maybeCheckpointLocked()
 	})
 }
 
@@ -350,6 +606,14 @@ func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
 			fwds = append(fwds, fwd{i: i, addr: next})
 			continue
 		}
+		// Each locally applied entry journals as an individual put at
+		// its resolved address; forwarded entries are journaled by the
+		// node that ends up applying them.
+		logged := putReq{file: m.file, addr: b.Addr(), key: e.key, value: e.value}
+		if err := n.journalLocked(opPut, logged.encode()); err != nil {
+			n.mu.Unlock()
+			return nil, err
+		}
 		isNew := b.Put(e.key, e.value)
 		f.indexPut(e.key, e.value)
 		resps[i] = putResp{
@@ -358,6 +622,10 @@ func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
 			iamLevel:  uint8(b.Level()),
 			bucketLen: uint32(b.Len()),
 		}
+	}
+	if err := n.maybeCheckpointLocked(); err != nil {
+		n.mu.Unlock()
+		return nil, err
 	}
 	n.mu.Unlock()
 	if len(fwds) > 0 && n.peers == nil {
@@ -391,14 +659,14 @@ func (n *Node) handleGet(payload []byte) ([]byte, error) {
 		fwd.addr = next
 		fwd.hops++
 		return fwd.encode()
-	}, func(_ *nodeFile, b *lhstar.Bucket) []byte {
+	}, func(_ *nodeFile, b *lhstar.Bucket) ([]byte, error) {
 		v, ok := b.Get(m.key)
 		return valueResp{
 			found:    ok,
 			iamAddr:  b.Addr(),
 			iamLevel: uint8(b.Level()),
 			value:    v,
-		}.encode()
+		}.encode(), nil
 	})
 }
 
@@ -412,16 +680,23 @@ func (n *Node) handleDelete(payload []byte) ([]byte, error) {
 		fwd.addr = next
 		fwd.hops++
 		return fwd.encode()
-	}, func(f *nodeFile, b *lhstar.Bucket) []byte {
+	}, func(f *nodeFile, b *lhstar.Bucket) ([]byte, error) {
+		logged := m
+		logged.addr = b.Addr()
+		logged.hops = 0
+		if err := n.journalLocked(opDelete, logged.encode()); err != nil {
+			return nil, err
+		}
 		ok := b.Delete(m.key)
 		if ok {
 			f.indexDelete(m.key)
 		}
-		return valueResp{
+		resp := valueResp{
 			found:    ok,
 			iamAddr:  b.Addr(),
 			iamLevel: uint8(b.Level()),
 		}.encode()
+		return resp, n.maybeCheckpointLocked()
 	})
 }
 
@@ -558,8 +833,11 @@ func (n *Node) handleBucketCreate(payload []byte) ([]byte, error) {
 	if _, exists := f.buckets[m.addr]; exists {
 		return nil, fmt.Errorf("sdds: bucket %d already exists on node %d", m.addr, n.id)
 	}
+	if err := n.journalLocked(opBucketCreate, payload); err != nil {
+		return nil, err
+	}
 	f.buckets[m.addr] = lhstar.NewBucket(m.addr, uint(m.level))
-	return nil, nil
+	return nil, n.maybeCheckpointLocked()
 }
 
 func (n *Node) handleSplitExtract(payload []byte) ([]byte, error) {
@@ -574,6 +852,12 @@ func (n *Node) handleSplitExtract(payload []byte) ([]byte, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Journaled before the split: SplitInto is deterministic in the
+	// bucket's state, so replay extracts (and drops) the same records
+	// the live run handed to the absorbing node.
+	if err := n.journalLocked(opSplitExtract, payload); err != nil {
+		return nil, err
+	}
 	dst := lhstar.NewBucket(b.Addr()+1<<b.Level(), b.Level()+1)
 	if _, err := b.SplitInto(dst); err != nil {
 		return nil, err
@@ -584,7 +868,7 @@ func (n *Node) handleSplitExtract(payload []byte) ([]byte, error) {
 		f.indexDelete(key) // record leaves this node's buckets
 		return true
 	})
-	return batch.encode(), nil
+	return batch.encode(), n.maybeCheckpointLocked()
 }
 
 func (n *Node) handleSplitAbsorb(payload []byte) ([]byte, error) {
@@ -599,11 +883,14 @@ func (n *Node) handleSplitAbsorb(payload []byte) ([]byte, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := n.journalLocked(opSplitAbsorb, payload); err != nil {
+		return nil, err
+	}
 	for _, r := range m.batch.records {
 		b.Put(r.key, r.value)
 		f.indexPut(r.key, r.value)
 	}
-	return nil, nil
+	return nil, n.maybeCheckpointLocked()
 }
 
 // handleWordSearch scans every local bucket of the word file: each
@@ -650,6 +937,9 @@ func (n *Node) handleMergeClose(payload []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, m.addr, m.file)
 	}
+	if err := n.journalLocked(opMergeClose, payload); err != nil {
+		return nil, err
+	}
 	var batch recordBatch
 	b.Scan(func(key uint64, value []byte) bool {
 		batch.records = append(batch.records, kv{key: key, value: value})
@@ -657,7 +947,7 @@ func (n *Node) handleMergeClose(payload []byte) ([]byte, error) {
 		return true
 	})
 	delete(f.buckets, m.addr)
-	return batch.encode(), nil
+	return batch.encode(), n.maybeCheckpointLocked()
 }
 
 // handleMergeAbsorb adds the closed bucket's records to the partner and
@@ -677,6 +967,9 @@ func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
 	if b.Level() == 0 {
 		return nil, fmt.Errorf("sdds: cannot lower level of bucket %d below 0", m.addr)
 	}
+	if err := n.journalLocked(opMergeAbsorb, payload); err != nil {
+		return nil, err
+	}
 	src := lhstar.NewBucket(b.Addr()+1<<(b.Level()-1), b.Level())
 	for _, r := range m.batch.records {
 		src.Put(r.key, r.value)
@@ -687,7 +980,7 @@ func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
 	for _, r := range m.batch.records {
 		f.indexPut(r.key, r.value)
 	}
-	return nil, nil
+	return nil, n.maybeCheckpointLocked()
 }
 
 // handleNodeSnapshot serializes this node's entire bucket inventory
@@ -700,6 +993,13 @@ func (n *Node) handleNodeSnapshot(payload []byte) ([]byte, error) {
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	return n.snapshotLocked(), nil
+}
+
+// snapshotLocked serializes the node's entire bucket inventory into the
+// deterministic image shared by parity sync and WAL checkpoints.
+// Callers must hold the node lock (shared suffices).
+func (n *Node) snapshotLocked() []byte {
 	fileIDs := make([]FileID, 0, len(n.files))
 	for id := range n.files {
 		fileIDs = append(fileIDs, id)
@@ -719,19 +1019,56 @@ func (n *Node) handleNodeSnapshot(payload []byte) ([]byte, error) {
 		}
 		img.files = append(img.files, fi)
 	}
-	return img.encode(), nil
+	return img.encode()
 }
 
 // handleNodeRestore replaces this node's entire bucket inventory with a
 // reconstructed image — what a spare site runs when taking over a
 // failed node's identity after LH*RS recovery.
 func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	files, err := n.buildFilesLocked(payload)
+	if err != nil {
+		return nil, err
+	}
+	// Checkpoint the incoming image BEFORE swapping it in: a restore
+	// replaces everything the journal describes, so the durable state
+	// must jump with it — a crash between the two leaves the old
+	// (journal-consistent) state, never a mix.
+	if n.store != nil {
+		if err := n.store.Checkpoint(payload); err != nil {
+			return nil, fmt.Errorf("sdds: node %d: checkpointing restored image: %w", n.id, err)
+		}
+		// A successful restore supersedes whatever recovery verdict the
+		// store carried: the durable state is valid again.
+		n.storeOutcome = wal.OutcomeRecovered
+		n.storeDetail = ""
+	}
+	n.files = files
+	return nil, nil
+}
+
+// restoreImageLocked replaces the node's state with a checkpoint image —
+// the restore callback of Store.Recover. Callers must hold the write
+// lock.
+func (n *Node) restoreImageLocked(payload []byte) error {
+	files, err := n.buildFilesLocked(payload)
+	if err != nil {
+		return err
+	}
+	n.files = files
+	return nil
+}
+
+// buildFilesLocked decodes a node image into a fresh bucket inventory
+// (posting indexes rebuilt) without touching the node's current state.
+// Callers must hold the write lock.
+func (n *Node) buildFilesLocked(payload []byte) (map[FileID]*nodeFile, error) {
 	img, err := decodeNodeImage(payload)
 	if err != nil {
 		return nil, err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	files := make(map[FileID]*nodeFile, len(img.files))
 	for _, fi := range img.files {
 		nf := n.newFileLocked(fi.file)
@@ -745,8 +1082,32 @@ func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
 		nf.rebuildIndex()
 		files[fi.file] = nf
 	}
-	n.files = files
-	return nil, nil
+	return files, nil
+}
+
+// handleRecoveryState reports how this node's local state came to be —
+// the signal the Supervisor uses to decide between trusting a local
+// replay and falling back to parity reconstruction.
+func (n *Node) handleRecoveryState(payload []byte) ([]byte, error) {
+	if len(payload) != 0 {
+		return nil, errors.New("sdds: recovery state takes no payload")
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	resp := recoveryStateResp{mode: recoveryEphemeral}
+	if n.store != nil {
+		resp.seq = n.store.Seq()
+		switch n.storeOutcome {
+		case wal.OutcomeFresh:
+			resp.mode = recoveryFresh
+		case wal.OutcomeRecovered:
+			resp.mode = recoveryRecovered
+		case wal.OutcomeCorrupt:
+			resp.mode = recoveryCorrupt
+			resp.detail = n.storeDetail
+		}
+	}
+	return resp.encode(), nil
 }
 
 func (n *Node) handleStats(payload []byte) ([]byte, error) {

@@ -37,6 +37,10 @@ type SupervisorConfig struct {
 	// automatically: while every node is healthy the supervisor runs
 	// Guardian.Sync on this period (tightening degraded-read staleness).
 	SyncInterval time.Duration
+	// JournalCap bounds the repair journal: once full, the oldest
+	// records are dropped (and counted) rather than growing without
+	// bound under a flapping node. Default 512.
+	JournalCap int
 }
 
 func (c *SupervisorConfig) fillDefaults() {
@@ -54,6 +58,9 @@ func (c *SupervisorConfig) fillDefaults() {
 	}
 	if c.RepairTimeout <= 0 {
 		c.RepairTimeout = 30 * time.Second
+	}
+	if c.JournalCap <= 0 {
+		c.JournalCap = 512
 	}
 }
 
@@ -87,6 +94,14 @@ const (
 	// RepairAlarm: confirmed failures exceed the parity budget; the
 	// supervisor stands down until the operator intervenes.
 	RepairAlarm
+	// RepairLocalRecovery: the revived node replayed its own durable
+	// journal — no parity reconstruction was needed, so the repair
+	// consumed none of the k-failure budget's capacity.
+	RepairLocalRecovery
+	// RepairParityFallback: the node came back durable but its local
+	// state was unusable (corrupt or empty journal) — detected, reported,
+	// and repaired via Guardian.Recover instead.
+	RepairParityFallback
 )
 
 // String implements fmt.Stringer.
@@ -106,6 +121,10 @@ func (p RepairPhase) String() string {
 		return "failed"
 	case RepairAlarm:
 		return "alarm"
+	case RepairLocalRecovery:
+		return "local-recovery"
+	case RepairParityFallback:
+		return "parity-fallback"
 	default:
 		return "unknown"
 	}
@@ -149,12 +168,13 @@ type Supervisor struct {
 	revive Reviver
 	cfg    SupervisorConfig
 
-	mu      sync.Mutex
-	down    map[transport.NodeID]*downNode
-	alarm   string
-	journal []RepairRecord
-	seq     uint64
-	repairs uint64 // completed repairs (monotonic)
+	mu             sync.Mutex
+	down           map[transport.NodeID]*downNode
+	alarm          string
+	journal        []RepairRecord
+	journalDropped uint64 // oldest records shed by the ring bound
+	seq            uint64
+	repairs        uint64 // completed repairs (monotonic)
 
 	started bool
 	stop    chan struct{}
@@ -342,24 +362,68 @@ func (s *Supervisor) repair(ctx context.Context, nodes []transport.NodeID) {
 		return
 	}
 
-	err := s.guard.Recover(rctx, alive)
+	// Prefer local restart-recovery: a durable node that replayed its
+	// own checkpoint+journal is already whole, so restoring it from
+	// parity would be pure waste — and, worse, would roll it back to the
+	// recovery point, losing every write since the last Sync. Only nodes
+	// that cannot vouch for their state (ephemeral, fresh, or corrupt
+	// journals — the latter two journaled as an explicit parity
+	// fallback) proceed to Guardian.Recover.
+	var needRestore []transport.NodeID
+	for _, n := range alive {
+		switch st, err := s.recoveryState(rctx, n); {
+		case err != nil:
+			// Unreachable or pre-durability node: status quo, restore.
+			needRestore = append(needRestore, n)
+		case st.mode == recoveryRecovered:
+			s.finishRepair([]transport.NodeID{n}, RepairLocalRecovery,
+				fmt.Sprintf("replayed local journal to seq %d", st.seq))
+		case st.mode == recoveryCorrupt:
+			s.journalOne(n, RepairParityFallback, "local journal corrupt: "+st.detail)
+			needRestore = append(needRestore, n)
+		case st.mode == recoveryFresh:
+			s.journalOne(n, RepairParityFallback, "local journal empty")
+			needRestore = append(needRestore, n)
+		default: // ephemeral
+			needRestore = append(needRestore, n)
+		}
+	}
+	if len(needRestore) == 0 {
+		// Everyone self-recovered; refresh the recovery point so the
+		// parity group reflects the replayed state.
+		if s.allUp() {
+			s.guard.Sync(rctx) //nolint:errcheck // transient; retried by autoSync
+		}
+		return
+	}
+
+	err := s.guard.Recover(rctx, needRestore)
 	switch {
 	case errors.Is(err, ErrNeverSynced):
 		// Nothing to restore: there is no recovery point, so the
 		// replacements legitimately start empty. Not a parity error.
-		s.finishRepair(alive, RepairNothingToRestore, err.Error())
+		s.finishRepair(needRestore, RepairNothingToRestore, err.Error())
 	case err != nil:
-		for _, n := range alive {
+		for _, n := range needRestore {
 			s.journalOne(n, RepairFailed, err.Error())
 		}
 	default:
-		s.finishRepair(alive, RepairCompleted, "")
+		s.finishRepair(needRestore, RepairCompleted, "")
 		// Fold the repaired reality back into the parity group so the
 		// recovery point catches up (best effort; autoSync retries).
 		if s.allUp() {
 			s.guard.Sync(rctx) //nolint:errcheck // transient; retried by autoSync
 		}
 	}
+}
+
+// recoveryState asks a revived node how its local state came to be.
+func (s *Supervisor) recoveryState(ctx context.Context, node transport.NodeID) (recoveryStateResp, error) {
+	raw, err := s.det.Transport().Send(ctx, node, opRecoveryState, nil)
+	if err != nil {
+		return recoveryStateResp{}, err
+	}
+	return decodeRecoveryStateResp(raw)
 }
 
 // finishRepair closes out repaired nodes: journal, drop them from the
@@ -456,11 +520,20 @@ func (s *Supervisor) Repairs() uint64 {
 	return s.repairs
 }
 
-// Journal returns a copy of the repair journal in order.
+// Journal returns a copy of the repair journal in order (the most
+// recent JournalCap records; see JournalStats for what was shed).
 func (s *Supervisor) Journal() []RepairRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]RepairRecord(nil), s.journal...)
+}
+
+// JournalStats reports the journal's current length, how many old
+// records the ring bound has dropped, and the configured capacity.
+func (s *Supervisor) JournalStats() (length int, dropped uint64, capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.journal), s.journalDropped, s.cfg.JournalCap
 }
 
 // AwaitHealthy blocks until every node is up with no tracked failures
@@ -493,6 +566,13 @@ func (s *Supervisor) AwaitHealthy(ctx context.Context) error {
 
 func (s *Supervisor) journalLocked(node transport.NodeID, phase RepairPhase, detail string) {
 	s.seq++
+	if len(s.journal) >= s.cfg.JournalCap {
+		// Ring bound: shed the oldest records. Seq stays monotonic, so
+		// an auditor can see exactly where the gap is.
+		drop := len(s.journal) - s.cfg.JournalCap + 1
+		s.journalDropped += uint64(drop)
+		s.journal = append(s.journal[:0], s.journal[drop:]...)
+	}
 	s.journal = append(s.journal, RepairRecord{
 		Seq:    s.seq,
 		Node:   node,

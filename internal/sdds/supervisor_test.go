@@ -299,3 +299,32 @@ func TestDegradedSearchStaysCompleteWithDownNodes(t *testing.T) {
 		t.Fatal("search claimed completeness beyond the parity budget")
 	}
 }
+
+// TestRepairJournalRingBound: the repair journal is a ring — it never
+// grows past JournalCap, sheds oldest-first, counts what it shed, and
+// keeps sequence numbers monotonic so an auditor can see the gap.
+func TestRepairJournalRingBound(t *testing.T) {
+	sc := newSupervisedCluster(t, 3, 1, SupervisorConfig{JournalCap: 8})
+	for i := 0; i < 20; i++ {
+		sc.sup.journalOne(transport.NodeID(i%3), RepairDetected, "synthetic")
+	}
+	length, dropped, capacity := sc.sup.JournalStats()
+	if capacity != 8 {
+		t.Fatalf("JournalCap = %d, want 8", capacity)
+	}
+	if length != 8 {
+		t.Fatalf("journal length = %d, want bounded at 8", length)
+	}
+	if dropped != 12 {
+		t.Fatalf("dropped = %d, want 12", dropped)
+	}
+	j := sc.sup.Journal()
+	if len(j) != 8 {
+		t.Fatalf("Journal() length = %d, want 8", len(j))
+	}
+	for i, r := range j {
+		if want := uint64(13 + i); r.Seq != want {
+			t.Fatalf("journal[%d].Seq = %d, want %d (newest records must survive in order)", i, r.Seq, want)
+		}
+	}
+}

@@ -139,6 +139,11 @@ func NewDetector(tr Transport, members []NodeID, policy DetectorPolicy) *Detecto
 // Policy returns the effective policy (defaults filled).
 func (d *Detector) Policy() DetectorPolicy { return d.policy }
 
+// Transport returns the transport the detector probes over — the same
+// unretried path a supervisor should use for control-plane queries
+// against nodes it is inspecting.
+func (d *Detector) Transport() Transport { return d.tr }
+
 // Members returns the watched membership.
 func (d *Detector) Members() []NodeID {
 	return append([]NodeID(nil), d.members...)

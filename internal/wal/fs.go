@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the narrow filesystem surface the store needs. Factoring it out
+// serves two masters: production runs on OSFS (real files, real
+// fsyncs), and the crash-consistency matrix runs on MemFS, which can
+// cut the power at any write/sync/rename boundary and replay the
+// resulting disk image. Every path handed to an FS is store-internal
+// (dir-relative joins are done by the caller).
+type FS interface {
+	// MkdirAll creates the store directory (and parents) if absent.
+	MkdirAll(dir string) error
+	// ReadFile returns the current contents of a file, or an error
+	// satisfying os.IsNotExist when it does not exist.
+	ReadFile(name string) ([]byte, error)
+	// OpenAppend opens a file for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// OpenTrunc opens a file for writing, truncating any prior content
+	// — the first step of the write-temp → fsync → rename discipline.
+	OpenTrunc(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (os.IsNotExist errors are tolerated by the
+	// store).
+	Remove(name string) error
+	// Truncate cuts a file to the given size — how a torn journal tail
+	// is discarded after replay.
+	Truncate(name string, size int64) error
+	// SyncDir flushes directory metadata so a completed rename survives
+	// power loss.
+	SyncDir(dir string) error
+}
+
+// File is an open, append-position file handle.
+type File interface {
+	io.Writer
+	// Sync flushes written bytes to stable storage; data is durable —
+	// and an append may be acknowledged — only after Sync returns.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS: the real filesystem via package os.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// OpenTrunc implements FS.
+func (OSFS) OpenTrunc(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS. Directory fsync is best effort: some
+// filesystems reject it (EINVAL), and the store's recovery path
+// tolerates a lost rename (the old checkpoint plus a longer journal
+// replay to the same state), so the error is not propagated.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	d.Sync() //nolint:errcheck // best effort, see above
+	return d.Close()
+}
