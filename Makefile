@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json fuzz clean
+.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean
 
 # Tier-1 gate: everything must build, vet clean, pass under the race
 # detector (the chaos suites are required to be race-clean), and every
@@ -33,6 +33,13 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkInsertIndexed|BenchmarkPlacementNodes' \
 		-benchmem ./internal/sdds | $(GO) run ./cmd/benchjson > BENCH_search.json
 	@cat BENCH_search.json
+
+# Coverage profile with per-package totals (the `ok ... coverage: N%`
+# lines) plus the overall statement total. cover.out is the machine
+# artifact: CI uploads it and enforces the esdds ratchet against it.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
 
 # Short fuzz pass over every fuzz target (30s each).
 fuzz:

@@ -9,7 +9,11 @@
 //	delete <rid>            remove a record and its index
 //	search <substring>      encrypted substring search (filtered)
 //	rawsearch <substring>   encrypted search without client-side filter
-//	stats                   SDDS state (buckets, splits, IAMs)
+//	stats                   SDDS state (buckets, splits, IAMs) plus a
+//	                        metrics summary: op counts and search
+//	                        latency quantiles (p50/p90/p99)
+//	metrics                 full metrics exposition (every counter,
+//	                        gauge, and histogram, /metrics format)
 //	health                  per-node health: detector state, retry and
 //	                        breaker accounting, injected-fault counters
 //	sync                    establish the LH*RS recovery point (-self-heal)
@@ -63,6 +67,7 @@ func main() {
 		selfHeal  = flag.Int("self-heal", 0, "enable self-healing with this parity (tolerated simultaneous node failures)")
 		faultSeed = flag.Int64("fault-seed", 0, "insert a deterministic fault injector with this seed (0 = off)")
 		dataDir   = flag.String("data-dir", "", "make -mem nodes durable: per-node write-ahead logs under this directory")
+		observe   = flag.Bool("observe", true, "instrument every layer into a metrics registry (stats/metrics commands)")
 	)
 	flag.Parse()
 	if *passphrase == "" {
@@ -92,6 +97,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		opts = append(opts, esdds.WithDataDir(*dataDir))
+	}
+	if *observe {
+		opts = append(opts, esdds.WithObservability())
 	}
 
 	var cluster *esdds.Cluster
@@ -229,6 +237,14 @@ func repl(store *esdds.Store, cluster *esdds.Cluster) {
 			st := store.Stats()
 			fmt.Printf("record buckets %d (splits %d), index buckets %d (splits %d), IAMs %d\n",
 				st.RecordBuckets, st.RecordSplits, st.IndexBuckets, st.IndexSplits, st.IAMs)
+			printMetricsSummary(cluster)
+		case "metrics":
+			reg := cluster.Metrics()
+			if reg == nil {
+				fmt.Println("metrics disabled (run with -observe)")
+				continue
+			}
+			fmt.Print(reg.WriteString())
 		case "health":
 			printHealth(cluster)
 		case "sync":
@@ -270,8 +286,28 @@ func repl(store *esdds.Store, cluster *esdds.Cluster) {
 				fmt.Printf("node %d killed\n", id)
 			}
 		default:
-			fmt.Println("commands: load insert get delete search rawsearch stats health sync heal kill quit")
+			fmt.Println("commands: load insert get delete search rawsearch stats metrics health sync heal kill quit")
 		}
+	}
+}
+
+// printMetricsSummary renders the headline numbers from the metrics
+// registry: client-side op counts and search latency quantiles. The
+// `metrics` command dumps the full exposition.
+func printMetricsSummary(cluster *esdds.Cluster) {
+	reg := cluster.Metrics()
+	if reg == nil {
+		return
+	}
+	fmt.Printf("ops: puts %d gets %d deletes %d searches %d (IAMs %d)\n",
+		reg.CounterValue("cluster_puts_total"),
+		reg.CounterValue("cluster_gets_total"),
+		reg.CounterValue("cluster_deletes_total"),
+		reg.CounterValue("cluster_searches_total"),
+		reg.CounterValue("cluster_iams_total"))
+	if s := reg.HistogramSnapshot("cluster_search_ns"); s.Count > 0 {
+		fmt.Printf("search latency: p50 %s p90 %s p99 %s (n=%d)\n",
+			time.Duration(s.P50), time.Duration(s.P90), time.Duration(s.P99), s.Count)
 	}
 }
 

@@ -22,18 +22,29 @@
 // applied, and a restarted daemon replays checkpoint+journal to rejoin
 // already whole — no parity restore needed. SIGINT/SIGTERM shut down
 // gracefully: the journal is flushed and a final checkpoint written.
+//
+// With -metrics-addr the node also serves an observability endpoint:
+// GET /metrics returns the text exposition of every counter, gauge,
+// and latency histogram (per-opcode timings, search-path counters, WAL
+// durability work, transport byte accounting), /debug/vars the same
+// registry as expvar JSON under "esdds", and /debug/pprof/ the standard
+// Go profiler.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sdds"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -53,6 +64,8 @@ func main() {
 
 		linearScan = flag.Bool("linear-scan", false, "disable the posting index; serve searches by full linear scan")
 		dataDir    = flag.String("data-dir", "", "directory for the node's write-ahead log and checkpoints (empty: in-memory only)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty: disabled)")
 	)
 	flag.Parse()
 
@@ -76,11 +89,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "esdds-node:", err)
 		os.Exit(1)
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+
 	peerTCP := transport.NewTCP(dir)
 	defer peerTCP.Close()
+	peerTCP.Instrument(reg)
 	var peerTr transport.Transport = peerTCP
 	if *retries > 1 || *breaker > 0 {
-		peerTr = transport.NewRetry(peerTCP, transport.RetryPolicy{
+		retry := transport.NewRetry(peerTCP, transport.RetryPolicy{
 			MaxAttempts:      *retries,
 			BaseDelay:        *retryBase,
 			MaxDelay:         *retryMax,
@@ -89,9 +108,12 @@ func main() {
 			FailureThreshold: *breaker,
 			Cooldown:         *cooldown,
 		}, int64(*id))
+		retry.Instrument(reg)
+		peerTr = retry
 	}
 
 	node := sdds.NewNode(transport.NodeID(*id), peerTr, place)
+	node.Instrument(reg)
 	if *linearScan {
 		node.DisablePostingIndex()
 	}
@@ -101,6 +123,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "esdds-node: opening data dir:", err)
 			os.Exit(1)
 		}
+		st.Instrument(reg)
 		switch out, err := node.AttachStore(st); out {
 		case wal.OutcomeCorrupt:
 			// Loud, never silent: the node serves empty and waits for a
@@ -118,6 +141,7 @@ func main() {
 		}()
 	}
 	srv := transport.NewServer(node.Handler())
+	srv.Instrument(reg)
 
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -125,6 +149,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("esdds-node %d listening on %s (%d-node cluster)\n", *id, lis.Addr(), len(addrs))
+
+	if reg != nil {
+		reg.PublishExpvar("esdds")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esdds-node: metrics listener:", err)
+			os.Exit(1)
+		}
+		defer mlis.Close()
+		go http.Serve(mlis, mux) //nolint:errcheck // dies with the process
+		fmt.Printf("esdds-node %d metrics on http://%s/metrics (pprof under /debug/pprof/)\n", *id, mlis.Addr())
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(lis) }()

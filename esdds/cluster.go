@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sdds"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -45,6 +46,9 @@ type Cluster struct {
 	// match the rest of the cluster.
 	linearScan bool
 
+	// met is the shared metrics registry (nil without WithObservability).
+	met *obs.Registry
+
 	// durable node state (WithDataDir; empty/nil otherwise). storeMu
 	// guards the maps: the supervisor's reviver mutates them from its
 	// own goroutine.
@@ -74,6 +78,7 @@ type clusterConfig struct {
 	linearScan bool
 	selfHeal   *SelfHealingConfig
 	dataDir    string
+	observe    bool
 }
 
 // WithDataDir makes every node durable: each journals its mutations to
@@ -141,11 +146,13 @@ func (cfg *clusterConfig) stack(base transport.Transport, c *Cluster) transport.
 	tr := base
 	if cfg.faultSeed != nil {
 		c.faulty = transport.NewFaulty(tr, *cfg.faultSeed)
+		c.faulty.Instrument(c.met)
 		tr = c.faulty
 	}
 	c.probeTr = tr
 	if cfg.retry != nil {
 		c.retry = transport.NewRetry(tr, *cfg.retry, cfg.retrySeed)
+		c.retry.Instrument(c.met)
 		tr = c.retry
 	}
 	return tr
@@ -171,6 +178,9 @@ func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 		panic("esdds: " + err.Error()) // n >= 1 makes this impossible
 	}
 	c := &Cluster{mem: mem, place: place, linearScan: cfg.linearScan}
+	if cfg.observe {
+		c.met = obs.NewRegistry()
+	}
 	c.initStores(cfg.dataDir)
 	tr := cfg.stack(mem, c)
 	c.peers = tr
@@ -179,12 +189,14 @@ func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 		if cfg.linearScan {
 			node.DisablePostingIndex()
 		}
+		node.Instrument(c.met)
 		if err := c.attachNodeStore(int(id), node); err != nil {
 			panic("esdds: " + err.Error()) // unusable data dir
 		}
 		mem.Register(id, node.Handler())
 	}
 	c.inner = sdds.NewCluster(tr, place)
+	c.inner.Instrument(c.met)
 	c.close = []func() error{c.closeStores, mem.Close}
 	if cfg.selfHeal != nil {
 		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
@@ -222,8 +234,13 @@ func DialCluster(addrs map[int]string, opts ...ClusterOption) (*Cluster, error) 
 	}
 	tcp := transport.NewTCP(dir)
 	c := &Cluster{place: place}
+	if cfg.observe {
+		c.met = obs.NewRegistry()
+	}
+	tcp.Instrument(c.met)
 	tr := cfg.stack(tcp, c)
 	c.inner = sdds.NewCluster(tr, place)
+	c.inner.Instrument(c.met)
 	c.close = []func() error{tcp.Close}
 	if cfg.selfHeal != nil {
 		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
@@ -265,12 +282,17 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	}
 	peers := transport.NewTCP(addrs)
 	c := &Cluster{place: place, linearScan: cfg.linearScan}
+	if cfg.observe {
+		c.met = obs.NewRegistry()
+	}
+	peers.Instrument(c.met)
 	c.initStores(cfg.dataDir)
 	for i, id := range ids {
 		node := sdds.NewNode(id, peers, place)
 		if cfg.linearScan {
 			node.DisablePostingIndex()
 		}
+		node.Instrument(c.met)
 		if err := c.attachNodeStore(int(id), node); err != nil {
 			for _, srv := range c.servers {
 				srv.Close() //nolint:errcheck // best-effort unwind
@@ -282,13 +304,16 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 			return nil, err
 		}
 		srv := transport.NewServer(node.Handler())
+		srv.Instrument(c.met)
 		c.servers = append(c.servers, srv)
 		go srv.Serve(listeners[i])
 	}
 	client := transport.NewTCP(addrs)
+	client.Instrument(c.met)
 	tr := cfg.stack(client, c)
 	c.peers = peers
 	c.inner = sdds.NewCluster(tr, place)
+	c.inner.Instrument(c.met)
 	c.close = append(c.close, c.closeStores, client.Close, peers.Close)
 	for _, srv := range c.servers {
 		c.close = append(c.close, srv.Close)
@@ -328,6 +353,7 @@ func (c *Cluster) attachNodeStore(id int, node *sdds.Node) error {
 	if err != nil {
 		return fmt.Errorf("esdds: opening node %d store: %w", id, err)
 	}
+	st.Instrument(c.met)
 	out, aerr := node.AttachStore(st)
 	rec := NodeRecovery{Outcome: out.String()}
 	if aerr != nil {
@@ -439,6 +465,7 @@ func (c *Cluster) ReviveNode(id int) error {
 	if c.linearScan {
 		node.DisablePostingIndex()
 	}
+	node.Instrument(c.met)
 	if err := c.attachNodeStore(id, node); err != nil {
 		return err
 	}

@@ -1,0 +1,26 @@
+package esdds
+
+import (
+	"repro/internal/obs"
+)
+
+// WithObservability instruments every layer of the cluster into one
+// metrics registry: transport sends, retries, breaker activity and
+// injected faults; per-node opcode latencies and search-path counters;
+// WAL append/fsync/checkpoint timings (with WithDataDir); and the
+// self-healing loop's detector transitions, repair phases, and
+// guardian sync/recover durations (with WithSelfHealing). Instrumented
+// searches also record per-op traces (stage timings and IAM hop
+// counts).
+//
+// Retrieve the registry with Cluster.Metrics(); expose it with its
+// Handler (a /metrics endpoint), WriteText, or PublishExpvar. All
+// instruments are registered eagerly, so every metric name appears in
+// the exposition (with a zero value) as soon as the cluster is built.
+func WithObservability() ClusterOption {
+	return func(c *clusterConfig) { c.observe = true }
+}
+
+// Metrics returns the cluster's metrics registry, or nil unless the
+// cluster was built with WithObservability.
+func (c *Cluster) Metrics() *obs.Registry { return c.met }

@@ -1,0 +1,255 @@
+package esdds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sdds"
+	"repro/internal/transport"
+)
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, 32)); err != nil {
+		t.Fatalf("32-byte key rejected: %v", err)
+	}
+	if _, err := KeyFromBytes(make([]byte, 16)); err == nil {
+		t.Fatal("16-byte key accepted")
+	}
+}
+
+func TestOpenRejectsUnknownMatrixKind(t *testing.T) {
+	cluster := NewMemoryCluster(2)
+	defer cluster.Close()
+	_, err := Open(cluster, KeyFromPassphrase("k"), Config{
+		ChunkSize: 4,
+		Chunkings: 2,
+		Matrix:    MatrixKind(99),
+	}, nil)
+	if err == nil {
+		t.Fatal("unknown matrix kind accepted")
+	}
+}
+
+// TestResetBreakersReopensTraffic checks the breaker escape hatch: after
+// a blackout trips a node's breaker, ResetBreakers lets traffic flow the
+// instant the node is back — no cooldown wait.
+func TestResetBreakersReopensTraffic(t *testing.T) {
+	cluster := NewMemoryCluster(2,
+		WithFaultInjection(3),
+		WithRetry(transport.RetryPolicy{
+			MaxAttempts:      1,
+			BaseDelay:        time.Microsecond,
+			MaxDelay:         time.Microsecond,
+			Multiplier:       1,
+			FailureThreshold: 2,
+			Cooldown:         time.Hour,
+		}),
+	)
+	defer cluster.Close()
+	store, err := Open(cluster, KeyFromPassphrase("k"), Config{ChunkSize: 4, Chunkings: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := store.Insert(ctx, 1, []byte("BEFORE THE BLACKOUT")); err != nil {
+		t.Fatal(err)
+	}
+
+	cluster.Faults().Blackout(0, 1)
+	for i := 0; i < 6; i++ {
+		store.Get(ctx, 1) //nolint:errcheck // driving the breaker open
+	}
+	open := false
+	for _, st := range cluster.RetryStats() {
+		open = open || st.BreakerOpen
+	}
+	if !open {
+		t.Fatal("blackout never opened a breaker")
+	}
+
+	cluster.Faults().Restore(0, 1)
+	cluster.ResetBreakers()
+	for _, st := range cluster.RetryStats() {
+		if st.BreakerOpen {
+			t.Fatalf("breaker still open after ResetBreakers: %+v", st)
+		}
+	}
+	if _, err := store.Get(ctx, 1); err != nil {
+		t.Fatalf("get after reset: %v", err)
+	}
+}
+
+func TestResetBreakersWithoutRetryIsNoop(t *testing.T) {
+	cluster := NewMemoryCluster(1)
+	defer cluster.Close()
+	cluster.ResetBreakers() // must not panic
+	if got := cluster.RetryStats(); got != nil {
+		t.Fatalf("RetryStats without retry = %v, want nil", got)
+	}
+}
+
+func TestGuardianHandleAccessors(t *testing.T) {
+	cluster := NewMemoryCluster(3)
+	defer cluster.Close()
+	g, err := cluster.Guardian(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.K() != 1 {
+		t.Fatalf("K = %d, want 1", g.K())
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.Scrub()
+	if err != nil || !ok {
+		t.Fatalf("Scrub = %v, %v; want clean", ok, err)
+	}
+}
+
+func TestSelfHealingAccessors(t *testing.T) {
+	cluster := NewMemoryCluster(2, WithSelfHealing(SelfHealingConfig{
+		Parity:        1,
+		ProbeInterval: 5 * time.Millisecond,
+	}))
+	defer cluster.Close()
+	heal := cluster.SelfHealing()
+	if heal == nil {
+		t.Fatal("SelfHealing() nil with WithSelfHealing")
+	}
+	if at, seq := heal.LastSync(); !at.IsZero() || seq != 0 {
+		t.Fatalf("LastSync before any sync = %v, %d", at, seq)
+	}
+	if err := heal.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if at, seq := heal.LastSync(); at.IsZero() || seq != 1 {
+		t.Fatalf("LastSync after sync = %v, %d; want nonzero, 1", at, seq)
+	}
+	if down := heal.Down(); len(down) != 0 {
+		t.Fatalf("Down = %v on a healthy cluster", down)
+	}
+
+	plain := NewMemoryCluster(1)
+	defer plain.Close()
+	if plain.SelfHealing() != nil {
+		t.Fatal("SelfHealing() non-nil without the option")
+	}
+}
+
+// TestDialClusterOptionPlumbing checks construction-time plumbing of a
+// dialed cluster: transports dial lazily, so building (with middleware
+// and observability) succeeds without live daemons.
+func TestDialClusterOptionPlumbing(t *testing.T) {
+	c, err := DialCluster(map[int]string{0: "127.0.0.1:1", 1: "127.0.0.1:2"},
+		WithObservability(), WithDefaultRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Metrics() == nil {
+		t.Fatal("dialed cluster missing metrics registry")
+	}
+	if c.Nodes() != 2 {
+		t.Fatalf("Nodes = %d, want 2", c.Nodes())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchErrorUnwrap drives a partial batch failure through the
+// public Insert path and checks that the error exposes the per-node
+// causes to errors.Is/As via Unwrap.
+func TestBatchErrorUnwrap(t *testing.T) {
+	cluster := NewMemoryCluster(3, WithFaultInjection(5))
+	defer cluster.Close()
+	store, err := Open(cluster, KeyFromPassphrase("k"), Config{
+		ChunkSize:       4,
+		Chunkings:       2,
+		DispersionSites: 2,
+		MaxBucketLoad:   4,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Spread index slots over all nodes first so a later insert fans out.
+	for i := 0; i < 20; i++ {
+		if err := store.Insert(ctx, uint64(i), []byte(fmt.Sprintf("WARMUP RECORD %04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Freeze growth: a split reaching the dead node would fail before
+	// the batched index scatter gets its chance.
+	cluster.inner.SetMaxLoad(sdds.FileRecords, 1<<20)
+	cluster.inner.SetMaxLoad(sdds.FileIndex, 1<<20)
+
+	cluster.Faults().Blackout(2)
+	var batchErr *sdds.BatchError
+	for i := 20; i < 60 && batchErr == nil; i++ {
+		err := store.Insert(ctx, uint64(i), []byte(fmt.Sprintf("BLACKOUT RECORD %04d", i)))
+		if err != nil && !errors.As(err, &batchErr) {
+			// The record put itself can land on the dead node; only batch
+			// index failures carry BatchError.
+			continue
+		}
+	}
+	if batchErr == nil {
+		t.Fatal("no insert produced a BatchError with node 2 blacked out")
+	}
+	if len(batchErr.Failures) == 0 {
+		t.Fatal("BatchError carries no failures")
+	}
+	unwrapped := batchErr.Unwrap()
+	if len(unwrapped) != len(batchErr.Failures) {
+		t.Fatalf("Unwrap returned %d errors for %d failures", len(unwrapped), len(batchErr.Failures))
+	}
+	if !errors.Is(batchErr, transport.ErrNodeDown) {
+		t.Fatalf("errors.Is(batchErr, ErrNodeDown) = false; failures: %v", unwrapped)
+	}
+}
+
+// TestSearchDetailedReportsFailedNodes pins the no-coverage outcome: a
+// dead node on a cluster without self-healing shows up in FailedNodes
+// and marks the result incomplete, while Search proper fails loudly.
+func TestSearchDetailedReportsFailedNodes(t *testing.T) {
+	cluster := NewMemoryCluster(3)
+	defer cluster.Close()
+	store, err := Open(cluster, KeyFromPassphrase("k"), Config{
+		ChunkSize:     4,
+		Chunkings:     2,
+		MaxBucketLoad: 4,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := store.Insert(ctx, uint64(i), []byte(fmt.Sprintf("DETAIL RECORD %04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cluster.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	out, err := store.SearchDetailed(ctx, []byte("DETAIL RECORD"), SearchFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Complete {
+		t.Fatal("search with a dead node reported complete")
+	}
+	if len(out.FailedNodes) != 1 || out.FailedNodes[0] != 1 {
+		t.Fatalf("FailedNodes = %v, want [1]", out.FailedNodes)
+	}
+	if len(out.DegradedNodes) != 0 {
+		t.Fatalf("DegradedNodes = %v without self-healing", out.DegradedNodes)
+	}
+	if _, err := store.Search(ctx, []byte("DETAIL RECORD"), SearchFast); err == nil {
+		t.Fatal("strict Search succeeded with a dead node")
+	}
+}

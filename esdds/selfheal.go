@@ -88,6 +88,9 @@ func (c *Cluster) enableSelfHealing(sh SelfHealingConfig) error {
 		SyncInterval:  sh.SyncInterval,
 		JournalCap:    sh.JournalCap,
 	})
+	det.Instrument(c.met)
+	sup.Instrument(c.met)
+	guard.Instrument(c.met)
 	c.inner.SetDegradedProvider(sup)
 	det.Start()
 	sup.Start()

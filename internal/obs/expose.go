@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteText renders every registered instrument as a Prometheus-style
+// text page: one `name value` line per counter/gauge, and a block of
+// `name_count`, `name_sum`, and `name{quantile="..."}` lines per
+// histogram. Names are emitted in sorted order so scrapes are diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	insts := make(map[string]any, len(names))
+	for _, n := range names {
+		insts[n] = r.insts[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		switch inst := insts[name].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, inst.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, inst.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			s := inst.Snapshot()
+			if _, err := fmt.Fprintf(w,
+				"%s_count %d\n%s_sum %d\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.9\"} %d\n%s{quantile=\"0.99\"} %d\n",
+				name, s.Count, name, s.Sum, name, s.P50, name, s.P90, name, s.P99); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteString renders the text exposition to a string.
+func (r *Registry) WriteString() string {
+	var b strings.Builder
+	r.WriteText(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the text exposition, suitable
+// for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w) //nolint:errcheck // client went away
+	})
+}
+
+// snapshotJSON is the expvar rendering of the whole registry.
+func (r *Registry) snapshotJSON() interface{} {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	insts := make(map[string]any, len(names))
+	for _, n := range names {
+		insts[n] = r.insts[n]
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for _, name := range names {
+		switch inst := insts[name].(type) {
+		case *Counter:
+			out[name] = inst.Value()
+		case *Gauge:
+			out[name] = inst.Value()
+		case *Histogram:
+			s := inst.Snapshot()
+			out[name] = map[string]any{
+				"count": s.Count, "sum": s.Sum,
+				"min": s.Min, "max": s.Max, "mean": s.Mean,
+				"p50": s.P50, "p90": s.P90, "p99": s.P99,
+			}
+		}
+	}
+	return out
+}
+
+// expvarFunc adapts the registry to expvar.Var.
+type expvarFunc func() interface{}
+
+func (f expvarFunc) String() string {
+	b, err := json.Marshal(f())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// PublishExpvar publishes the registry under the given expvar name
+// (e.g. "esdds"). Safe to call once per process per name; expvar
+// panics on duplicate names, so Publish guards with Get.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvarFunc(r.snapshotJSON))
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is a lightweight per-operation trace: an op ID, the operation
+// name, stage timings recorded as laps, and the number of extra node
+// hops the operation took (LH* forwards / IAM-corrected retries). It is
+// deliberately simpler than a full distributed tracer — one span per
+// client operation, stages recorded locally — because the point is the
+// per-stage cost breakdown the paper's evaluation reasons from, not
+// cross-process context propagation.
+//
+// All methods are nil-safe so call sites can thread a trace
+// unconditionally.
+type Trace struct {
+	ID   uint64
+	Op   string
+	mu   sync.Mutex
+	reg  *Registry
+	t0   time.Time
+	mark time.Time
+	laps []Lap
+	hops int
+	done bool
+}
+
+// Lap is one completed stage of a traced operation.
+type Lap struct {
+	Stage string
+	D     time.Duration
+}
+
+// TraceRecord is a finished trace as stored in the registry's ring.
+type TraceRecord struct {
+	ID    uint64
+	Op    string
+	Start time.Time
+	Total time.Duration
+	Hops  int
+	Laps  []Lap
+}
+
+// String renders one line: "op#id total=1.2ms hops=1 stage=dur ...".
+func (t TraceRecord) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s#%d total=%s hops=%d", t.Op, t.ID, t.Total, t.Hops)
+	for _, l := range t.Laps {
+		fmt.Fprintf(&b, " %s=%s", l.Stage, l.D)
+	}
+	return b.String()
+}
+
+var traceID atomic.Uint64
+
+// StartTrace begins a trace for the named operation. The registry may
+// be nil; the trace still works (callers can inspect it) but Finish
+// stores nothing.
+func (r *Registry) StartTrace(op string) *Trace {
+	now := time.Now()
+	return &Trace{
+		ID:   traceID.Add(1),
+		Op:   op,
+		reg:  r,
+		t0:   now,
+		mark: now,
+	}
+}
+
+// Lap records the time since the previous Lap (or since the trace
+// started) under the given stage name.
+func (t *Trace) Lap(stage string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.laps = append(t.laps, Lap{Stage: stage, D: now.Sub(t.mark)})
+	t.mark = now
+	t.mu.Unlock()
+}
+
+// AddHops adds n to the trace's hop count.
+func (t *Trace) AddHops(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.hops += n
+	t.mu.Unlock()
+}
+
+// Hops returns the accumulated hop count.
+func (t *Trace) Hops() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hops
+}
+
+// Laps returns a copy of the recorded laps.
+func (t *Trace) Laps() []Lap {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Lap(nil), t.laps...)
+}
+
+// Finish completes the trace and stores it in the registry's bounded
+// ring of recent traces. Idempotent; returns the finished record.
+func (t *Trace) Finish() TraceRecord {
+	if t == nil {
+		return TraceRecord{}
+	}
+	now := time.Now()
+	t.mu.Lock()
+	rec := TraceRecord{
+		ID:    t.ID,
+		Op:    t.Op,
+		Start: t.t0,
+		Total: now.Sub(t.t0),
+		Hops:  t.hops,
+		Laps:  append([]Lap(nil), t.laps...),
+	}
+	already := t.done
+	t.done = true
+	t.mu.Unlock()
+	if !already && t.reg != nil {
+		t.reg.traces.add(rec)
+	}
+	return rec
+}
+
+// traceRingCap bounds the registry's memory for finished traces.
+const traceRingCap = 64
+
+// traceRing is a bounded ring of recent finished traces.
+type traceRing struct {
+	mu   sync.Mutex
+	recs [traceRingCap]TraceRecord
+	n    uint64 // total ever added
+}
+
+func (tr *traceRing) add(rec TraceRecord) {
+	tr.mu.Lock()
+	tr.recs[tr.n%traceRingCap] = rec
+	tr.n++
+	tr.mu.Unlock()
+}
+
+// Traces returns the most recent finished traces, oldest first.
+func (r *Registry) Traces() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	tr := &r.traces
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := tr.n
+	if n > traceRingCap {
+		n = traceRingCap
+	}
+	out := make([]TraceRecord, 0, n)
+	start := tr.n - n
+	for i := start; i < tr.n; i++ {
+		out = append(out, tr.recs[i%traceRingCap])
+	}
+	return out
+}
+
+type traceCtxKey struct{}
+
+// WithTrace returns a context carrying the trace.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom extracts the trace from a context, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

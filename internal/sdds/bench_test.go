@@ -6,11 +6,13 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/cipherx"
 	"repro/internal/core"
 	"repro/internal/disperse"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -105,10 +107,13 @@ func benchPipeline(tb testing.TB, s, m, k int) *core.Pipeline {
 func benchmarkNodeSearch(b *testing.B, mode string) {
 	sb := getSearchBench(b, mode)
 	ctx := context.Background()
+	lat := obs.NewHistogram() // per-iteration latency → p50/p99 metrics
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		start := time.Now()
 		hits, err := sb.cluster.Search(ctx, FileIndex, sb.pl, sb.query, core.VerifyAny)
+		lat.Observe(time.Since(start).Nanoseconds())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,6 +121,10 @@ func benchmarkNodeSearch(b *testing.B, mode string) {
 			b.Fatal("query lost its record")
 		}
 	}
+	b.StopTimer()
+	s := lat.Snapshot()
+	b.ReportMetric(float64(s.P50), "p50-ns")
+	b.ReportMetric(float64(s.P99), "p99-ns")
 }
 
 func BenchmarkNodeSearch(b *testing.B) {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lhstar"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -36,6 +37,8 @@ type Cluster struct {
 
 	degradedMu sync.RWMutex
 	degraded   DegradedProvider
+
+	met clusterMetrics // set by Instrument before traffic; nil-safe
 }
 
 // DegradedProvider supplies last-synced node images for degraded-mode
@@ -141,6 +144,7 @@ func (c *Cluster) Merges(id FileID) int {
 // Put stores a key/value pair in a file, splitting the file if it
 // overflows.
 func (c *Cluster) Put(ctx context.Context, id FileID, key uint64, value []byte) error {
+	c.met.puts.Inc()
 	c.opsMu.RLock()
 	c.mu.Lock()
 	f := c.file(id)
@@ -167,6 +171,8 @@ func (c *Cluster) Put(ctx context.Context, id FileID, key uint64, value []byte) 
 	if resp.iamAddr != addr {
 		f.image.Adjust(resp.iamAddr, uint(resp.iamLevel))
 		f.iams++
+		c.met.iams.Inc()
+		obs.TraceFrom(ctx).AddHops(1)
 	}
 	if resp.isNew {
 		f.size++
@@ -183,6 +189,7 @@ func (c *Cluster) Put(ctx context.Context, id FileID, key uint64, value []byte) 
 
 // Get retrieves a value by key.
 func (c *Cluster) Get(ctx context.Context, id FileID, key uint64) ([]byte, bool, error) {
+	c.met.gets.Inc()
 	c.opsMu.RLock()
 	defer c.opsMu.RUnlock()
 	c.mu.Lock()
@@ -207,6 +214,8 @@ func (c *Cluster) Get(ctx context.Context, id FileID, key uint64) ([]byte, bool,
 		f.image.Adjust(resp.iamAddr, uint(resp.iamLevel))
 		f.iams++
 		c.mu.Unlock()
+		c.met.iams.Inc()
+		obs.TraceFrom(ctx).AddHops(1)
 	}
 	if !resp.found {
 		return nil, false, nil
@@ -216,6 +225,7 @@ func (c *Cluster) Get(ctx context.Context, id FileID, key uint64) ([]byte, bool,
 
 // Delete removes a key, reporting whether it existed.
 func (c *Cluster) Delete(ctx context.Context, id FileID, key uint64) (bool, error) {
+	c.met.deletes.Inc()
 	c.opsMu.RLock()
 	c.mu.Lock()
 	f := c.file(id)
@@ -240,6 +250,8 @@ func (c *Cluster) Delete(ctx context.Context, id FileID, key uint64) (bool, erro
 	if resp.iamAddr != addr {
 		f.image.Adjust(resp.iamAddr, uint(resp.iamLevel))
 		f.iams++
+		c.met.iams.Inc()
+		obs.TraceFrom(ctx).AddHops(1)
 	}
 	needMerge := false
 	if resp.found {
@@ -309,6 +321,7 @@ func (c *Cluster) mergeOne(ctx context.Context, id FileID) (done bool, err error
 	c.mu.Lock()
 	f.state = st
 	f.merges++
+	c.met.merges.Inc()
 	f.image = f.state.Image()
 	c.mu.Unlock()
 	return false, nil
@@ -354,6 +367,7 @@ func (c *Cluster) split(ctx context.Context, id FileID) error {
 	c.mu.Lock()
 	f.state.AdvanceSplit()
 	f.splits++
+	c.met.splits.Inc()
 	// Deliberately do NOT refresh the client image: letting it lag
 	// exercises the real LH* path — server forwarding plus IAMs — on
 	// every run, exactly as a remote client would behave.
@@ -447,6 +461,7 @@ func (c *Cluster) InsertIndexed(ctx context.Context, id FileID, recs []core.Inde
 		reqs[node] = w.b
 		ws = append(ws, w)
 	}
+	c.met.batches.Add(uint64(len(reqs)))
 	results := transport.Scatter(ctx, c.tr, opPutBatch, reqs)
 	for _, w := range ws {
 		putWriter(w)
@@ -476,6 +491,7 @@ func (c *Cluster) InsertIndexed(ctx context.Context, id FileID, recs []core.Inde
 			if pr.iamAddr != ents[i].addr {
 				f.image.Adjust(pr.iamAddr, uint(pr.iamLevel))
 				f.iams++
+				c.met.iams.Inc()
 			}
 			if pr.isNew {
 				f.size++
@@ -589,6 +605,21 @@ func (c *Cluster) SearchPartial(ctx context.Context, id FileID, pl *core.Pipelin
 // last-synced images, and reports exactly which nodes failed, which
 // were served degraded, and how stale the degraded buckets are.
 func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pipeline, query *core.Query, mode core.VerifyMode) (rids []uint64, info SearchInfo, err error) {
+	c.met.searches.Inc()
+	start := time.Now()
+	// Per-op trace: adopt the caller's (threaded via context) or, when
+	// the cluster is instrumented, start one of our own.
+	tr := obs.TraceFrom(ctx)
+	if owned := tr == nil && c.met.reg != nil; owned {
+		tr = c.met.reg.StartTrace("search")
+		defer tr.Finish()
+	}
+	defer func() {
+		c.met.searchNS.Observe(time.Since(start).Nanoseconds())
+		if !info.Complete() {
+			c.met.searchesPartial.Inc()
+		}
+	}()
 	kSites := pl.K()
 	m := pl.Chunkings()
 	req := queryToSearchReq(id, query, m, kSites)
@@ -596,6 +627,7 @@ func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pip
 	// transport's live view — a crashed node must surface as a failure,
 	// not be silently skipped.
 	results := transport.Broadcast(ctx, c.tr, c.place.Nodes(), opSearch, req.encode())
+	tr.Lap("broadcast")
 	if err := ctx.Err(); err != nil {
 		return nil, SearchInfo{}, err
 	}
@@ -638,11 +670,13 @@ func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pip
 						addHits(&resp)
 						info.Degraded = append(info.Degraded, r.Node)
 						info.StaleSince = syncedAt
+						c.met.degradedServes.Inc()
 						continue
 					}
 				}
 			}
 			info.Failed = append(info.Failed, r.Node)
+			c.met.failedSites.Inc()
 			continue
 		}
 		resp, derr := decodeSearchResp(r.Payload)
@@ -669,6 +703,7 @@ func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pip
 		}
 	}
 	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	tr.Lap("combine")
 	return rids, info, nil
 }
 
@@ -676,6 +711,7 @@ func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pip
 // sorted RIDs of records whose word blob contains it — the [SWP00]
 // word-search path. Exact: no false positives, no false negatives.
 func (c *Cluster) WordSearch(ctx context.Context, id FileID, token []byte) ([]uint64, error) {
+	c.met.wordSearches.Inc()
 	req := wordSearchReq{file: id, token: token}
 	results := transport.Broadcast(ctx, c.tr, c.place.Nodes(), opWordSearch, req.encode())
 	var out []uint64

@@ -45,6 +45,8 @@ type Guardian struct {
 	syncedAt time.Time
 	syncSeq  uint64
 	now      func() time.Time // injectable clock for tests
+
+	met guardianMetrics // set by Instrument before traffic; nil-safe
 }
 
 // NewGuardian builds a guardian over the placement's nodes with k
@@ -73,6 +75,17 @@ func (g *Guardian) M() int { return g.group.M() }
 // cannot be reached fails the sync (syncing around a hole would silently
 // move the recovery point backwards for that node).
 func (g *Guardian) Sync(ctx context.Context) error {
+	start := time.Now()
+	err := g.sync(ctx)
+	g.met.syncs.Inc()
+	g.met.syncNS.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		g.met.syncErrors.Inc()
+	}
+	return err
+}
+
+func (g *Guardian) sync(ctx context.Context) error {
 	nodes := g.place.Nodes()
 	results := transport.Broadcast(ctx, g.tr, nodes, opNodeSnapshot, nil)
 	g.mu.Lock()
@@ -140,6 +153,17 @@ func (g *Guardian) Recover(ctx context.Context, dead []transport.NodeID) error {
 	if len(dead) == 0 {
 		return nil
 	}
+	start := time.Now()
+	err := g.recover(ctx, dead)
+	g.met.recovers.Inc()
+	g.met.recoverNS.Observe(time.Since(start).Nanoseconds())
+	if err != nil {
+		g.met.recoverErrs.Inc()
+	}
+	return err
+}
+
+func (g *Guardian) recover(ctx context.Context, dead []transport.NodeID) error {
 	g.mu.Lock()
 	if !g.synced {
 		g.mu.Unlock()

@@ -1,0 +1,396 @@
+package sdds
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// metClock is a hand-advanced clock for supervisor timing without
+// sleeps.
+type metClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newMetClock() *metClock {
+	return &metClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *metClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *metClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// sumOpHistograms adds up the per-opcode latency histogram counts.
+func sumOpHistograms(reg *obs.Registry) uint64 {
+	var total uint64
+	for _, name := range opNames {
+		if name != "" {
+			total += reg.HistogramSnapshot("node_op_" + name + "_ns").Count
+		}
+	}
+	return total
+}
+
+// TestNodeSearchMetricInvariants drives an instrumented posting-index
+// cluster through inserts, splits, and searches, then checks the
+// node-side accounting invariants:
+//
+//	posting_searches + linear_searches == searches
+//	posting_verified <= posting_candidates
+//	sum(per-op histograms) == node_ops_total
+func TestNodeSearchMetricInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pl := testPipeline(t, 4, 2, 2)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+
+	c, nodes := memClusterNodes(t, 3, false)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	for _, n := range nodes {
+		n.Instrument(reg)
+	}
+	c.SetMaxLoad(FileIndex, 8)
+	c.SetMaxLoad(FileRecords, 8)
+
+	contents := make(map[uint64][]byte)
+	const nRecs = 40
+	for rid := uint64(1); rid <= nRecs; rid++ {
+		rc := randomRecord(rng)
+		contents[rid] = rc
+		if err := c.Put(ctx, FileRecords, rid, rc); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := pl.BuildIndex(rid, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const nQueries = 10
+	for q := 0; q < nQueries; q++ {
+		rid := uint64(1 + rng.Intn(nRecs))
+		rc := contents[rid]
+		off := rng.Intn(len(rc) - 7)
+		query, err := pl.BuildQuery(rc[off:off+8], false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids, err := c.Search(ctx, FileIndex, pl, query, core.VerifyAny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, r := range rids {
+			found = found || r == rid
+		}
+		if !found {
+			t.Fatalf("query %d: search missed rid %d", q, rid)
+		}
+	}
+
+	// Client-side counters match the workload and the cluster's own
+	// bookkeeping.
+	if got := reg.CounterValue("cluster_puts_total"); got != nRecs {
+		t.Errorf("cluster_puts_total = %d, want %d", got, nRecs)
+	}
+	if got := reg.CounterValue("cluster_searches_total"); got != nQueries {
+		t.Errorf("cluster_searches_total = %d, want %d", got, nQueries)
+	}
+	splitsR, iamsR := c.Stats(FileRecords)
+	splitsI, iamsI := c.Stats(FileIndex)
+	if got := reg.CounterValue("cluster_splits_total"); got != uint64(splitsR+splitsI) {
+		t.Errorf("cluster_splits_total = %d, want %d", got, splitsR+splitsI)
+	}
+	if got := reg.CounterValue("cluster_iams_total"); got != uint64(iamsR+iamsI) {
+		t.Errorf("cluster_iams_total = %d, want %d", got, iamsR+iamsI)
+	}
+	if splitsR+splitsI == 0 {
+		t.Error("workload produced no splits; invariants not exercised")
+	}
+	if snap := reg.HistogramSnapshot("cluster_search_ns"); snap.Count != nQueries {
+		t.Errorf("cluster_search_ns count = %d, want %d", snap.Count, nQueries)
+	}
+
+	// Node-side search path accounting.
+	searches := reg.CounterValue("node_searches_total")
+	posting := reg.CounterValue("node_posting_searches_total")
+	linear := reg.CounterValue("node_linear_searches_total")
+	if posting+linear != searches {
+		t.Errorf("posting(%d) + linear(%d) != searches(%d)", posting, linear, searches)
+	}
+	if linear != 0 {
+		t.Errorf("posting-indexed cluster took %d linear scans", linear)
+	}
+	if posting == 0 {
+		t.Error("no posting searches recorded")
+	}
+	cand := reg.CounterValue("node_posting_candidates_total")
+	verified := reg.CounterValue("node_posting_verified_total")
+	if verified > cand {
+		t.Errorf("posting_verified(%d) > posting_candidates(%d)", verified, cand)
+	}
+	if cand == 0 {
+		t.Error("no posting candidates probed")
+	}
+	if reg.CounterValue("node_search_hits_total") == 0 {
+		t.Error("no search hits recorded despite successful queries")
+	}
+
+	// Every handled request lands in exactly one per-op histogram.
+	ops := reg.CounterValue("node_ops_total")
+	if got := sumOpHistograms(reg); got != ops {
+		t.Errorf("sum(per-op histograms) = %d, want node_ops_total = %d", got, ops)
+	}
+	if snap := reg.HistogramSnapshot("node_op_search_ns"); snap.Count != searches {
+		t.Errorf("node_op_search_ns count = %d, want %d", snap.Count, searches)
+	}
+	if ops == 0 {
+		t.Error("node_ops_total is zero")
+	}
+}
+
+// TestLinearScanMetricInvariants checks the fallback path: with the
+// posting index disabled every search is a linear scan.
+func TestLinearScanMetricInvariants(t *testing.T) {
+	pl := testPipeline(t, 4, 2, 2)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+
+	c, nodes := memClusterNodes(t, 2, true)
+	reg := obs.NewRegistry()
+	for _, n := range nodes {
+		n.Instrument(reg)
+	}
+	recs, err := pl.BuildIndex(42, []byte("LINEAR SCAN FALLBACK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+		t.Fatal(err)
+	}
+	query, err := pl.BuildQuery([]byte("FALLBACK"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(ctx, FileIndex, pl, query, core.VerifyAny); err != nil {
+		t.Fatal(err)
+	}
+	searches := reg.CounterValue("node_searches_total")
+	linear := reg.CounterValue("node_linear_searches_total")
+	if searches == 0 || linear != searches {
+		t.Errorf("linear(%d) != searches(%d) on index-disabled cluster", linear, searches)
+	}
+	if got := reg.CounterValue("node_posting_searches_total"); got != 0 {
+		t.Errorf("posting searches = %d on index-disabled cluster", got)
+	}
+}
+
+// TestSearchTraceLifecycle checks that an instrumented cluster records
+// a per-search trace with the broadcast and combine stages, and that
+// client-threaded traces accumulate one hop per IAM.
+func TestSearchTraceLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pl := testPipeline(t, 4, 2, 2)
+	slotBits := SlotBits(pl.Chunkings(), pl.K())
+	ctx := context.Background()
+
+	c, _ := memClusterNodes(t, 3, false)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	c.SetMaxLoad(FileRecords, 4)
+	c.SetMaxLoad(FileIndex, 8)
+
+	const nRecs = 30
+	for rid := uint64(1); rid <= nRecs; rid++ {
+		rc := randomRecord(rng)
+		if err := c.Put(ctx, FileRecords, rid, rc); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := pl.BuildIndex(rid, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.InsertIndexed(ctx, FileIndex, recs, pl.K(), slotBits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query, err := pl.BuildQuery([]byte("ANCHOR"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.SearchPartialInfo(ctx, FileIndex, pl, query, core.VerifyAny); err != nil {
+		t.Fatal(err)
+	}
+	traces := reg.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no trace recorded for instrumented search")
+	}
+	last := traces[len(traces)-1]
+	if last.Op != "search" {
+		t.Fatalf("trace op = %q, want search", last.Op)
+	}
+	stages := make(map[string]bool)
+	for _, lap := range last.Laps {
+		stages[lap.Stage] = true
+	}
+	if !stages["broadcast"] || !stages["combine"] {
+		t.Fatalf("trace stages = %v, want broadcast and combine", last.Laps)
+	}
+
+	// Forget the client image: the next sweep of Gets must correct it
+	// via IAMs, and a caller-threaded trace counts one hop per IAM.
+	splits, _ := c.Stats(FileRecords)
+	if splits == 0 {
+		t.Fatal("records file did not split; IAM scenario not exercised")
+	}
+	iamsBefore := reg.CounterValue("cluster_iams_total")
+	c.ResetImage(FileRecords)
+	tr := reg.StartTrace("get-sweep")
+	tctx := obs.WithTrace(ctx, tr)
+	for rid := uint64(1); rid <= nRecs; rid++ {
+		if _, ok, err := c.Get(tctx, FileRecords, rid); err != nil || !ok {
+			t.Fatalf("get %d: %v %v", rid, ok, err)
+		}
+	}
+	tr.Finish()
+	iams := reg.CounterValue("cluster_iams_total") - iamsBefore
+	if iams == 0 {
+		t.Fatal("image reset produced no IAMs")
+	}
+	if got := uint64(tr.Hops()); got != iams {
+		t.Errorf("trace hops = %d, want one per IAM = %d", got, iams)
+	}
+}
+
+// TestSupervisorPhaseMetricsMatchJournal runs a full detect → repair →
+// restore cycle and checks the central repair-accounting invariant:
+// every journaled record increments exactly one phase counter, so the
+// phase counters sum to the journal length plus anything the ring
+// bound shed.
+func TestSupervisorPhaseMetricsMatchJournal(t *testing.T) {
+	sc := newSupervisedCluster(t, 4, 2, SupervisorConfig{
+		Debounce:      time.Millisecond,
+		RepairBackoff: time.Millisecond,
+	})
+	reg := obs.NewRegistry()
+	sc.sup.Instrument(reg)
+	clk := sc.clk
+
+	ctx := context.Background()
+	loadRecords(t, sc.cluster, 60)
+	if err := sc.guard.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	sc.kill(1, 3)
+	sc.step(ctx) // detect both down
+	clk.Advance(10 * time.Millisecond)
+	sc.step(ctx) // debounce ripe: repair and restore
+	clk.Advance(10 * time.Millisecond)
+	sc.step(ctx) // observe recovery
+
+	if down := sc.sup.Down(); len(down) != 0 {
+		t.Fatalf("nodes still down after repair: %v", down)
+	}
+	length, dropped, _ := sc.sup.JournalStats()
+	var phaseSum uint64
+	for p := 0; p < repairPhaseCount; p++ {
+		name := "supervisor_phase_" + sanitizePhase(RepairPhase(p).String()) + "_total"
+		phaseSum += reg.CounterValue(name)
+	}
+	if phaseSum != uint64(length)+dropped {
+		t.Errorf("sum(phase counters) = %d, want journal length %d + dropped %d",
+			phaseSum, length, dropped)
+	}
+	if phaseSum == 0 {
+		t.Error("no repair phases recorded")
+	}
+	// The cycle must include at least a detection and a completion.
+	if got := reg.CounterValue("supervisor_phase_detected_total"); got != 2 {
+		t.Errorf("supervisor_phase_detected_total = %d, want 2", got)
+	}
+	if got := reg.CounterValue("supervisor_phase_completed_total"); got == 0 {
+		t.Error("no completed repairs counted")
+	}
+}
+
+// TestGuardianMetrics checks the parity layer's sync/recover counters
+// on both the success and error paths.
+func TestGuardianMetrics(t *testing.T) {
+	gc := newGuardedCluster(t, 3)
+	guard, err := NewGuardian(gc.tr, gc.place, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	guard.Instrument(reg)
+	ctx := context.Background()
+	loadRecords(t, gc.cluster, 20)
+
+	if err := guard.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("guardian_syncs_total"); got != 1 {
+		t.Errorf("guardian_syncs_total = %d, want 1", got)
+	}
+	if snap := reg.HistogramSnapshot("guardian_sync_ns"); snap.Count != 1 {
+		t.Errorf("guardian_sync_ns count = %d, want 1", snap.Count)
+	}
+
+	gc.kill(2)
+	if err := guard.Sync(ctx); err == nil {
+		t.Fatal("sync with a dead node succeeded")
+	}
+	if got := reg.CounterValue("guardian_syncs_total"); got != 2 {
+		t.Errorf("guardian_syncs_total = %d, want 2", got)
+	}
+	if got := reg.CounterValue("guardian_sync_errors_total"); got != 1 {
+		t.Errorf("guardian_sync_errors_total = %d, want 1", got)
+	}
+
+	// Real recovery of the killed node onto a fresh replacement.
+	gc.reviveEmpty(2)
+	if err := guard.Recover(ctx, []transport.NodeID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("guardian_recovers_total"); got != 1 {
+		t.Errorf("guardian_recovers_total = %d, want 1", got)
+	}
+	if got := reg.CounterValue("guardian_recover_errors_total"); got != 0 {
+		t.Errorf("guardian_recover_errors_total = %d, want 0", got)
+	}
+
+	// An unprotected node is a counted error; an empty dead set is not
+	// counted at all.
+	if err := guard.Recover(ctx, []transport.NodeID{99}); err == nil {
+		t.Fatal("recover of unprotected node succeeded")
+	}
+	if err := guard.Recover(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("guardian_recovers_total"); got != 2 {
+		t.Errorf("guardian_recovers_total = %d, want 2 (nil dead set must not count)", got)
+	}
+	if got := reg.CounterValue("guardian_recover_errors_total"); got != 1 {
+		t.Errorf("guardian_recover_errors_total = %d, want 1", got)
+	}
+}

@@ -63,6 +63,8 @@ type Node struct {
 	store        Store
 	storeOutcome wal.Outcome
 	storeDetail  string
+
+	met nodeMetrics // set by Instrument before traffic; nil-safe
 }
 
 type nodeFile struct {
@@ -420,45 +422,58 @@ func (n *Node) applyLoggedLocked(op uint8, payload []byte) error {
 	}
 }
 
-// Handler returns the transport handler serving this node.
+// Handler returns the transport handler serving this node. When the
+// node is instrumented, every request is timed into its per-opcode
+// latency histogram.
 func (n *Node) Handler() transport.Handler {
 	return func(op uint8, payload []byte) ([]byte, error) {
-		switch op {
-		case opPut:
-			return n.handlePut(payload)
-		case opGet:
-			return n.handleGet(payload)
-		case opDelete:
-			return n.handleDelete(payload)
-		case opSearch:
-			return n.handleSearch(payload)
-		case opBucketCreate:
-			return n.handleBucketCreate(payload)
-		case opSplitExtract:
-			return n.handleSplitExtract(payload)
-		case opSplitAbsorb:
-			return n.handleSplitAbsorb(payload)
-		case opStats:
-			return n.handleStats(payload)
-		case opMergeClose:
-			return n.handleMergeClose(payload)
-		case opMergeAbsorb:
-			return n.handleMergeAbsorb(payload)
-		case opWordSearch:
-			return n.handleWordSearch(payload)
-		case opNodeSnapshot:
-			return n.handleNodeSnapshot(payload)
-		case opNodeRestore:
-			return n.handleNodeRestore(payload)
-		case opPutBatch:
-			return n.handlePutBatch(payload)
-		case opPing:
-			return nil, nil // health probe: answering is the point
-		case opRecoveryState:
-			return n.handleRecoveryState(payload)
-		default:
-			return nil, fmt.Errorf("sdds: unknown op %d", op)
+		if !n.met.on {
+			return n.dispatch(op, payload)
 		}
+		start := time.Now()
+		resp, err := n.dispatch(op, payload)
+		n.met.observeOp(op, time.Since(start), err)
+		return resp, err
+	}
+}
+
+// dispatch routes one request to its handler.
+func (n *Node) dispatch(op uint8, payload []byte) ([]byte, error) {
+	switch op {
+	case opPut:
+		return n.handlePut(payload)
+	case opGet:
+		return n.handleGet(payload)
+	case opDelete:
+		return n.handleDelete(payload)
+	case opSearch:
+		return n.handleSearch(payload)
+	case opBucketCreate:
+		return n.handleBucketCreate(payload)
+	case opSplitExtract:
+		return n.handleSplitExtract(payload)
+	case opSplitAbsorb:
+		return n.handleSplitAbsorb(payload)
+	case opStats:
+		return n.handleStats(payload)
+	case opMergeClose:
+		return n.handleMergeClose(payload)
+	case opMergeAbsorb:
+		return n.handleMergeAbsorb(payload)
+	case opWordSearch:
+		return n.handleWordSearch(payload)
+	case opNodeSnapshot:
+		return n.handleNodeSnapshot(payload)
+	case opNodeRestore:
+		return n.handleNodeRestore(payload)
+	case opPutBatch:
+		return n.handlePutBatch(payload)
+	case opPing:
+		return nil, nil // health probe: answering is the point
+	case opRecoveryState:
+		return n.handleRecoveryState(payload)
+	default:
+		return nil, fmt.Errorf("sdds: unknown op %d", op)
 	}
 }
 
@@ -539,6 +554,7 @@ func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64,
 	if n.peers == nil {
 		return nil, fmt.Errorf("sdds: forward needed but node %d has no peer transport", n.id)
 	}
+	n.met.forwards.Inc()
 	ctx, cancel := context.WithTimeout(context.Background(), forwardDeadline)
 	defer cancel()
 	return n.peers.Send(ctx, n.place.NodeOf(next), op, reencode(next))
@@ -632,6 +648,7 @@ func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("sdds: forward needed but node %d has no peer transport", n.id)
 	}
 	for _, fw := range fwds {
+		n.met.forwards.Inc()
 		e := m.entries[fw.i]
 		req := putReq{file: m.file, addr: fw.addr, hops: 1, key: e.key, value: e.value}
 		ctx, cancel := context.WithTimeout(context.Background(), forwardDeadline)
@@ -715,11 +732,15 @@ func (n *Node) handleSearch(payload []byte) ([]byte, error) {
 	var resp searchResp
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	n.met.searches.Inc()
 	if f.idx != nil {
+		n.met.postingSearches.Inc()
 		n.searchPosting(f.idx, &m, &resp)
 	} else {
+		n.met.linearSearches.Inc()
 		n.searchLinear(f, &m, &resp)
 	}
+	n.met.searchHits.Add(uint64(len(resp.hits)))
 	return resp.encode(), nil
 }
 
@@ -741,9 +762,11 @@ func (n *Node) searchPosting(idx *searchIndex, m *searchReq, resp *searchResp) {
 				}
 				e := idx.entries[key]
 				for _, off := range offs {
+					n.met.postingCandidates.Inc()
 					if !core.MatchAt(e.pieces, pat, int(off)) {
 						continue
 					}
+					n.met.postingVerified.Inc()
 					resp.hits = append(resp.hits, rawHit{
 						rid:         rid,
 						j:           uint8(j),

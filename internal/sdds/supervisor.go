@@ -180,6 +180,8 @@ type Supervisor struct {
 	stop    chan struct{}
 	done    chan struct{}
 	now     func() time.Time
+
+	met supervisorMetrics // set by Instrument before Start; nil-safe
 }
 
 // NewSupervisor wires a supervisor over a detector and guardian. retry
@@ -565,6 +567,9 @@ func (s *Supervisor) AwaitHealthy(ctx context.Context) error {
 }
 
 func (s *Supervisor) journalLocked(node transport.NodeID, phase RepairPhase, detail string) {
+	if int(phase) < len(s.met.phases) {
+		s.met.phases[phase].Inc()
+	}
 	s.seq++
 	if len(s.journal) >= s.cfg.JournalCap {
 		// Ring bound: shed the oldest records. Seq stays monotonic, so

@@ -19,6 +19,7 @@ type supervisedCluster struct {
 	guard *Guardian
 	det   *transport.Detector
 	sup   *Supervisor
+	clk   *metClock // drives the supervisor's debounce/backoff timing
 }
 
 func newSupervisedCluster(t *testing.T, n, k int, cfg SupervisorConfig) *supervisedCluster {
@@ -39,8 +40,10 @@ func newSupervisedCluster(t *testing.T, n, k int, cfg SupervisorConfig) *supervi
 		return nil
 	}
 	sup := NewSupervisor(det, guard, nil, revive, cfg)
+	clk := newMetClock()
+	sup.now = clk.Now // deterministic debounce: tests advance, never sleep
 	gc.cluster.SetDegradedProvider(sup)
-	return &supervisedCluster{guardedCluster: gc, guard: guard, det: det, sup: sup}
+	return &supervisedCluster{guardedCluster: gc, guard: guard, det: det, sup: sup, clk: clk}
 }
 
 // step runs one probe round plus one supervision pass.
@@ -75,8 +78,8 @@ func TestSupervisorAutoRepairsKilledNodes(t *testing.T) {
 	if got := sc.sup.Down(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("Down = %v, want [1 3]", got)
 	}
-	time.Sleep(5 * time.Millisecond) // let the debounce elapse
-	sc.step(ctx)                     // revive + restore
+	sc.clk.Advance(5 * time.Millisecond) // let the debounce elapse
+	sc.step(ctx)                         // revive + restore
 
 	if got := sc.sup.Down(); len(got) != 0 {
 		t.Fatalf("Down after repair = %v", got)
@@ -110,7 +113,7 @@ func TestSupervisorNeverSyncedRevivesEmpty(t *testing.T) {
 	// parity failure.
 	sc.kill(2)
 	sc.step(ctx)
-	time.Sleep(5 * time.Millisecond)
+	sc.clk.Advance(5 * time.Millisecond)
 	sc.step(ctx)
 
 	if got := sc.sup.Down(); len(got) != 0 {
@@ -173,7 +176,7 @@ func TestSupervisorAlarmsBeyondBudget(t *testing.T) {
 	// k=1 but two nodes die: repair must refuse and alarm, not corrupt.
 	sc.kill(1, 2)
 	sc.step(ctx)
-	time.Sleep(5 * time.Millisecond)
+	sc.clk.Advance(5 * time.Millisecond)
 	sc.step(ctx)
 
 	if sc.sup.Alarm() == "" {
@@ -203,7 +206,7 @@ func TestSupervisorAlarmsBeyondBudget(t *testing.T) {
 	sc.healPartition(1)
 	sc.step(ctx)
 	sc.step(ctx)
-	time.Sleep(5 * time.Millisecond)
+	sc.clk.Advance(5 * time.Millisecond)
 	sc.step(ctx)
 	if a := sc.sup.Alarm(); a != "" {
 		t.Fatalf("alarm still active after recovery: %q", a)

@@ -116,6 +116,8 @@ type Detector struct {
 	stop    chan struct{}
 	done    chan struct{}
 	now     func() time.Time // injectable clock for tests
+
+	met detectorMetrics // set by Instrument before traffic; nil-safe
 }
 
 // NewDetector builds a detector over the transport watching the given
@@ -234,9 +236,12 @@ func (d *Detector) signal(node NodeID, err error, passive bool) {
 	}
 	if passive {
 		n.PassiveSignals++
+		d.met.passive.Inc()
 	} else {
 		n.ActiveProbes++
+		d.met.probes.Inc()
 	}
+	prev := n.State
 	var events []HealthEvent
 	if alive(err) {
 		n.ConsecutiveFailures = 0
@@ -246,6 +251,7 @@ func (d *Detector) signal(node NodeID, err error, passive bool) {
 			n.LastTransition = d.now()
 			n.LastError = ""
 			events = append(events, HealthEvent{Node: node, State: NodeUp, At: n.LastTransition})
+			d.met.toUp.Inc()
 		}
 	} else {
 		n.consecOK = 0
@@ -256,11 +262,19 @@ func (d *Detector) signal(node NodeID, err error, passive bool) {
 			n.State = NodeDown
 			n.LastTransition = d.now()
 			events = append(events, HealthEvent{Node: node, State: NodeDown, At: n.LastTransition, Cause: n.LastError})
+			d.met.toDown.Inc()
 		case n.State == NodeUp:
 			n.State = NodeSuspect
 			n.LastTransition = d.now()
 			events = append(events, HealthEvent{Node: node, State: NodeSuspect, At: n.LastTransition, Cause: n.LastError})
+			d.met.toSuspect.Inc()
 		}
+	}
+	switch {
+	case prev != NodeDown && n.State == NodeDown:
+		d.met.downNodes.Add(1)
+	case prev == NodeDown && n.State != NodeDown:
+		d.met.downNodes.Add(-1)
 	}
 	subs := append([]chan HealthEvent(nil), d.subs...)
 	d.mu.Unlock()

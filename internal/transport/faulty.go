@@ -73,6 +73,8 @@ type Faulty struct {
 	black map[NodeID]bool
 	rngs  map[NodeID]*rand.Rand
 	stats map[NodeID]*FaultStats
+
+	met faultyMetrics // set by Instrument before traffic; nil-safe
 }
 
 // NewFaulty wraps a transport with a fault injector. With no schedule
@@ -203,8 +205,10 @@ func (f *Faulty) Send(ctx context.Context, node NodeID, op uint8, payload []byte
 	f.mu.Lock()
 	st := f.statsOf(node)
 	st.Sends++
+	f.met.sends.Inc()
 	if f.black[node] {
 		st.Blacked++
+		f.met.blacked.Inc()
 		f.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d", ErrNodeDown, node)
 	}
@@ -219,18 +223,22 @@ func (f *Faulty) Send(ctx context.Context, node NodeID, op uint8, payload []byte
 	if fault.DelayProb > 0 && rng.Float64() < fault.DelayProb {
 		d.delay = fault.Delay
 		st.Delayed++
+		f.met.delayed.Inc()
 	}
 	if fault.Drop > 0 && rng.Float64() < fault.Drop {
 		d.drop = true
 		st.Dropped++
+		f.met.dropped.Inc()
 	}
 	if fault.Fail > 0 && rng.Float64() < fault.Fail {
 		d.fail = true
 		st.Failed++
+		f.met.failed.Inc()
 	}
 	if fault.Dup > 0 && rng.Float64() < fault.Dup {
 		d.dup = true
 		st.Duplicated++
+		f.met.duplicated.Inc()
 	}
 	f.mu.Unlock()
 

@@ -1,0 +1,152 @@
+package transport
+
+import "repro/internal/obs"
+
+// This file wires the transport layer into the obs registry. Each
+// middleware gets an Instrument method that populates a struct of
+// instrument pointers; un-instrumented components leave the pointers
+// nil, and obs instruments are nil-receiver no-ops, so the hot paths
+// need no branches. Instrument must be called before the component
+// carries traffic (it writes plain fields the hot paths read without
+// synchronization).
+
+// retryMetrics counts the Retry middleware's work. Invariants the
+// metrics-invariant suite asserts:
+//
+//	attempts_total == attempt_successes_total + attempt_failures_total
+//	attempts_total == (sends_total - breaker_rejects_total) + retries_total
+//	  (exact when no caller context expires during a backoff)
+type retryMetrics struct {
+	sends          *obs.Counter // Send calls
+	attempts       *obs.Counter // deliveries handed to the inner transport
+	retries        *obs.Counter // attempts beyond a Send's first
+	successes      *obs.Counter // attempts that returned without error
+	failures       *obs.Counter // attempts that returned an error
+	exhausted      *obs.Counter // Sends that failed all MaxAttempts
+	breakerTrips   *obs.Counter // breaker open events
+	breakerRejects *obs.Counter // Sends rejected by an open breaker
+	backoffNS      *obs.Histogram
+	sendNS         *obs.Histogram
+}
+
+// Instrument publishes the middleware's counters into reg. Call before
+// the transport carries traffic.
+func (r *Retry) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.met = retryMetrics{
+		sends:          reg.Counter("transport_retry_sends_total"),
+		attempts:       reg.Counter("transport_retry_attempts_total"),
+		retries:        reg.Counter("transport_retry_retries_total"),
+		successes:      reg.Counter("transport_retry_attempt_successes_total"),
+		failures:       reg.Counter("transport_retry_attempt_failures_total"),
+		exhausted:      reg.Counter("transport_retry_exhausted_total"),
+		breakerTrips:   reg.Counter("transport_retry_breaker_trips_total"),
+		breakerRejects: reg.Counter("transport_retry_breaker_rejects_total"),
+		backoffNS:      reg.Histogram("transport_retry_backoff_ns"),
+		sendNS:         reg.Histogram("transport_retry_send_ns"),
+	}
+}
+
+// faultyMetrics mirrors FaultStats into the registry; each counter
+// equals the same field summed over Faulty.Stats().
+type faultyMetrics struct {
+	sends      *obs.Counter
+	dropped    *obs.Counter
+	failed     *obs.Counter
+	delayed    *obs.Counter
+	duplicated *obs.Counter
+	blacked    *obs.Counter
+}
+
+// Instrument publishes the fault injector's counters into reg.
+func (f *Faulty) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	f.met = faultyMetrics{
+		sends:      reg.Counter("transport_fault_sends_total"),
+		dropped:    reg.Counter("transport_fault_drops_total"),
+		failed:     reg.Counter("transport_fault_fails_total"),
+		delayed:    reg.Counter("transport_fault_delays_total"),
+		duplicated: reg.Counter("transport_fault_dups_total"),
+		blacked:    reg.Counter("transport_fault_blackouts_total"),
+	}
+}
+
+// detectorMetrics counts signals and state transitions. Invariant:
+// signals seen == probes + passive, and every transition lands in
+// exactly one of the three per-state counters.
+type detectorMetrics struct {
+	probes    *obs.Counter
+	passive   *obs.Counter
+	toUp      *obs.Counter
+	toSuspect *obs.Counter
+	toDown    *obs.Counter
+	downNodes *obs.Gauge
+}
+
+// Instrument publishes the detector's counters into reg.
+func (d *Detector) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.met = detectorMetrics{
+		probes:    reg.Counter("detector_probes_total"),
+		passive:   reg.Counter("detector_passive_signals_total"),
+		toUp:      reg.Counter("detector_transitions_up_total"),
+		toSuspect: reg.Counter("detector_transitions_suspect_total"),
+		toDown:    reg.Counter("detector_transitions_down_total"),
+		downNodes: reg.Gauge("detector_down_nodes"),
+	}
+}
+
+// tcpMetrics counts the client side of the TCP transport: dials, pooled
+// connection reuse, and frame bytes on the wire (header included).
+type tcpMetrics struct {
+	dials    *obs.Counter
+	reuses   *obs.Counter
+	bytesOut *obs.Counter
+	bytesIn  *obs.Counter
+}
+
+// Instrument publishes the TCP client's counters into reg.
+func (t *TCP) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.met = tcpMetrics{
+		dials:    reg.Counter("transport_tcp_dials_total"),
+		reuses:   reg.Counter("transport_tcp_conn_reuses_total"),
+		bytesOut: reg.Counter("transport_tcp_bytes_out_total"),
+		bytesIn:  reg.Counter("transport_tcp_bytes_in_total"),
+	}
+}
+
+// serverMetrics counts the node side of the TCP protocol.
+type serverMetrics struct {
+	conns         *obs.Counter
+	frames        *obs.Counter
+	handlerErrors *obs.Counter
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+}
+
+// Instrument publishes the server's counters into reg.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met = serverMetrics{
+		conns:         reg.Counter("transport_srv_conns_total"),
+		frames:        reg.Counter("transport_srv_frames_total"),
+		handlerErrors: reg.Counter("transport_srv_handler_errors_total"),
+		bytesIn:       reg.Counter("transport_srv_bytes_in_total"),
+		bytesOut:      reg.Counter("transport_srv_bytes_out_total"),
+	}
+}
+
+// frameWireBytes is the on-wire size of a frame carrying payload:
+// 4-byte length, 1-byte tag, payload.
+func frameWireBytes(payload []byte) uint64 { return uint64(5 + len(payload)) }

@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// echoRig builds Memory → Faulty → Retry with every layer instrumented
+// into one registry.
+func echoRig(t *testing.T, nodes int, fault Fault, policy RetryPolicy) (*obs.Registry, *Faulty, *Retry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	mem := NewMemory()
+	for i := 0; i < nodes; i++ {
+		mem.Register(NodeID(i), func(op uint8, payload []byte) ([]byte, error) {
+			return payload, nil
+		})
+	}
+	faulty := NewFaulty(mem, 7)
+	faulty.SetDefault(fault)
+	faulty.Instrument(reg)
+	retry := NewRetry(faulty, policy, 7)
+	retry.Instrument(reg)
+	t.Cleanup(func() { retry.Close() })
+	return reg, faulty, retry
+}
+
+// TestRetryMetricInvariants drives seeded faulty traffic and asserts
+// the retry layer's cross-metric identities exactly.
+func TestRetryMetricInvariants(t *testing.T) {
+	reg, faulty, retry := echoRig(t, 3, Fault{Fail: 0.3, Drop: 0.1}, RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+	})
+	ctx := context.Background()
+	for i := 0; i < 300; i++ {
+		retry.Send(ctx, NodeID(i%3), 1, []byte{byte(i)}) //nolint:errcheck // failures are the point
+	}
+
+	sends := reg.CounterValue("transport_retry_sends_total")
+	attempts := reg.CounterValue("transport_retry_attempts_total")
+	retries := reg.CounterValue("transport_retry_retries_total")
+	succ := reg.CounterValue("transport_retry_attempt_successes_total")
+	fail := reg.CounterValue("transport_retry_attempt_failures_total")
+	rejects := reg.CounterValue("transport_retry_breaker_rejects_total")
+
+	if sends != 300 {
+		t.Fatalf("sends_total = %d, want 300", sends)
+	}
+	// Every attempt resolves as success or failure.
+	if attempts != succ+fail {
+		t.Errorf("attempts %d != successes %d + failures %d", attempts, succ, fail)
+	}
+	// No context ever expires here, so the identity is exact: each
+	// non-rejected Send makes 1 + itsRetries attempts.
+	if attempts != (sends-rejects)+retries {
+		t.Errorf("attempts %d != (sends %d - rejects %d) + retries %d", attempts, sends, rejects, retries)
+	}
+	// The ISSUE's canonical example: retries happen at least once per
+	// failed attempt that was retryable, so attempts >= failures.
+	if attempts < fail {
+		t.Errorf("attempts %d < failed attempts %d", attempts, fail)
+	}
+	if fail == 0 {
+		t.Error("fault schedule injected no failures; test is vacuous")
+	}
+
+	// Every injected fault is counted: the obs counters must equal the
+	// same field summed over the injector's own per-node stats.
+	var want FaultStats
+	for _, s := range faulty.Stats() {
+		want.Sends += s.Sends
+		want.Dropped += s.Dropped
+		want.Failed += s.Failed
+		want.Delayed += s.Delayed
+		want.Duplicated += s.Duplicated
+		want.Blacked += s.Blacked
+	}
+	for name, got := range map[string]uint64{
+		"transport_fault_sends_total":     want.Sends,
+		"transport_fault_drops_total":     want.Dropped,
+		"transport_fault_fails_total":     want.Failed,
+		"transport_fault_delays_total":    want.Delayed,
+		"transport_fault_dups_total":      want.Duplicated,
+		"transport_fault_blackouts_total": want.Blacked,
+	} {
+		if reg.CounterValue(name) != got {
+			t.Errorf("%s = %d, want %d (FaultStats sum)", name, reg.CounterValue(name), got)
+		}
+	}
+	// The retry layer's attempts all flowed through the injector.
+	if want.Sends != attempts {
+		t.Errorf("fault sends %d != retry attempts %d", want.Sends, attempts)
+	}
+	// Latency histograms saw every send and every backoff.
+	if n := reg.HistogramSnapshot("transport_retry_send_ns").Count; n != sends {
+		t.Errorf("send_ns count = %d, want %d", n, sends)
+	}
+	if n := reg.HistogramSnapshot("transport_retry_backoff_ns").Count; n != retries {
+		t.Errorf("backoff_ns count = %d, want retries %d", n, retries)
+	}
+}
+
+// TestBreakerMetrics blacks out a node until its breaker opens, then
+// asserts trip and reject counters match the middleware's own stats.
+func TestBreakerMetrics(t *testing.T) {
+	reg, faulty, retry := echoRig(t, 2, Fault{}, RetryPolicy{
+		MaxAttempts:      1,
+		FailureThreshold: 3,
+		Cooldown:         time.Hour, // breaker stays open for the whole test
+	})
+	faulty.Blackout(1)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		_, err := retry.Send(ctx, 1, 1, nil)
+		if err == nil {
+			t.Fatal("send to blacked-out node succeeded")
+		}
+	}
+	trips := reg.CounterValue("transport_retry_breaker_trips_total")
+	rejects := reg.CounterValue("transport_retry_breaker_rejects_total")
+	if trips != 1 {
+		t.Errorf("breaker_trips_total = %d, want 1", trips)
+	}
+	// 3 failures trip the breaker; the remaining 7 sends are rejected.
+	if rejects != 7 {
+		t.Errorf("breaker_rejects_total = %d, want 7", rejects)
+	}
+	st := retry.NodeStats(1)
+	if uint64(st.BreakerTrips) != trips {
+		t.Errorf("metric trips %d != NodeStats trips %d", trips, st.BreakerTrips)
+	}
+	exhausted := reg.CounterValue("transport_retry_exhausted_total")
+	if exhausted != 3 {
+		t.Errorf("exhausted_total = %d, want 3 (MaxAttempts=1 turns every attempted failure terminal)", exhausted)
+	}
+}
+
+// TestDetectorMetrics probes a blacked-out node down and back up and
+// asserts signal and transition counters against the snapshot.
+func TestDetectorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	mem := NewMemory()
+	for i := 0; i < 3; i++ {
+		mem.Register(NodeID(i), func(op uint8, payload []byte) ([]byte, error) { return nil, nil })
+	}
+	faulty := NewFaulty(mem, 1)
+	det := NewDetector(faulty, []NodeID{0, 1, 2}, DetectorPolicy{DownAfter: 2})
+	det.Instrument(reg)
+
+	ctx := context.Background()
+	faulty.Blackout(2)
+	det.ProbeOnce(ctx) // node 2: suspect
+	det.ProbeOnce(ctx) // node 2: down
+	if g := reg.GaugeValue("detector_down_nodes"); g != 1 {
+		t.Fatalf("down_nodes gauge = %d, want 1 while node 2 is down", g)
+	}
+	faulty.Restore(2)
+	det.ProbeOnce(ctx) // node 2: back up
+
+	if got := reg.CounterValue("detector_probes_total"); got != 9 {
+		t.Errorf("probes_total = %d, want 9 (3 rounds x 3 members)", got)
+	}
+	var snapProbes uint64
+	for _, nh := range det.Snapshot() {
+		snapProbes += nh.ActiveProbes
+	}
+	if got := reg.CounterValue("detector_probes_total"); got != snapProbes {
+		t.Errorf("probes_total = %d != snapshot sum %d", got, snapProbes)
+	}
+	for name, want := range map[string]uint64{
+		"detector_transitions_suspect_total": 1,
+		"detector_transitions_down_total":    1,
+		"detector_transitions_up_total":      1,
+	} {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if g := reg.GaugeValue("detector_down_nodes"); g != 0 {
+		t.Errorf("down_nodes gauge = %d, want 0 after recovery", g)
+	}
+
+	// Passive signals route to the passive counter.
+	det.ObserveSend(0, errors.New("boom"))
+	if got := reg.CounterValue("detector_passive_signals_total"); got != 1 {
+		t.Errorf("passive_signals_total = %d, want 1", got)
+	}
+}
+
+// TestTCPByteAccounting runs a real server+client pair and asserts the
+// two ends agree byte for byte, frame for frame.
+func TestTCPByteAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := NewServer(func(op uint8, payload []byte) ([]byte, error) {
+		if op == 99 {
+			return nil, errors.New("handler error")
+		}
+		return append([]byte{op}, payload...), nil
+	})
+	srv.Instrument(reg)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	defer srv.Close()
+
+	cli := NewTCP(map[NodeID]string{0: lis.Addr().String()})
+	cli.Instrument(reg)
+	defer cli.Close()
+
+	ctx := context.Background()
+	const requests = 20
+	var okBytesIn uint64
+	for i := 0; i < requests; i++ {
+		resp, err := cli.Send(ctx, 0, 1, make([]byte, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		okBytesIn += frameWireBytes(resp)
+	}
+	if _, err := cli.Send(ctx, 0, 99, nil); err == nil {
+		t.Fatal("handler error did not surface")
+	}
+
+	frames := reg.CounterValue("transport_srv_frames_total")
+	if frames != requests+1 {
+		t.Errorf("srv frames = %d, want %d", frames, requests+1)
+	}
+	if got := reg.CounterValue("transport_srv_handler_errors_total"); got != 1 {
+		t.Errorf("srv handler_errors = %d, want 1", got)
+	}
+	// Both directions agree end to end, headers included.
+	if cOut, sIn := reg.CounterValue("transport_tcp_bytes_out_total"), reg.CounterValue("transport_srv_bytes_in_total"); cOut != sIn {
+		t.Errorf("client bytes out %d != server bytes in %d", cOut, sIn)
+	}
+	if cIn, sOut := reg.CounterValue("transport_tcp_bytes_in_total"), reg.CounterValue("transport_srv_bytes_out_total"); cIn != sOut {
+		t.Errorf("client bytes in %d != server bytes out %d", cIn, sOut)
+	}
+	dials := reg.CounterValue("transport_tcp_dials_total")
+	reuses := reg.CounterValue("transport_tcp_conn_reuses_total")
+	if dials < 1 {
+		t.Error("no dials counted")
+	}
+	if dials+reuses != requests+1 {
+		t.Errorf("dials %d + reuses %d != sends %d", dials, reuses, requests+1)
+	}
+	if got := reg.CounterValue("transport_srv_conns_total"); got != dials {
+		t.Errorf("srv conns %d != client dials %d", got, dials)
+	}
+}

@@ -131,6 +131,8 @@ type Retry struct {
 	nodes    map[NodeID]*nodeHealth
 	now      func() time.Time // injectable clock for tests
 	observer SendObserver
+
+	met retryMetrics // set by Instrument before traffic; nil-safe
 }
 
 // NewRetry wraps a transport with the retry/breaker middleware. The
@@ -219,12 +221,16 @@ func (r *Retry) Send(ctx context.Context, node NodeID, op uint8, payload []byte)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	r.met.sends.Inc()
+	start := time.Now()
+	defer func() { r.met.sendNS.Observe(time.Since(start).Nanoseconds()) }()
 	r.mu.Lock()
 	h := r.healthOf(node)
 	h.Sends++
 	if r.policy.FailureThreshold > 0 && h.openUntil.After(r.now()) {
 		until := h.openUntil
 		r.mu.Unlock()
+		r.met.breakerRejects.Inc()
 		return nil, fmt.Errorf("%w: node %d until %s", ErrCircuitOpen, node, until.Format(time.RFC3339Nano))
 	}
 	r.mu.Unlock()
@@ -236,6 +242,8 @@ func (r *Retry) Send(ctx context.Context, node NodeID, op uint8, payload []byte)
 			h.Retries++
 			pause := r.backoff(attempt - 1)
 			r.mu.Unlock()
+			r.met.retries.Inc()
+			r.met.backoffNS.Observe(pause.Nanoseconds())
 			if err := sleepCtx(ctx, pause); err != nil {
 				// The caller's deadline expired while we were backing
 				// off; surface the real failure, not the timeout.
@@ -243,9 +251,11 @@ func (r *Retry) Send(ctx context.Context, node NodeID, op uint8, payload []byte)
 					node, attempt-1, err, last)
 			}
 		}
+		r.met.attempts.Inc()
 		resp, err := r.inner.Send(ctx, node, op, payload)
 		r.observe(node, err)
 		if err == nil {
+			r.met.successes.Inc()
 			r.mu.Lock()
 			h.Successes++
 			h.ConsecutiveFailures = 0
@@ -255,11 +265,13 @@ func (r *Retry) Send(ctx context.Context, node NodeID, op uint8, payload []byte)
 			return resp, nil
 		}
 		last = err
+		r.met.failures.Inc()
 		r.recordFailure(h)
 		if !Retryable(err) {
 			return nil, err
 		}
 	}
+	r.met.exhausted.Inc()
 	return nil, fmt.Errorf("transport: %d attempts to node %d failed: %w",
 		r.policy.MaxAttempts, node, last)
 }
@@ -273,6 +285,7 @@ func (r *Retry) recordFailure(h *nodeHealth) {
 		h.openUntil = r.now().Add(r.policy.Cooldown)
 		h.BreakerOpen = true
 		h.BreakerTrips++
+		r.met.breakerTrips.Inc()
 	}
 }
 

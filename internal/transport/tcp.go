@@ -66,6 +66,8 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	met serverMetrics // set by Instrument before Serve; nil-safe
 }
 
 // NewServer wraps a handler; call Serve with a listener to start.
@@ -112,6 +114,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
+	s.met.conns.Inc()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
@@ -119,16 +122,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // connection closed or corrupt; drop it
 		}
+		s.met.frames.Inc()
+		s.met.bytesIn.Add(frameWireBytes(payload))
 		resp, herr := s.handler(op, payload)
 		if herr != nil {
-			if err := writeFrame(w, statusErr, []byte(herr.Error())); err != nil {
+			s.met.handlerErrors.Inc()
+			msg := []byte(herr.Error())
+			if err := writeFrame(w, statusErr, msg); err != nil {
 				return
 			}
+			s.met.bytesOut.Add(frameWireBytes(msg))
 			continue
 		}
 		if err := writeFrame(w, statusOK, resp); err != nil {
 			return
 		}
+		s.met.bytesOut.Add(frameWireBytes(resp))
 	}
 }
 
@@ -165,6 +174,8 @@ type TCP struct {
 	DialTimeout time.Duration
 	// PoolSize caps idle connections kept per node.
 	PoolSize int
+
+	met tcpMetrics // set by Instrument before traffic; nil-safe
 }
 
 type tcpConn struct {
@@ -223,6 +234,7 @@ func (t *TCP) getConn(node NodeID) (c *tcpConn, pooled bool, err error) {
 		c := pool[len(pool)-1]
 		t.idle[node] = pool[:len(pool)-1]
 		t.mu.Unlock()
+		t.met.reuses.Inc()
 		return c, true, nil
 	}
 	t.mu.Unlock()
@@ -238,6 +250,7 @@ func (t *TCP) dial(node NodeID, addr string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing node %d: %w", node, err)
 	}
+	t.met.dials.Inc()
 	return &tcpConn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}, nil
 }
 
@@ -292,11 +305,13 @@ func (t *TCP) Send(ctx context.Context, node NodeID, op uint8, payload []byte) (
 		c.c.Close()
 		return nil, fmt.Errorf("transport: sending to node %d: %w", node, err)
 	}
+	t.met.bytesOut.Add(frameWireBytes(payload))
 	status, resp, err := readFrame(c.r)
 	if err != nil {
 		c.c.Close()
 		return nil, fmt.Errorf("transport: reading from node %d: %w", node, err)
 	}
+	t.met.bytesIn.Add(frameWireBytes(resp))
 	t.putConn(node, c)
 	if status == statusErr {
 		return nil, &RemoteError{Node: node, Msg: string(resp)}

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"repro/internal/obs"
+)
+
+// walMetrics counts the store's durability work. The central invariant,
+// asserted by the metrics-invariant suite: with NoSync unset,
+//
+//	wal_fsyncs_total >= wal_appends_total
+//
+// because every acknowledged append carries its own fsync (checkpoints
+// add more). Replay counters let recovery tests assert that every entry
+// journaled before a crash was either replayed or checkpointed away.
+type walMetrics struct {
+	on bool // gates the time.Now pairs on the append path
+
+	appends       *obs.Counter
+	fsyncs        *obs.Counter
+	checkpoints   *obs.Counter
+	resets        *obs.Counter
+	replays       *obs.Counter // Recover calls that found state
+	replayEntries *obs.Counter // journal entries re-applied
+	corruptions   *obs.Counter // Recover calls reporting OutcomeCorrupt
+
+	appendNS     *obs.Histogram
+	fsyncNS      *obs.Histogram
+	checkpointNS *obs.Histogram
+}
+
+// Instrument publishes the store's counters into reg. Call after Open
+// (or Reset) and before the store carries traffic.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := walMetrics{
+		on:            true,
+		appends:       reg.Counter("wal_appends_total"),
+		fsyncs:        reg.Counter("wal_fsyncs_total"),
+		checkpoints:   reg.Counter("wal_checkpoints_total"),
+		resets:        reg.Counter("wal_resets_total"),
+		replays:       reg.Counter("wal_replays_total"),
+		replayEntries: reg.Counter("wal_replay_entries_total"),
+		corruptions:   reg.Counter("wal_corruptions_total"),
+		appendNS:      reg.Histogram("wal_append_ns"),
+		fsyncNS:       reg.Histogram("wal_fsync_ns"),
+		checkpointNS:  reg.Histogram("wal_checkpoint_ns"),
+	}
+	s.mu.Lock()
+	s.met = m
+	s.mu.Unlock()
+}

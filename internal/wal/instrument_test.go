@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWALMetricInvariants exercises the journal/checkpoint/recover
+// lifecycle and checks the durability counters against it: every
+// acknowledged append carries at least one fsync, checkpoints are
+// counted once, and a replay accounts for exactly the entries still in
+// the journal.
+func TestWALMetricInvariants(t *testing.T) {
+	fsys := NewMemFS()
+	st, err := Open(fsys, "node0", Options{CheckpointBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st.Instrument(reg)
+
+	const appends = 25
+	for i := 0; i < appends; i++ {
+		if err := st.Journal(1, []byte(fmt.Sprintf("op-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint([]byte("image-at-25")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Journal(2, []byte(fmt.Sprintf("tail-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.CounterValue("wal_appends_total"); got != appends+5 {
+		t.Errorf("wal_appends_total = %d, want %d", got, appends+5)
+	}
+	if got := reg.CounterValue("wal_checkpoints_total"); got != 1 {
+		t.Errorf("wal_checkpoints_total = %d, want 1", got)
+	}
+	// The core durability invariant: with NoSync unset, every append
+	// fsynced, so fsyncs >= appends (checkpoints add two more each).
+	fsyncs := reg.CounterValue("wal_fsyncs_total")
+	if fsyncs < appends+5 {
+		t.Errorf("wal_fsyncs_total = %d, want >= %d (one per append)", fsyncs, appends+5)
+	}
+	for _, h := range []string{"wal_append_ns", "wal_fsync_ns"} {
+		if snap := reg.HistogramSnapshot(h); snap.Count != appends+5 {
+			t.Errorf("%s count = %d, want %d", h, snap.Count, appends+5)
+		}
+	}
+	if snap := reg.HistogramSnapshot("wal_checkpoint_ns"); snap.Count != 1 {
+		t.Errorf("wal_checkpoint_ns count = %d, want 1", snap.Count)
+	}
+
+	// Reopen: the replay must account for exactly the 5 post-checkpoint
+	// entries.
+	st2, err := Open(fsys, "node0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := obs.NewRegistry()
+	st2.Instrument(reg2)
+	var replayed int
+	outcome, err := st2.Recover(
+		func(image []byte) error { return nil },
+		func(op uint8, payload []byte) error { replayed++; return nil },
+	)
+	if err != nil || outcome != OutcomeRecovered {
+		t.Fatalf("Recover = %v, %v; want OutcomeRecovered", outcome, err)
+	}
+	if replayed != 5 {
+		t.Fatalf("replayed %d entries, want 5", replayed)
+	}
+	if got := reg2.CounterValue("wal_replays_total"); got != 1 {
+		t.Errorf("wal_replays_total = %d, want 1", got)
+	}
+	if got := reg2.CounterValue("wal_replay_entries_total"); got != 5 {
+		t.Errorf("wal_replay_entries_total = %d, want 5", got)
+	}
+	st2.Close()
+}
+
+// TestWALMetricCorruptionAndReset checks that a corrupt recovery and
+// the subsequent reset are both counted.
+func TestWALMetricCorruptionAndReset(t *testing.T) {
+	fsys := NewMemFS()
+	st, err := Open(fsys, "n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Journal(1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Flip a bit inside the completed journal frame so the CRC check
+	// fails as corruption, not a torn tail.
+	size, err := fsys.Size("n/" + logName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.FlipBit("n/"+logName, size-2, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(fsys, "n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st2.Instrument(reg)
+	outcome, err := st2.Recover(nil, nil)
+	if outcome != OutcomeCorrupt || err == nil {
+		t.Fatalf("Recover = %v, %v; want OutcomeCorrupt", outcome, err)
+	}
+	if got := reg.CounterValue("wal_corruptions_total"); got != 1 {
+		t.Errorf("wal_corruptions_total = %d, want 1", got)
+	}
+	if err := st2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("wal_resets_total"); got != 1 {
+		t.Errorf("wal_resets_total = %d, want 1", got)
+	}
+	// Post-reset the store journals again and keeps counting.
+	if err := st2.Journal(1, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("wal_appends_total"); got != 1 {
+		t.Errorf("wal_appends_total after reset = %d, want 1", got)
+	}
+	st2.Close()
+}

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Sentinel errors.
@@ -253,6 +254,8 @@ type Store struct {
 	image     []byte
 	entries   []Entry
 	recovered bool
+
+	met walMetrics // set by Instrument before traffic; nil-safe
 }
 
 // Open opens (creating if necessary) the store in dir on fsys and
@@ -356,6 +359,7 @@ func (s *Store) openLog() error {
 		if err := f.Sync(); err != nil {
 			return fmt.Errorf("wal: syncing journal header: %w", err)
 		}
+		s.met.fsyncs.Inc()
 		s.logBytes = int64(len(logMagic))
 	}
 	return nil
@@ -373,11 +377,14 @@ func (s *Store) Recover(restore func(image []byte) error, apply func(op uint8, p
 	s.image, s.entries, s.recovered = nil, nil, false
 	s.mu.Unlock()
 	if corrupt != "" {
+		s.met.corruptions.Inc()
 		return OutcomeCorrupt, fmt.Errorf("%w: %s", ErrCorrupt, corrupt)
 	}
 	if !recovered {
 		return OutcomeFresh, nil
 	}
+	s.met.replays.Inc()
+	s.met.replayEntries.Add(uint64(len(entries)))
 	if image != nil {
 		if err := restore(image); err != nil {
 			return OutcomeRecovered, fmt.Errorf("wal: restoring checkpoint: %w", err)
@@ -403,17 +410,33 @@ func (s *Store) Journal(op uint8, payload []byte) error {
 	if s.corrupt != "" {
 		return fmt.Errorf("%w: %s (Reset required)", ErrCorrupt, s.corrupt)
 	}
+	var start time.Time
+	if s.met.on {
+		start = time.Now()
+	}
 	frame := appendFrame(nil, s.seq+1, op, payload)
 	if _, err := s.log.Write(frame); err != nil {
 		return fmt.Errorf("wal: journal append: %w", err)
 	}
 	if !s.opts.NoSync {
+		var syncStart time.Time
+		if s.met.on {
+			syncStart = time.Now()
+		}
 		if err := s.log.Sync(); err != nil {
 			return fmt.Errorf("wal: journal sync: %w", err)
+		}
+		if s.met.on {
+			s.met.fsyncs.Inc()
+			s.met.fsyncNS.Observe(time.Since(syncStart).Nanoseconds())
 		}
 	}
 	s.seq++
 	s.logBytes += int64(len(frame))
+	if s.met.on {
+		s.met.appends.Inc()
+		s.met.appendNS.Observe(time.Since(start).Nanoseconds())
+	}
 	return nil
 }
 
@@ -438,6 +461,10 @@ func (s *Store) Checkpoint(image []byte) error {
 	}
 	if s.corrupt != "" {
 		return fmt.Errorf("%w: %s (Reset required)", ErrCorrupt, s.corrupt)
+	}
+	var ckptStart time.Time
+	if s.met.on {
+		ckptStart = time.Now()
 	}
 	f, err := s.fsys.OpenTrunc(s.path(tmpName))
 	if err != nil {
@@ -465,6 +492,11 @@ func (s *Store) Checkpoint(image []byte) error {
 	}
 	s.ckptSeq = s.seq
 	s.logBytes = int64(len(logMagic))
+	if s.met.on {
+		s.met.checkpoints.Inc()
+		s.met.fsyncs.Add(2) // checkpoint file sync + dir sync
+		s.met.checkpointNS.Observe(time.Since(ckptStart).Nanoseconds())
+	}
 	return nil
 }
 
@@ -488,6 +520,7 @@ func (s *Store) Reset() error {
 	}
 	s.seq, s.ckptSeq, s.logBytes = 0, 0, 0
 	s.corrupt, s.image, s.entries, s.recovered = "", nil, nil, false
+	s.met.resets.Inc()
 	return s.openLog()
 }
 
