@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean
+.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean soak soak-smoke
 
 # Tier-1 gate: everything must build, vet clean, pass under the race
 # detector (the chaos suites are required to be race-clean), and every
@@ -27,12 +27,35 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# Machine-readable search/insert performance snapshot. Compare against
-# the committed BENCH_search.json to spot regressions across revisions.
+# Machine-readable search/insert performance snapshot. Merged (not
+# overwritten) into the committed BENCH_search.json so a partial bench
+# run refreshes its own series without dropping everyone else's history.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkInsertIndexed|BenchmarkPlacementNodes' \
-		-benchmem ./internal/sdds | $(GO) run ./cmd/benchjson > BENCH_search.json
+		-benchmem ./internal/sdds | $(GO) run ./cmd/benchjson -merge -out BENCH_search.json
 	@cat BENCH_search.json
+
+# Cluster-level soak: open-loop load generator driving a REAL
+# multi-process TCP cluster (spawned esdds-node daemons) through LH*
+# growth, then auditing every acknowledged record back and enforcing
+# the SLO gates. Results merge into BENCH_cluster.json by profile; a
+# failing gate or any record loss exits non-zero and leaves the
+# baseline untouched. soak-smoke is the ~30s CI-sized run; soak is the
+# full million-record profile.
+BIN_DIR ?= bin
+
+.PHONY: soak-bins
+soak-bins:
+	$(GO) build -o $(BIN_DIR)/esdds-node ./cmd/esdds-node
+	$(GO) build -o $(BIN_DIR)/esdds-soak ./cmd/esdds-soak
+
+soak-smoke: soak-bins
+	$(BIN_DIR)/esdds-soak -profile smoke -cluster proc \
+		-node-bin $(BIN_DIR)/esdds-node -out BENCH_cluster.json
+
+soak: soak-bins
+	$(BIN_DIR)/esdds-soak -profile full -cluster proc \
+		-node-bin $(BIN_DIR)/esdds-node -out BENCH_cluster.json
 
 # Coverage profile with per-package totals (the `ok ... coverage: N%`
 # lines) plus the overall statement total. cover.out is the machine

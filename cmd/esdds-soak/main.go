@@ -1,0 +1,555 @@
+// Command esdds-soak is the production-traffic soak harness: it drives
+// a real TCP cluster (in-process servers or spawned esdds-node
+// daemons) through LH* growth from a single starting bucket under an
+// open-loop load of phonebook traffic — Poisson arrivals at a fixed
+// rate, a configurable insert/search/delete mix, zipfian query
+// popularity — then audits the cluster for record loss and holds the
+// measurements to declarative SLO gates.
+//
+//	esdds-soak -profile smoke -cluster proc -node-bin bin/esdds-node
+//	esdds-soak -profile full -gate 'search.p99 < 250ms'
+//
+// The run writes (merges) its report into BENCH_cluster.json under its
+// profile name: client-side p50/p90/p99 per op type, split/IAM/retry
+// counters, a per-second latency+growth timeline, the audit verdict,
+// and every gate outcome. Gates compare against absolute bounds
+// ("search.p99 < 250ms", "error_rate == 0", "loss == 0") or against
+// the previous BENCH entry ("search.p99 <= prev*1.5"); any failing
+// gate — or a non-clean audit — fails the run with exit code 1 and a
+// diff against the previous report, and leaves the baseline file
+// untouched. Exit code 2 is an infrastructure error.
+//
+// Latency accounting is coordinated-omission-safe: each op's latency
+// is measured from its *scheduled* Poisson arrival, so an overloaded
+// cluster shows up as inflated tail latencies (and, past the queue
+// bound, counted sheds) instead of a silently reduced offered rate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/esdds"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// profile is a named soak scenario: the knobs plus its default gates.
+type profile struct {
+	nodes       int
+	ops         int
+	rate        float64
+	mix         loadgen.Mix
+	bucketCap   int
+	maxInFlight int
+	searchMode  string
+	zipfS       float64
+	queryPool   int
+	gates       []string
+}
+
+// profiles: "smoke" is the ~30s CI scenario (3 nodes, ~48k records
+// through dozens of splits); "full" is the million-record soak the
+// ROADMAP's heavy-traffic claim is measured by.
+var profiles = map[string]profile{
+	"smoke": {
+		nodes: 3, ops: 60000, rate: 2000,
+		mix:       loadgen.Mix{InsertPct: 80, SearchPct: 15, DeletePct: 5},
+		bucketCap: 512, maxInFlight: 64, searchMode: "fast",
+		zipfS: 1.1, queryPool: 512,
+		gates: []string{
+			"error_rate == 0",
+			"loss == 0",
+			"ghosts == 0",
+			"search_misses == 0",
+			"audit_errors == 0",
+			"record_splits >= 3",
+			"search.p99 <= prev*2",
+			"insert.p99 <= prev*2",
+		},
+	},
+	"full": {
+		nodes: 16, ops: 2500000, rate: 5000,
+		mix:       loadgen.Mix{InsertPct: 50, SearchPct: 40, DeletePct: 10},
+		bucketCap: 128, maxInFlight: 128, searchMode: "fast",
+		zipfS: 1.1, queryPool: 2048,
+		gates: []string{
+			"error_rate == 0",
+			"loss == 0",
+			"ghosts == 0",
+			"search_misses == 0",
+			"audit_errors == 0",
+			"record_splits >= 3",
+			"search.p99 < 2s",
+			"insert.p99 < 2s",
+			"search.p99 <= prev*1.5",
+			"insert.p99 <= prev*1.5",
+			"throughput >= prev*0.67",
+		},
+	},
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, "; ") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
+
+func parseSearchMode(s string) (esdds.SearchMode, error) {
+	switch strings.ToLower(s) {
+	case "fast":
+		return esdds.SearchFast, nil
+	case "verified":
+		return esdds.SearchVerified, nil
+	case "exact":
+		return esdds.SearchExact, nil
+	}
+	return 0, fmt.Errorf("unknown search mode %q (fast|verified|exact)", s)
+}
+
+// storeTarget adapts esdds.Store to the loadgen Target surface with a
+// fixed search mode.
+type storeTarget struct {
+	store *esdds.Store
+	mode  esdds.SearchMode
+}
+
+func (t *storeTarget) Insert(ctx context.Context, rid uint64, content []byte) error {
+	return t.store.Insert(ctx, rid, content)
+}
+
+func (t *storeTarget) Search(ctx context.Context, query []byte) ([]uint64, error) {
+	return t.store.Search(ctx, query, t.mode)
+}
+
+func (t *storeTarget) Delete(ctx context.Context, rid uint64) error {
+	err := t.store.Delete(ctx, rid)
+	if errors.Is(err, esdds.ErrNotFound) {
+		return loadgen.ErrNotFound
+	}
+	return err
+}
+
+func (t *storeTarget) Get(ctx context.Context, rid uint64) ([]byte, error) {
+	v, err := t.store.Get(ctx, rid)
+	if errors.Is(err, esdds.ErrNotFound) {
+		return nil, loadgen.ErrNotFound
+	}
+	return v, err
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("esdds-soak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		profileName = fs.String("profile", "smoke", "soak profile: smoke|full")
+		clusterMode = fs.String("cluster", "local", "cluster mode: local (in-process TCP servers) or proc (spawned esdds-node daemons)")
+		nodeBin     = fs.String("node-bin", "", "esdds-node binary for -cluster proc (default: look up in PATH)")
+		procDir     = fs.String("proc-dir", "", "directory for daemon logs in proc mode (default: a temp dir)")
+
+		nodes       = fs.Int("nodes", 0, "override: cluster size")
+		ops         = fs.Int("ops", 0, "override: total operations")
+		rate        = fs.Float64("rate", 0, "override: offered rate, ops/second")
+		mixStr      = fs.String("mix", "", "override: insert/search/delete percentages, e.g. 70/25/5")
+		seed        = fs.Int64("seed", 1, "deterministic seed for the op stream, arrival jitter, and retry jitter")
+		bucketCap   = fs.Int("bucket-cap", 0, "override: LH* max bucket load (smaller = more splits)")
+		maxInFlight = fs.Int("max-inflight", 0, "override: bound on concurrently executing ops")
+		searchMode  = fs.String("search-mode", "", "override: fast|verified|exact")
+		zipfS       = fs.Float64("zipf-s", 0, "override: zipf exponent of query popularity")
+		queryPool   = fs.Int("query-pool", 0, "override: distinct queries in the popularity pool")
+		opTimeout   = fs.Duration("op-timeout", 30*time.Second, "per-operation deadline")
+
+		out            = fs.String("out", "BENCH_cluster.json", "BENCH file to merge the report into")
+		noDefaultGates = fs.Bool("no-default-gates", false, "drop the profile's built-in gates")
+		auditReaders   = fs.Int("audit-concurrency", 16, "parallel readers for the post-soak audit")
+	)
+	var extraGates stringList
+	fs.Var(&extraGates, "gate", "additional SLO gate, e.g. 'search.p99 < 250ms' (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	prof, ok := profiles[*profileName]
+	if !ok {
+		fmt.Fprintf(stderr, "esdds-soak: unknown profile %q\n", *profileName)
+		return 2
+	}
+	if *nodes > 0 {
+		prof.nodes = *nodes
+	}
+	if *ops > 0 {
+		prof.ops = *ops
+	}
+	if *rate > 0 {
+		prof.rate = *rate
+	}
+	if *mixStr != "" {
+		m, err := loadgen.ParseMix(*mixStr)
+		if err != nil {
+			fmt.Fprintln(stderr, "esdds-soak:", err)
+			return 2
+		}
+		prof.mix = m
+	}
+	if *bucketCap > 0 {
+		prof.bucketCap = *bucketCap
+	}
+	if *maxInFlight > 0 {
+		prof.maxInFlight = *maxInFlight
+	}
+	if *searchMode != "" {
+		prof.searchMode = *searchMode
+	}
+	if *zipfS > 0 {
+		prof.zipfS = *zipfS
+	}
+	if *queryPool > 0 {
+		prof.queryPool = *queryPool
+	}
+	mode, err := parseSearchMode(prof.searchMode)
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak:", err)
+		return 2
+	}
+
+	gateExprs := append([]string(nil), extraGates...)
+	if !*noDefaultGates {
+		gateExprs = append(append([]string(nil), prof.gates...), gateExprs...)
+	}
+	gates, err := loadgen.ParseGates(gateExprs)
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// --- cluster -----------------------------------------------------
+	var (
+		cluster  *esdds.Cluster
+		nodeURLs map[int]string // proc mode: node id -> metrics base URL
+		teardown func()
+	)
+	switch *clusterMode {
+	case "local":
+		cluster, err = esdds.StartLocalTCPCluster(prof.nodes, esdds.SoakClusterOptions(*seed)...)
+		if err != nil {
+			fmt.Fprintln(stderr, "esdds-soak: starting local cluster:", err)
+			return 2
+		}
+		teardown = func() { cluster.Close() } //nolint:errcheck // exiting
+	case "proc":
+		pc, err := startProcCluster(ctx, prof.nodes, *nodeBin, *procDir, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "esdds-soak: starting daemon cluster:", err)
+			return 2
+		}
+		cluster, err = esdds.DialCluster(pc.addrs, esdds.SoakClusterOptions(*seed)...)
+		if err != nil {
+			pc.stop()
+			fmt.Fprintln(stderr, "esdds-soak: dialing daemon cluster:", err)
+			return 2
+		}
+		nodeURLs = pc.metricsURLs
+		teardown = func() {
+			cluster.Close() //nolint:errcheck // exiting
+			pc.stop()
+		}
+		fmt.Fprintf(stdout, "spawned %d esdds-node daemons (logs under %s)\n", prof.nodes, pc.logDir)
+	default:
+		fmt.Fprintf(stderr, "esdds-soak: unknown cluster mode %q\n", *clusterMode)
+		return 2
+	}
+	defer teardown()
+
+	store, err := esdds.Open(cluster, esdds.KeyFromPassphrase("soak"), esdds.Config{
+		ChunkSize:     4,
+		MaxBucketLoad: prof.bucketCap,
+	}, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak: opening store:", err)
+		return 2
+	}
+	target := &storeTarget{store: store, mode: mode}
+
+	// --- load --------------------------------------------------------
+	minQ := store.MinQueryLenFor(mode)
+	if minQ < 7 {
+		minQ = 7
+	}
+	stream, err := loadgen.NewStream(loadgen.StreamConfig{
+		Seed: *seed, Ops: prof.ops, Mix: prof.mix,
+		QueryPool: prof.queryPool, ZipfS: prof.zipfS, MinQueryLen: minQ,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak:", err)
+		return 2
+	}
+	runner, err := loadgen.NewRunner(target, loadgen.RunnerConfig{
+		Rate: prof.rate, MaxInFlight: prof.maxInFlight,
+		Seed: *seed, OpTimeout: *opTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak:", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "soak %q: %d nodes, %d ops @ %.0f/s, mix %s, seed %d, search %s, bucket cap %d\n",
+		*profileName, prof.nodes, prof.ops, prof.rate, prof.mix, *seed, prof.searchMode, prof.bucketCap)
+
+	growth := watchGrowth(store)
+	start := time.Now()
+	res, err := runner.Run(ctx, stream)
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak: run aborted:", err)
+		return 2
+	}
+	samples := growth.stop()
+	fmt.Fprintf(stdout, "load done in %.1fs: %d completions, %d shed; auditing...\n",
+		res.Elapsed.Seconds(), totalCount(res), res.Shed)
+
+	// --- audit -------------------------------------------------------
+	audit, err := loadgen.RunAudit(ctx, target, stream, runner.Ledger(), loadgen.AuditConfig{
+		Concurrency: *auditReaders, MinQueryLen: minQ,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak: audit aborted:", err)
+		return 2
+	}
+
+	// --- report ------------------------------------------------------
+	rep := loadgen.BuildReport(*profileName, loadgen.RunConfig{
+		Cluster: *clusterMode, Nodes: prof.nodes, Ops: prof.ops,
+		Rate: prof.rate, Mix: prof.mix.String(), Seed: *seed,
+		ZipfS: prof.zipfS, QueryPool: prof.queryPool,
+		MaxInFlight: prof.maxInFlight, BucketCap: prof.bucketCap,
+		SearchMode: prof.searchMode,
+	}, res)
+	rep.When = start.UTC().Format(time.RFC3339)
+	rep.Growth = samples
+	rep.Audit = audit
+	rep.Cluster = clusterCounters(ctx, cluster, store, prof.nodes, stderr)
+	rep.NodeMetrics = gatherNodeMetrics(ctx, cluster, nodeURLs, stderr)
+
+	prevFile, err := loadgen.LoadBenchFile(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak:", err)
+		return 2
+	}
+	prev := prevFile.Profiles[rep.Profile]
+
+	outcomes, pass := loadgen.EvalGates(gates, rep, prev)
+	rep.Gates = outcomes
+	if !audit.Clean() {
+		// Zero loss is not negotiable, gates or no gates.
+		pass = false
+	}
+
+	printSummary(stdout, rep)
+	for _, o := range outcomes {
+		fmt.Fprintf(stdout, "gate %-28s %s\n", o.Expr, o.Detail)
+	}
+	if !audit.Clean() {
+		fmt.Fprintf(stdout, "AUDIT FAILED: %s\n", audit.FirstProblem)
+	}
+
+	if !pass {
+		fmt.Fprintf(stdout, "\nSOAK FAILED — diff vs previous %q entry in %s:\n%s", rep.Profile, *out, loadgen.DiffReports(prev, rep))
+		fmt.Fprintf(stdout, "baseline %s left untouched\n", *out)
+		return 1
+	}
+	prevFile.Put(rep)
+	if err := loadgen.WriteBenchFile(*out, prevFile); err != nil {
+		fmt.Fprintln(stderr, "esdds-soak: writing report:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "\nSOAK PASSED — report merged into %s (profile %q)\n", *out, rep.Profile)
+	return 0
+}
+
+func totalCount(res *loadgen.RunResult) uint64 {
+	var n uint64
+	for _, st := range res.Ops {
+		n += st.Count
+	}
+	return n
+}
+
+// growthWatcher samples the store's LH* state once per second.
+type growthWatcher struct {
+	mu      sync.Mutex
+	samples []loadgen.GrowthSample
+	done    chan struct{}
+	stopped chan struct{}
+}
+
+func watchGrowth(store *esdds.Store) *growthWatcher {
+	w := &growthWatcher{done: make(chan struct{}), stopped: make(chan struct{})}
+	start := time.Now()
+	sample := func() {
+		st := store.Stats()
+		w.mu.Lock()
+		w.samples = append(w.samples, loadgen.GrowthSample{
+			Offset:        int(time.Since(start) / time.Second),
+			RecordBuckets: st.RecordBuckets,
+			IndexBuckets:  st.IndexBuckets,
+			Splits:        st.RecordSplits + st.IndexSplits,
+			IAMs:          st.IAMs,
+		})
+		w.mu.Unlock()
+	}
+	go func() {
+		defer close(w.stopped)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				sample()
+			case <-w.done:
+				sample()
+				return
+			}
+		}
+	}()
+	return w
+}
+
+func (w *growthWatcher) stop() []loadgen.GrowthSample {
+	close(w.done)
+	<-w.stopped
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.samples
+}
+
+// clusterCounters gathers end-of-run cluster-side totals: the client's
+// split/IAM accounting, the retry middleware's health counters, and the
+// server-side bucket census for how many nodes the file reached.
+func clusterCounters(ctx context.Context, cluster *esdds.Cluster, store *esdds.Store, nodes int, stderr io.Writer) loadgen.ClusterCounters {
+	st := store.Stats()
+	c := loadgen.ClusterCounters{
+		Nodes:         nodes,
+		RecordBuckets: st.RecordBuckets,
+		IndexBuckets:  st.IndexBuckets,
+		RecordSplits:  st.RecordSplits,
+		IndexSplits:   st.IndexSplits,
+		IAMs:          st.IAMs,
+	}
+	for _, ns := range cluster.RetryStats() {
+		c.RetryAttempts += ns.Sends
+		c.RetryRetries += ns.Retries
+		c.RetryFailures += ns.Failures
+	}
+	invCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	inv, err := store.Inventory(invCtx)
+	if err != nil {
+		fmt.Fprintln(stderr, "esdds-soak: bucket inventory failed:", err)
+		return c
+	}
+	used := map[int]bool{}
+	for _, b := range inv {
+		used[b.Node] = true
+	}
+	c.NodesUsed = len(used)
+	return c
+}
+
+// interestingMetric selects the scraped series worth persisting in the
+// BENCH file (split/IAM/forward traffic, WAL work, retry health).
+func interestingMetric(name string) bool {
+	for _, s := range []string{"split", "iam", "forward", "wal", "retry", "breaker"} {
+		if strings.Contains(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// gatherNodeMetrics folds the client registry and (in proc mode) every
+// daemon's /metrics endpoint into one flat map.
+func gatherNodeMetrics(ctx context.Context, cluster *esdds.Cluster, nodeURLs map[int]string, stderr io.Writer) map[string]float64 {
+	out := map[string]float64{}
+	if reg := cluster.Metrics(); reg != nil {
+		vals, err := obs.ParseText(strings.NewReader(reg.WriteString()))
+		if err == nil {
+			for k, v := range vals {
+				if interestingMetric(k) {
+					out["client."+k] = v
+				}
+			}
+		}
+	}
+	ids := make([]int, 0, len(nodeURLs))
+	for id := range nodeURLs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		scrapeCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		vals, err := obs.Scrape(scrapeCtx, nodeURLs[id]+"/metrics")
+		cancel()
+		if err != nil {
+			fmt.Fprintf(stderr, "esdds-soak: scraping node %d: %v\n", id, err)
+			continue
+		}
+		for k, v := range vals {
+			if interestingMetric(k) {
+				out[fmt.Sprintf("node%d.%s", id, k)] = v
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// printSummary renders the human-readable run summary.
+func printSummary(w io.Writer, rep *loadgen.Report) {
+	fmt.Fprintf(w, "\n== soak %q: %d ops in %.1fs (%.0f/s), error rate %.4f, %d shed ==\n",
+		rep.Profile, rep.Totals.Ops, rep.Totals.ElapsedSec, rep.Totals.Throughput,
+		rep.Totals.ErrorRate, rep.Totals.Shed)
+	kinds := make([]string, 0, len(rep.Ops))
+	for k := range rep.Ops {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		st := rep.Ops[k]
+		fmt.Fprintf(w, "%-7s n=%-8d p50=%-10v p90=%-10v p99=%-10v max=%-10v errs=%d\n",
+			k, st.Count,
+			time.Duration(st.P50Ns).Round(time.Microsecond),
+			time.Duration(st.P90Ns).Round(time.Microsecond),
+			time.Duration(st.P99Ns).Round(time.Microsecond),
+			time.Duration(st.MaxNs).Round(time.Microsecond),
+			st.Errors)
+	}
+	fmt.Fprintf(w, "growth: %d record buckets (%d splits), %d index buckets (%d splits), %d IAMs, %d/%d nodes used\n",
+		rep.Cluster.RecordBuckets, rep.Cluster.RecordSplits,
+		rep.Cluster.IndexBuckets, rep.Cluster.IndexSplits,
+		rep.Cluster.IAMs, rep.Cluster.NodesUsed, rep.Cluster.Nodes)
+	fmt.Fprintf(w, "retries: %d sends, %d retries, %d failed attempts\n",
+		rep.Cluster.RetryAttempts, rep.Cluster.RetryRetries, rep.Cluster.RetryFailures)
+	if a := rep.Audit; a != nil {
+		fmt.Fprintf(w, "audit: %d records read back, %d missing, %d corrupt, %d ghosts (of %d), %d search checks, %d misses, %d errors (%.1fs)\n",
+			a.Checked, a.Missing, a.Corrupt, a.Ghosts, a.GhostsChecked,
+			a.SearchChecks, a.SearchMisses, a.Errors, a.ElapsedSec)
+	}
+}

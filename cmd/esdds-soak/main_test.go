@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// soakArgs is the scaled-down scenario the unit tests run: a real
+// in-process TCP cluster, small enough for seconds, large enough to
+// force LH* growth through several splits.
+func soakArgs(out string, extra ...string) []string {
+	args := []string{
+		"-profile", "smoke",
+		"-cluster", "local",
+		"-ops", "2500",
+		"-rate", "1500",
+		"-bucket-cap", "64",
+		"-out", out,
+	}
+	return append(args, extra...)
+}
+
+// TestSoakPassingRun: the acceptance scenario's passing half — a clean
+// run must exit 0, satisfy every default gate (including ≥3 splits and
+// the zero-loss audit), and write the report under its profile.
+func TestSoakPassingRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	var stdout, stderr bytes.Buffer
+	if code := run(soakArgs(out), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	f, err := loadgen.LoadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Profiles["smoke"]
+	if rep == nil {
+		t.Fatalf("no smoke profile written; stdout:\n%s", stdout.String())
+	}
+	if rep.Cluster.RecordSplits < 3 {
+		t.Fatalf("only %d record splits; soak must drive growth", rep.Cluster.RecordSplits)
+	}
+	if rep.Audit == nil || !rep.Audit.Clean() || rep.Audit.Checked == 0 {
+		t.Fatalf("audit not clean: %+v", rep.Audit)
+	}
+	if len(rep.Timeline) == 0 || len(rep.Gates) == 0 {
+		t.Fatalf("report missing timeline (%d) or gates (%d)", len(rep.Timeline), len(rep.Gates))
+	}
+	for _, k := range []string{"insert", "search"} {
+		st, ok := rep.Ops[k]
+		if !ok || st.P50Ns <= 0 || st.P99Ns < st.P50Ns {
+			t.Fatalf("per-op quantiles malformed for %s: %+v", k, st)
+		}
+	}
+	if !strings.Contains(stdout.String(), "SOAK PASSED") {
+		t.Fatalf("stdout lacks verdict:\n%s", stdout.String())
+	}
+}
+
+// TestSoakFailingRun: the acceptance scenario's failing half — an
+// impossible gate must fail the run (exit 1), print a diff against the
+// previous entry, and leave the baseline file untouched.
+func TestSoakFailingRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	// First: a passing run to establish the baseline.
+	var quiet bytes.Buffer
+	if code := run(soakArgs(out), &quiet, &quiet); code != 0 {
+		t.Fatalf("baseline run failed (%d):\n%s", code, quiet.String())
+	}
+	baseline, err := loadgen.LoadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseWhen := baseline.Profiles["smoke"].When
+
+	var stdout, stderr bytes.Buffer
+	code := run(soakArgs(out, "-gate", "search.p99 < 1ns"), &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (gate failure)\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	for _, want := range []string{"SOAK FAILED", "FAIL: search.p99", "previous", "search.p99"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("failure output lacks %q:\n%s", want, stdout.String())
+		}
+	}
+	after, err := loadgen.LoadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Profiles["smoke"].When != baseWhen {
+		t.Fatal("failing run overwrote the baseline BENCH entry")
+	}
+}
+
+// TestSoakUsageErrors: bad invocations are exit code 2, not crashes.
+func TestSoakUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		{"-profile", "nope"},
+		{"-cluster", "nope"},
+		{"-mix", "banana"},
+		{"-search-mode", "telepathic"},
+		{"-gate", "search.p99 <"},
+		{"-bogus-flag"},
+	} {
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestSoakProcCluster is the full multi-process path: build the real
+// binaries, spawn esdds-node daemons, and drive the soak over TCP
+// between processes.
+func TestSoakProcCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process soak in -short mode")
+	}
+	bin := t.TempDir()
+	nodeBin := filepath.Join(bin, "esdds-node")
+	build := exec.Command("go", "build", "-o", nodeBin, "repro/cmd/esdds-node")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building esdds-node: %v\n%s", err, out)
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	var stdout, stderr bytes.Buffer
+	code := run(soakArgs(out,
+		"-cluster", "proc",
+		"-node-bin", nodeBin,
+		"-proc-dir", filepath.Join(bin, "logs"),
+	), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	f, err := loadgen.LoadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Profiles["smoke"]
+	if rep == nil || rep.Config.Cluster != "proc" {
+		t.Fatalf("proc report missing: %+v", rep)
+	}
+	// The daemons' own /metrics endpoints must have been scraped.
+	found := false
+	for k := range rep.NodeMetrics {
+		if strings.HasPrefix(k, "node0.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no scraped daemon metrics in report (keys: %d)", len(rep.NodeMetrics))
+	}
+	if rep.Cluster.NodesUsed < 2 {
+		t.Fatalf("file reached %d daemons, want spread", rep.Cluster.NodesUsed)
+	}
+}

@@ -1,0 +1,66 @@
+package esdds
+
+import (
+	"context"
+
+	"repro/internal/sdds"
+)
+
+// SoakClusterOptions is the option set the soak harness (cmd/esdds-soak)
+// runs clusters with: full observability (client-side histograms plus
+// the counters the harness scrapes), the default retry/breaker policy
+// so transient TCP hiccups surface as retry counters instead of failed
+// ops, and a fixed jitter seed so two soaks with the same seed schedule
+// identical backoff pauses.
+func SoakClusterOptions(seed int64) []ClusterOption {
+	return []ClusterOption{
+		WithObservability(),
+		WithDefaultRetry(),
+		WithRetrySeed(seed),
+	}
+}
+
+// BucketPlacement locates one bucket of the store on the cluster, with
+// its current load — the server-side census behind the soak harness's
+// growth accounting ("which nodes did the file actually spread to").
+type BucketPlacement struct {
+	// File is "records" or "index".
+	File string
+	// Node is the hosting cluster node.
+	Node int
+	// Addr is the bucket's LH* address; Level its split level.
+	Addr  uint64
+	Level uint
+	// Size is the number of entries currently in the bucket.
+	Size int
+}
+
+// Inventory asks every node for its buckets of both SDDS files. The
+// result is the cluster's own account of where the file has grown,
+// which the soak harness cross-checks against client-side split
+// counters and uses to report how many nodes the load actually reached.
+func (s *Store) Inventory(ctx context.Context) ([]BucketPlacement, error) {
+	var out []BucketPlacement
+	for _, f := range []struct {
+		id   sdds.FileID
+		name string
+	}{
+		{sdds.FileRecords, "records"},
+		{sdds.FileIndex, "index"},
+	} {
+		infos, err := s.cluster.BucketInventory(ctx, f.id)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range infos {
+			out = append(out, BucketPlacement{
+				File:  f.name,
+				Node:  int(b.Node),
+				Addr:  b.Addr,
+				Level: b.Level,
+				Size:  b.Size,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AuditConfig tunes the post-soak verification pass.
+type AuditConfig struct {
+	// Concurrency is the number of parallel readers (default 16).
+	Concurrency int
+	// SearchChecks is the number of search spot checks (default 32):
+	// records whose own surname is searched for, asserting the record
+	// appears in the hit set (the scheme guarantees no false negatives).
+	// Negative disables the phase (for targets without search).
+	SearchChecks int
+	// MinQueryLen skips spot checks whose surname is below the store's
+	// minimum searchable length (default 7, matching StreamConfig).
+	MinQueryLen int
+}
+
+func (c *AuditConfig) fillDefaults() {
+	if c.Concurrency == 0 {
+		c.Concurrency = 16
+	}
+	if c.SearchChecks == 0 {
+		c.SearchChecks = 32
+	}
+	if c.MinQueryLen == 0 {
+		c.MinQueryLen = 7
+	}
+}
+
+// AuditResult is the verdict of the post-soak read-back: the evidence
+// behind the `loss == 0` SLO gate.
+type AuditResult struct {
+	// Checked is the number of acknowledged-live records read back.
+	Checked int `json:"checked"`
+	// Missing counts live records the cluster no longer returns.
+	Missing int `json:"missing"`
+	// Corrupt counts live records whose content no longer matches the
+	// deterministic corpus.
+	Corrupt int `json:"corrupt"`
+	// GhostsChecked / Ghosts cover acknowledged deletes: a ghost is a
+	// deleted record that is still readable.
+	GhostsChecked int `json:"ghosts_checked"`
+	Ghosts        int `json:"ghosts"`
+	// SearchChecks / SearchMisses cover the no-false-negative spot
+	// checks.
+	SearchChecks int `json:"search_checks"`
+	SearchMisses int `json:"search_misses"`
+	// Errors counts reads that failed for reasons other than absence
+	// (transport trouble): the audit could not reach a verdict for them.
+	Errors     int     `json:"errors"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// FirstProblem describes the first missing/corrupt/ghost/miss seen.
+	FirstProblem string `json:"first_problem,omitempty"`
+}
+
+// Loss is the number of acknowledged-live records provably not served
+// back intact — the `loss` gate metric.
+func (a *AuditResult) Loss() int { return a.Missing + a.Corrupt }
+
+// Clean reports whether the audit found nothing wrong at all.
+func (a *AuditResult) Clean() bool {
+	return a.Loss() == 0 && a.Ghosts == 0 && a.SearchMisses == 0 && a.Errors == 0
+}
+
+// auditCounters is the concurrency-safe scratch state of a running
+// audit.
+type auditCounters struct {
+	missing, corrupt, ghosts, misses, errs atomic.Int64
+
+	mu    sync.Mutex
+	first string
+}
+
+func (c *auditCounters) problem(format string, args ...any) {
+	c.mu.Lock()
+	if c.first == "" {
+		c.first = fmt.Sprintf(format, args...)
+	}
+	c.mu.Unlock()
+}
+
+type auditItem struct {
+	rid    uint64
+	expect []byte // live read-back: expected content; ghosts: nil
+	query  []byte // search spot check: surname to search for
+}
+
+// RunAudit reads back every record the ledger says the cluster owes us
+// (with contents regenerated from the stream's deterministic corpus),
+// probes acknowledged deletes for ghosts, and runs search spot checks.
+// The stream is only used from the dispatching goroutine — its chunk
+// cache is not concurrency-safe — while reads fan out over
+// cfg.Concurrency workers.
+func RunAudit(ctx context.Context, target Target, stream *Stream, ledger *Ledger, cfg AuditConfig) (*AuditResult, error) {
+	cfg.fillDefaults()
+	start := time.Now()
+	res := &AuditResult{}
+	var ctr auditCounters
+
+	live := ledger.Live()
+	deleted := ledger.Deleted()
+
+	// Phase 1: full read-back of acknowledged-live records. Live() is
+	// sorted, so content regeneration walks corpus chunks in order.
+	items := make([]auditItem, 0, len(live))
+	for _, rid := range live {
+		items = append(items, auditItem{rid: rid, expect: append([]byte(nil), stream.ContentOf(rid)...)})
+	}
+	err := auditFan(ctx, cfg.Concurrency, items, func(it auditItem) {
+		data, err := target.Get(ctx, it.rid)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			ctr.missing.Add(1)
+			ctr.problem("record %d acknowledged live but missing", it.rid)
+		case err != nil:
+			ctr.errs.Add(1)
+			ctr.problem("record %d unreadable: %v", it.rid, err)
+		case !bytes.Equal(data, it.expect):
+			ctr.corrupt.Add(1)
+			ctr.problem("record %d corrupt: got %d bytes, want %d", it.rid, len(data), len(it.expect))
+		}
+	})
+	res.Checked = len(items)
+	if err != nil {
+		return finishAudit(res, &ctr, start), err
+	}
+
+	// Phase 2: acknowledged deletes must stay gone.
+	items = items[:0]
+	for _, rid := range deleted {
+		items = append(items, auditItem{rid: rid})
+	}
+	err = auditFan(ctx, cfg.Concurrency, items, func(it auditItem) {
+		_, err := target.Get(ctx, it.rid)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			// expected
+		case err != nil:
+			ctr.errs.Add(1)
+			ctr.problem("deleted record %d probe failed: %v", it.rid, err)
+		default:
+			ctr.ghosts.Add(1)
+			ctr.problem("record %d acknowledged deleted but still readable", it.rid)
+		}
+	})
+	res.GhostsChecked = len(items)
+	if err != nil {
+		return finishAudit(res, &ctr, start), err
+	}
+
+	// Phase 3: no-false-negative spot checks — search a sample of live
+	// records' own surnames and require each record in its hit set.
+	items = items[:0]
+	if len(live) > 0 {
+		for i := 0; i < cfg.SearchChecks; i++ {
+			rid := live[i*len(live)/cfg.SearchChecks]
+			surname := firstToken(stream.ContentOf(rid))
+			if len(surname) < cfg.MinQueryLen {
+				continue
+			}
+			items = append(items, auditItem{rid: rid, query: append([]byte(nil), surname...)})
+		}
+	}
+	err = auditFan(ctx, cfg.Concurrency, items, func(it auditItem) {
+		hits, err := target.Search(ctx, it.query)
+		if err != nil {
+			ctr.errs.Add(1)
+			ctr.problem("spot search %q failed: %v", it.query, err)
+			return
+		}
+		for _, h := range hits {
+			if h == it.rid {
+				return
+			}
+		}
+		ctr.misses.Add(1)
+		ctr.problem("record %d not in hit set for its own surname %q", it.rid, it.query)
+	})
+	res.SearchChecks = len(items)
+	return finishAudit(res, &ctr, start), err
+}
+
+func finishAudit(res *AuditResult, ctr *auditCounters, start time.Time) *AuditResult {
+	res.Missing = int(ctr.missing.Load())
+	res.Corrupt = int(ctr.corrupt.Load())
+	res.Ghosts = int(ctr.ghosts.Load())
+	res.SearchMisses = int(ctr.misses.Load())
+	res.Errors = int(ctr.errs.Load())
+	res.ElapsedSec = time.Since(start).Seconds()
+	ctr.mu.Lock()
+	res.FirstProblem = ctr.first
+	ctr.mu.Unlock()
+	return res
+}
+
+// auditFan runs fn over items with bounded concurrency, stopping early
+// on context cancellation.
+func auditFan(ctx context.Context, workers int, items []auditItem, fn func(auditItem)) error {
+	ch := make(chan auditItem)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range ch {
+				if ctx.Err() != nil {
+					continue
+				}
+				fn(it)
+			}
+		}()
+	}
+	var err error
+feed:
+	for _, it := range items {
+		select {
+		case ch <- it:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break feed
+		}
+	}
+	close(ch)
+	wg.Wait()
+	return err
+}
+
+// firstToken extracts the leading surname from a formatted phonebook
+// record ("SURNAME REST%%%…%PHONE$").
+func firstToken(content []byte) []byte {
+	for i, b := range content {
+		if b == ' ' || b == '%' || b == '$' {
+			return content[:i]
+		}
+	}
+	return content
+}

@@ -1,0 +1,317 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sdds"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// mapTarget is an in-memory Target whose contents tests can tamper
+// with behind the ledger's back.
+type mapTarget struct {
+	mu       sync.Mutex
+	data     map[uint64][]byte
+	searchFn func(q []byte) []uint64 // optional override
+}
+
+func newMapTarget() *mapTarget {
+	return &mapTarget{data: make(map[uint64][]byte)}
+}
+
+func (t *mapTarget) Insert(_ context.Context, rid uint64, content []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.data[rid] = append([]byte(nil), content...)
+	return nil
+}
+
+func (t *mapTarget) Get(_ context.Context, rid uint64) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.data[rid]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+func (t *mapTarget) Delete(_ context.Context, rid uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.data[rid]; !ok {
+		return ErrNotFound
+	}
+	delete(t.data, rid)
+	return nil
+}
+
+func (t *mapTarget) Search(_ context.Context, q []byte) ([]uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.searchFn != nil {
+		return t.searchFn(q), nil
+	}
+	var hits []uint64
+	for rid, content := range t.data {
+		if bytes.Contains(content, q) {
+			hits = append(hits, rid)
+		}
+	}
+	return hits, nil
+}
+
+// seedTarget applies a stream's inserts/deletes to a target and the
+// ledger, returning the stream for content regeneration.
+func seedTarget(t *testing.T, target Target, ops int) (*Stream, *Ledger) {
+	t.Helper()
+	s, err := NewStream(StreamConfig{Seed: 21, Ops: ops, Mix: Mix{70, 10, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := NewLedger()
+	ctx := context.Background()
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case OpInsert:
+			ledger.MarkPending(op.RID)
+			if err := target.Insert(ctx, op.RID, op.Content); err != nil {
+				t.Fatalf("insert %d: %v", op.RID, err)
+			}
+			ledger.MarkLive(op.RID)
+		case OpDelete:
+			if !ledger.BeginDelete(op.RID) {
+				continue
+			}
+			if err := target.Delete(ctx, op.RID); err != nil {
+				t.Fatalf("delete %d: %v", op.RID, err)
+			}
+			ledger.MarkDeleted(op.RID)
+		}
+	}
+	return s, ledger
+}
+
+func TestAuditCleanRun(t *testing.T) {
+	target := newMapTarget()
+	s, ledger := seedTarget(t, target, 800)
+	res, err := RunAudit(context.Background(), target, s, ledger, AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("clean cluster failed audit: %+v", res)
+	}
+	counts := ledger.Counts()
+	if res.Checked != counts.Live || res.Checked == 0 {
+		t.Fatalf("checked %d, want %d live records", res.Checked, counts.Live)
+	}
+	if res.GhostsChecked != counts.Deleted || res.GhostsChecked == 0 {
+		t.Fatalf("ghost-checked %d, want %d deleted records", res.GhostsChecked, counts.Deleted)
+	}
+	if res.SearchChecks == 0 {
+		t.Fatal("no search spot checks ran")
+	}
+}
+
+func TestAuditDetectsDroppedRecord(t *testing.T) {
+	target := newMapTarget()
+	s, ledger := seedTarget(t, target, 400)
+	victim := ledger.Live()[3]
+	target.mu.Lock()
+	delete(target.data, victim)
+	target.mu.Unlock()
+
+	res, err := RunAudit(context.Background(), target, s, ledger, AuditConfig{SearchChecks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing != 1 || res.Loss() != 1 || res.Clean() {
+		t.Fatalf("dropped record not detected: %+v", res)
+	}
+	if want := fmt.Sprintf("record %d", victim); !strings.Contains(res.FirstProblem, want) {
+		t.Fatalf("FirstProblem %q does not name rid %d", res.FirstProblem, victim)
+	}
+}
+
+func TestAuditDetectsCorruptRecord(t *testing.T) {
+	target := newMapTarget()
+	s, ledger := seedTarget(t, target, 400)
+	victim := ledger.Live()[7]
+	target.mu.Lock()
+	target.data[victim][0] ^= 0xff
+	target.mu.Unlock()
+
+	res, err := RunAudit(context.Background(), target, s, ledger, AuditConfig{SearchChecks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corrupt != 1 || res.Loss() != 1 {
+		t.Fatalf("corrupt record not detected: %+v", res)
+	}
+}
+
+func TestAuditDetectsGhost(t *testing.T) {
+	target := newMapTarget()
+	s, ledger := seedTarget(t, target, 400)
+	ghost := ledger.Deleted()[0]
+	target.mu.Lock()
+	target.data[ghost] = []byte("back from the dead")
+	target.mu.Unlock()
+
+	res, err := RunAudit(context.Background(), target, s, ledger, AuditConfig{SearchChecks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ghosts != 1 || res.Clean() {
+		t.Fatalf("ghost not detected: %+v", res)
+	}
+	if res.Loss() != 0 {
+		t.Fatalf("a ghost is not loss: %+v", res)
+	}
+}
+
+func TestAuditDetectsSearchFalseNegative(t *testing.T) {
+	target := newMapTarget()
+	s, ledger := seedTarget(t, target, 400)
+	target.searchFn = func([]byte) []uint64 { return nil } // drop every hit
+
+	res, err := RunAudit(context.Background(), target, s, ledger, AuditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SearchMisses == 0 || res.SearchMisses != res.SearchChecks {
+		t.Fatalf("false negatives not detected: %+v", res)
+	}
+	if res.Loss() != 0 {
+		t.Fatalf("search misses are not loss: %+v", res)
+	}
+}
+
+// sddsTarget adapts a raw sdds cluster's record file to the Target
+// surface (search disabled — the record file alone has no index).
+type sddsTarget struct{ cl *sdds.Cluster }
+
+func (t *sddsTarget) Insert(ctx context.Context, rid uint64, content []byte) error {
+	return t.cl.Put(ctx, sdds.FileRecords, rid, content)
+}
+
+func (t *sddsTarget) Get(ctx context.Context, rid uint64) ([]byte, error) {
+	v, ok, err := t.cl.Get(ctx, sdds.FileRecords, rid)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+func (t *sddsTarget) Delete(ctx context.Context, rid uint64) error {
+	ok, err := t.cl.Delete(ctx, sdds.FileRecords, rid)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return ErrNotFound
+	}
+	return nil
+}
+
+func (t *sddsTarget) Search(context.Context, []byte) ([]uint64, error) {
+	return nil, nil
+}
+
+// TestAuditDetectsLossOnFaultedNode is the end-to-end loss story: a
+// WAL-backed node acknowledges records, its journal takes a flipped bit
+// (MemFS fault injection), the restarted node correctly refuses the
+// corrupt state and comes up empty — and the post-soak audit, armed
+// only with the client-side ledger and the deterministic corpus, must
+// report every acknowledged record as lost.
+func TestAuditDetectsLossOnFaultedNode(t *testing.T) {
+	const records = 60
+	ctx := context.Background()
+	place, err := sdds.NewPlacement([]transport.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := wal.NewMemFS()
+
+	mem := transport.NewMemory()
+	node := sdds.NewNode(0, mem, place)
+	st, err := wal.Open(fs, "n0", wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := node.AttachStore(st); err != nil || out != wal.OutcomeFresh {
+		t.Fatalf("AttachStore = %v, %v", out, err)
+	}
+	mem.Register(0, node.Handler())
+	target := &sddsTarget{cl: sdds.NewCluster(mem, place)}
+
+	stream, err := NewStream(StreamConfig{Seed: 77, Ops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger := NewLedger()
+	for rid := uint64(1); rid <= records; rid++ {
+		ledger.MarkPending(rid)
+		if err := target.Insert(ctx, rid, stream.ContentOf(rid)); err != nil {
+			t.Fatalf("insert %d: %v", rid, err)
+		}
+		ledger.MarkLive(rid)
+	}
+
+	pre, err := RunAudit(ctx, target, stream, ledger, AuditConfig{SearchChecks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Clean() || pre.Checked != records {
+		t.Fatalf("pre-fault audit not clean: %+v", pre)
+	}
+
+	// Crash the process and flip one durable bit in the journal.
+	fs.Restart()
+	name := "n0/wal.log"
+	size, err := fs.Size(name)
+	if err != nil || size == 0 {
+		t.Fatalf("journal missing: %d, %v", size, err)
+	}
+	if err := fs.FlipBit(name, size/2, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	mem2 := transport.NewMemory()
+	node2 := sdds.NewNode(0, mem2, place)
+	st2, err := wal.Open(fs, "n0", wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, aerr := node2.AttachStore(st2)
+	if out != wal.OutcomeCorrupt || aerr == nil {
+		t.Fatalf("restart on flipped bit = %v, %v; want corrupt verdict", out, aerr)
+	}
+	mem2.Register(0, node2.Handler())
+	target2 := &sddsTarget{cl: sdds.NewCluster(mem2, place)}
+
+	post, err := RunAudit(ctx, target2, stream, ledger, AuditConfig{SearchChecks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Missing != records || post.Loss() != records {
+		t.Fatalf("audit found %d missing of %d acknowledged records: %+v", post.Missing, records, post)
+	}
+	if post.Clean() {
+		t.Fatal("audit declared a faulted cluster clean")
+	}
+}

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the open-loop scheduler so its pacing can be
+// tested deterministically: the runner only ever asks what time it is
+// and sleeps until the next scheduled arrival.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock is the wall clock.
+var RealClock Clock = realClock{}
+
+// FakeClock is a manually driven Clock for deterministic scheduler
+// tests. Sleepers register a deadline and block until the clock is
+// advanced past it; a driver goroutine running
+//
+//	for fc.AdvanceToNextWaiter() {
+//	}
+//
+// steps fake time from sleeper to sleeper with no real waiting, and
+// Stop releases everything when the test is done.
+type FakeClock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters map[int]time.Time
+	nextID  int
+	stopped bool
+}
+
+// NewFakeClock returns a fake clock starting at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	c := &FakeClock{now: start, waiters: make(map[int]time.Time)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it blocks until the fake time passes now+d
+// (or the clock is stopped).
+func (c *FakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	deadline := c.now.Add(d)
+	id := c.nextID
+	c.nextID++
+	c.waiters[id] = deadline
+	c.cond.Broadcast()
+	for c.now.Before(deadline) && !c.stopped {
+		c.cond.Wait()
+	}
+	delete(c.waiters, id)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Advance moves fake time forward by d, waking sleepers whose deadline
+// has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// AdvanceToNextWaiter blocks until some sleeper's deadline lies in the
+// fake future, jumps time exactly there, and reports true. It returns
+// false once Stop has been called. Sleepers already due (but not yet
+// descheduled) are ignored, so a driver loop never spins.
+func (c *FakeClock) AdvanceToNextWaiter() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.stopped {
+		var earliest time.Time
+		found := false
+		for _, dl := range c.waiters {
+			if dl.After(c.now) && (!found || dl.Before(earliest)) {
+				earliest, found = dl, true
+			}
+		}
+		if found {
+			c.now = earliest
+			c.cond.Broadcast()
+			return true
+		}
+		c.cond.Wait()
+	}
+	return false
+}
+
+// Stop releases every sleeper and makes AdvanceToNextWaiter return
+// false; call it once the scheduler under test has finished.
+func (c *FakeClock) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

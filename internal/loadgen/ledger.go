@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"sort"
+	"sync"
+)
+
+// recState tracks one record through the soak from the client's point
+// of view. Only acknowledged transitions count: the audit's ground
+// truth is what the cluster told us it did.
+type recState uint8
+
+const (
+	statePending   recState = iota // insert issued, not yet acknowledged
+	stateLive                      // insert acknowledged
+	stateFailed                    // insert failed: record not expected
+	stateDeleting                  // delete issued for a live record
+	stateDeleted                   // delete acknowledged
+	stateUncertain                 // delete errored: may or may not have applied
+)
+
+// Ledger records the acknowledged fate of every record a run touched.
+// It is safe for concurrent use by the runner's op goroutines, and is
+// what the post-soak audit reads back against.
+type Ledger struct {
+	mu    sync.Mutex
+	state map[uint64]recState
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{state: make(map[uint64]recState)}
+}
+
+func (l *Ledger) set(rid uint64, st recState) {
+	l.mu.Lock()
+	l.state[rid] = st
+	l.mu.Unlock()
+}
+
+// MarkPending records an insert in flight.
+func (l *Ledger) MarkPending(rid uint64) { l.set(rid, statePending) }
+
+// MarkLive records an acknowledged insert: the cluster owes us this
+// record until an acknowledged delete.
+func (l *Ledger) MarkLive(rid uint64) { l.set(rid, stateLive) }
+
+// MarkFailed records a failed insert.
+func (l *Ledger) MarkFailed(rid uint64) { l.set(rid, stateFailed) }
+
+// BeginDelete claims a live record for deletion. It reports false when
+// the record is not (yet) acknowledged live — the runner then skips the
+// delete instead of racing its own in-flight insert.
+func (l *Ledger) BeginDelete(rid uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.state[rid] != stateLive {
+		return false
+	}
+	l.state[rid] = stateDeleting
+	return true
+}
+
+// MarkDeleted records an acknowledged delete.
+func (l *Ledger) MarkDeleted(rid uint64) { l.set(rid, stateDeleted) }
+
+// MarkUncertain records a failed delete: the record's fate is unknown,
+// so the audit must not count it either way.
+func (l *Ledger) MarkUncertain(rid uint64) { l.set(rid, stateUncertain) }
+
+// LedgerCounts summarizes a ledger.
+type LedgerCounts struct {
+	Live      int `json:"live"`
+	Deleted   int `json:"deleted"`
+	Failed    int `json:"failed"`
+	Uncertain int `json:"uncertain"`
+}
+
+// Counts tallies the ledger by state. Records whose op was still in
+// flight at cutoff (pending inserts, mid-flight deletes) count as
+// uncertain — the runner drains all ops before reporting, so normally
+// none remain.
+func (l *Ledger) Counts() LedgerCounts {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var c LedgerCounts
+	for _, st := range l.state {
+		switch st {
+		case stateLive:
+			c.Live++
+		case stateDeleted:
+			c.Deleted++
+		case stateFailed:
+			c.Failed++
+		default:
+			c.Uncertain++
+		}
+	}
+	return c
+}
+
+// Live returns the rids the cluster must still hold, sorted ascending
+// (chunk-local for the audit's content regeneration). Records mid-
+// delete at cutoff are excluded: their fate is uncertain.
+func (l *Ledger) Live() []uint64 {
+	l.mu.Lock()
+	out := make([]uint64, 0, len(l.state))
+	for rid, st := range l.state {
+		if st == stateLive {
+			out = append(out, rid)
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Deleted returns the rids the cluster acknowledged deleting, sorted.
+func (l *Ledger) Deleted() []uint64 {
+	l.mu.Lock()
+	out := make([]uint64, 0, len(l.state))
+	for rid, st := range l.state {
+		if st == stateDeleted {
+			out = append(out, rid)
+		}
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixtureReport builds a report with known headline numbers.
+func fixtureReport(p99 time.Duration, errRate float64, audit *AuditResult) *Report {
+	return &Report{
+		Schema:  BenchSchema,
+		Profile: "smoke",
+		Ops: map[string]OpStats{
+			"search": {Count: 1000, P50Ns: int64(p99) / 4, P99Ns: int64(p99)},
+			"insert": {Count: 4000, P50Ns: 1e6, P99Ns: 9e6},
+		},
+		Totals:  Totals{Ops: 5000, ErrorRate: errRate, Throughput: 1250},
+		Cluster: ClusterCounters{RecordSplits: 5, IndexSplits: 2, IAMs: 9},
+		Audit:   audit,
+	}
+}
+
+// TestParseGate covers accepted and rejected gate syntax.
+func TestParseGate(t *testing.T) {
+	valid := []struct {
+		expr  string
+		bound float64
+	}{
+		{"search.p99 < 250ms", float64(250 * time.Millisecond)},
+		{"error_rate == 0", 0},
+		{"loss == 0", 0},
+		{"throughput >= 100.5", 100.5},
+		{"shed != 7", 7},
+		{"insert.p50 <= 1.5s", float64(1500 * time.Millisecond)},
+	}
+	for _, tc := range valid {
+		g, err := ParseGate(tc.expr)
+		if err != nil {
+			t.Errorf("ParseGate(%q): %v", tc.expr, err)
+			continue
+		}
+		if g.bound != tc.bound || g.isPrev {
+			t.Errorf("ParseGate(%q) bound = %v isPrev=%v, want %v", tc.expr, g.bound, g.isPrev, tc.bound)
+		}
+	}
+	for _, tc := range []struct {
+		expr   string
+		factor float64
+	}{
+		{"search.p99 <= prev*1.5", 1.5},
+		{"throughput >= prev", 1},
+	} {
+		g, err := ParseGate(tc.expr)
+		if err != nil || !g.isPrev || g.prevFactor != tc.factor {
+			t.Errorf("ParseGate(%q) = %+v, %v; want prev factor %v", tc.expr, g, err, tc.factor)
+		}
+	}
+	for _, bad := range []string{
+		"", "search.p99", "search.p99 <", "search.p99 ~ 5", "search.p99 < banana",
+		"search.p99 < prev*0", "search.p99 < prev*x", "a b c d",
+	} {
+		if _, err := ParseGate(bad); err == nil {
+			t.Errorf("ParseGate(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseGates skips blanks/comments and aggregates errors.
+func TestParseGates(t *testing.T) {
+	gates, err := ParseGates([]string{"search.p99 < 250ms", "", "# comment", "loss == 0"})
+	if err != nil || len(gates) != 2 {
+		t.Fatalf("ParseGates = %d gates, %v", len(gates), err)
+	}
+	if _, err := ParseGates([]string{"good == 0", "bad <"}); err == nil {
+		t.Fatal("bad gate list accepted")
+	}
+}
+
+// TestEvalGates is the pass/fail/skip/regression matrix.
+func TestEvalGates(t *testing.T) {
+	audit := &AuditResult{Checked: 3000}
+	cur := fixtureReport(200*time.Millisecond, 0, audit)
+	prevGood := fixtureReport(180*time.Millisecond, 0, audit)
+	prevFast := fixtureReport(50*time.Millisecond, 0, audit)
+
+	cases := []struct {
+		name     string
+		exprs    []string
+		cur      *Report
+		prev     *Report
+		wantPass bool
+		wantSkip int
+	}{
+		{"absolute pass", []string{"search.p99 < 250ms"}, cur, nil, true, 0},
+		{"absolute fail", []string{"search.p99 < 100ms"}, cur, nil, false, 0},
+		{"error rate pass", []string{"error_rate == 0"}, cur, nil, true, 0},
+		{"error rate fail", []string{"error_rate == 0"}, fixtureReport(time.Millisecond, 0.01, audit), nil, false, 0},
+		{"loss pass", []string{"loss == 0"}, cur, nil, true, 0},
+		{"loss fail", []string{"loss == 0"}, fixtureReport(time.Millisecond, 0, &AuditResult{Checked: 10, Missing: 2}), nil, false, 0},
+		{"loss gate without audit fails", []string{"loss == 0"}, fixtureReport(time.Millisecond, 0, nil), nil, false, 0},
+		{"unknown metric fails", []string{"bogus.p99 < 1s"}, cur, nil, false, 0},
+		{"regression within bound", []string{"search.p99 <= prev*1.5"}, cur, prevGood, true, 0},
+		{"regression breached", []string{"search.p99 <= prev*1.5"}, cur, prevFast, false, 0},
+		{"regression no baseline skips", []string{"search.p99 <= prev*1.5"}, cur, nil, true, 1},
+		{"multi gate one fails", []string{"error_rate == 0", "search.p99 < 100ms"}, cur, nil, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gates, err := ParseGates(tc.exprs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomes, pass := EvalGates(gates, tc.cur, tc.prev)
+			if pass != tc.wantPass {
+				t.Fatalf("pass = %v, want %v (outcomes %+v)", pass, tc.wantPass, outcomes)
+			}
+			skips := 0
+			for _, o := range outcomes {
+				if o.Skipped {
+					skips++
+				}
+				if o.Detail == "" {
+					t.Errorf("outcome %q has no detail", o.Expr)
+				}
+			}
+			if skips != tc.wantSkip {
+				t.Fatalf("skips = %d, want %d", skips, tc.wantSkip)
+			}
+		})
+	}
+}
+
+// TestEvalGateDetailRendersDurations: latency gate details show
+// human-readable durations, not raw nanosecond counts.
+func TestEvalGateDetailRendersDurations(t *testing.T) {
+	gates, _ := ParseGates([]string{"search.p99 < 250ms"})
+	outcomes, _ := EvalGates(gates, fixtureReport(200*time.Millisecond, 0, nil), nil)
+	if !strings.Contains(outcomes[0].Detail, "200ms") || !strings.Contains(outcomes[0].Detail, "250ms") {
+		t.Fatalf("detail %q does not render durations", outcomes[0].Detail)
+	}
+}
+
+// TestBenchFileMerge: writing one profile must preserve every other
+// profile already in the file.
+func TestBenchFileMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+
+	first, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fixtureReport(90*time.Millisecond, 0, nil)
+	full.Profile = "full"
+	first.Put(full)
+	if err := WriteBenchFile(path, first); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Put(fixtureReport(200*time.Millisecond, 0, nil)) // profile "smoke"
+	if err := WriteBenchFile(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Profiles) != 2 {
+		t.Fatalf("profiles %v, want smoke+full preserved", len(final.Profiles))
+	}
+	if final.Profiles["full"] == nil || final.Profiles["full"].Ops["search"].P99Ns != int64(90*time.Millisecond) {
+		t.Fatal("re-running smoke clobbered the full profile's history")
+	}
+	if final.Profiles["smoke"] == nil {
+		t.Fatal("smoke profile missing after Put")
+	}
+}
+
+// TestLoadBenchFileCorrupt: a present-but-broken history file must be
+// an error, not a silent reset.
+func TestLoadBenchFileCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(path); err == nil {
+		t.Fatal("corrupt BENCH file loaded without error")
+	}
+}
+
+// TestDiffReports: the regression diff names the headline series and
+// handles a missing baseline.
+func TestDiffReports(t *testing.T) {
+	cur := fixtureReport(200*time.Millisecond, 0, nil)
+	if d := DiffReports(nil, cur); !strings.Contains(d, "no previous BENCH entry") {
+		t.Fatalf("nil-prev diff = %q", d)
+	}
+	prev := fixtureReport(100*time.Millisecond, 0, nil)
+	d := DiffReports(prev, cur)
+	for _, want := range []string{"search.p99", "insert.p50", "throughput", "error_rate", "splits", "+100.0%"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("diff missing %q:\n%s", want, d)
+		}
+	}
+}

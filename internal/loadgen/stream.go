@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/phonebook"
+)
+
+// StreamConfig fixes one deterministic operation stream.
+type StreamConfig struct {
+	// Seed drives every random choice of the stream (op kinds, record
+	// contents, query ranks, delete targets). Identical configs replay
+	// identical streams.
+	Seed int64
+	// Ops is the stream length.
+	Ops int
+	// Mix is the insert/search/delete split. Zero value: DefaultMix.
+	Mix Mix
+	// QueryPool is the number of distinct queries popularity is spread
+	// over (default 512).
+	QueryPool int
+	// ZipfS is the zipfian exponent of query popularity (default 1.1).
+	ZipfS float64
+	// MinQueryLen drops query-pool candidates shorter than this, so
+	// every query satisfies the store's minimum searchable substring
+	// length (default 7 — covers SearchVerified/SearchExact at the
+	// soak's default chunk geometry S=4).
+	MinQueryLen int
+}
+
+func (c *StreamConfig) fillDefaults() {
+	if c.Mix == (Mix{}) {
+		c.Mix = DefaultMix
+	}
+	if c.QueryPool == 0 {
+		c.QueryPool = 512
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.MinQueryLen == 0 {
+		c.MinQueryLen = 7
+	}
+}
+
+// contentChunk is the number of phonebook entries generated per batch.
+// Contents are regenerable chunk-by-chunk, so neither the stream nor
+// the post-soak audit ever holds millions of records in memory.
+const contentChunk = 8192
+
+// Stream is a deterministic sequence of operations over a synthetic
+// phonebook corpus. Record contents are Figure-4 directory lines;
+// queries are surnames drawn zipfian from a fixed pool, so a soak's
+// query traffic has the hot-head/long-tail shape of real lookups.
+//
+// A Stream is not safe for concurrent use; the runner consumes it from
+// its single dispatcher goroutine.
+type Stream struct {
+	cfg     StreamConfig
+	rng     *rand.Rand
+	zipf    *Zipf
+	queries [][]byte
+
+	next    int
+	inserts int      // insert ops emitted so far
+	live    []uint64 // stream-view rids available for deletion
+
+	chunkIdx int // currently cached content chunk (-1: none)
+	chunk    []phonebook.Entry
+}
+
+// querySeedSalt decouples the query-pool corpus from the record corpus
+// so pool construction does not disturb record determinism.
+const querySeedSalt = 0x5eed9001
+
+// NewStream validates the config and builds the query pool.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	cfg.fillDefaults()
+	if cfg.Ops < 1 {
+		return nil, fmt.Errorf("loadgen: stream needs at least 1 op, got %d", cfg.Ops)
+	}
+	if err := cfg.Mix.validate(); err != nil {
+		return nil, err
+	}
+	queries := buildQueryPool(cfg)
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty query pool (min query length %d too strict)", cfg.MinQueryLen)
+	}
+	z, err := NewZipf(len(queries), cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		zipf:     z,
+		queries:  queries,
+		chunkIdx: -1,
+	}, nil
+}
+
+// buildQueryPool draws distinct surnames of sufficient length from a
+// salted corpus sample. Surnames recur across many directory entries,
+// so searches return multi-record hit sets.
+func buildQueryPool(cfg StreamConfig) [][]byte {
+	candidates := phonebook.Generate(cfg.QueryPool*16, cfg.Seed^querySeedSalt)
+	seen := make(map[string]bool, cfg.QueryPool)
+	pool := make([][]byte, 0, cfg.QueryPool)
+	for _, e := range candidates {
+		name := e.LastName()
+		if len(name) < cfg.MinQueryLen || seen[name] {
+			continue
+		}
+		seen[name] = true
+		pool = append(pool, []byte(name))
+		if len(pool) == cfg.QueryPool {
+			break
+		}
+	}
+	return pool
+}
+
+// Queries exposes the query pool (rank order), for distribution tests.
+func (s *Stream) Queries() [][]byte { return s.queries }
+
+// Inserts returns the number of insert ops emitted so far.
+func (s *Stream) Inserts() int { return s.inserts }
+
+// ContentOf regenerates the record content for an insert-assigned RID
+// (RIDs are assigned densely from 1). It is what the audit compares a
+// read-back against, and is deterministic and independent of stream
+// position.
+func (s *Stream) ContentOf(rid uint64) []byte {
+	idx := int(rid - 1)
+	ci := idx / contentChunk
+	if s.chunkIdx != ci {
+		s.chunk = phonebook.Generate(contentChunk, s.cfg.Seed+int64(ci)+1)
+		s.chunkIdx = ci
+	}
+	return []byte(phonebook.FormatRecord(s.chunk[idx%contentChunk]))
+}
+
+// Next returns the next operation, or ok=false at end of stream.
+func (s *Stream) Next() (op Op, ok bool) {
+	if s.next >= s.cfg.Ops {
+		return Op{}, false
+	}
+	op.Index = s.next
+	s.next++
+	r := s.rng.Intn(100)
+	switch {
+	case r < s.cfg.Mix.InsertPct:
+		op.Kind = OpInsert
+	case r < s.cfg.Mix.InsertPct+s.cfg.Mix.SearchPct:
+		op.Kind = OpSearch
+	default:
+		op.Kind = OpDelete
+		if len(s.live) == 0 {
+			// Nothing to delete yet: keep the record file growing.
+			op.Kind = OpInsert
+		}
+	}
+	switch op.Kind {
+	case OpInsert:
+		s.inserts++
+		op.RID = uint64(s.inserts)
+		op.Content = s.ContentOf(op.RID)
+		s.live = append(s.live, op.RID)
+	case OpSearch:
+		op.Query = s.queries[s.zipf.Sample(s.rng)]
+	case OpDelete:
+		i := s.rng.Intn(len(s.live))
+		op.RID = s.live[i]
+		s.live[i] = s.live[len(s.live)-1]
+		s.live = s.live[:len(s.live)-1]
+	}
+	return op, true
+}

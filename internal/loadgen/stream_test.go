@@ -1,0 +1,241 @@
+package loadgen
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// drain consumes a stream fully.
+func drain(t *testing.T, s *Stream) []Op {
+	t.Helper()
+	var ops []Op
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+// TestStreamReplayDeterministic: identical seeds must replay identical
+// op streams — the property that makes soak runs reproducible and the
+// audit's content regeneration sound.
+func TestStreamReplayDeterministic(t *testing.T) {
+	cfg := StreamConfig{Seed: 42, Ops: 5000, Mix: Mix{60, 25, 15}}
+	a, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsA, opsB := drain(t, a), drain(t, b)
+	if len(opsA) != cfg.Ops || len(opsB) != cfg.Ops {
+		t.Fatalf("stream lengths %d/%d, want %d", len(opsA), len(opsB), cfg.Ops)
+	}
+	for i := range opsA {
+		x, y := opsA[i], opsB[i]
+		if x.Kind != y.Kind || x.RID != y.RID ||
+			!bytes.Equal(x.Content, y.Content) || !bytes.Equal(x.Query, y.Query) {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+// TestStreamSeedsDiffer: different seeds must not replay the same
+// stream.
+func TestStreamSeedsDiffer(t *testing.T) {
+	a, _ := NewStream(StreamConfig{Seed: 1, Ops: 500})
+	b, _ := NewStream(StreamConfig{Seed: 2, Ops: 500})
+	opsA, opsB := drain(t, a), drain(t, b)
+	same := 0
+	for i := range opsA {
+		if opsA[i].Kind == opsB[i].Kind && bytes.Equal(opsA[i].Query, opsB[i].Query) {
+			same++
+		}
+	}
+	if same == len(opsA) {
+		t.Fatal("seeds 1 and 2 produced identical streams")
+	}
+}
+
+// TestStreamMixProportions: op kinds track the configured mix.
+func TestStreamMixProportions(t *testing.T) {
+	s, err := NewStream(StreamConfig{Seed: 3, Ops: 10000, Mix: Mix{70, 25, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	for _, op := range drain(t, s) {
+		counts[op.Kind]++
+	}
+	if got := counts[OpSearch]; got < 2200 || got > 2800 {
+		t.Errorf("searches = %d, want ~2500", got)
+	}
+	// Early deletes fall back to inserts, so inserts >= 70% and
+	// deletes <= 5%.
+	if got := counts[OpInsert]; got < 6800 {
+		t.Errorf("inserts = %d, want >= 6800", got)
+	}
+	if got := counts[OpDelete]; got == 0 || got > 600 {
+		t.Errorf("deletes = %d, want 1..600", got)
+	}
+}
+
+// TestStreamRIDsDenseAndDeletesLive: inserts assign dense RIDs from 1,
+// and every delete targets a previously inserted, not-yet-deleted RID.
+func TestStreamRIDsDenseAndDeletesLive(t *testing.T) {
+	s, _ := NewStream(StreamConfig{Seed: 9, Ops: 8000, Mix: Mix{50, 20, 30}})
+	var nextRID uint64 = 1
+	live := map[uint64]bool{}
+	for _, op := range drain(t, s) {
+		switch op.Kind {
+		case OpInsert:
+			if op.RID != nextRID {
+				t.Fatalf("insert RID %d, want dense %d", op.RID, nextRID)
+			}
+			nextRID++
+			live[op.RID] = true
+		case OpDelete:
+			if !live[op.RID] {
+				t.Fatalf("delete of RID %d which is not live", op.RID)
+			}
+			delete(live, op.RID)
+		}
+	}
+}
+
+// TestStreamContentOfDeterministic: content regeneration is positional,
+// independent of stream progress and of other chunk accesses — the
+// audit depends on this.
+func TestStreamContentOfDeterministic(t *testing.T) {
+	cfg := StreamConfig{Seed: 7, Ops: 10}
+	a, _ := NewStream(cfg)
+	b, _ := NewStream(cfg)
+	// Touch a far chunk on b first to force a cache swap.
+	far := b.ContentOf(uint64(3*contentChunk + 17))
+	if len(far) == 0 {
+		t.Fatal("empty content")
+	}
+	for _, rid := range []uint64{1, 2, uint64(contentChunk), uint64(contentChunk) + 1, 99999} {
+		if !bytes.Equal(a.ContentOf(rid), b.ContentOf(rid)) {
+			t.Fatalf("ContentOf(%d) differs between identically seeded streams", rid)
+		}
+	}
+	if !bytes.HasSuffix(a.ContentOf(1), []byte("$")) {
+		t.Error("content is not a Figure-4 formatted record")
+	}
+}
+
+// TestStreamQueryPool: the pool is non-empty, distinct, and respects
+// the minimum searchable length.
+func TestStreamQueryPool(t *testing.T) {
+	s, _ := NewStream(StreamConfig{Seed: 11, Ops: 10, QueryPool: 128, MinQueryLen: 7})
+	qs := s.Queries()
+	if len(qs) == 0 {
+		t.Fatal("empty query pool")
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if len(q) < 7 {
+			t.Fatalf("query %q shorter than MinQueryLen", q)
+		}
+		if seen[string(q)] {
+			t.Fatalf("duplicate query %q", q)
+		}
+		seen[string(q)] = true
+	}
+}
+
+// TestZipfChiSquare: the sampler's empirical distribution must match
+// the exact zipfian PMF — χ² goodness-of-fit with tail ranks merged to
+// keep expected counts >= 5.
+func TestZipfChiSquare(t *testing.T) {
+	const n, samples = 64, 200000
+	z, err := NewZipf(n, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1234))
+	obs := make([]float64, n)
+	for i := 0; i < samples; i++ {
+		obs[z.Sample(rng)]++
+	}
+	var chi, dof float64
+	var obsTail, expTail float64
+	for i := 0; i < n; i++ {
+		exp := float64(samples) * z.PMF(i)
+		if exp < 5 {
+			obsTail += obs[i]
+			expTail += exp
+			continue
+		}
+		chi += (obs[i] - exp) * (obs[i] - exp) / exp
+		dof++
+	}
+	if expTail > 0 {
+		chi += (obsTail - expTail) * (obsTail - expTail) / expTail
+		dof++
+	}
+	dof--
+	p := stats.ChiSquareP(chi, dof)
+	if p < 0.001 {
+		t.Fatalf("zipf samples reject the exact PMF: chi2=%.1f dof=%.0f p=%g", chi, dof, p)
+	}
+}
+
+// TestZipfPMF: probabilities sum to 1 and decrease with rank.
+func TestZipfPMF(t *testing.T) {
+	z, _ := NewZipf(100, 1.1)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.PMF(i)
+		if i > 0 && z.PMF(i) > z.PMF(i-1) {
+			t.Fatalf("PMF not decreasing at rank %d", i)
+		}
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("PMF sums to %v, want 1", sum)
+	}
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0) should fail")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("negative exponent should fail")
+	}
+}
+
+// TestMixParse: Mix round-trips through its string form and rejects
+// junk.
+func TestMixParse(t *testing.T) {
+	m, err := ParseMix("70/25/5")
+	if err != nil || m != (Mix{70, 25, 5}) {
+		t.Fatalf("ParseMix = %+v, %v", m, err)
+	}
+	if m.String() != "70/25/5" {
+		t.Fatalf("String = %q", m.String())
+	}
+	for _, bad := range []string{"", "70/25", "70/25/6", "-1/96/5", "a/b/c"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) should fail", bad)
+		}
+	}
+}
+
+// TestStreamConfigValidation: bad configs are rejected up front.
+func TestStreamConfigValidation(t *testing.T) {
+	if _, err := NewStream(StreamConfig{Ops: 0}); err == nil {
+		t.Error("Ops=0 should fail")
+	}
+	if _, err := NewStream(StreamConfig{Ops: 10, Mix: Mix{50, 50, 50}}); err == nil {
+		t.Error("mix not summing to 100 should fail")
+	}
+	if _, err := NewStream(StreamConfig{Ops: 10, MinQueryLen: 60}); err == nil {
+		t.Error("unsatisfiable MinQueryLen should fail")
+	}
+}

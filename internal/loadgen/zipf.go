@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s — the classic zipfian popularity skew of real query
+// traffic (a few hot queries, a long cold tail). It is implemented by
+// inversion over the exact cumulative distribution so PMF reports the
+// true per-rank probability, which the χ² distribution test (in the
+// spirit of the paper's §6 flatness analysis) checks samples against.
+type Zipf struct {
+	s   float64
+	cum []float64 // cum[i] = P(rank <= i), cum[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with exponent s >= 0 (s == 0 is
+// uniform; larger s is spikier).
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("loadgen: zipf needs n >= 1, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("loadgen: zipf exponent %v out of range", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Zipf{s: s, cum: cum}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// PMF returns the exact probability of rank i.
+func (z *Zipf) PMF(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// Sample draws one rank using the given source of uniform randomness.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}

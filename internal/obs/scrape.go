@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ParseText inverts WriteText: it parses the text exposition into a
+// flat name → value map. Histogram quantile lines are flattened to
+// suffixed keys — `lat{quantile="0.5"} 7` becomes `lat_p50: 7` — so a
+// scrape consumer addresses every series by one flat name. Unparsable
+// lines are an error: a half-read scrape must not pass for a complete
+// one.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("obs: metrics line %d: no value in %q", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: bad value in %q", lineNo, line)
+		}
+		if base, rest, hasQ := strings.Cut(name, `{quantile="`); hasQ {
+			q, _, closed := strings.Cut(rest, `"}`)
+			if !closed {
+				return nil, fmt.Errorf("obs: metrics line %d: unterminated quantile label in %q", lineNo, line)
+			}
+			switch q {
+			case "0.5":
+				name = base + "_p50"
+			case "0.9":
+				name = base + "_p90"
+			case "0.99":
+				name = base + "_p99"
+			default:
+				name = base + "_q" + q
+			}
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Scrape fetches a /metrics endpoint (as served by Registry.Handler)
+// and parses it with ParseText.
+func Scrape(ctx context.Context, url string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: scraping %s: HTTP %d", url, resp.StatusCode)
+	}
+	return ParseText(resp.Body)
+}

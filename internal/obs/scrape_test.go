@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestParseTextRoundTrip: ParseText must invert WriteText for every
+// instrument kind, with histogram quantiles flattened to _p50/_p90/_p99.
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total").Add(42)
+	r.Gauge("inflight").Set(-3)
+	h := r.Histogram("op_latency_ns")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+
+	got, err := ParseText(strings.NewReader(r.WriteString()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["ops_total"] != 42 {
+		t.Errorf("ops_total = %v, want 42", got["ops_total"])
+	}
+	if got["inflight"] != -3 {
+		t.Errorf("inflight = %v, want -3", got["inflight"])
+	}
+	if got["op_latency_ns_count"] != 1000 {
+		t.Errorf("histogram count = %v, want 1000", got["op_latency_ns_count"])
+	}
+	snap := h.Snapshot()
+	for key, want := range map[string]int64{
+		"op_latency_ns_p50": snap.P50,
+		"op_latency_ns_p90": snap.P90,
+		"op_latency_ns_p99": snap.P99,
+	} {
+		if got[key] != float64(want) {
+			t.Errorf("%s = %v, want %d", key, got[key], want)
+		}
+	}
+	if _, ok := got[`op_latency_ns{quantile="0.5"}`]; ok {
+		t.Error("raw quantile label leaked into parsed keys")
+	}
+}
+
+// TestParseTextRejectsGarbage: truncated or mangled lines fail loudly.
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"name_only",
+		"name not_a_number",
+		`lat{quantile="0.5 7`,
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted", bad)
+		}
+	}
+}
+
+// TestScrape: the HTTP round trip through Registry.Handler.
+func TestScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("splits_total").Add(7)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	got, err := Scrape(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["splits_total"] != 7 {
+		t.Fatalf("scraped splits_total = %v, want 7", got["splits_total"])
+	}
+	if _, err := Scrape(context.Background(), srv.URL+"/missing%"); err == nil {
+		t.Error("bad URL accepted")
+	}
+}
