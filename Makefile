@@ -31,8 +31,8 @@ bench-smoke:
 # overwritten) into the committed BENCH_search.json so a partial bench
 # run refreshes its own series without dropping everyone else's history.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkInsertIndexed|BenchmarkPlacementNodes' \
-		-benchmem ./internal/sdds | $(GO) run ./cmd/benchjson -merge -out BENCH_search.json
+	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkInsertIndexed|BenchmarkPlacementNodes|BenchmarkTransport' \
+		-benchmem ./internal/sdds ./internal/transport | $(GO) run ./cmd/benchjson -merge -out BENCH_search.json
 	@cat BENCH_search.json
 
 # Cluster-level soak: open-loop load generator driving a REAL
@@ -66,8 +66,10 @@ cover:
 
 # Short fuzz pass over every fuzz target (30s each).
 fuzz:
-	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/transport
-	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/transport
+	$(GO) test -fuzz='^FuzzReadFrame$$' -fuzztime=30s ./internal/transport
+	$(GO) test -fuzz='^FuzzFrameRoundTrip$$' -fuzztime=30s ./internal/transport
+	$(GO) test -fuzz='^FuzzReadFrameV2$$' -fuzztime=30s ./internal/transport
+	$(GO) test -fuzz='^FuzzFrameV2RoundTrip$$' -fuzztime=30s ./internal/transport
 	$(GO) test -fuzz=FuzzDecodePutReq -fuzztime=30s ./internal/sdds
 	$(GO) test -fuzz=FuzzDecodeSearchReq -fuzztime=30s ./internal/sdds
 	$(GO) test -fuzz=FuzzDecodeNodeImage -fuzztime=30s ./internal/sdds

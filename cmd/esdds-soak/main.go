@@ -33,6 +33,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -62,14 +64,27 @@ type profile struct {
 	gates       []string
 }
 
-// profiles: "smoke" is the ~30s CI scenario (3 nodes, ~48k records
-// through dozens of splits); "full" is the million-record soak the
-// ROADMAP's heavy-traffic claim is measured by.
+// profiles: "smoke" is the ~30s CI scenario (3 nodes, ~96k offered
+// records through dozens of splits); "full" is the million-record soak
+// the ROADMAP's heavy-traffic claim is measured by. The smoke rate and
+// gates are sized to the pooled multiplexed transport: the
+// request-per-turn wire shed ~29% of a 2000/s offered load (1406/s
+// through), while the multiplexed wire sustains ~2.5k/s on the same
+// single-CPU host — at which point CPU profiles show the bottleneck has
+// moved off the wire entirely (cipher work, posting-index maintenance,
+// GC). The offered*0.55 floor (2200/s at the profile's rate 4000) locks
+// in that ~1.6x gain with headroom for machine noise, and scales when
+// -rate is overridden; rate 4000 deliberately over-saturates so
+// throughput measures capacity, which is why the latency gates are
+// loose absolute bounds (queue wait dominates p99 under saturation, so
+// a prev-relative ratchet would only measure the offered-rate gap).
 var profiles = map[string]profile{
 	"smoke": {
-		nodes: 3, ops: 60000, rate: 2000,
+		nodes: 3, ops: 120000, rate: 4000,
 		mix:       loadgen.Mix{InsertPct: 80, SearchPct: 15, DeletePct: 5},
-		bucketCap: 512, maxInFlight: 64, searchMode: "fast",
+		// 256 in-flight ops keep the multiplexed connections' pipelines
+		// full; the old request-per-turn wire saturated long before this.
+		bucketCap: 512, maxInFlight: 256, searchMode: "fast",
 		zipfS: 1.1, queryPool: 512,
 		gates: []string{
 			"error_rate == 0",
@@ -78,8 +93,9 @@ var profiles = map[string]profile{
 			"search_misses == 0",
 			"audit_errors == 0",
 			"record_splits >= 3",
-			"search.p99 <= prev*2",
-			"insert.p99 <= prev*2",
+			"search.p99 < 3s",
+			"insert.p99 < 5s",
+			"throughput >= offered*0.55",
 		},
 	},
 	"full": {
@@ -152,7 +168,16 @@ func (t *storeTarget) Get(ctx context.Context, rid uint64) ([]byte, error) {
 	return v, err
 }
 
+// soakGCPercent pins GC pacing for the soak client and (via proc mode's
+// spawn env) the daemons. Profiles of the saturated smoke run showed
+// mark-assist work as a top client cost under the default GOGC=100;
+// trading heap headroom for assist time is the standard server setting
+// here, and pinning it keeps BENCH_cluster.json baselines comparable
+// across hosts regardless of ambient GOGC.
+const soakGCPercent = 300
+
 func run(args []string, stdout, stderr io.Writer) int {
+	debug.SetGCPercent(soakGCPercent)
 	fs := flag.NewFlagSet("esdds-soak", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -176,6 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out            = fs.String("out", "BENCH_cluster.json", "BENCH file to merge the report into")
 		noDefaultGates = fs.Bool("no-default-gates", false, "drop the profile's built-in gates")
 		auditReaders   = fs.Int("audit-concurrency", 16, "parallel readers for the post-soak audit")
+		cpuProfile     = fs.String("cpuprofile", "", "write the load generator's CPU profile here (the client side of the soak; daemons expose /debug/pprof)")
 	)
 	var extraGates stringList
 	fs.Var(&extraGates, "gate", "additional SLO gate, e.g. 'search.p99 < 250ms' (repeatable)")
@@ -313,8 +339,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*profileName, prof.nodes, prof.ops, prof.rate, prof.mix, *seed, prof.searchMode, prof.bucketCap)
 
 	growth := watchGrowth(store)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "esdds-soak:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "esdds-soak:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
 	res, err := runner.Run(ctx, stream)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile() // profile the load phase only, not the audit
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "esdds-soak: run aborted:", err)
 		return 2

@@ -92,6 +92,11 @@ func startProcCluster(ctx context.Context, n int, nodeBin, logDir string, stderr
 			"-peers", peers,
 			"-metrics-addr", metricsAddrs[i],
 		)
+		// Pin the daemons' GC pacing to the same setting the soak client
+		// uses (see run): baselines stay comparable across hosts whose
+		// ambient GOGC differs, and the soak measures the store, not the
+		// collector's default assist pacing.
+		cmd.Env = append(os.Environ(), "GOGC="+strconv.Itoa(soakGCPercent))
 		cmd.Stdout = logF
 		cmd.Stderr = logF
 		cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }

@@ -28,6 +28,10 @@ type Cluster struct {
 	faulty *transport.Faulty
 	retry  *transport.Retry
 
+	// tcp is the pooled client transport (nil for memory clusters); kept
+	// so self-healing can subscribe the detector to pool-level failures.
+	tcp *transport.TCP
+
 	// self-healing availability loop (nil without WithSelfHealing).
 	// probeTr is the transport below the retry layer: health probes must
 	// not be masked by open circuit breakers.
@@ -233,7 +237,7 @@ func DialCluster(addrs map[int]string, opts ...ClusterOption) (*Cluster, error) 
 		return nil, err
 	}
 	tcp := transport.NewTCP(dir)
-	c := &Cluster{place: place}
+	c := &Cluster{place: place, tcp: tcp}
 	if cfg.observe {
 		c.met = obs.NewRegistry()
 	}
@@ -311,6 +315,7 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	client := transport.NewTCP(addrs)
 	client.Instrument(c.met)
 	tr := cfg.stack(client, c)
+	c.tcp = client
 	c.peers = peers
 	c.inner = sdds.NewCluster(tr, place)
 	c.inner.Instrument(c.met)

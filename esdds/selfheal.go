@@ -76,6 +76,13 @@ func (c *Cluster) enableSelfHealing(sh SelfHealingConfig) error {
 		// period.
 		c.retry.SetObserver(det)
 	}
+	if c.tcp != nil {
+		// Pool-level signals: a pooled connection dying (reset, timeout,
+		// EOF mid-stream) is evidence about the node even when no Send is
+		// in flight to fail, so the pool reports each connection death as
+		// one failed-send observation instead of silently redialing.
+		c.tcp.SetObserver(det)
+	}
 	var revive sdds.Reviver
 	if c.mem != nil {
 		revive = func(_ context.Context, node transport.NodeID) error {

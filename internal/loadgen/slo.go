@@ -14,6 +14,9 @@ import (
 //	loss == 0               — the post-soak audit found every record
 //	search.p99 <= prev*1.5  — regression bound against the previous
 //	                          BENCH entry for the same profile
+//	throughput >= offered*0.55 — bound relative to the run's own
+//	                          offered rate, so a capacity floor keeps
+//	                          meaning when -ops/-rate are overridden
 //
 // Latency metrics are nanoseconds; bounds may be bare numbers or Go
 // duration literals. A "prev"-relative gate is skipped (with a note,
@@ -23,9 +26,11 @@ type Gate struct {
 	Metric string
 	Op     string
 	// exactly one of these is set
-	bound      float64
-	prevFactor float64
-	isPrev     bool
+	bound         float64
+	prevFactor    float64
+	isPrev        bool
+	offeredFactor float64
+	isOffered     bool
 }
 
 // GateOutcome is one evaluated gate, recorded in the report.
@@ -67,6 +72,14 @@ func ParseGate(expr string) (Gate, error) {
 			return Gate{}, fmt.Errorf("loadgen: gate %q: bad prev factor %q", expr, bound)
 		}
 		g.isPrev, g.prevFactor = true, f
+	case bound == "offered":
+		g.isOffered, g.offeredFactor = true, 1
+	case strings.HasPrefix(bound, "offered*"):
+		f, err := strconv.ParseFloat(bound[len("offered*"):], 64)
+		if err != nil || f <= 0 {
+			return Gate{}, fmt.Errorf("loadgen: gate %q: bad offered factor %q", expr, bound)
+		}
+		g.isOffered, g.offeredFactor = true, f
 	default:
 		if v, err := strconv.ParseFloat(bound, 64); err == nil {
 			g.bound = v
@@ -236,6 +249,15 @@ func EvalGates(gates []Gate, cur, prev *Report) ([]GateOutcome, bool) {
 				continue
 			}
 			bound = pv * g.prevFactor
+		}
+		if g.isOffered {
+			if cur.Config.Rate <= 0 {
+				o.Pass, o.Skipped = true, true
+				o.Detail = "SKIP: report carries no offered rate"
+				outcomes = append(outcomes, o)
+				continue
+			}
+			bound = cur.Config.Rate * g.offeredFactor
 		}
 		o.Value, o.Bound = v, bound
 		o.Pass = gateOps[g.Op](v, bound)

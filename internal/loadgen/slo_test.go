@@ -17,6 +17,7 @@ func fixtureReport(p99 time.Duration, errRate float64, audit *AuditResult) *Repo
 			"search": {Count: 1000, P50Ns: int64(p99) / 4, P99Ns: int64(p99)},
 			"insert": {Count: 4000, P50Ns: 1e6, P99Ns: 9e6},
 		},
+		Config:  RunConfig{Rate: 2000},
 		Totals:  Totals{Ops: 5000, ErrorRate: errRate, Throughput: 1250},
 		Cluster: ClusterCounters{RecordSplits: 5, IndexSplits: 2, IAMs: 9},
 		Audit:   audit,
@@ -58,9 +59,22 @@ func TestParseGate(t *testing.T) {
 			t.Errorf("ParseGate(%q) = %+v, %v; want prev factor %v", tc.expr, g, err, tc.factor)
 		}
 	}
+	for _, tc := range []struct {
+		expr   string
+		factor float64
+	}{
+		{"throughput >= offered*0.55", 0.55},
+		{"throughput >= offered", 1},
+	} {
+		g, err := ParseGate(tc.expr)
+		if err != nil || !g.isOffered || g.offeredFactor != tc.factor {
+			t.Errorf("ParseGate(%q) = %+v, %v; want offered factor %v", tc.expr, g, err, tc.factor)
+		}
+	}
 	for _, bad := range []string{
 		"", "search.p99", "search.p99 <", "search.p99 ~ 5", "search.p99 < banana",
 		"search.p99 < prev*0", "search.p99 < prev*x", "a b c d",
+		"throughput >= offered*0", "throughput >= offered*x",
 	} {
 		if _, err := ParseGate(bad); err == nil {
 			t.Errorf("ParseGate(%q) accepted", bad)
@@ -105,6 +119,13 @@ func TestEvalGates(t *testing.T) {
 		{"regression within bound", []string{"search.p99 <= prev*1.5"}, cur, prevGood, true, 0},
 		{"regression breached", []string{"search.p99 <= prev*1.5"}, cur, prevFast, false, 0},
 		{"regression no baseline skips", []string{"search.p99 <= prev*1.5"}, cur, nil, true, 1},
+		{"offered floor within bound", []string{"throughput >= offered*0.55"}, cur, nil, true, 0},
+		{"offered floor breached", []string{"throughput >= offered*0.8"}, cur, nil, false, 0},
+		{"offered without rate skips", []string{"throughput >= offered*0.55"}, func() *Report {
+			r := fixtureReport(200*time.Millisecond, 0, audit)
+			r.Config.Rate = 0
+			return r
+		}(), nil, true, 1},
 		{"multi gate one fails", []string{"error_rate == 0", "search.p99 < 100ms"}, cur, nil, false, 0},
 	}
 	for _, tc := range cases {

@@ -3,6 +3,7 @@ package sdds
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"time"
@@ -430,46 +431,73 @@ func (e *BatchError) Unwrap() []error {
 // partial failure the successful nodes' entries remain applied and a
 // *BatchError names the failed nodes.
 func (c *Cluster) InsertIndexed(ctx context.Context, id FileID, recs []core.IndexRecord, kSites int, slotBits uint) error {
+	// Each destination's putBatchReq is encoded directly into a pooled
+	// writer as entries are routed — no intermediate batchEntry slices or
+	// per-entry indexValue buffers. The entry count isn't known until
+	// routing finishes, so it is reserved up front and patched at the end.
+	type nodeBatch struct {
+		node     transport.NodeID
+		w        *writer
+		countOff int
+		count    int
+	}
 	c.opsMu.RLock()
 	c.mu.Lock()
 	f := c.file(id)
-	batches := make(map[transport.NodeID]*putBatchReq)
+	// Destinations are tracked in one value slice with linear lookup: a
+	// record's pieces land on at most a handful of nodes, and on this hot
+	// path a few integer compares beat a map's hash and allocation.
+	var batches []nodeBatch
 	for _, rec := range recs {
 		for k, stream := range rec.Streams {
 			key := ComposeIndexKey(rec.RID, rec.J, k, kSites, slotBits)
 			addr := f.image.Address(key)
 			node := c.place.NodeOf(addr)
-			b := batches[node]
-			if b == nil {
-				b = &putBatchReq{file: id}
-				batches[node] = b
+			bi := -1
+			for i := range batches {
+				if batches[i].node == node {
+					bi = i
+					break
+				}
 			}
-			b.entries = append(b.entries, batchEntry{
-				addr:  addr,
-				key:   key,
-				value: indexValue{firstIndex: uint32(rec.FirstIndex), pieces: stream}.encode(),
-			})
+			if bi < 0 {
+				w := getWriter()
+				w.u8(uint8(id))
+				batches = append(batches, nodeBatch{node: node, w: w, countOff: w.reserveU32()})
+				bi = len(batches) - 1
+			}
+			b := &batches[bi]
+			// One putBatchReq entry: addr, key, then the indexValue
+			// (firstIndex + piece stream) encoded in place as the
+			// length-prefixed value.
+			b.w.u64(addr)
+			b.w.u64(key)
+			b.w.u32(uint32(8 + 2*len(stream)))
+			b.w.u32(uint32(rec.FirstIndex))
+			b.w.pieces(stream)
+			b.count++
 		}
 	}
 	c.mu.Unlock()
 
-	reqs := make(map[transport.NodeID][]byte, len(batches))
-	ws := make([]*writer, 0, len(batches))
-	for node, b := range batches {
-		w := getWriter()
-		b.encodeTo(w)
-		reqs[node] = w.b
-		ws = append(ws, w)
+	nodeIDs := make([]transport.NodeID, len(batches))
+	payloads := make([][]byte, len(batches))
+	for i := range batches {
+		b := &batches[i]
+		b.w.patchU32(b.countOff, uint32(b.count))
+		nodeIDs[i] = b.node
+		payloads[i] = b.w.b
 	}
-	c.met.batches.Add(uint64(len(reqs)))
-	results := transport.Scatter(ctx, c.tr, opPutBatch, reqs)
-	for _, w := range ws {
-		putWriter(w)
+	c.met.batches.Add(uint64(len(batches)))
+	results := transport.ScatterList(ctx, c.tr, opPutBatch, nodeIDs, payloads)
+	for i := range batches {
+		putWriter(batches[i].w)
+		batches[i].w = nil // the buffer may be reused; the response loop needs only counts
 	}
 
 	var batchErr *BatchError
 	c.mu.Lock()
-	for _, r := range results {
+	for bi, r := range results {
 		if r.Err != nil {
 			if batchErr == nil {
 				batchErr = &BatchError{}
@@ -477,18 +505,23 @@ func (c *Cluster) InsertIndexed(ctx context.Context, id FileID, recs []core.Inde
 			batchErr.Failures = append(batchErr.Failures, NodeFailure{Node: r.Node, Err: r.Err})
 			continue
 		}
-		resp, derr := decodePutBatchResp(r.Payload)
-		if derr == nil && len(resp.resps) != len(batches[r.Node].entries) {
-			derr = fmt.Errorf("sdds: batch response has %d entries, want %d", len(resp.resps), len(batches[r.Node].entries))
+		it, derr := newBatchRespIter(r.Payload)
+		if derr == nil && it.n != batches[bi].count {
+			derr = fmt.Errorf("sdds: batch response has %d entries, want %d", it.n, batches[bi].count)
 		}
 		if derr != nil {
 			c.mu.Unlock()
 			c.opsMu.RUnlock()
 			return derr
 		}
-		ents := batches[r.Node].entries
-		for i, pr := range resp.resps {
-			if pr.iamAddr != ents[i].addr {
+		for i := 0; i < it.n; i++ {
+			pr, perr := it.next()
+			if perr != nil {
+				c.mu.Unlock()
+				c.opsMu.RUnlock()
+				return perr
+			}
+			if pr.moved {
 				f.image.Adjust(pr.iamAddr, uint(pr.iamLevel))
 				f.iams++
 				c.met.iams.Inc()
@@ -642,11 +675,18 @@ func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pip
 		a        int
 		chunkIdx int
 	}
-	agree := make(map[hitKey]map[int]bool)
+	// agree tracks which of the k dispersal sites reported each series
+	// position as a bitmask — k is small by construction (a dispersal
+	// parameter, not a cluster size), so one uint64 replaces an allocated
+	// set per position.
+	agree := make(map[hitKey]uint64)
 	addHits := func(resp *searchResp) {
 		for _, h := range resp.hits {
 			if ppc > 1 && int(h.pieceOffset)%ppc != 0 {
 				continue
+			}
+			if h.k >= 64 {
+				continue // malformed site index; cannot contribute to agreement
 			}
 			k := hitKey{
 				rid:      h.rid,
@@ -654,10 +694,7 @@ func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pip
 				a:        int(h.a),
 				chunkIdx: int(h.firstIndex) + int(h.pieceOffset)/ppc,
 			}
-			if agree[k] == nil {
-				agree[k] = make(map[int]bool)
-			}
-			agree[k][int(h.k)] = true
+			agree[k] |= 1 << uint(h.k)
 		}
 	}
 	provider := c.degradedProvider()
@@ -687,7 +724,7 @@ func (c *Cluster) SearchPartialInfo(ctx context.Context, id FileID, pl *core.Pip
 	}
 	byRID := make(map[uint64][]core.SeriesHit)
 	for k, sites := range agree {
-		if len(sites) == kSites {
+		if bits.OnesCount64(sites) == kSites {
 			byRID[k.rid] = append(byRID[k.rid], core.SeriesHit{
 				RID:        k.rid,
 				J:          k.j,

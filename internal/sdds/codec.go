@@ -148,6 +148,19 @@ func (w *writer) pieces(v []disperse.Piece) {
 	}
 }
 
+// reserveU32 appends a placeholder and returns its offset for a later
+// patchU32 — used to write a count before the counted items are known,
+// so batch encoders can stream entries in one pass.
+func (w *writer) reserveU32() int {
+	off := len(w.b)
+	w.u32(0)
+	return off
+}
+
+func (w *writer) patchU32(off int, v uint32) {
+	binary.BigEndian.PutUint32(w.b[off:off+4], v)
+}
+
 // writerPool recycles request-encode scratch buffers on the client hot
 // path. A pooled buffer may be handed to Transport.Send and released
 // immediately after it returns: transports (including the Retry and
@@ -245,6 +258,20 @@ func (r *reader) pieces() []disperse.Piece {
 		r.off += 2
 	}
 	return out
+}
+
+// bound validates a decoded element count against the bytes actually
+// remaining (each element needs at least elemSize bytes), so a corrupt
+// count cannot drive a huge preallocation. Returns 0 on failure.
+func (r *reader) bound(n uint32, elemSize int) int {
+	if r.err != nil {
+		return 0
+	}
+	if int(n)*elemSize > len(r.b)-r.off {
+		r.err = errShortPayload
+		return 0
+	}
+	return int(n)
 }
 
 func (r *reader) done() error {
@@ -359,32 +386,97 @@ func (m putBatchReq) encodeTo(w *writer) {
 	}
 }
 
-func decodePutBatchReq(b []byte) (putBatchReq, error) {
-	r := &reader{b: b}
-	m := putBatchReq{file: FileID(r.u8())}
-	n := int(r.u32())
-	for i := 0; i < n && r.err == nil; i++ {
-		e := batchEntry{addr: r.u64(), key: r.u64()}
-		e.value = append([]byte(nil), r.bytes()...)
-		m.entries = append(m.entries, e)
-	}
-	return m, r.done()
+// batchReqIter stream-decodes a putBatchReq entry by entry. Values are
+// BORROWED from the transport's request buffer: the handler must copy
+// any byte it stores (bucket storage retains values, and the buffer may
+// be pooled), but entries it only forwards or journals can use the
+// borrowed bytes in place. valsCap bounds the total retained value
+// bytes, so the handler can pack all copies into one exact backing.
+type batchReqIter struct {
+	r reader
+	// file and n are the batch header, decoded up front.
+	file FileID
+	n    int
 }
 
-// putBatchResp returns one putResp per batch entry, in request order.
+func newBatchReqIter(b []byte) (batchReqIter, error) {
+	it := batchReqIter{r: reader{b: b}}
+	it.file = FileID(it.r.u8())
+	// Each entry is at least addr(8) + key(8) + value length(4).
+	it.n = it.r.bound(it.r.u32(), 20)
+	return it, it.r.err
+}
+
+// valsCap returns an upper bound on the summed value lengths: the bytes
+// remaining after the header minus each entry's 20 fixed bytes. A
+// backing with this capacity never reallocates, so slices carved from
+// it while appending stay valid.
+func (it *batchReqIter) valsCap() int {
+	return len(it.r.b) - it.r.off - 20*it.n
+}
+
+func (it *batchReqIter) next() (batchEntry, error) {
+	e := batchEntry{addr: it.r.u64(), key: it.r.u64()}
+	e.value = it.r.bytes() // borrowed — copy before retaining
+	return e, it.r.err
+}
+
+// decodePutBatchReq materializes a whole batch with values copied into
+// one packed backing — the non-streaming counterpart of batchReqIter,
+// kept for round-trip testing of the batch encoding.
+func decodePutBatchReq(b []byte) (putBatchReq, error) {
+	it, err := newBatchReqIter(b)
+	if err != nil {
+		return putBatchReq{}, err
+	}
+	m := putBatchReq{file: it.file}
+	if it.n > 0 {
+		m.entries = make([]batchEntry, 0, it.n)
+		vals := make([]byte, 0, it.valsCap())
+		for i := 0; i < it.n; i++ {
+			e, perr := it.next()
+			if perr != nil {
+				return m, perr
+			}
+			start := len(vals)
+			vals = append(vals, e.value...)
+			e.value = vals[start:len(vals):len(vals)]
+			m.entries = append(m.entries, e)
+		}
+	}
+	return m, it.r.done()
+}
+
+// batchPutResp is one entry of a putBatchResp. moved reports that the
+// entry's owning bucket differed from the address the client sent —
+// the server sees both, so the client learns "apply this IAM" without
+// remembering per entry what it asked for.
+type batchPutResp struct {
+	isNew     bool
+	moved     bool
+	iamAddr   uint64
+	iamLevel  uint8
+	bucketLen uint32
+}
+
+// putBatchResp returns one entry per batch entry, in request order. The
+// leading byte of each entry packs isNew (bit 0) with moved (bit 1).
 type putBatchResp struct {
-	resps []putResp
+	resps []batchPutResp
 }
 
 func (m putBatchResp) encode() []byte {
-	w := &writer{}
+	w := &writer{b: make([]byte, 0, 4+14*len(m.resps))}
 	w.u32(uint32(len(m.resps)))
 	for _, p := range m.resps {
+		var flags uint8
 		if p.isNew {
-			w.u8(1)
-		} else {
-			w.u8(0)
+			flags |= 1
 		}
+		if p.moved {
+			flags |= 2
+		}
+		w.u8(flags)
 		w.u64(p.iamAddr)
 		w.u8(p.iamLevel)
 		w.u32(p.bucketLen)
@@ -392,19 +484,49 @@ func (m putBatchResp) encode() []byte {
 	return w.b
 }
 
-func decodePutBatchResp(b []byte) (putBatchResp, error) {
-	r := &reader{b: b}
-	n := int(r.u32())
-	m := putBatchResp{}
-	for i := 0; i < n && r.err == nil; i++ {
-		m.resps = append(m.resps, putResp{
-			isNew:     r.u8() == 1,
-			iamAddr:   r.u64(),
-			iamLevel:  r.u8(),
-			bucketLen: r.u32(),
-		})
+// batchRespIter stream-decodes a putBatchResp entry by entry: the
+// client walks the response exactly once, so decoding in place saves
+// materializing a slice per batch on the insert hot path.
+type batchRespIter struct {
+	r reader
+	n int
+}
+
+func newBatchRespIter(b []byte) (batchRespIter, error) {
+	it := batchRespIter{r: reader{b: b}}
+	it.n = it.r.bound(it.r.u32(), 14) // flags(1) + addr(8) + level(1) + len(4)
+	return it, it.r.err
+}
+
+func (it *batchRespIter) next() (batchPutResp, error) {
+	flags := it.r.u8()
+	p := batchPutResp{
+		isNew:     flags&1 != 0,
+		moved:     flags&2 != 0,
+		iamAddr:   it.r.u64(),
+		iamLevel:  it.r.u8(),
+		bucketLen: it.r.u32(),
 	}
-	return m, r.done()
+	return p, it.r.err
+}
+
+func decodePutBatchResp(b []byte) (putBatchResp, error) {
+	it, err := newBatchRespIter(b)
+	if err != nil {
+		return putBatchResp{}, err
+	}
+	m := putBatchResp{}
+	if it.n > 0 {
+		m.resps = make([]batchPutResp, 0, it.n)
+	}
+	for i := 0; i < it.n; i++ {
+		p, perr := it.next()
+		if perr != nil {
+			return m, perr
+		}
+		m.resps = append(m.resps, p)
+	}
+	return m, it.r.done()
 }
 
 // keyReq serves Get and Delete.

@@ -572,12 +572,16 @@ func (n *Node) handlePut(payload []byte) ([]byte, error) {
 		return fwd.encode()
 	}, func(f *nodeFile, b *lhstar.Bucket) ([]byte, error) {
 		// Journal with the resolved local address so replay applies
-		// directly, without re-running the forwarding computation.
-		logged := m
-		logged.addr = b.Addr()
-		logged.hops = 0
-		if err := n.journalLocked(opPut, logged.encode()); err != nil {
-			return nil, err
+		// directly, without re-running the forwarding computation. The
+		// store-nil check lives out here so ephemeral nodes skip the
+		// journal encode entirely, not just the append.
+		if n.store != nil {
+			logged := m
+			logged.addr = b.Addr()
+			logged.hops = 0
+			if err := n.journalLocked(opPut, logged.encode()); err != nil {
+				return nil, err
+			}
 		}
 		isNew := b.Put(m.key, m.value)
 		f.indexPut(m.key, m.value)
@@ -599,40 +603,64 @@ func (n *Node) handlePut(payload []byte) ([]byte, error) {
 // response carries one putResp per entry in request order, so the
 // client receives every IAM it would have gotten from sequential puts.
 func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
-	m, err := decodePutBatchReq(payload)
+	it, err := newBatchReqIter(payload)
 	if err != nil {
 		return nil, err
 	}
-	f := n.getFile(m.file)
-	resps := make([]putResp, len(m.entries))
+	f := n.getFile(it.file)
+	resps := make([]batchPutResp, it.n)
 	type fwd struct {
 		i    int
 		addr uint64
+		// e.value stays borrowed from the request buffer: forwards run
+		// before this handler returns, while the buffer is still live.
+		e batchEntry
 	}
 	var fwds []fwd
+	// Bucket and index storage retain values past this handler, so each
+	// locally applied value is copied out of the borrowed request buffer
+	// into one packed backing. valsCap bounds the total, so the backing
+	// never reallocates and the carved aliases stay valid.
+	var vals []byte
+	valsCap := it.valsCap()
 	n.mu.Lock()
-	for i, e := range m.entries {
+	for i := 0; i < it.n; i++ {
+		e, perr := it.next()
+		if perr != nil {
+			n.mu.Unlock()
+			return nil, perr
+		}
 		b, ok := f.buckets[e.addr]
 		if !ok {
 			n.mu.Unlock()
-			return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, e.addr, m.file)
+			return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, e.addr, it.file)
 		}
 		next, needFwd := lhstar.ServerAddress(b.Addr(), b.Level(), e.key)
 		if needFwd {
-			fwds = append(fwds, fwd{i: i, addr: next})
+			fwds = append(fwds, fwd{i: i, addr: next, e: e})
 			continue
 		}
 		// Each locally applied entry journals as an individual put at
 		// its resolved address; forwarded entries are journaled by the
-		// node that ends up applying them.
-		logged := putReq{file: m.file, addr: b.Addr(), key: e.key, value: e.value}
-		if err := n.journalLocked(opPut, logged.encode()); err != nil {
-			n.mu.Unlock()
-			return nil, err
+		// node that ends up applying them. Ephemeral nodes skip the
+		// journal encode entirely.
+		if n.store != nil {
+			logged := putReq{file: it.file, addr: b.Addr(), key: e.key, value: e.value}
+			if err := n.journalLocked(opPut, logged.encode()); err != nil {
+				n.mu.Unlock()
+				return nil, err
+			}
 		}
-		isNew := b.Put(e.key, e.value)
-		f.indexPut(e.key, e.value)
-		resps[i] = putResp{
+		if vals == nil {
+			vals = make([]byte, 0, valsCap)
+		}
+		start := len(vals)
+		vals = append(vals, e.value...)
+		v := vals[start:len(vals):len(vals)]
+		isNew := b.Put(e.key, v)
+		f.indexPut(e.key, v)
+		// moved stays false: the bucket was found at the client's address.
+		resps[i] = batchPutResp{
 			isNew:     isNew,
 			iamAddr:   b.Addr(),
 			iamLevel:  uint8(b.Level()),
@@ -644,13 +672,15 @@ func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	n.mu.Unlock()
+	if err := it.r.done(); err != nil {
+		return nil, err
+	}
 	if len(fwds) > 0 && n.peers == nil {
 		return nil, fmt.Errorf("sdds: forward needed but node %d has no peer transport", n.id)
 	}
 	for _, fw := range fwds {
 		n.met.forwards.Inc()
-		e := m.entries[fw.i]
-		req := putReq{file: m.file, addr: fw.addr, hops: 1, key: e.key, value: e.value}
+		req := putReq{file: it.file, addr: fw.addr, hops: 1, key: fw.e.key, value: fw.e.value}
 		ctx, cancel := context.WithTimeout(context.Background(), forwardDeadline)
 		raw, err := n.peers.Send(ctx, n.place.NodeOf(fw.addr), opPut, req.encode())
 		cancel()
@@ -661,7 +691,13 @@ func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		resps[fw.i] = pr
+		resps[fw.i] = batchPutResp{
+			isNew:     pr.isNew,
+			moved:     pr.iamAddr != fw.e.addr,
+			iamAddr:   pr.iamAddr,
+			iamLevel:  pr.iamLevel,
+			bucketLen: pr.bucketLen,
+		}
 	}
 	return putBatchResp{resps: resps}.encode(), nil
 }
@@ -698,11 +734,13 @@ func (n *Node) handleDelete(payload []byte) ([]byte, error) {
 		fwd.hops++
 		return fwd.encode()
 	}, func(f *nodeFile, b *lhstar.Bucket) ([]byte, error) {
-		logged := m
-		logged.addr = b.Addr()
-		logged.hops = 0
-		if err := n.journalLocked(opDelete, logged.encode()); err != nil {
-			return nil, err
+		if n.store != nil {
+			logged := m
+			logged.addr = b.Addr()
+			logged.hops = 0
+			if err := n.journalLocked(opDelete, logged.encode()); err != nil {
+				return nil, err
+			}
 		}
 		ok := b.Delete(m.key)
 		if ok {

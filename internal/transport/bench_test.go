@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"net"
+	"testing"
+)
+
+// benchServer starts a real Server with a fixed-cost handler and
+// returns its address.
+func benchServer(b *testing.B) string {
+	b.Helper()
+	srv := NewServer(func(op uint8, p []byte) ([]byte, error) {
+		return p, nil
+	})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis) //nolint:errcheck
+	b.Cleanup(func() { srv.Close() })
+	return lis.Addr().String()
+}
+
+// BenchmarkTransport measures one round trip of a 256-byte request
+// through three client strategies against the same server:
+//
+//	turn      — the pre-v2 wire discipline: one v1 frame per connection
+//	            turn on a single connection (write, flush, read, repeat)
+//	pooled    — the multiplexed v2 client, one caller (requests still
+//	            serialize, but through the pool's write/demux loops)
+//	pipelined — the multiplexed v2 client with many concurrent callers
+//	            sharing pooled connections
+func BenchmarkTransport(b *testing.B) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	b.Run("turn", func(b *testing.B) {
+		addr := benchServer(b)
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer nc.Close()
+		r := bufio.NewReader(nc)
+		w := bufio.NewWriter(nc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := writeFrame(w, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := readFrame(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("pooled", func(b *testing.B) {
+		addr := benchServer(b)
+		cli := NewTCP(map[NodeID]string{1: addr})
+		defer cli.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Send(ctx, 1, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("pipelined", func(b *testing.B) {
+		addr := benchServer(b)
+		cli := NewTCP(map[NodeID]string{1: addr})
+		defer cli.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		// Many in-flight requests per CPU: the point of multiplexing is
+		// overlapping round trips, not adding processors.
+		b.SetParallelism(16)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := cli.Send(ctx, 1, 1, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkFrameV2 isolates the codec: encode+decode of one v2 frame
+// through the pooled payload path, no sockets.
+func BenchmarkFrameV2(b *testing.B) {
+	payload := make([]byte, 256)
+	var hdr [frameHdrV2]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		putFrameHdrV2(hdr[:], uint32(i), 1, len(payload))
+		n := binary.BigEndian.Uint32(hdr[:4])
+		if n < 5 || n > maxFrame {
+			b.Fatal("bad length")
+		}
+		buf := getPayloadBuf(int(n) - 5)
+		copy(*buf, payload)
+		putPayloadBuf(buf)
+	}
+}

@@ -103,12 +103,22 @@ func (d *Detector) Instrument(reg *obs.Registry) {
 }
 
 // tcpMetrics counts the client side of the TCP transport: dials, pooled
-// connection reuse, and frame bytes on the wire (header included).
+// connection reuse, frame bytes on the wire (header included; the
+// 4-byte v2 magic preamble is counted on neither side so client and
+// server byte counters stay symmetric), and pool lifecycle. Invariants:
+//
+//	dials_total + conn_reuses_total == Sends that acquired a connection
+//	pool_conns == open pooled connections (gauge)
+//	inflight   == requests between acquire and release (gauge)
 type tcpMetrics struct {
-	dials    *obs.Counter
-	reuses   *obs.Counter
-	bytesOut *obs.Counter
-	bytesIn  *obs.Counter
+	dials         *obs.Counter
+	reuses        *obs.Counter
+	bytesOut      *obs.Counter
+	bytesIn       *obs.Counter
+	poolConns     *obs.Gauge
+	inflight      *obs.Gauge
+	connDeaths    *obs.Counter
+	dialCoalesced *obs.Counter
 }
 
 // Instrument publishes the TCP client's counters into reg.
@@ -117,20 +127,26 @@ func (t *TCP) Instrument(reg *obs.Registry) {
 		return
 	}
 	t.met = tcpMetrics{
-		dials:    reg.Counter("transport_tcp_dials_total"),
-		reuses:   reg.Counter("transport_tcp_conn_reuses_total"),
-		bytesOut: reg.Counter("transport_tcp_bytes_out_total"),
-		bytesIn:  reg.Counter("transport_tcp_bytes_in_total"),
+		dials:         reg.Counter("transport_tcp_dials_total"),
+		reuses:        reg.Counter("transport_tcp_conn_reuses_total"),
+		bytesOut:      reg.Counter("transport_tcp_bytes_out_total"),
+		bytesIn:       reg.Counter("transport_tcp_bytes_in_total"),
+		poolConns:     reg.Gauge("transport_tcp_pool_conns"),
+		inflight:      reg.Gauge("transport_tcp_inflight"),
+		connDeaths:    reg.Counter("transport_tcp_conn_deaths_total"),
+		dialCoalesced: reg.Counter("transport_tcp_dial_coalesced_total"),
 	}
 }
 
-// serverMetrics counts the node side of the TCP protocol.
+// serverMetrics counts the node side of the TCP protocol. inflight is
+// the number of v2 request frames currently inside handler workers.
 type serverMetrics struct {
 	conns         *obs.Counter
 	frames        *obs.Counter
 	handlerErrors *obs.Counter
 	bytesIn       *obs.Counter
 	bytesOut      *obs.Counter
+	inflight      *obs.Gauge
 }
 
 // Instrument publishes the server's counters into reg.
@@ -144,6 +160,7 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		handlerErrors: reg.Counter("transport_srv_handler_errors_total"),
 		bytesIn:       reg.Counter("transport_srv_bytes_in_total"),
 		bytesOut:      reg.Counter("transport_srv_bytes_out_total"),
+		inflight:      reg.Gauge("transport_srv_inflight"),
 	}
 }
 

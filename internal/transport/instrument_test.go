@@ -224,10 +224,26 @@ func TestTCPByteAccounting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		okBytesIn += frameWireBytes(resp)
+		okBytesIn += frameWireBytesV2(resp)
 	}
 	if _, err := cli.Send(ctx, 0, 99, nil); err == nil {
 		t.Fatal("handler error did not surface")
+	}
+	okBytesIn += frameWireBytesV2([]byte("handler error"))
+
+	// The client's inbound counter is exactly the sum of v2 response
+	// frames (the 4-byte magic preamble is counted on neither side).
+	if got := reg.CounterValue("transport_tcp_bytes_in_total"); got != okBytesIn {
+		t.Errorf("client bytes in = %d, want %d", got, okBytesIn)
+	}
+	if got := reg.GaugeValue("transport_tcp_pool_conns"); got < 1 {
+		t.Errorf("pool_conns gauge = %d, want >= 1 while the pool is warm", got)
+	}
+	if got := reg.GaugeValue("transport_tcp_inflight"); got != 0 {
+		t.Errorf("tcp inflight gauge = %d, want 0 at rest", got)
+	}
+	if got := reg.GaugeValue("transport_srv_inflight"); got != 0 {
+		t.Errorf("srv inflight gauge = %d, want 0 at rest", got)
 	}
 
 	frames := reg.CounterValue("transport_srv_frames_total")

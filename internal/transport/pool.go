@@ -1,0 +1,610 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCP is the client-side transport: a node-address directory over a
+// per-node pool of multiplexed v2 connections. Many in-flight requests
+// share one connection — each Send registers a per-request id, a write
+// loop coalesces pending frames into one vectored write, and a demux
+// goroutine per connection routes response frames (which may complete
+// out of order) back to their waiters.
+//
+// Failure policy: a dead pooled connection is evicted and reported to
+// the installed SendObserver (so a Detector sees it as passive
+// evidence), and the Sends it carried fail with a retryable error — the
+// transport never silently redials mid-request; redial happens on the
+// next Send (typically driven by the Retry middleware).
+type TCP struct {
+	mu     sync.Mutex
+	addrs  map[NodeID]string
+	pools  map[NodeID]*nodePool
+	closed bool
+
+	observer SendObserver // pool-level failure signals; may be nil
+
+	reaperOnce sync.Once
+	reaperStop chan struct{}
+
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// PoolSize caps multiplexed connections kept per node.
+	PoolSize int
+	// IdleTimeout is how long a connection may sit with no in-flight
+	// requests before the reaper closes it (0 disables reaping).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one vectored write of queued frames; a
+	// connection that cannot drain its write within it is considered
+	// dead. It exists so a hung peer cannot wedge Sends forever.
+	WriteTimeout time.Duration
+
+	met tcpMetrics // set by Instrument before traffic; nil-safe
+}
+
+// nodePool is one node's connection set plus its dial-coalescing state:
+// at most one dial per node is in flight, and Sends that find the pool
+// empty wait for it instead of dialing their own.
+type nodePool struct {
+	conns   []*muxConn
+	dialing *dialWait
+}
+
+type dialWait struct {
+	done chan struct{}
+	conn *muxConn
+	err  error
+}
+
+// connGrowInflight is the in-flight depth on the least-loaded
+// connection beyond which the pool grows (up to PoolSize): below it,
+// multiplexing on an existing connection is cheaper than a dial.
+const connGrowInflight = 4
+
+// ErrClosed reports a Send on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// NewTCP creates a transport over the given node address directory.
+func NewTCP(addrs map[NodeID]string) *TCP {
+	cp := make(map[NodeID]string, len(addrs))
+	for k, v := range addrs {
+		cp[k] = v
+	}
+	return &TCP{
+		addrs:        cp,
+		pools:        make(map[NodeID]*nodePool),
+		DialTimeout:  5 * time.Second,
+		PoolSize:     4,
+		IdleTimeout:  60 * time.Second,
+		WriteTimeout: 15 * time.Second,
+	}
+}
+
+// SetObserver installs a pool-level failure observer: every connection
+// death (idle or carrying requests) is reported as one ObserveSend with
+// the error that killed it, feeding passive failure detection the same
+// way the Retry middleware does for whole-Send outcomes. Passing nil
+// removes it.
+func (t *TCP) SetObserver(o SendObserver) {
+	t.mu.Lock()
+	t.observer = o
+	t.mu.Unlock()
+}
+
+// AddNode registers (or updates) a node address.
+func (t *TCP) AddNode(node NodeID, addr string) {
+	t.mu.Lock()
+	t.addrs[node] = addr
+	t.mu.Unlock()
+}
+
+// Nodes implements Transport.
+func (t *TCP) Nodes() []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]NodeID, 0, len(t.addrs))
+	for id := range t.addrs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PoolStats reports the current pool state: open connections and
+// in-flight requests summed over all nodes.
+func (t *TCP) PoolStats() (conns, inflight int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.pools {
+		conns += len(p.conns)
+		for _, c := range p.conns {
+			inflight += int(c.inflight.Load())
+		}
+	}
+	return conns, inflight
+}
+
+// getConn returns a live pooled connection with a reservation (its
+// in-flight count already incremented) or dials one, coalescing
+// concurrent dials per node.
+func (t *TCP) getConn(ctx context.Context, node NodeID) (*muxConn, error) {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		addr, ok := t.addrs[node]
+		if !ok {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
+		}
+		p := t.pools[node]
+		if p == nil {
+			p = &nodePool{}
+			t.pools[node] = p
+		}
+		// Least-loaded live connection.
+		var best *muxConn
+		for _, c := range p.conns {
+			if best == nil || c.inflight.Load() < best.inflight.Load() {
+				best = c
+			}
+		}
+		if best != nil && (best.inflight.Load() < connGrowInflight || len(p.conns) >= t.PoolSize || p.dialing != nil) {
+			best.inflight.Add(1)
+			t.mu.Unlock()
+			t.met.reuses.Inc()
+			t.met.inflight.Add(1)
+			return best, nil
+		}
+		if p.dialing != nil {
+			// A dial for this node is already in flight and the pool is
+			// empty: wait for it rather than stampeding the dialer.
+			dw := p.dialing
+			t.mu.Unlock()
+			t.met.dialCoalesced.Inc()
+			select {
+			case <-dw.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if dw.err != nil {
+				return nil, dw.err
+			}
+			continue // re-enter: the fresh conn is in the pool now
+		}
+		dw := &dialWait{done: make(chan struct{})}
+		p.dialing = dw
+		t.mu.Unlock()
+
+		c, err := t.dial(node, addr)
+		t.mu.Lock()
+		p.dialing = nil
+		dw.conn, dw.err = c, err
+		if err == nil {
+			if t.closed {
+				t.mu.Unlock()
+				close(dw.done)
+				c.fail(ErrClosed)
+				return nil, ErrClosed
+			}
+			p.conns = append(p.conns, c)
+			c.inflight.Add(1)
+			t.met.poolConns.Add(1)
+			t.met.inflight.Add(1)
+		}
+		t.mu.Unlock()
+		close(dw.done)
+		if err != nil {
+			return nil, err
+		}
+		t.startReaper()
+		return c, nil
+	}
+}
+
+// dial establishes one v2 connection: TCP connect, magic preamble, then
+// the demux and write loops take over the socket.
+func (t *TCP) dial(node NodeID, addr string) (*muxConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing node %d: %w", node, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck // best-effort
+	}
+	var magic [4]byte
+	binary.BigEndian.PutUint32(magic[:], magicV2)
+	if t.DialTimeout > 0 {
+		nc.SetWriteDeadline(time.Now().Add(t.DialTimeout)) //nolint:errcheck
+	}
+	if _, err := nc.Write(magic[:]); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: v2 preamble to node %d: %w", node, err)
+	}
+	nc.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	t.met.dials.Inc()
+	c := &muxConn{
+		t:       t,
+		node:    node,
+		nc:      nc,
+		writeCh: make(chan *wireReq, 128),
+		waiters: make(map[uint32]chan wireResp),
+		closed:  make(chan struct{}),
+	}
+	c.lastIdle.Store(time.Now().UnixNano())
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// removeConn evicts a dead connection from its pool and reports the
+// death to the observer (unless the transport itself is closing).
+func (t *TCP) removeConn(c *muxConn, err error) {
+	t.mu.Lock()
+	p := t.pools[c.node]
+	if p != nil {
+		for i, pc := range p.conns {
+			if pc == c {
+				p.conns = append(p.conns[:i], p.conns[i+1:]...)
+				t.met.poolConns.Add(-1)
+				break
+			}
+		}
+	}
+	closed := t.closed
+	obs := t.observer
+	t.mu.Unlock()
+	if closed || errors.Is(err, ErrClosed) {
+		return
+	}
+	t.met.connDeaths.Inc()
+	if obs != nil {
+		obs.ObserveSend(c.node, err)
+	}
+}
+
+// startReaper lazily launches the idle-connection reaper.
+func (t *TCP) startReaper() {
+	if t.IdleTimeout <= 0 {
+		return
+	}
+	t.reaperOnce.Do(func() {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		t.reaperStop = make(chan struct{})
+		stop := t.reaperStop
+		t.mu.Unlock()
+		interval := t.IdleTimeout / 2
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					t.reapIdle()
+				}
+			}
+		}()
+	})
+}
+
+// reapIdle closes connections that carried no request for IdleTimeout.
+func (t *TCP) reapIdle() {
+	cutoff := time.Now().Add(-t.IdleTimeout).UnixNano()
+	var victims []*muxConn
+	t.mu.Lock()
+	for _, p := range t.pools {
+		kept := p.conns[:0]
+		for _, c := range p.conns {
+			if c.inflight.Load() == 0 && c.lastIdle.Load() < cutoff {
+				victims = append(victims, c)
+				t.met.poolConns.Add(-1)
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		p.conns = kept
+	}
+	t.mu.Unlock()
+	for _, c := range victims {
+		// Evicted before failing, so removeConn finds nothing to report:
+		// an idle reap is policy, not a failure signal.
+		c.fail(errConnReaped)
+	}
+}
+
+var errConnReaped = fmt.Errorf("%w: idle connection reaped", ErrClosed)
+
+// Send implements Transport: one multiplexed round trip. The request
+// shares a pooled connection with other in-flight Sends; the context
+// governs only this request (cancelling it abandons the response — the
+// connection stays healthy and a late response for the abandoned id is
+// dropped by the demux loop).
+func (t *TCP) Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c, err := t.getConn(ctx, node)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(ctx, op, payload)
+	c.release()
+	if err != nil {
+		return nil, err
+	}
+	if resp.status == statusErr {
+		return nil, &RemoteError{Node: node, Msg: string(resp.payload)}
+	}
+	return resp.payload, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	var victims []*muxConn
+	for _, p := range t.pools {
+		victims = append(victims, p.conns...)
+		p.conns = nil
+	}
+	stop := t.reaperStop
+	t.reaperStop = nil
+	t.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	for _, c := range victims {
+		c.fail(ErrClosed)
+	}
+	return nil
+}
+
+// --- multiplexed connection ---
+
+// muxConn is one v2 connection: a write loop coalescing queued request
+// frames into vectored writes, and a demux (read) loop routing response
+// frames to per-id waiters.
+type muxConn struct {
+	t    *TCP
+	node NodeID
+	nc   net.Conn
+
+	writeCh  chan *wireReq
+	inflight atomic.Int32
+	lastIdle atomic.Int64 // UnixNano of the moment inflight last hit 0
+
+	mu      sync.Mutex
+	waiters map[uint32]chan wireResp
+	nextID  uint32
+	dead    bool
+	err     error
+
+	closed chan struct{} // closed by fail(); wakes both loops
+}
+
+type wireReq struct {
+	id      uint32
+	op      uint8
+	payload []byte
+	wrote   chan struct{} // closed once the frame left (or will never leave) this process
+}
+
+type wireResp struct {
+	status  uint8
+	payload []byte
+	err     error
+}
+
+// release drops one in-flight reservation.
+func (c *muxConn) release() {
+	if c.inflight.Add(-1) == 0 {
+		c.lastIdle.Store(time.Now().UnixNano())
+	}
+	c.t.met.inflight.Add(-1)
+}
+
+// roundTrip runs one tagged request over the shared connection.
+func (c *muxConn) roundTrip(ctx context.Context, op uint8, payload []byte) (wireResp, error) {
+	ch := make(chan wireResp, 1)
+	c.mu.Lock()
+	if c.dead {
+		err := c.err
+		c.mu.Unlock()
+		return wireResp{}, fmt.Errorf("transport: node %d: %w", c.node, err)
+	}
+	c.nextID++
+	id := c.nextID
+	c.waiters[id] = ch
+	c.mu.Unlock()
+
+	req := &wireReq{id: id, op: op, payload: payload, wrote: make(chan struct{})}
+	select {
+	case c.writeCh <- req:
+	case <-c.closed:
+		c.dropWaiter(id)
+		return wireResp{}, fmt.Errorf("transport: sending to node %d: %w", c.node, c.deathErr())
+	case <-ctx.Done():
+		// Nothing was enqueued, so nothing holds the payload: safe to
+		// abandon immediately even on a backed-up write queue.
+		c.dropWaiter(id)
+		return wireResp{}, ctx.Err()
+	}
+	// Wait until the frame has hit the socket (or the conn died): the
+	// caller may recycle the payload buffer the moment Send returns, so
+	// returning while a write loop still holds it would corrupt frames.
+	// A live conn drains writes promptly; a wedged one trips
+	// WriteTimeout and dies, closing c.closed.
+	select {
+	case <-req.wrote:
+	case <-c.closed:
+		// The write loop exited without draining this request; its frame
+		// was never (and will never be) written.
+		c.dropWaiter(id)
+		return wireResp{}, fmt.Errorf("transport: sending to node %d: %w", c.node, c.deathErr())
+	}
+	select {
+	case resp := <-ch:
+		if resp.err != nil {
+			return wireResp{}, fmt.Errorf("transport: reading from node %d: %w", c.node, resp.err)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.dropWaiter(id)
+		return wireResp{}, ctx.Err()
+	}
+}
+
+func (c *muxConn) dropWaiter(id uint32) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	c.mu.Unlock()
+}
+
+func (c *muxConn) deathErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errors.New("connection closed")
+}
+
+// writeBatch bounds how many queued frames one vectored write carries.
+const writeBatch = 64
+
+// writeLoop drains queued requests, coalescing everything pending into
+// one net.Buffers vectored write — headers from a reused arena, payload
+// slices used in place (zero copy).
+func (c *muxConn) writeLoop() {
+	var (
+		hdrs    [writeBatch * frameHdrV2]byte
+		pending = make([]*wireReq, 0, writeBatch)
+		bufs    = make(net.Buffers, 0, 2*writeBatch)
+	)
+	for {
+		select {
+		case <-c.closed:
+			return
+		case req := <-c.writeCh:
+			pending = append(pending[:0], req)
+		}
+		// With more requests in flight than just this one, yield once
+		// before committing to a syscall: senders that are already
+		// runnable get to enqueue, so a burst of concurrent requests
+		// coalesces into one vectored write instead of N. A lone caller
+		// skips the yield and keeps its latency.
+		if c.inflight.Load() > 1 {
+			runtime.Gosched()
+		}
+	gather:
+		for len(pending) < writeBatch {
+			select {
+			case req := <-c.writeCh:
+				pending = append(pending, req)
+			default:
+				break gather
+			}
+		}
+		bufs = bufs[:0]
+		var wire uint64
+		for i, req := range pending {
+			h := hdrs[i*frameHdrV2 : (i+1)*frameHdrV2]
+			putFrameHdrV2(h, req.id, req.op, len(req.payload))
+			bufs = append(bufs, h)
+			if len(req.payload) > 0 {
+				bufs = append(bufs, req.payload)
+			}
+			wire += frameWireBytesV2(req.payload)
+		}
+		if c.t.WriteTimeout > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(c.t.WriteTimeout)) //nolint:errcheck
+		}
+		_, err := bufs.WriteTo(c.nc)
+		for _, req := range pending {
+			close(req.wrote)
+		}
+		if err != nil {
+			c.fail(fmt.Errorf("writing frame: %w", err))
+			return
+		}
+		c.t.met.bytesOut.Add(wire)
+	}
+}
+
+// readLoop is the demux goroutine: it reads response frames and routes
+// each to the waiter registered under its id. Responses for ids whose
+// waiter gave up (context cancelled) are dropped. A read error kills
+// the connection: every current waiter fails, the pool evicts it, and
+// the observer hears about it.
+func (c *muxConn) readLoop() {
+	r := newReaderBuf(c.nc)
+	for {
+		id, status, payload, _, err := readFrameV2(r, false)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.t.met.bytesIn.Add(frameWireBytesV2(payload))
+		c.mu.Lock()
+		ch := c.waiters[id]
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- wireResp{status: status, payload: payload}
+		}
+	}
+}
+
+// fail tears the connection down exactly once: marks it dead, closes
+// the socket (waking both loops), fails every waiter, and evicts it
+// from the pool.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	waiters := c.waiters
+	c.waiters = make(map[uint32]chan wireResp)
+	c.mu.Unlock()
+	close(c.closed)
+	c.nc.Close()
+	for _, ch := range waiters {
+		ch <- wireResp{err: err}
+	}
+	c.t.removeConn(c, err)
+}
+
+// newReaderBuf sizes the demux read buffer for the typical response mix
+// (small putResp/searchResp frames with the occasional large batch or
+// image frame, which bufio reads through without growing).
+func newReaderBuf(nc net.Conn) *bufio.Reader {
+	return bufio.NewReaderSize(nc, 64<<10)
+}

@@ -1,0 +1,452 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startRawV2Node runs a hand-rolled v2 peer (no Server involved) so
+// tests control exactly how and when response frames come back. The
+// react callback receives each decoded request and a reply function; it
+// runs on the connection's read goroutine.
+func startRawV2Node(t *testing.T, react func(id uint32, op uint8, payload []byte, reply func(id uint32, status uint8, payload []byte))) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				var magic [4]byte
+				if _, err := io.ReadFull(r, magic[:]); err != nil || binary.BigEndian.Uint32(magic[:]) != magicV2 {
+					return
+				}
+				var wmu sync.Mutex
+				w := bufio.NewWriter(conn)
+				reply := func(id uint32, status uint8, payload []byte) {
+					wmu.Lock()
+					defer wmu.Unlock()
+					if err := writeFrameV2(w, id, status, payload); err == nil {
+						w.Flush() //nolint:errcheck
+					}
+				}
+				for {
+					id, op, payload, _, err := readFrameV2(r, false)
+					if err != nil {
+						return
+					}
+					react(id, op, payload, reply)
+				}
+			}(conn)
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// TestMuxOutOfOrderResponses holds every request until three have
+// arrived, then answers them newest-first. Each Send must still receive
+// its own response — the demux routes by id, not arrival order.
+func TestMuxOutOfOrderResponses(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	type pending struct {
+		id      uint32
+		payload []byte
+	}
+	var held []pending
+	addr := startRawV2Node(t, func(id uint32, op uint8, payload []byte, reply func(uint32, uint8, []byte)) {
+		mu.Lock()
+		held = append(held, pending{id, append([]byte(nil), payload...)})
+		if len(held) < n {
+			mu.Unlock()
+			return
+		}
+		batch := held
+		held = nil
+		mu.Unlock()
+		for i := len(batch) - 1; i >= 0; i-- { // reversed completion order
+			reply(batch[i].id, statusOK, append([]byte("echo:"), batch[i].payload...))
+		}
+	})
+
+	cli := NewTCP(map[NodeID]string{1: addr})
+	cli.PoolSize = 1 // force all requests onto one multiplexed conn
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("req-%d", i)
+			resp, err := cli.Send(context.Background(), 1, 1, []byte(want))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got := string(resp); got != "echo:"+want {
+				errs[i] = fmt.Errorf("response mismatch: got %q, want %q", got, "echo:"+want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+}
+
+// TestMuxConcurrencyTorture hammers one pooled connection from many
+// goroutines; run under -race this exercises every mux lock. Each
+// response must match its request exactly despite out-of-order
+// completion on the server's worker pool.
+func TestMuxConcurrencyTorture(t *testing.T) {
+	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+		return append([]byte{op}, p...), nil
+	})
+	defer stop()
+
+	cli := NewTCP(map[NodeID]string{1: addr})
+	cli.PoolSize = 1
+	defer cli.Close()
+
+	const goroutines = 32
+	const perG = 50
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				payload := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				resp, err := cli.Send(context.Background(), 1, uint8(g%250), payload)
+				if err != nil {
+					t.Errorf("g%d i%d: %v", g, i, err)
+					failures.Add(1)
+					return
+				}
+				if len(resp) == 0 || resp[0] != uint8(g%250) || string(resp[1:]) != string(payload) {
+					t.Errorf("g%d i%d: response mismatch %q", g, i, resp)
+					failures.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		return
+	}
+	conns, inflight := cli.PoolStats()
+	if conns != 1 {
+		t.Errorf("pool conns = %d, want 1 (PoolSize 1)", conns)
+	}
+	if inflight != 0 {
+		t.Errorf("inflight = %d, want 0 at rest", inflight)
+	}
+}
+
+// TestPoolBounded verifies pool exhaustion semantics: with more
+// concurrent requests than PoolSize, the pool stops growing at the cap
+// and excess requests multiplex onto existing connections instead of
+// dialing or failing.
+func TestPoolBounded(t *testing.T) {
+	release := make(chan struct{})
+	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+		<-release
+		return p, nil
+	})
+	defer stop()
+
+	cli := NewTCP(map[NodeID]string{1: addr})
+	cli.PoolSize = 2
+	defer cli.Close()
+
+	const concurrent = 24
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cli.Send(context.Background(), 1, 1, []byte("x")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}()
+	}
+	// Wait until every request is in flight, then check the pool cap.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, inflight := cli.PoolStats()
+		if inflight == concurrent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d requests in flight", inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if conns, _ := cli.PoolStats(); conns > cli.PoolSize {
+		t.Errorf("pool grew to %d conns, cap is %d", conns, cli.PoolSize)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// recordingObserver captures pool-level failure signals.
+type recordingObserver struct {
+	mu    sync.Mutex
+	nodes []NodeID
+	errs  []error
+}
+
+func (o *recordingObserver) ObserveSend(node NodeID, err error) {
+	o.mu.Lock()
+	o.nodes = append(o.nodes, node)
+	o.errs = append(o.errs, err)
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.nodes)
+}
+
+// TestDeadConnEviction kills the server under a warm pool and verifies
+// the client evicts the dead connection (no silent redial: the pool
+// drains to zero and the failure is reported to the observer even with
+// no Send in flight — the demux goroutine sees the EOF while idle).
+func TestDeadConnEviction(t *testing.T) {
+	addr, stop := startTCPNode(t, echoHandler)
+
+	obs := &recordingObserver{}
+	cli := NewTCP(map[NodeID]string{1: addr})
+	cli.SetObserver(obs)
+	defer cli.Close()
+
+	if _, err := cli.Send(context.Background(), 1, 1, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if conns, _ := cli.PoolStats(); conns != 1 {
+		t.Fatalf("pool conns = %d, want 1", conns)
+	}
+
+	stop() // server gone; the pooled conn dies while idle
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conns, _ := cli.PoolStats()
+		if conns == 0 && obs.count() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead conn not evicted/reported: conns=%d signals=%d", conns, obs.count())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	obs.mu.Lock()
+	if obs.nodes[0] != 1 || obs.errs[0] == nil {
+		t.Errorf("observed (%v, %v), want node 1 with a non-nil error", obs.nodes[0], obs.errs[0])
+	}
+	obs.mu.Unlock()
+
+	// The next Send fails loudly (no transparent redial to a dead node)…
+	if _, err := cli.Send(context.Background(), 1, 1, []byte("x")); err == nil {
+		t.Fatal("send to dead node succeeded")
+	}
+}
+
+// TestIdleReaper closes connections that sat idle past IdleTimeout —
+// and does NOT report reaping to the observer (an idle reap is pool
+// policy, not a failure signal).
+func TestIdleReaper(t *testing.T) {
+	addr, stop := startTCPNode(t, echoHandler)
+	defer stop()
+
+	obs := &recordingObserver{}
+	cli := NewTCP(map[NodeID]string{1: addr})
+	cli.IdleTimeout = 20 * time.Millisecond
+	cli.SetObserver(obs)
+	defer cli.Close()
+
+	if _, err := cli.Send(context.Background(), 1, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if conns, _ := cli.PoolStats(); conns == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			conns, _ := cli.PoolStats()
+			t.Fatalf("idle conn not reaped: %d conns", conns)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := obs.count(); n != 0 {
+		t.Errorf("idle reap produced %d observer signals, want 0", n)
+	}
+	// The pool recovers transparently on the next Send.
+	if _, err := cli.Send(context.Background(), 1, 1, []byte("y")); err != nil {
+		t.Fatalf("send after reap: %v", err)
+	}
+}
+
+// TestDialCoalescing fires a burst of first-contact Sends at one node:
+// without coalescing each would dial its own connection; with it the
+// dial count stays within the pool bound.
+func TestDialCoalescing(t *testing.T) {
+	addr, stop := startTCPNode(t, echoHandler)
+	defer stop()
+
+	cli := NewTCP(map[NodeID]string{1: addr})
+	defer cli.Close()
+
+	const burst = 16
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cli.Send(context.Background(), 1, 1, []byte("x")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if conns, _ := cli.PoolStats(); conns > cli.PoolSize {
+		t.Errorf("burst grew the pool to %d conns, cap is %d", conns, cli.PoolSize)
+	}
+}
+
+// TestMuxContextCancelAbandonsWaiter cancels one Send mid-flight on a
+// shared connection: the cancelled Send returns promptly with ctx.Err,
+// the connection survives, and a later Send on the same conn works (the
+// late response for the abandoned id is dropped by the demux).
+func TestMuxContextCancelAbandonsWaiter(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+		if op == 9 {
+			<-gate
+		}
+		return p, nil
+	})
+	defer stop()
+	defer gateOnce.Do(func() { close(gate) })
+
+	cli := NewTCP(map[NodeID]string{1: addr})
+	cli.PoolSize = 1
+	defer cli.Close()
+
+	// Warm the single conn so both Sends share it.
+	if _, err := cli.Send(context.Background(), 1, 1, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cli.Send(ctx, 1, 9, []byte("slow"))
+	if err == nil {
+		t.Fatal("blocked send did not observe its context")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled send took %v, want prompt return", elapsed)
+	}
+	gateOnce.Do(func() { close(gate) }) // let the abandoned handler finish
+
+	if resp, err := cli.Send(context.Background(), 1, 1, []byte("after")); err != nil || string(resp) != "after" {
+		t.Fatalf("conn did not survive abandoned waiter: resp=%q err=%v", resp, err)
+	}
+	if conns, _ := cli.PoolStats(); conns != 1 {
+		t.Errorf("pool conns = %d, want the same single conn", conns)
+	}
+}
+
+// TestPoolDeathFeedsDetector wires the pool's failure observer into a
+// Detector and composes the stack the way esdds does — Faulty over the
+// pooled TCP transport. Killing the server must surface as passive
+// detector signals (dead pooled conn = send observation), driving the
+// node to NodeDown without a single application Send after the kill.
+func TestPoolDeathFeedsDetector(t *testing.T) {
+	addr, stop := startTCPNode(t, echoHandler)
+
+	tcp := NewTCP(map[NodeID]string{1: addr})
+	defer tcp.Close()
+	faulty := NewFaulty(tcp, 1)
+	det := NewDetector(faulty, []NodeID{1}, DetectorPolicy{DownAfter: 1})
+	tcp.SetObserver(det)
+
+	// Traffic through the full stack works and keeps the node up.
+	if _, err := faulty.Send(context.Background(), 1, 1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if s := det.Snapshot(); s[0].State != NodeUp {
+		t.Fatalf("state = %v, want up", s[0].State)
+	}
+
+	// Drop every conn the pool holds by killing the server. No further
+	// Sends: the only failure evidence is the pool-level signal.
+	stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := det.Snapshot(); s[0].State == NodeDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("detector state = %v, want down from passive pool signal", det.Snapshot()[0].State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMuxPayloadNotRetained checks the codec contract the sdds layer
+// depends on: a request payload may be recycled the moment Send
+// returns. Reusing one buffer for every request with a mutation between
+// sends must never corrupt a frame.
+func TestMuxPayloadNotRetained(t *testing.T) {
+	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+		return append([]byte(nil), p...), nil
+	})
+	defer stop()
+
+	cli := NewTCP(map[NodeID]string{1: addr})
+	cli.PoolSize = 1
+	defer cli.Close()
+
+	buf := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		resp, err := cli.Send(context.Background(), 1, 1, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range resp {
+			if b != byte(i) {
+				t.Fatalf("iteration %d: response byte %d — transport retained a recycled payload", i, b)
+			}
+		}
+	}
+}

@@ -2,22 +2,25 @@ package transport
 
 import (
 	"bufio"
-	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"net"
-	"sort"
+	"runtime"
 	"sync"
-	"time"
+	"sync/atomic"
 )
 
-// Frame format, both directions:
+// Frame format v1, both directions:
 //
 //	uint32 length (of everything after this field, big-endian)
 //	uint8  op     (request) / status (response: 0 ok, 1 error)
 //	bytes  payload
+//
+// v1 is strictly request-per-connection-turn; the multiplexed v2 format
+// lives in wire.go and the pooled client in pool.go. The server speaks
+// both: a v2 client announces itself with a magic preamble the server
+// peeks before choosing a loop.
 //
 // maxFrame bounds a frame to keep a malformed peer from exhausting
 // memory.
@@ -28,14 +31,31 @@ const (
 	statusErr = 1
 )
 
-func writeFrame(w *bufio.Writer, tag uint8, payload []byte) error {
+// srvReadBuf / srvWriteBuf size the server's per-connection bufio
+// layers. Typical frames are a few hundred bytes (a record + its index
+// pieces) but batch frames run to tens of KiB; 64 KiB lets a whole
+// batch coalesce into one syscall while staying cheap per connection.
+const (
+	srvReadBuf  = 64 << 10
+	srvWriteBuf = 64 << 10
+)
+
+// writeFrameUnflushed appends one v1 frame to w without flushing, so
+// consecutive frames coalesce into one syscall; the caller flushes when
+// its queue drains.
+func writeFrameUnflushed(w *bufio.Writer, tag uint8, payload []byte) error {
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
 	hdr[4] = tag
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write(payload); err != nil {
+	_, err := w.Write(payload)
+	return err
+}
+
+func writeFrame(w *bufio.Writer, tag uint8, payload []byte) error {
+	if err := writeFrameUnflushed(w, tag, payload); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -76,8 +96,9 @@ func NewServer(h Handler) *Server {
 }
 
 // Serve accepts connections until the listener is closed. Each
-// connection carries a sequential request/response stream; concurrency
-// comes from multiple connections.
+// connection speaks v1 (sequential request/response turns) or v2
+// (multiplexed tagged frames), chosen by peeking for the v2 magic
+// preamble.
 func (s *Server) Serve(lis net.Listener) error {
 	s.mu.Lock()
 	s.lis = lis
@@ -115,8 +136,22 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 	s.met.conns.Inc()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := bufio.NewReaderSize(conn, srvReadBuf)
+	peek, err := r.Peek(4)
+	if err != nil {
+		return
+	}
+	if binary.BigEndian.Uint32(peek) == magicV2 {
+		r.Discard(4) //nolint:errcheck // peeked bytes cannot fail to discard
+		s.serveConnV2(conn, r)
+		return
+	}
+	s.serveConnV1(conn, r)
+}
+
+// serveConnV1 is the legacy loop: one request, one response, in order.
+func (s *Server) serveConnV1(conn net.Conn, r *bufio.Reader) {
+	w := bufio.NewWriterSize(conn, srvWriteBuf)
 	for {
 		op, payload, err := readFrame(r)
 		if err != nil {
@@ -141,6 +176,146 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// srvResp is one finished request on its way to the writer goroutine.
+// reqBuf is the pooled buffer the request payload was read into; the
+// writer releases it only after the response frame is written, because
+// a handler's response may alias its request.
+type srvResp struct {
+	id      uint32
+	status  uint8
+	payload []byte
+	reqBuf  *[]byte
+}
+
+// srvTask is one v2 request dispatched to a handler worker. inflight is
+// the connection's own live-request counter; the writer consults it to
+// decide whether yielding for more responses is worthwhile.
+type srvTask struct {
+	s        *Server
+	id       uint32
+	op       uint8
+	payload  []byte
+	buf      *[]byte
+	respCh   chan srvResp
+	wg       *sync.WaitGroup
+	inflight *atomic.Int32
+}
+
+func (t srvTask) run() {
+	defer t.wg.Done()
+	resp, herr := t.s.handler(t.op, t.payload)
+	// Decrement before the response is queued so the writer's snapshot
+	// counts only requests that still owe it a response.
+	t.s.met.inflight.Add(-1)
+	t.inflight.Add(-1)
+	if herr != nil {
+		t.s.met.handlerErrors.Inc()
+		t.respCh <- srvResp{id: t.id, status: statusErr, payload: []byte(herr.Error()), reqBuf: t.buf}
+		return
+	}
+	t.respCh <- srvResp{id: t.id, status: statusOK, payload: resp, reqBuf: t.buf}
+}
+
+// srvIdle parks finished handler workers for reuse, exactly like the
+// client-side fan-out pool: dispatch never queues behind a busy worker
+// (a fresh goroutine is spawned when no parked worker is free, so a
+// blocking handler — e.g. one forwarding to a peer node — cannot stall
+// unrelated requests), while parked workers keep their grown stacks so
+// a hot request stream stops paying per-request stack growth.
+var srvIdle = make(chan chan srvTask, 64)
+
+func srvGo(t srvTask) {
+	select {
+	case mb := <-srvIdle:
+		mb <- t
+	default:
+		go srvWorker(t)
+	}
+}
+
+func srvWorker(t srvTask) {
+	mb := make(chan srvTask)
+	for {
+		t.run()
+		t = srvTask{} // hold no buffers while parked
+		select {
+		case srvIdle <- mb:
+		default:
+			return
+		}
+		t = <-mb
+	}
+}
+
+// serveConnV2 is the multiplexed loop: a reader dispatching each
+// request frame to its own worker goroutine, and a single writer
+// goroutine serializing response frames back (out of order relative to
+// requests). Flushes coalesce: the writer only flushes when its queue
+// is momentarily empty, so a burst of responses ships as one syscall.
+func (s *Server) serveConnV2(conn net.Conn, r *bufio.Reader) {
+	respCh := make(chan srvResp, 128)
+	writerDone := make(chan struct{})
+	var inflight atomic.Int32
+	go func() {
+		defer close(writerDone)
+		w := bufio.NewWriterSize(conn, srvWriteBuf)
+		var werr error
+		for resp := range respCh {
+			// When other requests on this connection still owe responses,
+			// yield once so workers that are about to finish can queue
+			// theirs too; the whole burst then leaves in one flush instead
+			// of one syscall per response. A lone request skips the yield.
+			if len(respCh) == 0 && inflight.Load() > 0 {
+				runtime.Gosched()
+			}
+			for {
+				if werr == nil {
+					werr = writeFrameV2(w, resp.id, resp.status, resp.payload)
+					if werr == nil {
+						s.met.bytesOut.Add(frameWireBytesV2(resp.payload))
+					} else {
+						conn.Close() // unblock the read loop
+					}
+				}
+				putPayloadBuf(resp.reqBuf)
+				more := false
+				select {
+				case next, ok := <-respCh:
+					if ok {
+						resp = next
+						more = true
+					}
+				default:
+				}
+				if !more {
+					break
+				}
+			}
+			if werr == nil {
+				if werr = w.Flush(); werr != nil {
+					conn.Close()
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for {
+		id, op, payload, buf, err := readFrameV2(r, true)
+		if err != nil {
+			break
+		}
+		s.met.frames.Inc()
+		s.met.bytesIn.Add(frameWireBytesV2(payload))
+		s.met.inflight.Add(1)
+		inflight.Add(1)
+		wg.Add(1)
+		srvGo(srvTask{s: s, id: id, op: op, payload: payload, buf: buf, respCh: respCh, wg: &wg, inflight: &inflight})
+	}
+	wg.Wait()
+	close(respCh)
+	<-writerDone
+}
+
 // Close stops accepting and closes all live connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -160,175 +335,4 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
-}
-
-// TCP is the client-side TCP transport: a node-address directory with a
-// small per-node connection pool.
-type TCP struct {
-	mu     sync.Mutex
-	addrs  map[NodeID]string
-	idle   map[NodeID][]*tcpConn
-	closed bool
-
-	// DialTimeout bounds connection establishment.
-	DialTimeout time.Duration
-	// PoolSize caps idle connections kept per node.
-	PoolSize int
-
-	met tcpMetrics // set by Instrument before traffic; nil-safe
-}
-
-type tcpConn struct {
-	c net.Conn
-	r *bufio.Reader
-	w *bufio.Writer
-}
-
-// NewTCP creates a transport over the given node address directory.
-func NewTCP(addrs map[NodeID]string) *TCP {
-	cp := make(map[NodeID]string, len(addrs))
-	for k, v := range addrs {
-		cp[k] = v
-	}
-	return &TCP{
-		addrs:       cp,
-		idle:        make(map[NodeID][]*tcpConn),
-		DialTimeout: 5 * time.Second,
-		PoolSize:    4,
-	}
-}
-
-// AddNode registers (or updates) a node address.
-func (t *TCP) AddNode(node NodeID, addr string) {
-	t.mu.Lock()
-	t.addrs[node] = addr
-	t.mu.Unlock()
-}
-
-// Nodes implements Transport.
-func (t *TCP) Nodes() []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]NodeID, 0, len(t.addrs))
-	for id := range t.addrs {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// getConn returns a pooled connection (pooled reports true) or dials a
-// fresh one.
-func (t *TCP) getConn(node NodeID) (c *tcpConn, pooled bool, err error) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, false, errors.New("transport: closed")
-	}
-	addr, ok := t.addrs[node]
-	if !ok {
-		t.mu.Unlock()
-		return nil, false, fmt.Errorf("%w: %d", ErrUnknownNode, node)
-	}
-	if pool := t.idle[node]; len(pool) > 0 {
-		c := pool[len(pool)-1]
-		t.idle[node] = pool[:len(pool)-1]
-		t.mu.Unlock()
-		t.met.reuses.Inc()
-		return c, true, nil
-	}
-	t.mu.Unlock()
-	nc, err := t.dial(node, addr)
-	if err != nil {
-		return nil, false, err
-	}
-	return nc, false, nil
-}
-
-func (t *TCP) dial(node NodeID, addr string) (*tcpConn, error) {
-	nc, err := net.DialTimeout("tcp", addr, t.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dialing node %d: %w", node, err)
-	}
-	t.met.dials.Inc()
-	return &tcpConn{c: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}, nil
-}
-
-func (t *TCP) putConn(node NodeID, c *tcpConn) {
-	t.mu.Lock()
-	if !t.closed && len(t.idle[node]) < t.PoolSize {
-		t.idle[node] = append(t.idle[node], c)
-		t.mu.Unlock()
-		return
-	}
-	t.mu.Unlock()
-	c.c.Close()
-}
-
-// Send implements Transport. A request uses one pooled connection for
-// its full round trip; the context deadline maps onto socket deadlines.
-func (t *TCP) Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	c, pooled, err := t.getConn(node)
-	if err != nil {
-		return nil, err
-	}
-	var dl time.Time // zero clears any deadline a pooled conn carries
-	if d, ok := ctx.Deadline(); ok {
-		dl = d
-	}
-	if serr := c.c.SetDeadline(dl); serr != nil {
-		// A pooled connection that rejects a deadline is poisoned
-		// (already closed by the peer or the OS); a stale frame must
-		// never be read off it. Drop it and retry once on a fresh dial.
-		c.c.Close()
-		if !pooled {
-			return nil, fmt.Errorf("transport: setting deadline for node %d: %w", node, serr)
-		}
-		t.mu.Lock()
-		addr, ok := t.addrs[node]
-		t.mu.Unlock()
-		if !ok {
-			return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
-		}
-		if c, err = t.dial(node, addr); err != nil {
-			return nil, err
-		}
-		if serr := c.c.SetDeadline(dl); serr != nil {
-			c.c.Close()
-			return nil, fmt.Errorf("transport: setting deadline for node %d: %w", node, serr)
-		}
-	}
-	if err := writeFrame(c.w, op, payload); err != nil {
-		c.c.Close()
-		return nil, fmt.Errorf("transport: sending to node %d: %w", node, err)
-	}
-	t.met.bytesOut.Add(frameWireBytes(payload))
-	status, resp, err := readFrame(c.r)
-	if err != nil {
-		c.c.Close()
-		return nil, fmt.Errorf("transport: reading from node %d: %w", node, err)
-	}
-	t.met.bytesIn.Add(frameWireBytes(resp))
-	t.putConn(node, c)
-	if status == statusErr {
-		return nil, &RemoteError{Node: node, Msg: string(resp)}
-	}
-	return resp, nil
-}
-
-// Close implements Transport.
-func (t *TCP) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.closed = true
-	for _, pool := range t.idle {
-		for _, c := range pool {
-			c.c.Close()
-		}
-	}
-	t.idle = make(map[NodeID][]*tcpConn)
-	return nil
 }

@@ -127,11 +127,59 @@ type Result struct {
 	Err     error
 }
 
+// InlineSender marks transports whose Send completes synchronously on
+// the calling goroutine with no I/O to overlap — the in-memory
+// transport, where a send IS the handler call. Fan-out helpers run such
+// sends serially when the context cannot be cancelled: with no latency
+// to hide, worker handoff is pure scheduling overhead, and with an
+// uncancellable context a serial pass blocks in exactly the cases a
+// parallel one would (fan-out waits for every result either way).
+type InlineSender interface {
+	SendsInline() bool
+}
+
+// SendsInline marks the in-memory transport for serial fan-out: a send
+// is a direct handler call on the caller's goroutine.
+func (m *Memory) SendsInline() bool { return true }
+
+// CtxSender marks transports whose Send returns promptly once the
+// context ends, even mid-request — the pooled TCP transport, whose
+// round-trip selects on ctx.Done while the demux goroutine owns the
+// socket. Fan-out helpers call such transports directly instead of
+// paying a watchdog goroutine per send; transports that can block past
+// cancellation (an in-memory handler that never returns, a middleware
+// that swallows the context) must not carry the marker.
+type CtxSender interface {
+	SendsWithContext() bool
+}
+
+// SendsWithContext marks the pooled TCP transport: roundTrip abandons
+// the waiter and returns ctx.Err() the moment the context ends.
+func (t *TCP) SendsWithContext() bool { return true }
+
+// SendsWithContext forwards the inner transport's marker: Retry only
+// adds context-honoring sleeps between attempts, so it aborts promptly
+// exactly when its inner transport does.
+func (r *Retry) SendsWithContext() bool {
+	cs, ok := r.inner.(CtxSender)
+	return ok && cs.SendsWithContext()
+}
+
 // sendAbortable runs one Send but returns as soon as the context ends,
 // carrying ctx.Err(), even if the underlying transport ignores
 // cancellation (a hung node, a blocked in-memory handler). The
 // abandoned send finishes (and is discarded) on its own goroutine.
 func sendAbortable(ctx context.Context, tr Transport, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	if ctx.Done() == nil {
+		// A context that can never be cancelled (context.Background and
+		// friends) needs no abort goroutine or channel.
+		return tr.Send(ctx, node, op, payload)
+	}
+	if cs, ok := tr.(CtxSender); ok && cs.SendsWithContext() {
+		// The transport aborts on its own when the context ends; a
+		// watchdog goroutine would only duplicate that select.
+		return tr.Send(ctx, node, op, payload)
+	}
 	type outcome struct {
 		payload []byte
 		err     error
@@ -149,6 +197,81 @@ func sendAbortable(ctx context.Context, tr Transport, node NodeID, op uint8, pay
 	}
 }
 
+// fanTask is one unit of scatter-gather work run by the fan-out worker
+// pool.
+type fanTask struct {
+	ctx     context.Context
+	tr      Transport
+	node    NodeID
+	op      uint8
+	payload []byte
+	out     *Result
+	wg      *sync.WaitGroup
+}
+
+func (t fanTask) run() {
+	resp, err := sendAbortable(t.ctx, t.tr, t.node, t.op, t.payload)
+	*t.out = Result{Node: t.node, Payload: resp, Err: err}
+	t.wg.Done()
+}
+
+// fanIdle holds the mailboxes of parked fan-out workers. Dispatch
+// reuses a parked worker when one is free and spawns a fresh goroutine
+// otherwise — a task is never queued behind a busy worker, so a slow or
+// blocked send cannot stall an unrelated fan-out. Parked workers keep
+// their grown stacks, which matters on the in-memory transport: the
+// node handler runs on the dispatching goroutine, and a cold goroutine
+// pays stack-growth through the whole handler on every send.
+var fanIdle = make(chan chan fanTask, 64)
+
+func fanGo(t fanTask) {
+	select {
+	case mb := <-fanIdle:
+		mb <- t
+	default:
+		go fanWorker(t)
+	}
+}
+
+func fanWorker(t fanTask) {
+	mb := make(chan fanTask)
+	for {
+		t.run()
+		t = fanTask{} // hold no payload references while parked
+		select {
+		case fanIdle <- mb:
+		default:
+			return // enough workers parked already; retire this one
+		}
+		t = <-mb
+	}
+}
+
+// fanOut dispatches one send per node and waits for all results;
+// payloadAt indexes into the caller's node order. nodes[0] runs inline
+// on the caller's goroutine (which would otherwise just block), so a
+// single-node fan-out costs no goroutine at all.
+func fanOut(ctx context.Context, tr Transport, nodes []NodeID, op uint8, payloadAt func(int) []byte, out []Result) {
+	if len(nodes) == 0 {
+		return
+	}
+	if is, ok := tr.(InlineSender); ok && is.SendsInline() && ctx.Done() == nil {
+		for i, n := range nodes {
+			resp, err := tr.Send(ctx, n, op, payloadAt(i))
+			out[i] = Result{Node: n, Payload: resp, Err: err}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(nodes) - 1)
+	for i := 1; i < len(nodes); i++ {
+		fanGo(fanTask{ctx: ctx, tr: tr, node: nodes[i], op: op, payload: payloadAt(i), out: &out[i], wg: &wg})
+	}
+	resp, err := sendAbortable(ctx, tr, nodes[0], op, payloadAt(0))
+	out[0] = Result{Node: nodes[0], Payload: resp, Err: err}
+	wg.Wait()
+}
+
 // Broadcast sends the same request to every listed node in parallel and
 // collects all results, ordered by node ID. This is the primitive behind
 // the paper's parallel searches: the query series go to all index sites
@@ -156,16 +279,7 @@ func sendAbortable(ctx context.Context, tr Transport, node NodeID, op uint8, pay
 // pending sends abort promptly and their Results carry ctx.Err().
 func Broadcast(ctx context.Context, tr Transport, nodes []NodeID, op uint8, payload []byte) []Result {
 	out := make([]Result, len(nodes))
-	var wg sync.WaitGroup
-	for i, node := range nodes {
-		wg.Add(1)
-		go func(i int, node NodeID) {
-			defer wg.Done()
-			resp, err := sendAbortable(ctx, tr, node, op, payload)
-			out[i] = Result{Node: node, Payload: resp, Err: err}
-		}(i, node)
-	}
-	wg.Wait()
+	fanOut(ctx, tr, nodes, op, func(int) []byte { return payload }, out)
 	return out
 }
 
@@ -175,20 +289,28 @@ func Broadcast(ctx context.Context, tr Transport, nodes []NodeID, op uint8, payl
 // carry ctx.Err().
 func Scatter(ctx context.Context, tr Transport, op uint8, requests map[NodeID][]byte) []Result {
 	nodes := make([]NodeID, 0, len(requests))
+	payloads := make([][]byte, 0, len(requests))
 	for n := range requests {
 		nodes = append(nodes, n)
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	out := make([]Result, len(nodes))
-	var wg sync.WaitGroup
-	for i, node := range nodes {
-		wg.Add(1)
-		go func(i int, node NodeID) {
-			defer wg.Done()
-			resp, err := sendAbortable(ctx, tr, node, op, requests[node])
-			out[i] = Result{Node: node, Payload: resp, Err: err}
-		}(i, node)
+	// Destination sets are small (one entry per node); a direct insertion
+	// sort beats sort.Slice's reflection-based swaps on every hot path.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j] < nodes[j-1]; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
 	}
-	wg.Wait()
+	for _, n := range nodes {
+		payloads = append(payloads, requests[n])
+	}
+	return ScatterList(ctx, tr, op, nodes, payloads)
+}
+
+// ScatterList is Scatter for callers that already hold parallel node and
+// payload slices: no map, no sort — results come back in input order,
+// results[i] answering nodes[i]. Nodes must be distinct.
+func ScatterList(ctx context.Context, tr Transport, op uint8, nodes []NodeID, payloads [][]byte) []Result {
+	out := make([]Result, len(nodes))
+	fanOut(ctx, tr, nodes, op, func(i int) []byte { return payloads[i] }, out)
 	return out
 }
