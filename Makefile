@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean soak soak-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean soak soak-smoke soak-overload
 
 # Tier-1 gate: everything must build, vet clean, pass under the race
 # detector (the chaos suites are required to be race-clean), and every
@@ -55,6 +55,16 @@ soak-smoke: soak-bins
 
 soak: soak-bins
 	$(BIN_DIR)/esdds-soak -profile full -cluster proc \
+		-node-bin $(BIN_DIR)/esdds-node -out BENCH_cluster.json
+
+# Overload soak: 3 shedding daemons driven at ~3x their measured
+# capacity. Gates prove graceful degradation (DESIGN.md §13): goodput
+# stays above a floor, retry budgets bound attempts/op, shed requests
+# are accounted as backpressure (not errors), the read-back audit loses
+# nothing that was acknowledged, and zero self-healing repairs fire —
+# saturation must never read as node death.
+soak-overload: soak-bins
+	$(BIN_DIR)/esdds-soak -profile overload -cluster proc \
 		-node-bin $(BIN_DIR)/esdds-node -out BENCH_cluster.json
 
 # Coverage profile with per-package totals (the `ok ... coverage: N%`

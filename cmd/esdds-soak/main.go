@@ -44,6 +44,7 @@ import (
 	"repro/esdds"
 	"repro/internal/loadgen"
 	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -61,7 +62,12 @@ type profile struct {
 	searchMode  string
 	zipfS       float64
 	queryPool   int
-	gates       []string
+	// overload runs the cluster with the full overload-control stack
+	// (admission control, retry budgets, hedged reads, patient failure
+	// detection — esdds.OverloadClusterOptions) and, in proc mode,
+	// passes -shed to every daemon.
+	overload bool
+	gates    []string
 }
 
 // profiles: "smoke" is the ~30s CI scenario (3 nodes, ~96k offered
@@ -96,6 +102,37 @@ var profiles = map[string]profile{
 			"search.p99 < 3s",
 			"insert.p99 < 5s",
 			"throughput >= offered*0.55",
+		},
+	},
+	// "overload" deliberately offers ~3x the smoke profile's measured
+	// capacity (~2.5k/s on a single-CPU host) to prove graceful
+	// degradation, not to measure capacity: the cluster must keep at
+	// least the smoke gate's goodput floor (2200/s * 0.7 = 1540/s of
+	// completed work), the retry budget must hold mean attempts per op
+	// under 1.5 (no amplification storm), every op must either succeed
+	// or be cleanly rejected as overload (error_rate == 0 — rejections
+	// are counted separately), the audit must stay lossless, and the
+	// failure detector must not read saturation as death (repairs == 0).
+	// Latency gates are deliberately loose: under 3x overload the p99 of
+	// *admitted* ops is queue-bounded by admission control, and the gate
+	// only asserts it stays an order of magnitude inside the 30s op
+	// timeout (degradation, not collapse).
+	"overload": {
+		nodes: 3, ops: 180000, rate: 7500,
+		mix:       loadgen.Mix{InsertPct: 70, SearchPct: 25, DeletePct: 5},
+		bucketCap: 512, maxInFlight: 768, searchMode: "fast",
+		zipfS: 1.1, queryPool: 512, overload: true,
+		gates: []string{
+			"goodput >= 1540",
+			"attempts_per_op <= 1.5",
+			"error_rate == 0",
+			"loss == 0",
+			"ghosts == 0",
+			"search_misses == 0",
+			"audit_errors == 0",
+			"repairs == 0",
+			"search.p99 < 10s",
+			"insert.p99 < 15s",
 		},
 	},
 	"full": {
@@ -181,7 +218,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("esdds-soak", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		profileName = fs.String("profile", "smoke", "soak profile: smoke|full")
+		profileName = fs.String("profile", "smoke", "soak profile: smoke|overload|full")
 		clusterMode = fs.String("cluster", "local", "cluster mode: local (in-process TCP servers) or proc (spawned esdds-node daemons)")
 		nodeBin     = fs.String("node-bin", "", "esdds-node binary for -cluster proc (default: look up in PATH)")
 		procDir     = fs.String("proc-dir", "", "directory for daemon logs in proc mode (default: a temp dir)")
@@ -271,21 +308,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nodeURLs map[int]string // proc mode: node id -> metrics base URL
 		teardown func()
 	)
+	opts := esdds.SoakClusterOptions(*seed)
+	var nodeArgs []string
+	if prof.overload {
+		opts = esdds.OverloadClusterOptions(*seed)
+		nodeArgs = []string{"-shed"}
+	}
 	switch *clusterMode {
 	case "local":
-		cluster, err = esdds.StartLocalTCPCluster(prof.nodes, esdds.SoakClusterOptions(*seed)...)
+		cluster, err = esdds.StartLocalTCPCluster(prof.nodes, opts...)
 		if err != nil {
 			fmt.Fprintln(stderr, "esdds-soak: starting local cluster:", err)
 			return 2
 		}
 		teardown = func() { cluster.Close() } //nolint:errcheck // exiting
 	case "proc":
-		pc, err := startProcCluster(ctx, prof.nodes, *nodeBin, *procDir, stderr)
+		pc, err := startProcCluster(ctx, prof.nodes, *nodeBin, *procDir, nodeArgs, stderr)
 		if err != nil {
 			fmt.Fprintln(stderr, "esdds-soak: starting daemon cluster:", err)
 			return 2
 		}
-		cluster, err = esdds.DialCluster(pc.addrs, esdds.SoakClusterOptions(*seed)...)
+		cluster, err = esdds.DialCluster(pc.addrs, opts...)
 		if err != nil {
 			pc.stop()
 			fmt.Fprintln(stderr, "esdds-soak: dialing daemon cluster:", err)
@@ -329,6 +372,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runner, err := loadgen.NewRunner(target, loadgen.RunnerConfig{
 		Rate: prof.rate, MaxInFlight: prof.maxInFlight,
 		Seed: *seed, OpTimeout: *opTimeout,
+		// Server-side overload rejections (surfaced once the retry budget
+		// gives up) are backpressure, not failures: they are accounted as
+		// rejected ops, distinct from both errors and client-queue sheds.
+		IsRejected: func(err error) bool { return errors.Is(err, transport.ErrOverloaded) },
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "esdds-soak:", err)
@@ -362,8 +409,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	samples := growth.stop()
-	fmt.Fprintf(stdout, "load done in %.1fs: %d completions, %d shed; auditing...\n",
-		res.Elapsed.Seconds(), totalCount(res), res.Shed)
+	fmt.Fprintf(stdout, "load done in %.1fs: %d completions, %d rejected, %d shed; auditing...\n",
+		res.Elapsed.Seconds(), totalCount(res), totalRejected(res), res.Shed)
+
+	// Snapshot retry counters before the audit: attempts_per_op must
+	// measure the load phase, not the read-back.
+	retrySnap := snapshotRetry(cluster)
 
 	// --- audit -------------------------------------------------------
 	audit, err := loadgen.RunAudit(ctx, target, stream, runner.Ledger(), loadgen.AuditConfig{
@@ -385,7 +436,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep.When = start.UTC().Format(time.RFC3339)
 	rep.Growth = samples
 	rep.Audit = audit
-	rep.Cluster = clusterCounters(ctx, cluster, store, prof.nodes, stderr)
+	rep.Cluster = clusterCounters(ctx, cluster, store, prof.nodes, retrySnap, stderr)
 	rep.NodeMetrics = gatherNodeMetrics(ctx, cluster, nodeURLs, stderr)
 
 	prevFile, err := loadgen.LoadBenchFile(*out)
@@ -430,6 +481,30 @@ func totalCount(res *loadgen.RunResult) uint64 {
 		n += st.Count
 	}
 	return n
+}
+
+func totalRejected(res *loadgen.RunResult) uint64 {
+	var n uint64
+	for _, st := range res.Ops {
+		n += st.Rejected
+	}
+	return n
+}
+
+// retrySnapshot is the load phase's retry accounting, captured before
+// the audit adds its own sends.
+type retrySnapshot struct {
+	attempts, retries, failures uint64
+}
+
+func snapshotRetry(cluster *esdds.Cluster) retrySnapshot {
+	var s retrySnapshot
+	for _, ns := range cluster.RetryStats() {
+		s.attempts += ns.Sends
+		s.retries += ns.Retries
+		s.failures += ns.Failures
+	}
+	return s
 }
 
 // growthWatcher samples the store's LH* state once per second.
@@ -483,7 +558,7 @@ func (w *growthWatcher) stop() []loadgen.GrowthSample {
 // clusterCounters gathers end-of-run cluster-side totals: the client's
 // split/IAM accounting, the retry middleware's health counters, and the
 // server-side bucket census for how many nodes the file reached.
-func clusterCounters(ctx context.Context, cluster *esdds.Cluster, store *esdds.Store, nodes int, stderr io.Writer) loadgen.ClusterCounters {
+func clusterCounters(ctx context.Context, cluster *esdds.Cluster, store *esdds.Store, nodes int, retry retrySnapshot, stderr io.Writer) loadgen.ClusterCounters {
 	st := store.Stats()
 	c := loadgen.ClusterCounters{
 		Nodes:         nodes,
@@ -492,11 +567,12 @@ func clusterCounters(ctx context.Context, cluster *esdds.Cluster, store *esdds.S
 		RecordSplits:  st.RecordSplits,
 		IndexSplits:   st.IndexSplits,
 		IAMs:          st.IAMs,
+		RetryAttempts: retry.attempts,
+		RetryRetries:  retry.retries,
+		RetryFailures: retry.failures,
 	}
-	for _, ns := range cluster.RetryStats() {
-		c.RetryAttempts += ns.Sends
-		c.RetryRetries += ns.Retries
-		c.RetryFailures += ns.Failures
+	if sh := cluster.SelfHealing(); sh != nil {
+		c.Repairs = sh.Repairs()
 	}
 	invCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
@@ -514,9 +590,10 @@ func clusterCounters(ctx context.Context, cluster *esdds.Cluster, store *esdds.S
 }
 
 // interestingMetric selects the scraped series worth persisting in the
-// BENCH file (split/IAM/forward traffic, WAL work, retry health).
+// BENCH file (split/IAM/forward traffic, WAL work, retry health,
+// overload-control activity).
 func interestingMetric(name string) bool {
-	for _, s := range []string{"split", "iam", "forward", "wal", "retry", "breaker"} {
+	for _, s := range []string{"split", "iam", "forward", "wal", "retry", "breaker", "shed", "expired", "hedge", "admits"} {
 		if strings.Contains(name, s) {
 			return true
 		}
@@ -565,9 +642,9 @@ func gatherNodeMetrics(ctx context.Context, cluster *esdds.Cluster, nodeURLs map
 
 // printSummary renders the human-readable run summary.
 func printSummary(w io.Writer, rep *loadgen.Report) {
-	fmt.Fprintf(w, "\n== soak %q: %d ops in %.1fs (%.0f/s), error rate %.4f, %d shed ==\n",
+	fmt.Fprintf(w, "\n== soak %q: %d ops in %.1fs (%.0f/s, goodput %.0f/s), error rate %.4f, %d rejected, %d shed ==\n",
 		rep.Profile, rep.Totals.Ops, rep.Totals.ElapsedSec, rep.Totals.Throughput,
-		rep.Totals.ErrorRate, rep.Totals.Shed)
+		rep.Totals.Goodput, rep.Totals.ErrorRate, rep.Totals.Rejected, rep.Totals.Shed)
 	kinds := make([]string, 0, len(rep.Ops))
 	for k := range rep.Ops {
 		kinds = append(kinds, k)

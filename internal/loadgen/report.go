@@ -18,8 +18,14 @@ const BenchSchema = "esdds-soak/v1"
 // end-to-end nanoseconds measured from scheduled arrival (coordinated-
 // omission-safe).
 type OpStats struct {
-	Count      uint64  `json:"count"`
-	Errors     uint64  `json:"errors"`
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// Rejected counts ops the server refused with an overload rejection
+	// (after the client's retry budget gave up). They are not in Count,
+	// not in Errors, and not in the latency quantiles: a load-shedding
+	// server degrading gracefully is accounted as backpressure, not
+	// failure.
+	Rejected   uint64  `json:"rejected,omitempty"`
 	Skipped    uint64  `json:"skipped,omitempty"`
 	ErrorRate  float64 `json:"error_rate"`
 	P50Ns      int64   `json:"p50_ns"`
@@ -57,7 +63,10 @@ type Second struct {
 	Issued uint64 `json:"issued"`
 	Done   uint64 `json:"done"`
 	Errors uint64 `json:"errors,omitempty"`
-	Shed   uint64 `json:"shed,omitempty"`
+	// Shed counts arrivals dropped at the client queue bound; Rejected
+	// counts ops refused by server-side admission control.
+	Shed     uint64 `json:"shed,omitempty"`
+	Rejected uint64 `json:"rejected,omitempty"`
 	P50Ns  int64  `json:"p50_ns,omitempty"`
 	P99Ns  int64  `json:"p99_ns,omitempty"`
 	MaxNs  int64  `json:"max_ns,omitempty"`
@@ -85,6 +94,10 @@ type ClusterCounters struct {
 	RetryAttempts uint64 `json:"retry_attempts"`
 	RetryRetries  uint64 `json:"retry_retries"`
 	RetryFailures uint64 `json:"retry_failures"`
+	// Repairs is the self-healing supervisor's completed-repair count
+	// (zero without WithSelfHealing). An overload soak gates it at zero:
+	// saturation must read as backpressure, never as node death.
+	Repairs uint64 `json:"repairs,omitempty"`
 }
 
 // RunConfig echoes the knobs that produced a report, so a BENCH file
@@ -103,14 +116,19 @@ type RunConfig struct {
 	SearchMode  string  `json:"search_mode"`
 }
 
-// Totals are whole-run aggregates.
+// Totals are whole-run aggregates. Shed is client-queue drops,
+// Rejected is server-side overload refusals; neither is in Ops.
 type Totals struct {
 	Ops        uint64  `json:"ops"`
 	Errors     uint64  `json:"errors"`
 	Shed       uint64  `json:"shed"`
+	Rejected   uint64  `json:"rejected,omitempty"`
 	ErrorRate  float64 `json:"error_rate"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	Throughput float64 `json:"throughput"`
+	// Goodput is successfully completed ops per second — the overload
+	// SLO's "the cluster keeps doing useful work" floor.
+	Goodput float64 `json:"goodput"`
 }
 
 // Report is one soak run's full record: the BENCH_cluster.json entry
@@ -139,15 +157,17 @@ func BuildReport(profile string, cfg RunConfig, res *RunResult) *Report {
 		Ops:      res.Ops,
 		Timeline: res.Timeline,
 	}
-	var ops, errs uint64
+	var ops, errs, rejected uint64
 	for _, st := range res.Ops {
 		ops += st.Count
 		errs += st.Errors
+		rejected += st.Rejected
 	}
 	rep.Totals = Totals{
 		Ops:        ops,
 		Errors:     errs,
 		Shed:       res.Shed,
+		Rejected:   rejected,
 		ElapsedSec: res.Elapsed.Seconds(),
 	}
 	if ops > 0 {
@@ -155,6 +175,7 @@ func BuildReport(profile string, cfg RunConfig, res *RunResult) *Report {
 	}
 	if rep.Totals.ElapsedSec > 0 {
 		rep.Totals.Throughput = float64(ops) / rep.Totals.ElapsedSec
+		rep.Totals.Goodput = float64(ops-errs) / rep.Totals.ElapsedSec
 	}
 	return rep
 }
@@ -221,8 +242,10 @@ func diffMetrics(r *Report) []struct {
 		val  float64
 	}{
 		{"throughput", r.Totals.Throughput},
+		{"goodput", r.Totals.Goodput},
 		{"error_rate", r.Totals.ErrorRate},
 		{"shed", float64(r.Totals.Shed)},
+		{"rejected", float64(r.Totals.Rejected)},
 	}
 	kinds := make([]string, 0, len(r.Ops))
 	for k := range r.Ops {

@@ -29,6 +29,14 @@ type RunnerConfig struct {
 	Seed int64
 	// OpTimeout is the per-operation context deadline (default 30s).
 	OpTimeout time.Duration
+	// IsRejected classifies an op error as a server-side overload
+	// rejection (e.g. transport.ErrOverloaded after retries). Rejected
+	// ops are counted separately from errors and excluded from the
+	// latency histograms: a shedding server is the overload design
+	// working, not the cluster failing, and it must not be conflated
+	// with either client-queue sheds or real errors. nil: no ops are
+	// classified as rejected.
+	IsRejected func(error) bool
 	// Clock defaults to RealClock; tests inject a FakeClock.
 	Clock Clock
 }
@@ -50,17 +58,18 @@ func (c *RunnerConfig) fillDefaults() {
 
 // opAgg accumulates one op kind's outcomes.
 type opAgg struct {
-	hist    *obs.Histogram
-	count   atomic.Uint64
-	errors  atomic.Uint64
-	skipped atomic.Uint64
+	hist     *obs.Histogram
+	count    atomic.Uint64
+	errors   atomic.Uint64
+	skipped  atomic.Uint64
+	rejected atomic.Uint64
 	firstErr atomic.Value // string
 }
 
 // secAgg accumulates one timeline second.
 type secAgg struct {
-	issued, done, errors, shed uint64
-	hist                       *obs.Histogram
+	issued, done, errors, shed, rejected uint64
+	hist                                 *obs.Histogram
 }
 
 // Runner executes a Stream against a Target with open-loop pacing.
@@ -163,6 +172,11 @@ func (r *Runner) Run(ctx context.Context, stream *Stream) (*RunResult, error) {
 				agg.skipped.Add(1)
 				return
 			}
+			if err != nil && r.cfg.IsRejected != nil && r.cfg.IsRejected(err) {
+				agg.rejected.Add(1)
+				r.second(int(now.Sub(start)/time.Second), func(s *secAgg) { s.rejected++ })
+				return
+			}
 			agg.count.Add(1)
 			agg.hist.Observe(int64(lat))
 			if err != nil {
@@ -241,10 +255,11 @@ func (r *Runner) result(start time.Time, elapsed time.Duration) *RunResult {
 		Ledger:  r.ledger,
 	}
 	for kind, agg := range r.ops {
-		if agg.count.Load() == 0 && agg.skipped.Load() == 0 {
+		if agg.count.Load() == 0 && agg.skipped.Load() == 0 && agg.rejected.Load() == 0 {
 			continue
 		}
 		st := opStatsFromHistogram(agg.hist, agg.count.Load(), agg.errors.Load(), agg.skipped.Load())
+		st.Rejected = agg.rejected.Load()
 		if msg, ok := agg.firstErr.Load().(string); ok {
 			st.FirstError = msg
 		}
@@ -259,11 +274,12 @@ func (r *Runner) result(start time.Time, elapsed time.Duration) *RunResult {
 	for _, slot := range slots {
 		agg := r.tl[slot]
 		sec := Second{
-			Offset: slot,
-			Issued: agg.issued,
-			Done:   agg.done,
-			Errors: agg.errors,
-			Shed:   agg.shed,
+			Offset:   slot,
+			Issued:   agg.issued,
+			Done:     agg.done,
+			Errors:   agg.errors,
+			Shed:     agg.shed,
+			Rejected: agg.rejected,
 		}
 		if agg.hist != nil {
 			snap := agg.hist.Snapshot()

@@ -140,6 +140,8 @@ func metricValue(r *Report, name string) (float64, bool) {
 			return float64(st.Errors), true
 		case "error_rate":
 			return st.ErrorRate, true
+		case "rejected":
+			return float64(st.Rejected), true
 		}
 		return 0, false
 	}
@@ -152,8 +154,12 @@ func metricValue(r *Report, name string) (float64, bool) {
 		return r.Totals.ErrorRate, true
 	case "shed":
 		return float64(r.Totals.Shed), true
+	case "rejected":
+		return float64(r.Totals.Rejected), true
 	case "throughput":
 		return r.Totals.Throughput, true
+	case "goodput":
+		return r.Totals.Goodput, true
 	case "elapsed_sec":
 		return r.Totals.ElapsedSec, true
 	case "splits":
@@ -176,6 +182,16 @@ func metricValue(r *Report, name string) (float64, bool) {
 		return float64(r.Cluster.RetryRetries), true
 	case "retry_failures":
 		return float64(r.Cluster.RetryFailures), true
+	case "repairs":
+		return float64(r.Cluster.Repairs), true
+	case "attempts_per_op":
+		// Mean transport attempts per logical send: 1 + retries/sends,
+		// from counters snapshotted before the audit. The overload SLO
+		// bounds it to prove retry budgets prevent amplification storms.
+		if r.Cluster.RetryAttempts == 0 {
+			return 0, false
+		}
+		return 1 + float64(r.Cluster.RetryRetries)/float64(r.Cluster.RetryAttempts), true
 	}
 	if r.Audit != nil {
 		switch name {

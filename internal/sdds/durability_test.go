@@ -2,6 +2,7 @@ package sdds
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -59,7 +60,7 @@ func newDurableHarness(t *testing.T, fs *wal.MemFS) *durableHarness {
 // (recording the in-flight op); any other failure is fatal.
 func (h *durableHarness) do(op uint8, payload []byte) ([]byte, bool) {
 	h.t.Helper()
-	resp, err := h.live.Handler()(op, payload)
+	resp, err := h.live.Handler()(context.Background(), op, payload)
 	if err != nil {
 		if !h.fs.Crashed() {
 			h.t.Fatalf("op %d failed without a crash: %v", op, err)
@@ -70,7 +71,7 @@ func (h *durableHarness) do(op uint8, payload []byte) ([]byte, bool) {
 		}{op, append([]byte(nil), payload...)}
 		return nil, false
 	}
-	if _, err := h.ref.Handler()(op, payload); err != nil {
+	if _, err := h.ref.Handler()(context.Background(), op, payload); err != nil {
 		h.t.Fatalf("reference node rejected op %d: %v", op, err)
 	}
 	return resp, true
@@ -166,7 +167,7 @@ func encodeU64(v uint64) []byte {
 
 func (h *durableHarness) snapshot(n *Node) []byte {
 	h.t.Helper()
-	snap, err := n.Handler()(opNodeSnapshot, nil)
+	snap, err := n.Handler()(context.Background(), opNodeSnapshot, nil)
 	if err != nil {
 		h.t.Fatalf("snapshot: %v", err)
 	}
@@ -240,7 +241,7 @@ func TestNodeCrashMatrix(t *testing.T) {
 				if h.inflight == nil {
 					t.Fatal("replayed state diverges from reference with no op in flight")
 				}
-				if _, err := h.ref.Handler()(h.inflight.op, h.inflight.payload); err != nil {
+				if _, err := h.ref.Handler()(context.Background(), h.inflight.op, h.inflight.payload); err != nil {
 					t.Fatalf("applying in-flight op %d to reference: %v", h.inflight.op, err)
 				}
 				if want = h.snapshot(h.ref); !bytes.Equal(got, want) {
@@ -281,7 +282,7 @@ func TestNodeBitFlipDetectedAndRepaired(t *testing.T) {
 		t.Fatalf("flipped checkpoint bit: recovery = %v, %v; want detected corruption", out, err)
 	}
 	// The node is up, empty, and honest about it.
-	raw, herr := node.Handler()(opRecoveryState, nil)
+	raw, herr := node.Handler()(context.Background(), opRecoveryState, nil)
 	if herr != nil {
 		t.Fatal(herr)
 	}
@@ -291,13 +292,13 @@ func TestNodeBitFlipDetectedAndRepaired(t *testing.T) {
 	}
 
 	// Repair via whole-image restore (what Guardian.Recover pushes).
-	if _, err := node.Handler()(opNodeRestore, refSnap); err != nil {
+	if _, err := node.Handler()(context.Background(), opNodeRestore, refSnap); err != nil {
 		t.Fatalf("restore after corruption: %v", err)
 	}
 	if got := h.snapshot(node); !bytes.Equal(got, refSnap) {
 		t.Fatal("restored state diverges from reference")
 	}
-	raw, _ = node.Handler()(opRecoveryState, nil)
+	raw, _ = node.Handler()(context.Background(), opRecoveryState, nil)
 	if rs, _ := decodeRecoveryStateResp(raw); rs.mode != recoveryRecovered {
 		t.Fatalf("recovery state after repair = %+v, want recovered", rs)
 	}

@@ -426,26 +426,29 @@ func (n *Node) applyLoggedLocked(op uint8, payload []byte) error {
 // node is instrumented, every request is timed into its per-opcode
 // latency histogram.
 func (n *Node) Handler() transport.Handler {
-	return func(op uint8, payload []byte) ([]byte, error) {
+	return func(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
 		if !n.met.on {
-			return n.dispatch(op, payload)
+			return n.dispatch(ctx, op, payload)
 		}
 		start := time.Now()
-		resp, err := n.dispatch(op, payload)
+		resp, err := n.dispatch(ctx, op, payload)
 		n.met.observeOp(op, time.Since(start), err)
 		return resp, err
 	}
 }
 
-// dispatch routes one request to its handler.
-func (n *Node) dispatch(op uint8, payload []byte) ([]byte, error) {
+// dispatch routes one request to its handler. The context carries the
+// caller's remaining deadline budget; handlers that forward (put, get,
+// delete, batch put) derive their peer sends from it, so an IAM hop
+// never outlives the time the original client actually has left.
+func (n *Node) dispatch(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
 	switch op {
 	case opPut:
-		return n.handlePut(payload)
+		return n.handlePut(ctx, payload)
 	case opGet:
-		return n.handleGet(payload)
+		return n.handleGet(ctx, payload)
 	case opDelete:
-		return n.handleDelete(payload)
+		return n.handleDelete(ctx, payload)
 	case opSearch:
 		return n.handleSearch(payload)
 	case opBucketCreate:
@@ -467,7 +470,7 @@ func (n *Node) dispatch(op uint8, payload []byte) ([]byte, error) {
 	case opNodeRestore:
 		return n.handleNodeRestore(payload)
 	case opPutBatch:
-		return n.handlePutBatch(payload)
+		return n.handlePutBatch(ctx, payload)
 	case opPing:
 		return nil, nil // health probe: answering is the point
 	case opRecoveryState:
@@ -533,7 +536,7 @@ const forwardDeadline = 10 * time.Second
 // are atomic with respect to concurrent splits. If the key belongs
 // elsewhere, the (re-encoded) request is forwarded to the owning peer
 // and its response relayed.
-func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64, op uint8, reencode func(nextAddr uint64) []byte, fn func(f *nodeFile, b *lhstar.Bucket) ([]byte, error)) ([]byte, error) {
+func (n *Node) withOwnedBucket(ctx context.Context, file FileID, addr uint64, hops uint8, key uint64, op uint8, reencode func(nextAddr uint64) []byte, fn func(f *nodeFile, b *lhstar.Bucket) ([]byte, error)) ([]byte, error) {
 	f := n.getFile(file)
 	n.mu.Lock()
 	b, ok := f.buckets[addr]
@@ -555,17 +558,20 @@ func (n *Node) withOwnedBucket(file FileID, addr uint64, hops uint8, key uint64,
 		return nil, fmt.Errorf("sdds: forward needed but node %d has no peer transport", n.id)
 	}
 	n.met.forwards.Inc()
-	ctx, cancel := context.WithTimeout(context.Background(), forwardDeadline)
+	// WithTimeout on the request context takes the minimum of the local
+	// forward bound and the caller's propagated deadline, so the hop
+	// inherits the tighter of the two budgets.
+	ctx, cancel := context.WithTimeout(ctx, forwardDeadline)
 	defer cancel()
 	return n.peers.Send(ctx, n.place.NodeOf(next), op, reencode(next))
 }
 
-func (n *Node) handlePut(payload []byte) ([]byte, error) {
+func (n *Node) handlePut(ctx context.Context, payload []byte) ([]byte, error) {
 	m, err := decodePutReq(payload)
 	if err != nil {
 		return nil, err
 	}
-	return n.withOwnedBucket(m.file, m.addr, m.hops, m.key, opPut, func(next uint64) []byte {
+	return n.withOwnedBucket(ctx, m.file, m.addr, m.hops, m.key, opPut, func(next uint64) []byte {
 		fwd := m
 		fwd.addr = next
 		fwd.hops++
@@ -602,7 +608,7 @@ func (n *Node) handlePut(payload []byte) ([]byte, error) {
 // server-computed address, so the LH* hop bound still holds). The
 // response carries one putResp per entry in request order, so the
 // client receives every IAM it would have gotten from sequential puts.
-func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
+func (n *Node) handlePutBatch(ctx context.Context, payload []byte) ([]byte, error) {
 	it, err := newBatchReqIter(payload)
 	if err != nil {
 		return nil, err
@@ -681,8 +687,8 @@ func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
 	for _, fw := range fwds {
 		n.met.forwards.Inc()
 		req := putReq{file: it.file, addr: fw.addr, hops: 1, key: fw.e.key, value: fw.e.value}
-		ctx, cancel := context.WithTimeout(context.Background(), forwardDeadline)
-		raw, err := n.peers.Send(ctx, n.place.NodeOf(fw.addr), opPut, req.encode())
+		fctx, cancel := context.WithTimeout(ctx, forwardDeadline)
+		raw, err := n.peers.Send(fctx, n.place.NodeOf(fw.addr), opPut, req.encode())
 		cancel()
 		if err != nil {
 			return nil, err
@@ -702,12 +708,12 @@ func (n *Node) handlePutBatch(payload []byte) ([]byte, error) {
 	return putBatchResp{resps: resps}.encode(), nil
 }
 
-func (n *Node) handleGet(payload []byte) ([]byte, error) {
+func (n *Node) handleGet(ctx context.Context, payload []byte) ([]byte, error) {
 	m, err := decodeKeyReq(payload)
 	if err != nil {
 		return nil, err
 	}
-	return n.withOwnedBucket(m.file, m.addr, m.hops, m.key, opGet, func(next uint64) []byte {
+	return n.withOwnedBucket(ctx, m.file, m.addr, m.hops, m.key, opGet, func(next uint64) []byte {
 		fwd := m
 		fwd.addr = next
 		fwd.hops++
@@ -723,12 +729,12 @@ func (n *Node) handleGet(payload []byte) ([]byte, error) {
 	})
 }
 
-func (n *Node) handleDelete(payload []byte) ([]byte, error) {
+func (n *Node) handleDelete(ctx context.Context, payload []byte) ([]byte, error) {
 	m, err := decodeKeyReq(payload)
 	if err != nil {
 		return nil, err
 	}
-	return n.withOwnedBucket(m.file, m.addr, m.hops, m.key, opDelete, func(next uint64) []byte {
+	return n.withOwnedBucket(ctx, m.file, m.addr, m.hops, m.key, opDelete, func(next uint64) []byte {
 		fwd := m
 		fwd.addr = next
 		fwd.hops++

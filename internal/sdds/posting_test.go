@@ -214,11 +214,11 @@ func TestPostingIndexSurvivesSnapshotRestore(t *testing.T) {
 		}
 	}
 	for _, n := range nodes {
-		img, err := n.Handler()(opNodeSnapshot, nil)
+		img, err := n.Handler()(context.Background(), opNodeSnapshot, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := n.Handler()(opNodeRestore, img); err != nil {
+		if _, err := n.Handler()(context.Background(), opNodeRestore, img); err != nil {
 			t.Fatal(err)
 		}
 	}

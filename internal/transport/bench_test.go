@@ -12,7 +12,7 @@ import (
 // returns its address.
 func benchServer(b *testing.B) string {
 	b.Helper()
-	srv := NewServer(func(op uint8, p []byte) ([]byte, error) {
+	srv := NewServer(func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		return p, nil
 	})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")

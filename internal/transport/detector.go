@@ -219,10 +219,14 @@ func (d *Detector) ObserveSend(node NodeID, err error) {
 }
 
 // alive classifies a send outcome: the node is alive if the request got
-// an answer, even an application-level error.
+// an answer — an application-level error, a shed (overloaded) response,
+// or a deadline-expired drop all prove the node read the frame and
+// replied. Only transport failures (no answer at all) count against it:
+// a node at 3x capacity sheds by design, and shedding must never read
+// as dying.
 func alive(err error) bool {
 	var re *RemoteError
-	return err == nil || errors.As(err, &re)
+	return err == nil || errors.As(err, &re) || overloadAlive(err)
 }
 
 // signal folds one outcome into the node's state machine and publishes

@@ -67,7 +67,7 @@ func TestDetectorStateTransitions(t *testing.T) {
 
 func TestDetectorRemoteErrorCountsAsAlive(t *testing.T) {
 	m := NewMemory()
-	m.Register(0, func(op uint8, p []byte) ([]byte, error) {
+	m.Register(0, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		return nil, errors.New("handler rejects probes")
 	})
 	d := newTestDetector(m, []NodeID{0}, 1, 1)

@@ -103,7 +103,7 @@ func TestFaultyBlackoutAndRestore(t *testing.T) {
 func TestFaultyDuplicateDelivery(t *testing.T) {
 	mem := NewMemory()
 	var calls int32
-	mem.Register(0, func(op uint8, p []byte) ([]byte, error) {
+	mem.Register(0, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		atomic.AddInt32(&calls, 1)
 		return []byte{byte(atomic.LoadInt32(&calls))}, nil
 	})

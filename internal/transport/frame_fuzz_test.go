@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"io"
 	"net"
@@ -222,12 +223,110 @@ func TestReadFrameV2Oversized(t *testing.T) {
 	}
 }
 
+// FuzzSplitBudget covers the deadline-field parser with arbitrary
+// payload bytes: short payloads must error, everything else must yield
+// a non-negative budget (garbage that would decode negative clamps to
+// "already expired") and pass the op payload through untouched.
+func FuzzSplitBudget(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, deadlineBytes-1)) // one byte short of the field
+	f.Add(binary.BigEndian.AppendUint64(nil, 0))
+	f.Add(binary.BigEndian.AppendUint64(nil, 1<<63)) // decodes negative
+	f.Add(append(binary.BigEndian.AppendUint64(nil, uint64(time.Second)), 'o', 'p'))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		budget, rest, err := splitBudget(data)
+		if len(data) < deadlineBytes {
+			if err == nil {
+				t.Fatalf("%d-byte payload accepted as a deadline field", len(data))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("splitBudget(%d bytes) = %v", len(data), err)
+		}
+		if budget < 0 {
+			t.Fatalf("negative budget %v escaped the clamp", budget)
+		}
+		if u := binary.BigEndian.Uint64(data); int64(u) >= 0 && budget != time.Duration(u) {
+			t.Fatalf("budget = %v, want %v", budget, time.Duration(u))
+		}
+		if !bytes.Equal(rest, data[deadlineBytes:]) {
+			t.Fatal("op payload mangled while stripping the deadline field")
+		}
+	})
+}
+
+// FuzzDeadlineFrameRoundTrip: a deadline-flagged request frame survives
+// write → read → splitBudget for arbitrary ids, ops, budgets, and
+// bodies, exactly as the server's v2 loop consumes it.
+func FuzzDeadlineFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint8(3), uint64(0), []byte("p"))
+	f.Add(uint32(7), uint8(31), uint64(time.Second), []byte{})
+	f.Add(uint32(0xffffffff), uint8(0x7f), uint64(1)<<63, []byte("neg"))
+	f.Fuzz(func(t *testing.T, id uint32, op uint8, budget uint64, body []byte) {
+		op &^= tagDeadline // ops live in the low 7 bits
+		payload := make([]byte, deadlineBytes+len(body))
+		binary.BigEndian.PutUint64(payload, budget)
+		copy(payload[deadlineBytes:], body)
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := writeFrameV2(w, id, op|tagDeadline, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		gotID, tag, gotPayload, _, err := readFrameV2(bufio.NewReader(&buf), false)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if gotID != id || tag&tagDeadline == 0 || tag&^tagDeadline != op {
+			t.Fatalf("round trip: (%d, %#x) -> (%d, %#x)", id, op|tagDeadline, gotID, tag)
+		}
+		gotBudget, rest, err := splitBudget(gotPayload)
+		if err != nil {
+			t.Fatalf("splitBudget after round trip: %v", err)
+		}
+		if int64(budget) >= 0 {
+			if gotBudget != time.Duration(budget) {
+				t.Fatalf("budget = %v, want %v", gotBudget, time.Duration(budget))
+			}
+		} else if gotBudget != 0 {
+			t.Fatalf("negative wire budget decoded as %v, want clamp to 0", gotBudget)
+		}
+		if !bytes.Equal(rest, body) {
+			t.Fatalf("body = %q, want %q", rest, body)
+		}
+	})
+}
+
+// TestV2FrameAgainstV1StyleRead: the v2 magic preamble must be
+// unparseable as a v1 frame — that is the whole downgrade story: a v1
+// reader confronted with a v2 client rejects the stream at the first
+// read instead of misinterpreting frame boundaries.
+func TestV2FrameAgainstV1StyleRead(t *testing.T) {
+	var stream bytes.Buffer
+	var magic [4]byte
+	binary.BigEndian.PutUint32(magic[:], magicV2)
+	stream.Write(magic[:])
+	w := bufio.NewWriter(&stream)
+	if err := writeFrameV2(w, 1, 3|tagDeadline, append(make([]byte, deadlineBytes), 'x')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(stream.Bytes()))); err == nil {
+		t.Fatal("v1 reader accepted a v2 stream — magic did not poison the length field")
+	}
+}
+
 // TestServerRejectsCorruptV2Stream interleaves a valid request with
 // garbage on one server connection: the server answers what it parsed
 // and drops the connection at the corruption point instead of
 // misinterpreting bytes.
 func TestServerRejectsCorruptV2Stream(t *testing.T) {
-	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+	addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		return append([]byte(nil), p...), nil
 	})
 	defer stop()

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Request hedging (DESIGN.md §13): for idempotent read ops, if the
+// primary attempt has not answered within a p99-ish delay, launch one
+// backup attempt on the same node and take whichever answers first.
+// In this SDDS a record lives on exactly one node, so the hedge is a
+// second chance past a stuck worker, a dropped frame, or a momentary
+// queue — not a replica switch. A token budget caps hedge volume so
+// tail tolerance cannot become load amplification during a brown-out.
+
+// HedgePolicy tunes the Hedge middleware.
+type HedgePolicy struct {
+	// Ops lists the op codes that may be hedged. Only idempotent,
+	// read-only ops belong here: a hedged mutation could apply twice.
+	// Empty means hedging is disabled (pure pass-through).
+	Ops []uint8
+	// Delay fixes the hedge trigger delay. 0 means adaptive: the p99 of
+	// recently observed successful latencies for hedgeable ops, clamped
+	// to [MinDelay, MaxDelay].
+	Delay time.Duration
+	// MinDelay / MaxDelay clamp the adaptive delay (defaults 1ms / 1s).
+	// Until enough samples accumulate the delay sits at MaxDelay, so a
+	// cold client does not hedge-storm.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// Budget caps hedges to roughly this fraction of un-hedged sends
+	// (token bucket, like RetryPolicy.RetryBudget; default 0.1).
+	Budget float64
+	// Burst caps (and seeds) the token balance (default 10).
+	Burst int
+}
+
+func (p *HedgePolicy) fillDefaults() {
+	if p.MinDelay <= 0 {
+		p.MinDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.MaxDelay < p.MinDelay {
+		p.MaxDelay = p.MinDelay
+	}
+	if p.Budget <= 0 {
+		p.Budget = 0.1
+	}
+	if p.Burst <= 0 {
+		p.Burst = 10
+	}
+}
+
+// hedgeWarmup is how many latency samples the adaptive delay needs
+// before it trusts its p99; below it the delay stays at MaxDelay.
+const hedgeWarmup = 32
+
+// Hedge is a Transport middleware adding budgeted backup requests for
+// idempotent ops. Place it below Retry: a retry of a hedged send is a
+// fresh hedging decision, and hedge outcomes feed Retry's observer
+// exactly like any attempt.
+type Hedge struct {
+	inner     Transport
+	pol       HedgePolicy
+	hedgeable [256]bool
+
+	hist    *obs.Histogram // successful hedgeable-op latencies
+	samples atomic.Uint64
+	delayNs atomic.Int64 // cached adaptive delay
+
+	mu     sync.Mutex
+	tokens float64
+
+	met hedgeMetrics // set by Instrument; nil-safe
+}
+
+// NewHedge wraps a transport with hedging under the given policy.
+func NewHedge(inner Transport, pol HedgePolicy) *Hedge {
+	pol.fillDefaults()
+	h := &Hedge{inner: inner, pol: pol, hist: obs.NewHistogram(), tokens: float64(pol.Burst)}
+	for _, op := range pol.Ops {
+		h.hedgeable[op] = true
+	}
+	h.delayNs.Store(int64(pol.MaxDelay))
+	return h
+}
+
+// delay returns the current hedge trigger delay.
+func (h *Hedge) delay() time.Duration {
+	if h.pol.Delay > 0 {
+		return h.pol.Delay
+	}
+	return time.Duration(h.delayNs.Load())
+}
+
+// record feeds one successful round-trip latency into the adaptive
+// delay estimate; every 64th sample refreshes the cached p99.
+func (h *Hedge) record(lat time.Duration) {
+	h.hist.Observe(lat.Nanoseconds())
+	n := h.samples.Add(1)
+	if n < hedgeWarmup || n%64 != 0 {
+		return
+	}
+	d := time.Duration(h.hist.Quantile(0.99))
+	if d < h.pol.MinDelay {
+		d = h.pol.MinDelay
+	}
+	if d > h.pol.MaxDelay {
+		d = h.pol.MaxDelay
+	}
+	h.delayNs.Store(int64(d))
+}
+
+// takeToken spends one hedge token if available.
+func (h *Hedge) takeToken() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.tokens >= 1 {
+		h.tokens--
+		return true
+	}
+	return false
+}
+
+// earnToken credits one un-hedged send.
+func (h *Hedge) earnToken() {
+	h.mu.Lock()
+	h.tokens += h.pol.Budget
+	if burst := float64(h.pol.Burst); h.tokens > burst {
+		h.tokens = burst
+	}
+	h.mu.Unlock()
+}
+
+// Send implements Transport. Non-hedgeable ops pass straight through.
+func (h *Hedge) Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	if !h.hedgeable[op] {
+		return h.inner.Send(ctx, node, op, payload)
+	}
+	type res struct {
+		payload []byte
+		err     error
+		hedged  bool
+	}
+	start := time.Now()
+	// Buffered for both attempts: an abandoned attempt parks its result
+	// and its goroutine exits — nothing leaks, nothing blocks.
+	ch := make(chan res, 2)
+	go func() {
+		p, e := h.inner.Send(ctx, node, op, payload)
+		ch <- res{p, e, false}
+	}()
+	timer := time.NewTimer(h.delay())
+	var first res
+	select {
+	case first = <-ch:
+		timer.Stop()
+		h.earnToken()
+		if first.err == nil {
+			h.record(time.Since(start))
+		}
+		return first.payload, first.err
+	case <-ctx.Done():
+		timer.Stop()
+		return nil, ctx.Err()
+	case <-timer.C:
+	}
+	// The primary is past the hedge delay. Fire a backup if the budget
+	// allows; otherwise keep waiting on the primary alone.
+	if !h.takeToken() {
+		h.met.denied.Inc()
+		h.earnToken()
+		select {
+		case first = <-ch:
+			if first.err == nil {
+				h.record(time.Since(start))
+			}
+			return first.payload, first.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	h.met.fired.Inc()
+	go func() {
+		p, e := h.inner.Send(ctx, node, op, payload)
+		ch <- res{p, e, true}
+	}()
+	select {
+	case first = <-ch:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if first.err == nil {
+		if first.hedged {
+			h.met.won.Inc()
+		}
+		h.record(time.Since(start))
+		return first.payload, nil
+	}
+	// First arrival failed; the other attempt is still our best hope.
+	select {
+	case second := <-ch:
+		if second.err == nil {
+			if second.hedged {
+				h.met.won.Inc()
+			}
+			h.record(time.Since(start))
+			return second.payload, nil
+		}
+		// Both failed: surface the primary's error for stable semantics.
+		if first.hedged {
+			first = second
+		}
+		return first.payload, first.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Nodes implements Transport.
+func (h *Hedge) Nodes() []NodeID { return h.inner.Nodes() }
+
+// Close implements Transport.
+func (h *Hedge) Close() error { return h.inner.Close() }
+
+// SendsWithContext forwards the inner transport's marker: hedged sends
+// always select on ctx, and pass-through ops behave like the inner
+// transport.
+func (h *Hedge) SendsWithContext() bool {
+	cs, ok := h.inner.(CtxSender)
+	return ok && cs.SendsWithContext()
+}

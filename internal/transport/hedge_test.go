@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const hedgeOp = 7
+
+func hedgePolicy() HedgePolicy {
+	return HedgePolicy{Ops: []uint8{hedgeOp}, Delay: 20 * time.Millisecond, Budget: 1, Burst: 10}
+}
+
+// TestHedgeFiresAndWins: a stuck primary past the hedge delay triggers
+// one backup attempt, and the faster answer is returned well before the
+// primary would have finished.
+func TestHedgeFiresAndWins(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := &stubTransport{fn: func(ctx context.Context, call int, _ NodeID, _ uint8) ([]byte, error) {
+		if call == 0 {
+			if err := sleepCtx(ctx, 400*time.Millisecond); err != nil {
+				return nil, err
+			}
+			return []byte("slow"), nil
+		}
+		return []byte("fast"), nil
+	}}
+	h := NewHedge(inner, hedgePolicy())
+	h.Instrument(reg)
+
+	start := time.Now()
+	resp, err := h.Send(context.Background(), 1, hedgeOp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "fast" {
+		t.Errorf("resp = %q, want the hedge's answer", resp)
+	}
+	if elapsed := time.Since(start); elapsed >= 300*time.Millisecond {
+		t.Errorf("hedged send took %v — waited out the stuck primary", elapsed)
+	}
+	if fired := reg.CounterValue("transport_hedge_fired_total"); fired != 1 {
+		t.Errorf("transport_hedge_fired_total = %d, want 1", fired)
+	}
+	if won := reg.CounterValue("transport_hedge_won_total"); won != 1 {
+		t.Errorf("transport_hedge_won_total = %d, want 1", won)
+	}
+}
+
+// TestHedgeNonHedgeableOpPassesThrough: ops outside the policy's list
+// (mutations) make exactly one attempt, always.
+func TestHedgeNonHedgeableOpPassesThrough(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := &stubTransport{fn: func(ctx context.Context, _ int, _ NodeID, _ uint8) ([]byte, error) {
+		if err := sleepCtx(ctx, 60*time.Millisecond); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	}}
+	h := NewHedge(inner, hedgePolicy()) // delay 20ms < the 60ms latency
+	h.Instrument(reg)
+	if _, err := h.Send(context.Background(), 1, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.callCount(); got != 1 {
+		t.Errorf("non-hedgeable op made %d attempts, want 1", got)
+	}
+	if fired := reg.CounterValue("transport_hedge_fired_total"); fired != 0 {
+		t.Errorf("hedge fired %d times for a non-hedgeable op", fired)
+	}
+}
+
+// TestHedgeBudgetDenied: with the token bucket drained, slow sends wait
+// on the primary instead of amplifying load.
+func TestHedgeBudgetDenied(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := &stubTransport{fn: func(ctx context.Context, _ int, _ NodeID, _ uint8) ([]byte, error) {
+		if err := sleepCtx(ctx, 60*time.Millisecond); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	}}
+	pol := hedgePolicy()
+	pol.Delay = 5 * time.Millisecond
+	pol.Budget = 0.001 // earn essentially nothing back
+	pol.Burst = 1      // one seeded token
+	h := NewHedge(inner, pol)
+	h.Instrument(reg)
+
+	for i := 0; i < 2; i++ {
+		if _, err := h.Send(context.Background(), 1, hedgeOp, nil); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if fired := reg.CounterValue("transport_hedge_fired_total"); fired != 1 {
+		t.Errorf("transport_hedge_fired_total = %d, want 1 (one seeded token)", fired)
+	}
+	if denied := reg.CounterValue("transport_hedge_denied_total"); denied != 1 {
+		t.Errorf("transport_hedge_denied_total = %d, want 1", denied)
+	}
+	// Three calls total: two primaries + the single hedge.
+	if got := inner.callCount(); got != 3 {
+		t.Errorf("inner attempts = %d, want 3", got)
+	}
+}
+
+// TestHedgeBothFailPrefersPrimaryError: when both attempts fail the
+// primary's error is surfaced, independent of which failure arrived
+// first — stable semantics for callers that classify errors.
+func TestHedgeBothFailPrefersPrimaryError(t *testing.T) {
+	primaryErr := errors.New("primary boom")
+	inner := &stubTransport{fn: func(ctx context.Context, call int, _ NodeID, _ uint8) ([]byte, error) {
+		if call == 0 {
+			if err := sleepCtx(ctx, 80*time.Millisecond); err != nil {
+				return nil, err
+			}
+			return nil, primaryErr
+		}
+		return nil, errors.New("hedge boom") // fails immediately, arrives first
+	}}
+	pol := hedgePolicy()
+	pol.Delay = 5 * time.Millisecond
+	h := NewHedge(inner, pol)
+
+	_, err := h.Send(context.Background(), 1, hedgeOp, nil)
+	if !errors.Is(err, primaryErr) {
+		t.Fatalf("err = %v, want the primary's error", err)
+	}
+	if got := inner.callCount(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
+// TestHedgeContextCancel: a hedged send in flight still honors its
+// context promptly.
+func TestHedgeContextCancel(t *testing.T) {
+	inner := &stubTransport{fn: func(ctx context.Context, _ int, _ NodeID, _ uint8) ([]byte, error) {
+		if err := sleepCtx(ctx, 10*time.Second); err != nil {
+			return nil, err
+		}
+		return []byte("never"), nil
+	}}
+	pol := hedgePolicy()
+	pol.Delay = 5 * time.Millisecond
+	h := NewHedge(inner, pol)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := h.Send(ctx, 1, hedgeOp, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled hedge took %v to return", elapsed)
+	}
+}

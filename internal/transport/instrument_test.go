@@ -17,7 +17,7 @@ func echoRig(t *testing.T, nodes int, fault Fault, policy RetryPolicy) (*obs.Reg
 	reg := obs.NewRegistry()
 	mem := NewMemory()
 	for i := 0; i < nodes; i++ {
-		mem.Register(NodeID(i), func(op uint8, payload []byte) ([]byte, error) {
+		mem.Register(NodeID(i), func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 			return payload, nil
 		})
 	}
@@ -148,7 +148,7 @@ func TestDetectorMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	mem := NewMemory()
 	for i := 0; i < 3; i++ {
-		mem.Register(NodeID(i), func(op uint8, payload []byte) ([]byte, error) { return nil, nil })
+		mem.Register(NodeID(i), func(_ context.Context, op uint8, payload []byte) ([]byte, error) { return nil, nil })
 	}
 	faulty := NewFaulty(mem, 1)
 	det := NewDetector(faulty, []NodeID{0, 1, 2}, DetectorPolicy{DownAfter: 2})
@@ -198,7 +198,7 @@ func TestDetectorMetrics(t *testing.T) {
 // two ends agree byte for byte, frame for frame.
 func TestTCPByteAccounting(t *testing.T) {
 	reg := obs.NewRegistry()
-	srv := NewServer(func(op uint8, payload []byte) ([]byte, error) {
+	srv := NewServer(func(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 		if op == 99 {
 			return nil, errors.New("handler error")
 		}

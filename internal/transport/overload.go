@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel matched by errors.Is when a server's
+// admission controller shed a request. It signals backpressure, not
+// failure: the node is alive and answering, it just refused to queue
+// more work. Callers should back off (honoring the retry-after hint
+// when present) and must not feed it to failure detectors as a
+// down-signal.
+var ErrOverloaded = errors.New("transport: server overloaded")
+
+// OverloadedError is the client-side form of a statusOverloaded wire
+// response: node's shedder rejected the request before the handler
+// ran. RetryAfter is the server's backoff hint (zero when it offered
+// none).
+type OverloadedError struct {
+	Node       NodeID
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("node %d: overloaded (retry after %v)", e.Node, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// ExpiredError is the client-side form of a statusExpired wire
+// response: the request's propagated deadline had already passed when
+// the server read it, so the server dropped it without running the
+// handler. It matches errors.Is(err, context.DeadlineExceeded) — from
+// the caller's point of view the op timed out; the wire status only
+// tells us the server noticed first.
+type ExpiredError struct {
+	Node NodeID
+}
+
+func (e *ExpiredError) Error() string {
+	return fmt.Sprintf("node %d: request deadline expired before dispatch", e.Node)
+}
+
+// Is makes errors.Is(err, context.DeadlineExceeded) match.
+func (e *ExpiredError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// RetryAfterOf extracts a server backoff hint from an error chain.
+func RetryAfterOf(err error) (time.Duration, bool) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) && oe.RetryAfter > 0 {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// overloadAlive reports whether an error proves the node processed
+// our frame and answered — shed or expired responses come from a
+// live, merely saturated node. Detector and Retry use this to keep
+// backpressure out of the failure-suspicion path: a cluster at 3x
+// capacity must shed, and shedding must not read as nodes dying.
+func overloadAlive(err error) bool {
+	var oe *OverloadedError
+	var ee *ExpiredError
+	return errors.As(err, &oe) || errors.As(err, &ee)
+}

@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stubTransport scripts responses by global call index — the knobs the
+// budget and hedge tests need (latency, per-call outcomes) without a
+// real network.
+type stubTransport struct {
+	mu    sync.Mutex
+	calls int
+	fn    func(ctx context.Context, call int, node NodeID, op uint8) ([]byte, error)
+}
+
+func (s *stubTransport) Send(ctx context.Context, node NodeID, op uint8, payload []byte) ([]byte, error) {
+	s.mu.Lock()
+	c := s.calls
+	s.calls++
+	fn := s.fn
+	s.mu.Unlock()
+	return fn(ctx, c, node, op)
+}
+
+func (s *stubTransport) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func (s *stubTransport) setFn(fn func(ctx context.Context, call int, node NodeID, op uint8) ([]byte, error)) {
+	s.mu.Lock()
+	s.fn = fn
+	s.mu.Unlock()
+}
+
+func (s *stubTransport) Nodes() []NodeID { return nil }
+func (s *stubTransport) Close() error    { return nil }
+
+func budgetPolicy(budget float64, burst int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Multiplier:  2,
+		RetryBudget: budget,
+		BudgetBurst: burst,
+	}
+}
+
+// TestRetryBudgetCapsRetries: with the budget drained and nothing
+// succeeding, further Sends get exactly one attempt each — the retry
+// storm is capped, and the surfaced error still carries the real cause.
+func TestRetryBudgetCapsRetries(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := &stubTransport{fn: func(context.Context, int, NodeID, uint8) ([]byte, error) {
+		return nil, ErrInjectedDrop
+	}}
+	r := NewRetry(inner, budgetPolicy(0.5, 3), 1)
+	r.Instrument(reg)
+
+	for i := 0; i < 10; i++ {
+		_, err := r.Send(context.Background(), 1, 1, nil)
+		if err == nil {
+			t.Fatalf("send %d succeeded against an always-failing transport", i)
+		}
+		if !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("send %d lost the underlying cause: %v", i, err)
+		}
+	}
+	// Send 1 burns the 3 seeded tokens on its 3 retries (4 attempts);
+	// sends 2..10 are denied their first retry: 1 attempt each.
+	if got := inner.callCount(); got != 13 {
+		t.Errorf("attempts = %d, want 13 (4 + 9×1)", got)
+	}
+	if got := reg.CounterValue("transport_retry_budget_exhausted_total"); got != 9 {
+		t.Errorf("transport_retry_budget_exhausted_total = %d, want 9", got)
+	}
+	st := r.NodeStats(1)
+	if st.Sends != 10 || st.Retries != 3 {
+		t.Errorf("stats = %+v, want Sends 10 / Retries 3", st)
+	}
+}
+
+// TestRetryBudgetEarnedBySuccesses: successes refill the bucket at the
+// policy rate, so a transport that mostly works keeps its retries.
+func TestRetryBudgetEarnedBySuccesses(t *testing.T) {
+	inner := &stubTransport{fn: func(_ context.Context, call int, _ NodeID, _ uint8) ([]byte, error) {
+		switch {
+		case call <= 4: // drain the seeded burst with pure failures
+			return nil, ErrInjectedDrop
+		case call <= 6: // two successes earn 2 × RetryBudget = 2 tokens
+			return []byte("ok"), nil
+		case call == 7: // then one transient failure…
+			return nil, ErrInjectedDrop
+		default: // …whose retry (paid from earned tokens) succeeds
+			return []byte("ok"), nil
+		}
+	}}
+	p := budgetPolicy(1.0, 2)
+	p.MaxAttempts = 2
+	r := NewRetry(inner, p, 1)
+
+	// Sends 1–2: fail, retry, fail — two tokens spent.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Send(context.Background(), 1, 1, nil); err == nil {
+			t.Fatal("want failure while draining budget")
+		}
+	}
+	// Send 3: the budget is empty; the retry is denied.
+	_, err := r.Send(context.Background(), 1, 1, nil)
+	if err == nil || !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("budget-denied send: err = %v", err)
+	}
+	if got := inner.callCount(); got != 5 {
+		t.Fatalf("attempts before refill = %d, want 5", got)
+	}
+	// Two clean successes refill the bucket…
+	for i := 0; i < 2; i++ {
+		if _, err := r.Send(context.Background(), 1, 1, nil); err != nil {
+			t.Fatalf("healthy send failed: %v", err)
+		}
+	}
+	// …so the next transient failure is retried again, and masked.
+	if _, err := r.Send(context.Background(), 1, 1, nil); err != nil {
+		t.Fatalf("retry not restored after successes: %v", err)
+	}
+	if got := r.NodeStats(1).Retries; got != 3 {
+		t.Errorf("retries = %d, want 3 (2 draining + 1 after refill)", got)
+	}
+}
+
+// TestOverloadDoesNotTripBreaker: shed responses are backpressure from
+// a live node. They must not count toward the circuit breaker's
+// consecutive-failure threshold, and the observer (the detector in the
+// real stack) must see them as successes.
+func TestOverloadDoesNotTripBreaker(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := &stubTransport{fn: func(_ context.Context, _ int, node NodeID, _ uint8) ([]byte, error) {
+		return nil, &OverloadedError{Node: node, RetryAfter: time.Millisecond}
+	}}
+	p := budgetPolicy(0, 0) // budget off; breaker is the subject
+	p.MaxAttempts = 1
+	p.FailureThreshold = 2
+	p.Cooldown = time.Hour
+	r := NewRetry(inner, p, 1)
+	r.Instrument(reg)
+	rec := &recordingObserver{}
+	r.SetObserver(rec)
+
+	for i := 0; i < 10; i++ {
+		_, err := r.Send(context.Background(), 1, 1, nil)
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("send %d: err = %v, want ErrOverloaded", i, err)
+		}
+		if errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("send %d rejected by breaker — backpressure turned into blackout", i)
+		}
+	}
+	st := r.NodeStats(1)
+	if st.ConsecutiveFailures != 0 || st.BreakerTrips != 0 || st.BreakerOpen {
+		t.Errorf("breaker fed by overload: %+v", st)
+	}
+	if got := reg.CounterValue("transport_retry_overloaded_total"); got != 10 {
+		t.Errorf("transport_retry_overloaded_total = %d, want 10", got)
+	}
+	rec.mu.Lock()
+	seen := len(rec.errs)
+	for i, e := range rec.errs {
+		if e != nil {
+			t.Errorf("observer signal %d = %v, want nil (node is alive)", i, e)
+		}
+	}
+	rec.mu.Unlock()
+	if seen != 10 {
+		t.Errorf("observer saw %d signals, want 10", seen)
+	}
+
+	// Real failures still count: two take the breaker down.
+	inner.setFn(func(context.Context, int, NodeID, uint8) ([]byte, error) {
+		return nil, ErrInjectedDrop
+	})
+	r.Send(context.Background(), 1, 1, nil) //nolint:errcheck
+	r.Send(context.Background(), 1, 1, nil) //nolint:errcheck
+	if st := r.NodeStats(1); !st.BreakerOpen {
+		t.Errorf("real failures no longer trip the breaker: %+v", st)
+	}
+}
+
+// TestRetryHonorsRetryAfterHint: the server's hint is a floor on the
+// backoff before the next attempt.
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	const hint = 120 * time.Millisecond
+	inner := &stubTransport{fn: func(_ context.Context, call int, node NodeID, _ uint8) ([]byte, error) {
+		if call == 0 {
+			return nil, &OverloadedError{Node: node, RetryAfter: hint}
+		}
+		return []byte("ok"), nil
+	}}
+	p := budgetPolicy(0, 0)
+	p.MaxAttempts = 2
+	p.BaseDelay = time.Millisecond
+	p.MaxDelay = 2 * time.Millisecond
+	r := NewRetry(inner, p, 1)
+
+	start := time.Now()
+	if _, err := r.Send(context.Background(), 1, 1, nil); err != nil {
+		t.Fatalf("retry after hint failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < hint {
+		t.Errorf("retried after %v, hint promised nothing before %v", elapsed, hint)
+	}
+	if got := inner.callCount(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
+// TestRetryObserverClassification pins the full passive-signal map:
+// what each error class reports to the failure detector.
+func TestRetryObserverClassification(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		observed bool // reaches the observer at all
+		asAlive  bool // reported with err == nil
+	}{
+		{"success", nil, true, true},
+		{"overloaded", &OverloadedError{Node: 1}, true, true},
+		{"expired", &ExpiredError{Node: 1}, true, true},
+		{"remote handler error", &RemoteError{Node: 1, Msg: "no bucket"}, true, true},
+		{"caller deadline", context.DeadlineExceeded, false, false},
+		{"caller cancel", context.Canceled, false, false},
+		{"transport failure", ErrInjectedDrop, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inner := &stubTransport{fn: func(context.Context, int, NodeID, uint8) ([]byte, error) {
+				if tc.err == nil {
+					return []byte("ok"), nil
+				}
+				return nil, tc.err
+			}}
+			p := budgetPolicy(0, 0)
+			p.MaxAttempts = 1
+			r := NewRetry(inner, p, 1)
+			rec := &recordingObserver{}
+			r.SetObserver(rec)
+			r.Send(context.Background(), 1, 1, nil) //nolint:errcheck // outcome is the observer's view
+			rec.mu.Lock()
+			defer rec.mu.Unlock()
+			if !tc.observed {
+				if len(rec.errs) != 0 {
+					t.Fatalf("observer saw %v, want no signal", rec.errs)
+				}
+				return
+			}
+			if len(rec.errs) != 1 {
+				t.Fatalf("observer saw %d signals, want 1", len(rec.errs))
+			}
+			if alive := rec.errs[0] == nil; alive != tc.asAlive {
+				t.Errorf("observed err = %v, want alive=%v", rec.errs[0], tc.asAlive)
+			}
+		})
+	}
+}
+
+// TestDetectorIgnoresBackpressure is the regression for the detector
+// half of the misclassification bug: a node shedding load (or dropping
+// expired requests) is alive, and no amount of backpressure may mark it
+// suspect — while genuine failures still take it down.
+func TestDetectorIgnoresBackpressure(t *testing.T) {
+	m := NewMemory()
+	m.Register(0, echoHandler)
+	d := newTestDetector(m, []NodeID{0}, 1, 1) // hair-trigger: one bad signal = down
+
+	for i := 0; i < 20; i++ {
+		d.ObserveSend(0, &OverloadedError{Node: 0, RetryAfter: time.Millisecond})
+		d.ObserveSend(0, &ExpiredError{Node: 0})
+	}
+	if st := d.State(0); st != NodeUp {
+		t.Fatalf("node marked %v on pure backpressure, want up", st)
+	}
+	d.ObserveSend(0, errors.New("connection refused"))
+	if st := d.State(0); st != NodeDown {
+		t.Fatalf("real failure no longer detected: state %v", st)
+	}
+}
+
+// TestRetryDetectorOverloadEndToEnd wires Retry's observer to a
+// Detector (the esdds stack) and hammers an always-shedding transport:
+// the node must stay Up throughout.
+func TestRetryDetectorOverloadEndToEnd(t *testing.T) {
+	m := NewMemory()
+	m.Register(1, echoHandler)
+	inner := &stubTransport{fn: func(_ context.Context, _ int, node NodeID, _ uint8) ([]byte, error) {
+		return nil, &OverloadedError{Node: node, RetryAfter: time.Microsecond}
+	}}
+	p := budgetPolicy(0.1, 5)
+	r := NewRetry(inner, p, 1)
+	d := newTestDetector(m, []NodeID{1}, 1, 1)
+	r.SetObserver(d)
+
+	for i := 0; i < 50; i++ {
+		if _, err := r.Send(context.Background(), 1, 1, nil); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if st := d.State(1); st != NodeUp {
+		t.Fatalf("sustained shedding marked the node %v, want up", st)
+	}
+}

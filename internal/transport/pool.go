@@ -344,17 +344,44 @@ func (t *TCP) Send(ctx context.Context, node NodeID, op uint8, payload []byte) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if op&tagDeadline != 0 {
+		return nil, fmt.Errorf("transport: op %d collides with the v2 deadline flag (ops must be < 0x80)", op)
+	}
+	// Propagate the caller's remaining budget on the wire so the server
+	// (and every hop it forwards to) can drop work that is already doomed.
+	// The absolute deadline rides to the write loop, which encodes the
+	// budget left at the moment the frame is actually serialized — a frame
+	// that sat in the write queue carries its true remaining time, not a
+	// stale snapshot.
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline && time.Until(deadline) <= 0 {
+		return nil, context.DeadlineExceeded
+	}
+	if !hasDeadline {
+		deadline = time.Time{}
+	}
 	c, err := t.getConn(ctx, node)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(ctx, op, payload)
+	resp, err := c.roundTrip(ctx, op, deadline, payload)
 	c.release()
 	if err != nil {
 		return nil, err
 	}
-	if resp.status == statusErr {
+	switch resp.status {
+	case statusErr:
 		return nil, &RemoteError{Node: node, Msg: string(resp.payload)}
+	case statusOverloaded:
+		var retryAfter time.Duration
+		if len(resp.payload) >= deadlineBytes {
+			if d := time.Duration(binary.BigEndian.Uint64(resp.payload[:deadlineBytes])); d > 0 {
+				retryAfter = d
+			}
+		}
+		return nil, &OverloadedError{Node: node, RetryAfter: retryAfter}
+	case statusExpired:
+		return nil, &ExpiredError{Node: node}
 	}
 	return resp.payload, nil
 }
@@ -408,10 +435,11 @@ type muxConn struct {
 }
 
 type wireReq struct {
-	id      uint32
-	op      uint8
-	payload []byte
-	wrote   chan struct{} // closed once the frame left (or will never leave) this process
+	id       uint32
+	op       uint8
+	deadline time.Time // non-zero: frame carries the deadline field
+	payload  []byte
+	wrote    chan struct{} // closed once the frame left (or will never leave) this process
 }
 
 type wireResp struct {
@@ -428,8 +456,9 @@ func (c *muxConn) release() {
 	c.t.met.inflight.Add(-1)
 }
 
-// roundTrip runs one tagged request over the shared connection.
-func (c *muxConn) roundTrip(ctx context.Context, op uint8, payload []byte) (wireResp, error) {
+// roundTrip runs one tagged request over the shared connection. A
+// non-zero deadline is encoded as the frame's deadline field.
+func (c *muxConn) roundTrip(ctx context.Context, op uint8, deadline time.Time, payload []byte) (wireResp, error) {
 	ch := make(chan wireResp, 1)
 	c.mu.Lock()
 	if c.dead {
@@ -442,7 +471,7 @@ func (c *muxConn) roundTrip(ctx context.Context, op uint8, payload []byte) (wire
 	c.waiters[id] = ch
 	c.mu.Unlock()
 
-	req := &wireReq{id: id, op: op, payload: payload, wrote: make(chan struct{})}
+	req := &wireReq{id: id, op: op, deadline: deadline, payload: payload, wrote: make(chan struct{})}
 	select {
 	case c.writeCh <- req:
 	case <-c.closed:
@@ -497,12 +526,16 @@ func (c *muxConn) deathErr() error {
 // writeBatch bounds how many queued frames one vectored write carries.
 const writeBatch = 64
 
+// hdrSlot is one write-arena slot: a v2 header plus room for the
+// optional deadline field.
+const hdrSlot = frameHdrV2 + deadlineBytes
+
 // writeLoop drains queued requests, coalescing everything pending into
-// one net.Buffers vectored write — headers from a reused arena, payload
-// slices used in place (zero copy).
+// one net.Buffers vectored write — headers (and deadline fields) from a
+// reused arena, payload slices used in place (zero copy).
 func (c *muxConn) writeLoop() {
 	var (
-		hdrs    [writeBatch * frameHdrV2]byte
+		hdrs    [writeBatch * hdrSlot]byte
 		pending = make([]*wireReq, 0, writeBatch)
 		bufs    = make(net.Buffers, 0, 2*writeBatch)
 	)
@@ -533,9 +566,20 @@ func (c *muxConn) writeLoop() {
 		bufs = bufs[:0]
 		var wire uint64
 		for i, req := range pending {
-			h := hdrs[i*frameHdrV2 : (i+1)*frameHdrV2]
-			putFrameHdrV2(h, req.id, req.op, len(req.payload))
-			bufs = append(bufs, h)
+			slot := hdrs[i*hdrSlot : i*hdrSlot+hdrSlot]
+			if req.deadline.IsZero() {
+				h := slot[:frameHdrV2]
+				putFrameHdrV2(h, req.id, req.op, len(req.payload))
+				bufs = append(bufs, h)
+			} else {
+				// Encode the budget left right now; a frame that queued
+				// behind a slow batch ships the time its caller truly has.
+				h := slot[:frameHdrV2+deadlineBytes]
+				putFrameHdrV2(h[:frameHdrV2], req.id, req.op|tagDeadline, deadlineBytes+len(req.payload))
+				putBudget(h[frameHdrV2:], time.Until(req.deadline))
+				bufs = append(bufs, h)
+				wire += deadlineBytes
+			}
 			if len(req.payload) > 0 {
 				bufs = append(bufs, req.payload)
 			}

@@ -119,7 +119,7 @@ func TestMuxOutOfOrderResponses(t *testing.T) {
 // response must match its request exactly despite out-of-order
 // completion on the server's worker pool.
 func TestMuxConcurrencyTorture(t *testing.T) {
-	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+	addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		return append([]byte{op}, p...), nil
 	})
 	defer stop()
@@ -171,7 +171,7 @@ func TestMuxConcurrencyTorture(t *testing.T) {
 // dialing or failing.
 func TestPoolBounded(t *testing.T) {
 	release := make(chan struct{})
-	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+	addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		<-release
 		return p, nil
 	})
@@ -345,7 +345,7 @@ func TestDialCoalescing(t *testing.T) {
 func TestMuxContextCancelAbandonsWaiter(t *testing.T) {
 	gate := make(chan struct{})
 	var gateOnce sync.Once
-	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+	addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		if op == 9 {
 			<-gate
 		}
@@ -425,7 +425,7 @@ func TestPoolDeathFeedsDetector(t *testing.T) {
 // returns. Reusing one buffer for every request with a mutation between
 // sends must never corrupt a frame.
 func TestMuxPayloadNotRetained(t *testing.T) {
-	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+	addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		return append([]byte(nil), p...), nil
 	})
 	defer stop()

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Adaptive admission control (DESIGN.md §13). The Shedder sits between
+// the server's v2 frame reader and the handler worker pool and decides,
+// per request, whether the node should take on more concurrent work or
+// reject with a retry-after hint. Two cooperating mechanisms:
+//
+//   - An AIMD concurrency limit: admitted in-flight requests may not
+//     exceed the current limit. The limit is probed upward additively
+//     when it binds while latency is healthy, and cut multiplicatively
+//     when queueing delay is sustained — the classic TCP-style control
+//     loop, applied to handler concurrency.
+//   - A CoDel-style queue-delay signal: per window, the shedder
+//     compares the mean handler latency against a floor (the smallest
+//     per-window minimum seen recently, approximating uncontended
+//     service time). The excess is standing queue delay; when it stays
+//     above Target for two consecutive windows, the limit is cut.
+//
+// Priority classes keep the control plane alive and client traffic
+// ahead of maintenance: Control ops (health probes) are always
+// admitted, Background ops (Guardian scrub/repair/bulk sync) are
+// admitted only while in-flight work is under BackgroundFraction of
+// the limit, Foreground ops get the full limit.
+
+// Priority is an op's admission-control class.
+type Priority uint8
+
+const (
+	// PriorityForeground is client-facing work (put/get/search): full
+	// admission limit.
+	PriorityForeground Priority = iota
+	// PriorityBackground is maintenance traffic (scrub, repair, bulk
+	// sync): first to be shed, admitted only while the node has slack.
+	PriorityBackground
+	// PriorityControl is health-check traffic: never shed, so a
+	// saturated node still proves liveness to its detector.
+	PriorityControl
+)
+
+// PriorityFunc classifies an op code into a Priority. A nil classifier
+// treats every op as foreground.
+type PriorityFunc func(op uint8) Priority
+
+// ShedPolicy tunes a Shedder. Zero values take defaults.
+type ShedPolicy struct {
+	// MinLimit / MaxLimit bound the AIMD concurrency limit
+	// (defaults 8 / 1024). The limit starts at MaxLimit: a
+	// freshly-started node is assumed healthy until latency says
+	// otherwise.
+	MinLimit int
+	MaxLimit int
+	// Target is the acceptable standing queue delay — mean handler
+	// latency above the recent floor (default 5ms). Sustained excess
+	// cuts the limit.
+	Target time.Duration
+	// Window is the control-loop interval (default 100ms).
+	Window time.Duration
+	// BackgroundFraction is the share of the limit background ops may
+	// occupy (default 0.5).
+	BackgroundFraction float64
+	// Classify maps op codes to priorities; nil means all foreground.
+	Classify PriorityFunc
+}
+
+func (p *ShedPolicy) fillDefaults() {
+	if p.MinLimit <= 0 {
+		p.MinLimit = 8
+	}
+	if p.MaxLimit <= 0 {
+		p.MaxLimit = 1024
+	}
+	if p.MaxLimit < p.MinLimit {
+		p.MaxLimit = p.MinLimit
+	}
+	if p.Target <= 0 {
+		p.Target = 5 * time.Millisecond
+	}
+	if p.Window <= 0 {
+		p.Window = 100 * time.Millisecond
+	}
+	if p.BackgroundFraction <= 0 || p.BackgroundFraction > 1 {
+		p.BackgroundFraction = 0.5
+	}
+}
+
+// floorWindows is how many window minima the floor estimate spans:
+// 10 windows × 100ms default = a 1s memory of uncontended latency.
+const floorWindows = 10
+
+// ShedToken is the receipt for an admitted request; hand it back via
+// Done when the handler finishes so the shedder can account latency.
+type ShedToken struct {
+	start time.Time
+	prio  Priority
+}
+
+// Shedder is a per-node adaptive admission controller. Safe for
+// concurrent use; the admit fast path is two atomics.
+type Shedder struct {
+	pol ShedPolicy
+	now func() time.Time // injectable for deterministic tests
+
+	inflight atomic.Int64
+	limit    atomic.Int64
+
+	mu          sync.Mutex
+	windowStart time.Time
+	winCount    int64
+	winSum      time.Duration
+	winMin      time.Duration
+	hitLimit    bool // limit bound (rejected something) this window
+	aboveRuns   int  // consecutive windows with queue delay > Target
+	minRing     [floorWindows]time.Duration
+	ringN       int
+	ringI       int
+	lastAvg     time.Duration // previous window's mean latency (hint basis)
+
+	limitGauge *obs.Gauge // nil until Instrument
+}
+
+// NewShedder builds a shedder from a policy (zero fields defaulted).
+func NewShedder(pol ShedPolicy) *Shedder {
+	pol.fillDefaults()
+	s := &Shedder{pol: pol, now: time.Now}
+	s.limit.Store(int64(pol.MaxLimit))
+	return s
+}
+
+// Instrument publishes the live concurrency limit as
+// transport_srv_shed_limit.
+func (s *Shedder) Instrument(reg *obs.Registry) {
+	s.limitGauge = reg.Gauge("transport_srv_shed_limit")
+	s.limitGauge.Set(s.limit.Load())
+}
+
+// Limit reports the current AIMD concurrency limit.
+func (s *Shedder) Limit() int { return int(s.limit.Load()) }
+
+// Inflight reports currently admitted, unfinished requests.
+func (s *Shedder) Inflight() int { return int(s.inflight.Load()) }
+
+// Admit decides one request. ok=true: run the handler and call
+// Done(tok) when it finishes. ok=false: shed — reply overloaded with
+// the retryAfter hint and do not call Done.
+func (s *Shedder) Admit(op uint8) (tok ShedToken, retryAfter time.Duration, ok bool) {
+	prio := PriorityForeground
+	if s.pol.Classify != nil {
+		prio = s.pol.Classify(op)
+	}
+	if prio == PriorityControl {
+		// Always admitted and never counted: control traffic must get
+		// through precisely when the node is saturated, and its
+		// near-zero service time would poison the latency floor.
+		return ShedToken{prio: prio}, 0, true
+	}
+	eff := s.limit.Load()
+	if prio == PriorityBackground {
+		eff = int64(float64(eff) * s.pol.BackgroundFraction)
+		if eff < 1 {
+			eff = 1
+		}
+	}
+	if n := s.inflight.Add(1); n > eff {
+		s.inflight.Add(-1)
+		return ShedToken{}, s.reject(), false
+	}
+	return ShedToken{start: s.now(), prio: prio}, 0, true
+}
+
+// Done closes out an admitted request, feeding its latency into the
+// control loop.
+func (s *Shedder) Done(tok ShedToken) {
+	if tok.prio == PriorityControl {
+		return
+	}
+	s.inflight.Add(-1)
+	now := s.now()
+	lat := now.Sub(tok.start)
+	if lat < 0 {
+		lat = 0
+	}
+	s.mu.Lock()
+	s.winCount++
+	s.winSum += lat
+	if s.winCount == 1 || lat < s.winMin {
+		s.winMin = lat
+	}
+	s.maybeRotate(now)
+	s.mu.Unlock()
+}
+
+// reject records a shed (the limit bound) and returns the retry-after
+// hint: the previous window's mean latency, floored at Target and
+// capped at 1s — roughly "one service time from now there may be room".
+func (s *Shedder) reject() time.Duration {
+	now := s.now()
+	s.mu.Lock()
+	s.hitLimit = true
+	s.maybeRotate(now)
+	hint := s.lastAvg
+	s.mu.Unlock()
+	if hint < s.pol.Target {
+		hint = s.pol.Target
+	}
+	if hint > time.Second {
+		hint = time.Second
+	}
+	return hint
+}
+
+// maybeRotate closes the control window if it has elapsed. Called with
+// mu held from every Done and every rejection, so under any sustained
+// traffic the loop keeps turning; an idle shedder has nothing to adapt.
+func (s *Shedder) maybeRotate(now time.Time) {
+	if s.windowStart.IsZero() {
+		s.windowStart = now
+		return
+	}
+	if now.Sub(s.windowStart) < s.pol.Window {
+		return
+	}
+	limit := s.limit.Load()
+	newLimit := limit
+	if s.winCount > 0 {
+		avg := s.winSum / time.Duration(s.winCount)
+		floor := s.winMin
+		for i := 0; i < s.ringN; i++ {
+			if s.minRing[i] < floor {
+				floor = s.minRing[i]
+			}
+		}
+		s.minRing[s.ringI] = s.winMin
+		s.ringI = (s.ringI + 1) % floorWindows
+		if s.ringN < floorWindows {
+			s.ringN++
+		}
+		s.lastAvg = avg
+		if avg-floor > s.pol.Target {
+			s.aboveRuns++
+		} else {
+			s.aboveRuns = 0
+			if s.hitLimit {
+				// Limit bound while latency stayed healthy: probe upward.
+				newLimit = limit + limit/16
+				if newLimit == limit {
+					newLimit = limit + 1
+				}
+				if max := int64(s.pol.MaxLimit); newLimit > max {
+					newLimit = max
+				}
+			}
+		}
+		if s.aboveRuns >= 2 {
+			// Sustained standing queue: multiplicative decrease.
+			newLimit = limit * 85 / 100
+			if min := int64(s.pol.MinLimit); newLimit < min {
+				newLimit = min
+			}
+			s.aboveRuns = 0
+		}
+	}
+	if newLimit != limit {
+		s.limit.Store(newLimit)
+		s.limitGauge.Set(newLimit)
+	}
+	s.winCount, s.winSum, s.winMin = 0, 0, 0
+	s.hitLimit = false
+	s.windowStart = now
+}

@@ -2,13 +2,16 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Frame format v1, both directions:
@@ -87,6 +90,8 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	shed *Shedder // optional admission control; set before Serve
+
 	met serverMetrics // set by Instrument before Serve; nil-safe
 }
 
@@ -95,12 +100,26 @@ func NewServer(h Handler) *Server {
 	return &Server{handler: h, conns: make(map[net.Conn]struct{})}
 }
 
+// SetShedder arms adaptive admission control on the v2 loop: requests
+// past the shedder's limit are answered with statusOverloaded (and a
+// retry-after hint) instead of being queued, and requests whose
+// propagated deadline already passed are dropped with statusExpired.
+// Call before Serve. The v1 loop is unaffected — it is strictly one
+// request per turn, so a v1 connection cannot pile up work.
+func (s *Server) SetShedder(sh *Shedder) { s.shed = sh }
+
 // Serve accepts connections until the listener is closed. Each
 // connection speaks v1 (sequential request/response turns) or v2
 // (multiplexed tagged frames), chosen by peeking for the v2 magic
 // preamble.
 func (s *Server) Serve(lis net.Listener) error {
 	s.mu.Lock()
+	if s.closed {
+		// Close ran before we published the listener; it could not
+		// close it, so we must, or Accept below would block forever.
+		s.mu.Unlock()
+		return lis.Close()
+	}
 	s.lis = lis
 	s.mu.Unlock()
 	for {
@@ -159,7 +178,8 @@ func (s *Server) serveConnV1(conn net.Conn, r *bufio.Reader) {
 		}
 		s.met.frames.Inc()
 		s.met.bytesIn.Add(frameWireBytes(payload))
-		resp, herr := s.handler(op, payload)
+		s.met.admits.Inc() // v1 has no admission control: every frame dispatches
+		resp, herr := s.handler(context.Background(), op, payload)
 		if herr != nil {
 			s.met.handlerErrors.Inc()
 			msg := []byte(herr.Error())
@@ -189,13 +209,18 @@ type srvResp struct {
 
 // srvTask is one v2 request dispatched to a handler worker. inflight is
 // the connection's own live-request counter; the writer consults it to
-// decide whether yielding for more responses is worthwhile.
+// decide whether yielding for more responses is worthwhile. deadline is
+// the caller's propagated deadline (zero when none was sent); tok is
+// the shedder admission receipt when the server runs one.
 type srvTask struct {
 	s        *Server
 	id       uint32
 	op       uint8
 	payload  []byte
 	buf      *[]byte
+	deadline time.Time
+	tok      ShedToken
+	admitted bool
 	respCh   chan srvResp
 	wg       *sync.WaitGroup
 	inflight *atomic.Int32
@@ -203,13 +228,39 @@ type srvTask struct {
 
 func (t srvTask) run() {
 	defer t.wg.Done()
-	resp, herr := t.s.handler(t.op, t.payload)
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if !t.deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, t.deadline)
+	}
+	resp, herr := t.s.handler(ctx, t.op, t.payload)
+	if cancel != nil {
+		cancel()
+	}
+	if t.admitted {
+		t.s.shed.Done(t.tok)
+	}
 	// Decrement before the response is queued so the writer's snapshot
 	// counts only requests that still owe it a response.
 	t.s.met.inflight.Add(-1)
 	t.inflight.Add(-1)
 	if herr != nil {
 		t.s.met.handlerErrors.Inc()
+		// A request whose forward was shed or expired downstream keeps
+		// its status on the way back out instead of flattening into a
+		// generic remote error: the original client must see overload as
+		// backpressure (and honor the hint), not as a node failure.
+		var oe *OverloadedError
+		if errors.As(herr, &oe) {
+			hint := make([]byte, deadlineBytes)
+			binary.BigEndian.PutUint64(hint, uint64(oe.RetryAfter))
+			t.respCh <- srvResp{id: t.id, status: statusOverloaded, payload: hint, reqBuf: t.buf}
+			return
+		}
+		if errors.Is(herr, context.DeadlineExceeded) {
+			t.respCh <- srvResp{id: t.id, status: statusExpired, reqBuf: t.buf}
+			return
+		}
 		t.respCh <- srvResp{id: t.id, status: statusErr, payload: []byte(herr.Error()), reqBuf: t.buf}
 		return
 	}
@@ -300,16 +351,51 @@ func (s *Server) serveConnV2(conn net.Conn, r *bufio.Reader) {
 	}()
 	var wg sync.WaitGroup
 	for {
-		id, op, payload, buf, err := readFrameV2(r, true)
+		id, tag, payload, buf, err := readFrameV2(r, true)
 		if err != nil {
 			break
 		}
 		s.met.frames.Inc()
 		s.met.bytesIn.Add(frameWireBytesV2(payload))
+		op := tag &^ tagDeadline
+		var deadline time.Time
+		if tag&tagDeadline != 0 {
+			budget, rest, derr := splitBudget(payload)
+			if derr != nil {
+				// Protocol violation: the flag promised a deadline field the
+				// frame doesn't hold. Drop the connection like any other
+				// corrupt stream.
+				putPayloadBuf(buf)
+				break
+			}
+			payload = rest
+			if budget <= 0 {
+				// Already expired on arrival: answer statusExpired without
+				// touching the handler — the client's own deadline fired (or
+				// will momentarily), so any real work here is wasted CPU.
+				s.met.expired.Inc()
+				respCh <- srvResp{id: id, status: statusExpired, reqBuf: buf}
+				continue
+			}
+			deadline = time.Now().Add(budget)
+		}
+		task := srvTask{s: s, id: id, op: op, payload: payload, buf: buf, deadline: deadline, respCh: respCh, wg: &wg, inflight: &inflight}
+		if s.shed != nil {
+			tok, retryAfter, ok := s.shed.Admit(op)
+			if !ok {
+				s.met.sheds.Inc()
+				hint := make([]byte, deadlineBytes)
+				binary.BigEndian.PutUint64(hint, uint64(retryAfter))
+				respCh <- srvResp{id: id, status: statusOverloaded, payload: hint, reqBuf: buf}
+				continue
+			}
+			task.tok, task.admitted = tok, true
+		}
+		s.met.admits.Inc()
 		s.met.inflight.Add(1)
 		inflight.Add(1)
 		wg.Add(1)
-		srvGo(srvTask{s: s, id: id, op: op, payload: payload, buf: buf, respCh: respCh, wg: &wg, inflight: &inflight})
+		srvGo(task)
 	}
 	wg.Wait()
 	close(respCh)

@@ -23,8 +23,13 @@ import (
 type NodeID int
 
 // Handler processes one request on a node and returns the response
-// payload. Handlers must be safe for concurrent use.
-type Handler func(op uint8, payload []byte) ([]byte, error)
+// payload. Handlers must be safe for concurrent use. The context
+// carries the caller's remaining deadline budget when one was
+// propagated (in memory: the caller's own context; over TCP: a
+// deadline reconstructed from the wire-v2 deadline field), so a
+// handler that forwards — an LH* hop, a scatter leg — hands its peers
+// the time the original caller actually has left.
+type Handler func(ctx context.Context, op uint8, payload []byte) ([]byte, error)
 
 // Transport sends requests to nodes and awaits their responses.
 type Transport interface {
@@ -93,7 +98,7 @@ func (m *Memory) Send(ctx context.Context, node NodeID, op uint8, payload []byte
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, node)
 	}
-	resp, err := h(op, payload)
+	resp, err := h(ctx, op, payload)
 	if err != nil {
 		return nil, &RemoteError{Node: node, Msg: err.Error()}
 	}

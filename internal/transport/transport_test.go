@@ -12,7 +12,7 @@ import (
 	"time"
 )
 
-func echoHandler(op uint8, payload []byte) ([]byte, error) {
+func echoHandler(_ context.Context, op uint8, payload []byte) ([]byte, error) {
 	if op == 99 {
 		return nil, errors.New("boom")
 	}
@@ -71,7 +71,7 @@ func TestBroadcast(t *testing.T) {
 	var calls int32
 	for i := NodeID(0); i < 8; i++ {
 		id := i
-		m.Register(id, func(op uint8, p []byte) ([]byte, error) {
+		m.Register(id, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 			atomic.AddInt32(&calls, 1)
 			if id == 3 {
 				return nil, errors.New("node 3 down")
@@ -180,7 +180,7 @@ func TestTCPRemoteError(t *testing.T) {
 
 func TestTCPConcurrentClients(t *testing.T) {
 	var served int32
-	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+	addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		atomic.AddInt32(&served, 1)
 		return p, nil
 	})
@@ -250,7 +250,7 @@ func TestTCPUnknownAndUnreachable(t *testing.T) {
 }
 
 func TestTCPContextDeadline(t *testing.T) {
-	addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+	addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		time.Sleep(2 * time.Second)
 		return p, nil
 	})
@@ -274,7 +274,7 @@ func TestTCPBroadcastAcrossNodes(t *testing.T) {
 	var stops []func()
 	for i := NodeID(0); i < 4; i++ {
 		id := i
-		addr, stop := startTCPNode(t, func(op uint8, p []byte) ([]byte, error) {
+		addr, stop := startTCPNode(t, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 			return []byte{byte(id)}, nil
 		})
 		addrs[id] = addr
@@ -317,7 +317,7 @@ func TestScatterAbortsOnContextCancel(t *testing.T) {
 	m := NewMemory()
 	m.Register(0, echoHandler)
 	release := make(chan struct{})
-	m.Register(1, func(op uint8, p []byte) ([]byte, error) {
+	m.Register(1, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		<-release // a hung node: never answers until cleanup
 		return nil, nil
 	})
@@ -353,7 +353,7 @@ func TestBroadcastAbortsOnContextDeadline(t *testing.T) {
 	m := NewMemory()
 	release := make(chan struct{})
 	m.Register(0, echoHandler)
-	m.Register(1, func(op uint8, p []byte) ([]byte, error) {
+	m.Register(1, func(_ context.Context, op uint8, p []byte) ([]byte, error) {
 		<-release
 		return nil, nil
 	})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // Wire protocol v2 — the multiplexed frame format (see DESIGN.md §12).
@@ -31,6 +32,60 @@ const magicV2 = 0xE5DD5502 // > maxFrame, so never a valid v1 length
 
 // frameHdrV2 is the fixed part of a v2 frame: length + id + tag.
 const frameHdrV2 = 9
+
+// tagDeadline is the request-tag flag bit marking a propagated
+// deadline: when set, the payload begins with deadlineBytes of
+// big-endian remaining budget in nanoseconds (relative, so no clock
+// sync between peers is assumed), followed by the op payload proper.
+// Op codes therefore live in the low 7 bits — the sdds protocol uses
+// ops < 32, and TCP.Send rejects ops that collide with the flag. v1
+// frames never carry deadlines; response tags (statuses) never set it.
+const tagDeadline = 0x80
+
+// deadlineBytes is the wire size of the optional deadline field.
+const deadlineBytes = 8
+
+// statusOverloaded / statusExpired extend the v1/v2 response statuses
+// (0 ok, 1 handler error). Overloaded: the server's admission
+// controller shed the request before the handler ran; the payload
+// carries a big-endian uint64 retry-after hint in nanoseconds.
+// Expired: the propagated deadline had already passed on arrival, so
+// the server dropped the request instead of burning CPU on doomed
+// work; the payload is empty. Both are distinguishable from handler
+// errors so clients treat them as backpressure, not node failure.
+const (
+	statusOverloaded = 2
+	statusExpired    = 3
+)
+
+// putBudget encodes a deadline budget for the wire. Budgets are
+// clamped at zero: a caller whose deadline already passed should not
+// reach the encoder (Send checks ctx.Err first), but a torn race
+// between that check and encoding must not wrap negative into a huge
+// unsigned budget.
+func putBudget(b []byte, budget time.Duration) {
+	if budget < 0 {
+		budget = 0
+	}
+	binary.BigEndian.PutUint64(b[:deadlineBytes], uint64(budget))
+}
+
+// splitBudget decodes and strips the deadline field from a request
+// payload whose tag carried tagDeadline. Garbage high-bit budgets
+// (which would decode as negative durations) come back as 0 — i.e.
+// already expired — rather than poisoning time arithmetic; a payload
+// too short to hold the field is a protocol violation.
+func splitBudget(payload []byte) (budget time.Duration, rest []byte, err error) {
+	if len(payload) < deadlineBytes {
+		return 0, nil, fmt.Errorf("transport: v2 deadline frame payload %d bytes, want >= %d", len(payload), deadlineBytes)
+	}
+	u := binary.BigEndian.Uint64(payload[:deadlineBytes])
+	budget = time.Duration(u)
+	if budget < 0 {
+		budget = 0
+	}
+	return budget, payload[deadlineBytes:], nil
+}
 
 // putFrameHdrV2 encodes a v2 frame header into h.
 func putFrameHdrV2(h []byte, id uint32, tag uint8, payloadLen int) {
