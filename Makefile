@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean soak soak-smoke soak-overload
+.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean soak soak-smoke soak-overload soak-growth
 
 # Tier-1 gate: everything must build, vet clean, pass under the race
 # detector (the chaos suites are required to be race-clean), and every
@@ -66,6 +66,18 @@ soak: soak-bins
 soak-overload: soak-bins
 	$(BIN_DIR)/esdds-soak -profile overload -cluster proc \
 		-node-bin $(BIN_DIR)/esdds-node -out BENCH_cluster.json
+
+# Growth-chaos soak: a durable in-process cluster under load while the
+# harness kills one node every few seconds and the self-healing
+# supervisor revives it. Kills that land mid-split/merge leave the
+# two-phase handoff journalled in-flight (DESIGN.md §14); gates prove
+# the supervisor rolls every one forward, the read-back audit loses no
+# acknowledged record, and no migration is left dangling. Runs in-
+# process (-cluster mem) because only memory nodes can be killed and
+# revived by the harness — no -node-bin needed.
+soak-growth: soak-bins
+	$(BIN_DIR)/esdds-soak -profile growth-chaos -cluster mem \
+		-out BENCH_cluster.json
 
 # Coverage profile with per-package totals (the `ok ... coverage: N%`
 # lines) plus the overall statement total. cover.out is the machine

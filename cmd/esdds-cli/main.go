@@ -339,6 +339,16 @@ func printHealth(cluster *esdds.Cluster) {
 		}
 		fmt.Println(line)
 	}
+	if m := h.Migrations; m.Started > 0 {
+		line := fmt.Sprintf("migrations: %d started, %d committed, %d aborted", m.Started, m.Committed, m.Aborted)
+		if m.InFlight > 0 {
+			line += fmt.Sprintf(", %d IN FLIGHT (buckets frozen until resumed)", m.InFlight)
+		}
+		if m.Resumed > 0 {
+			line += fmt.Sprintf(", %d resumed this process", m.Resumed)
+		}
+		fmt.Println(line)
+	}
 	if !h.SelfHealing {
 		fmt.Println("self-healing: off")
 		return

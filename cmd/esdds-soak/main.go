@@ -67,7 +67,14 @@ type profile struct {
 	// detection — esdds.OverloadClusterOptions) and, in proc mode,
 	// passes -shed to every daemon.
 	overload bool
-	gates    []string
+	// chaos kills one node every killEvery while the load runs (waiting
+	// for the self-healing repair between kills), then drains any
+	// migrations the kills left in flight before the audit. Requires
+	// -cluster mem: only in-process memory nodes can be killed and
+	// revived by the harness.
+	chaos     bool
+	killEvery time.Duration
+	gates     []string
 }
 
 // profiles: "smoke" is the ~30s CI scenario (3 nodes, ~96k offered
@@ -133,6 +140,33 @@ var profiles = map[string]profile{
 			"repairs == 0",
 			"search.p99 < 10s",
 			"insert.p99 < 15s",
+		},
+	},
+	// "growth-chaos" is the crash-safety scenario for file growth: a
+	// durable in-process cluster is driven through dozens of splits and
+	// merges while the harness repeatedly kills a node mid-run and lets
+	// the self-healing supervisor revive it. A kill that lands inside a
+	// split/merge leaves that handoff journalled in-flight; the
+	// supervisor must roll it forward when the node returns, and the
+	// full read-back audit holds acknowledged-record loss at zero. Ops
+	// naturally error while a node is dead (no error_rate gate) — the
+	// contract is that nothing *acknowledged* is lost or duplicated and
+	// no handoff is left dangling.
+	"growth-chaos": {
+		nodes: 3, ops: 60000, rate: 3000,
+		mix:       loadgen.Mix{InsertPct: 70, SearchPct: 20, DeletePct: 10},
+		bucketCap: 256, maxInFlight: 256, searchMode: "fast",
+		zipfS: 1.1, queryPool: 512,
+		chaos: true, killEvery: 4 * time.Second,
+		gates: []string{
+			"loss == 0",
+			"ghosts == 0",
+			"search_misses == 0",
+			"audit_errors == 0",
+			"record_splits >= 3",
+			"repairs >= 1",
+			"migrations_started >= 3",
+			"migrations_in_flight == 0",
 		},
 	},
 	"full": {
@@ -218,8 +252,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("esdds-soak", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		profileName = fs.String("profile", "smoke", "soak profile: smoke|overload|full")
-		clusterMode = fs.String("cluster", "local", "cluster mode: local (in-process TCP servers) or proc (spawned esdds-node daemons)")
+		profileName = fs.String("profile", "smoke", "soak profile: smoke|overload|growth-chaos|full")
+		clusterMode = fs.String("cluster", "local", "cluster mode: local (in-process TCP servers), proc (spawned esdds-node daemons), or mem (killable in-process memory nodes — required by chaos profiles)")
 		nodeBin     = fs.String("node-bin", "", "esdds-node binary for -cluster proc (default: look up in PATH)")
 		procDir     = fs.String("proc-dir", "", "directory for daemon logs in proc mode (default: a temp dir)")
 
@@ -234,6 +268,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		zipfS       = fs.Float64("zipf-s", 0, "override: zipf exponent of query popularity")
 		queryPool   = fs.Int("query-pool", 0, "override: distinct queries in the popularity pool")
 		opTimeout   = fs.Duration("op-timeout", 30*time.Second, "per-operation deadline")
+		killEvery   = fs.Duration("kill-every", 0, "override: interval between chaos node kills (chaos profiles)")
 
 		out            = fs.String("out", "BENCH_cluster.json", "BENCH file to merge the report into")
 		noDefaultGates = fs.Bool("no-default-gates", false, "drop the profile's built-in gates")
@@ -283,6 +318,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *queryPool > 0 {
 		prof.queryPool = *queryPool
 	}
+	if *killEvery > 0 {
+		prof.killEvery = *killEvery
+	}
 	mode, err := parseSearchMode(prof.searchMode)
 	if err != nil {
 		fmt.Fprintln(stderr, "esdds-soak:", err)
@@ -314,6 +352,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = esdds.OverloadClusterOptions(*seed)
 		nodeArgs = []string{"-shed"}
 	}
+	if prof.chaos && *clusterMode != "mem" {
+		fmt.Fprintf(stderr, "esdds-soak: profile %q kills nodes mid-run and needs -cluster mem\n", *profileName)
+		return 2
+	}
 	switch *clusterMode {
 	case "local":
 		cluster, err = esdds.StartLocalTCPCluster(prof.nodes, opts...)
@@ -322,6 +364,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		teardown = func() { cluster.Close() } //nolint:errcheck // exiting
+	case "mem":
+		dir, derr := os.MkdirTemp("", "esdds-soak-mem-")
+		if derr != nil {
+			fmt.Fprintln(stderr, "esdds-soak: data dir:", derr)
+			return 2
+		}
+		memOpts := append(append([]esdds.ClusterOption(nil), opts...), esdds.WithDataDir(dir))
+		if prof.chaos {
+			// Durable nodes + self-healing: a killed node is revived from
+			// its own journal and the supervisor rolls any interrupted
+			// split/merge handoff forward as part of finishing the repair.
+			memOpts = append(memOpts, esdds.WithSelfHealing(esdds.SelfHealingConfig{
+				Parity:        1,
+				ProbeInterval: 20 * time.Millisecond,
+				ProbeTimeout:  time.Second,
+				DownAfter:     3,
+				UpAfter:       1,
+				Debounce:      100 * time.Millisecond,
+				RepairBackoff: 250 * time.Millisecond,
+			}))
+		}
+		cluster = esdds.NewMemoryCluster(prof.nodes, memOpts...)
+		teardown = func() {
+			cluster.Close() //nolint:errcheck // exiting
+			os.RemoveAll(dir)
+		}
 	case "proc":
 		pc, err := startProcCluster(ctx, prof.nodes, *nodeBin, *procDir, nodeArgs, stderr)
 		if err != nil {
@@ -399,6 +467,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	var chaos *chaosKiller
+	if prof.chaos {
+		chaos = startChaos(ctx, cluster, prof.killEvery, stdout)
+	}
 	start := time.Now()
 	res, err := runner.Run(ctx, stream)
 	if *cpuProfile != "" {
@@ -409,6 +481,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	samples := growth.stop()
+	if chaos != nil {
+		kills := chaos.stop()
+		fmt.Fprintf(stdout, "chaos: %d node kills; awaiting final repair...\n", kills)
+		hctx, hcancel := context.WithTimeout(ctx, time.Minute)
+		err := cluster.SelfHealing().AwaitHealthy(hctx)
+		hcancel()
+		if err != nil {
+			fmt.Fprintln(stderr, "esdds-soak: cluster never healed after chaos:", err)
+			return 2
+		}
+		// Mop up any handoff a kill left journalled in-flight — the
+		// audit (and the migrations_in_flight gate) run against the
+		// settled cluster.
+		if n, err := cluster.ResumeMigrations(ctx); err != nil {
+			fmt.Fprintln(stderr, "esdds-soak: resuming migrations after chaos:", err)
+			return 2
+		} else if n > 0 {
+			fmt.Fprintf(stdout, "chaos: resumed %d in-flight migrations\n", n)
+		}
+	}
 	fmt.Fprintf(stdout, "load done in %.1fs: %d completions, %d rejected, %d shed; auditing...\n",
 		res.Elapsed.Seconds(), totalCount(res), totalRejected(res), res.Shed)
 
@@ -507,6 +599,59 @@ func snapshotRetry(cluster *esdds.Cluster) retrySnapshot {
 	return s
 }
 
+// chaosKiller kills one node per interval, round-robin, waiting for
+// the self-healing repair to complete between kills so the parity
+// budget (one failure at a time) is never exceeded by the harness
+// itself.
+type chaosKiller struct {
+	stopCh chan struct{}
+	doneCh chan struct{}
+	kills  int
+}
+
+func startChaos(ctx context.Context, cluster *esdds.Cluster, every time.Duration, stdout io.Writer) *chaosKiller {
+	k := &chaosKiller{stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	heal := cluster.SelfHealing()
+	n := cluster.Nodes()
+	go func() {
+		defer close(k.doneCh)
+		victim := 0
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-k.stopCh:
+				return
+			case <-tick.C:
+			}
+			if err := cluster.KillNode(victim); err != nil {
+				fmt.Fprintf(stdout, "chaos: killing node %d: %v\n", victim, err)
+				continue
+			}
+			k.kills++
+			fmt.Fprintf(stdout, "chaos: killed node %d (kill #%d)\n", victim, k.kills)
+			victim = (victim + 1) % n
+			hctx, cancel := context.WithTimeout(ctx, time.Minute)
+			err := heal.AwaitHealthy(hctx)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(stdout, "chaos: repair wait failed, standing down: %v\n", err)
+				return
+			}
+		}
+	}()
+	return k
+}
+
+// stop halts the killer and returns how many kills it landed.
+func (k *chaosKiller) stop() int {
+	close(k.stopCh)
+	<-k.doneCh
+	return k.kills
+}
+
 // growthWatcher samples the store's LH* state once per second.
 type growthWatcher struct {
 	mu      sync.Mutex
@@ -574,6 +719,12 @@ func clusterCounters(ctx context.Context, cluster *esdds.Cluster, store *esdds.S
 	if sh := cluster.SelfHealing(); sh != nil {
 		c.Repairs = sh.Repairs()
 	}
+	ms := cluster.MigrationStats()
+	c.MigStarted = ms.Started
+	c.MigCommitted = ms.Committed
+	c.MigAborted = ms.Aborted
+	c.MigResumed = ms.Resumed
+	c.MigInFlight = ms.InFlight
 	invCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	inv, err := store.Inventory(invCtx)
@@ -666,6 +817,11 @@ func printSummary(w io.Writer, rep *loadgen.Report) {
 		rep.Cluster.IAMs, rep.Cluster.NodesUsed, rep.Cluster.Nodes)
 	fmt.Fprintf(w, "retries: %d sends, %d retries, %d failed attempts\n",
 		rep.Cluster.RetryAttempts, rep.Cluster.RetryRetries, rep.Cluster.RetryFailures)
+	if rep.Cluster.MigStarted > 0 {
+		fmt.Fprintf(w, "migrations: %d started, %d committed, %d aborted, %d resumed, %d in flight; %d repairs\n",
+			rep.Cluster.MigStarted, rep.Cluster.MigCommitted, rep.Cluster.MigAborted,
+			rep.Cluster.MigResumed, rep.Cluster.MigInFlight, rep.Cluster.Repairs)
+	}
 	if a := rep.Audit; a != nil {
 		fmt.Fprintf(w, "audit: %d records read back, %d missing, %d corrupt, %d ghosts (of %d), %d search checks, %d misses, %d errors (%.1fs)\n",
 			a.Checked, a.Missing, a.Corrupt, a.Ghosts, a.GhostsChecked,

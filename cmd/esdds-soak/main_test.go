@@ -103,6 +103,62 @@ func TestSoakFailingRun(t *testing.T) {
 	}
 }
 
+// TestSoakGrowthChaos: the crash-safety scenario at test scale — a
+// killable in-process cluster under load with a node kill every 500ms.
+// The run must stay lossless, log at least one repair, and end with
+// zero migrations in flight.
+func TestSoakGrowthChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-profile", "growth-chaos",
+		"-cluster", "mem",
+		"-ops", "6000",
+		"-rate", "1500",
+		"-bucket-cap", "64",
+		"-kill-every", "500ms",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	f, err := loadgen.LoadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Profiles["growth-chaos"]
+	if rep == nil {
+		t.Fatalf("no growth-chaos profile written; stdout:\n%s", stdout.String())
+	}
+	if rep.Audit == nil || !rep.Audit.Clean() || rep.Audit.Checked == 0 {
+		t.Fatalf("audit not clean under chaos: %+v", rep.Audit)
+	}
+	if rep.Cluster.Repairs == 0 {
+		t.Fatalf("no repairs logged; the chaos killer never landed\nstdout:\n%s", stdout.String())
+	}
+	if rep.Cluster.MigStarted == 0 || rep.Cluster.MigInFlight != 0 {
+		t.Fatalf("migration ledger after chaos: %+v", rep.Cluster)
+	}
+	if !strings.Contains(stdout.String(), "SOAK PASSED") {
+		t.Fatalf("stdout lacks verdict:\n%s", stdout.String())
+	}
+}
+
+// TestSoakChaosRequiresMemCluster: chaos profiles refuse cluster modes
+// whose nodes the harness cannot kill.
+func TestSoakChaosRequiresMemCluster(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-profile", "growth-chaos", "-cluster", "local"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-cluster mem") {
+		t.Fatalf("error does not point at -cluster mem:\n%s", stderr.String())
+	}
+}
+
 // TestSoakUsageErrors: bad invocations are exit code 2, not crashes.
 func TestSoakUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer

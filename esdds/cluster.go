@@ -196,7 +196,15 @@ func (cfg *clusterConfig) stack(base transport.Transport, c *Cluster) transport.
 		tr = c.hedge
 	}
 	if cfg.retry != nil {
-		c.retry = transport.NewRetry(tr, *cfg.retry, cfg.retrySeed)
+		rp := *cfg.retry
+		if rp.NoRetryOps == nil {
+			// The legacy one-shot migration ops move records destructively
+			// with the only copy in the response; a retry after a lost
+			// response re-extracts an already-emptied range. Never resend
+			// them unless the caller explicitly opts in.
+			rp.NoRetryOps = sdds.NonRetryableOps()
+		}
+		c.retry = transport.NewRetry(tr, rp, cfg.retrySeed)
 		c.retry.Instrument(c.met)
 		tr = c.retry
 	}
@@ -243,6 +251,9 @@ func NewMemoryCluster(n int, opts ...ClusterOption) *Cluster {
 	c.inner = sdds.NewCluster(tr, place)
 	c.inner.Instrument(c.met)
 	c.close = []func() error{c.closeStores, mem.Close}
+	if err := c.attachMigrationLog(); err != nil {
+		panic("esdds: " + err.Error()) // unusable data dir
+	}
 	if cfg.selfHeal != nil {
 		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
 			panic("esdds: self-healing: " + err.Error()) // bad Parity config
@@ -374,6 +385,10 @@ func StartLocalTCPCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	for _, srv := range c.servers {
 		c.close = append(c.close, srv.Close)
 	}
+	if err := c.attachMigrationLog(); err != nil {
+		c.Close()
+		return nil, err
+	}
 	if cfg.selfHeal != nil {
 		if err := c.enableSelfHealing(*cfg.selfHeal); err != nil {
 			c.Close()
@@ -422,6 +437,50 @@ func (c *Cluster) attachNodeStore(id int, node *sdds.Node) error {
 	c.stores[id] = st
 	c.recovery[id] = rec
 	return nil
+}
+
+// attachMigrationLog gives the coordinator a durable split/merge
+// journal under dataDir/coordinator/, replacing the default in-memory
+// ledger. A migration found in-flight in the journal (the previous
+// coordinator died mid-handoff) is rolled forward or aborted right
+// away — the nodes are already registered and serving by the time the
+// constructors call this. Resume failures are not fatal: the intent
+// stays journalled and the supervisor (or the next explicit
+// ResumeMigrations call) retries. No-op for ephemeral clusters.
+func (c *Cluster) attachMigrationLog() error {
+	if c.dataDir == "" {
+		return nil
+	}
+	lg, err := sdds.OpenFileMigrationLog(wal.OSFS{}, filepath.Join(c.dataDir, "coordinator"))
+	if err != nil {
+		return fmt.Errorf("esdds: opening migration log: %w", err)
+	}
+	inFlight, err := c.inner.AttachMigrationLog(lg)
+	if err != nil {
+		lg.Close() //nolint:errcheck // best-effort unwind
+		return fmt.Errorf("esdds: attaching migration log: %w", err)
+	}
+	c.close = append(c.close, lg.Close)
+	if inFlight > 0 {
+		c.inner.ResumeMigrations(context.Background()) //nolint:errcheck // best-effort; journal keeps the intent
+	}
+	return nil
+}
+
+// ResumeMigrations re-drives every split/merge the coordinator's
+// journal still records as in-flight, committing or aborting each.
+// Returns how many were found. Safe to call on a healthy cluster (it
+// finds none) — chaos harnesses call it after reviving nodes.
+func (c *Cluster) ResumeMigrations(ctx context.Context) (int, error) {
+	return c.inner.ResumeMigrations(ctx)
+}
+
+// MigrationStats reports the coordinator's migration ledger: lifetime
+// started/committed/aborted counts (durable across restarts with
+// WithDataDir), in-process resume count, and migrations currently
+// in-flight. Invariant: Started == Committed + Aborted + InFlight.
+func (c *Cluster) MigrationStats() sdds.MigrationStats {
+	return c.inner.MigrationStats()
 }
 
 // closeStores gracefully checkpoints and closes every durable node

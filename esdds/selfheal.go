@@ -98,6 +98,11 @@ func (c *Cluster) enableSelfHealing(sh SelfHealingConfig) error {
 	det.Instrument(c.met)
 	sup.Instrument(c.met)
 	guard.Instrument(c.met)
+	// A node failure mid-split/merge leaves the migration journalled
+	// in-flight with its buckets frozen; finishing each repair, the
+	// supervisor rolls those handoffs forward (or aborts them) so the
+	// cluster returns to nominal without operator action.
+	sup.SetMigrationResumer(c.inner.ResumeMigrations)
 	c.inner.SetDegradedProvider(sup)
 	det.Start()
 	sup.Start()
@@ -209,6 +214,12 @@ type ClusterHealth struct {
 	JournalLen     int
 	JournalCap     int
 	JournalDropped uint64
+
+	// Migrations is the coordinator's split/merge ledger (durable with
+	// WithDataDir). A non-zero InFlight means a handoff is awaiting
+	// resume; Resumed counts re-drives by this process. Invariant:
+	// Started == Committed + Aborted + InFlight.
+	Migrations sdds.MigrationStats
 }
 
 // ClusterHealth assembles the availability picture across every layer:
@@ -278,5 +289,6 @@ func (c *Cluster) ClusterHealth() ClusterHealth {
 	if c.guard != nil {
 		out.LastSync, out.SyncSeq = c.guard.LastSync()
 	}
+	out.Migrations = c.inner.MigrationStats()
 	return out
 }

@@ -98,6 +98,16 @@ type ClusterCounters struct {
 	// (zero without WithSelfHealing). An overload soak gates it at zero:
 	// saturation must read as backpressure, never as node death.
 	Repairs uint64 `json:"repairs,omitempty"`
+	// Migration-ledger counters: every split/merge is a journalled
+	// two-phase handoff; Started == Committed + Aborted + InFlight. A
+	// chaos soak gates InFlight at zero (every handoff interrupted by a
+	// node kill was rolled forward or aborted by the end of the run)
+	// and Resumed counts the ones the supervisor had to re-drive.
+	MigStarted   uint64 `json:"migrations_started,omitempty"`
+	MigCommitted uint64 `json:"migrations_committed,omitempty"`
+	MigAborted   uint64 `json:"migrations_aborted,omitempty"`
+	MigResumed   uint64 `json:"migrations_resumed,omitempty"`
+	MigInFlight  int    `json:"migrations_in_flight,omitempty"`
 }
 
 // RunConfig echoes the knobs that produced a report, so a BENCH file

@@ -184,6 +184,16 @@ func metricValue(r *Report, name string) (float64, bool) {
 		return float64(r.Cluster.RetryFailures), true
 	case "repairs":
 		return float64(r.Cluster.Repairs), true
+	case "migrations_started":
+		return float64(r.Cluster.MigStarted), true
+	case "migrations_committed":
+		return float64(r.Cluster.MigCommitted), true
+	case "migrations_aborted":
+		return float64(r.Cluster.MigAborted), true
+	case "migrations_resumed":
+		return float64(r.Cluster.MigResumed), true
+	case "migrations_in_flight":
+		return float64(r.Cluster.MigInFlight), true
 	case "attempts_per_op":
 		// Mean transport attempts per logical send: 1 + retries/sends,
 		// from counters snapshotted before the audit. The overload SLO

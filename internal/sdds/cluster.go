@@ -2,6 +2,7 @@ package sdds
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -33,8 +34,15 @@ type Cluster struct {
 	// silently lost or reverted.
 	opsMu sync.RWMutex
 
-	mu    sync.Mutex
-	files map[FileID]*fileState
+	mu         sync.Mutex
+	files      map[FileID]*fileState
+	migResumes uint64 // resume drives performed by this process
+
+	// miglog journals every split/merge intent before its first RPC and
+	// its outcome after the last, making growth resumable (DESIGN.md
+	// §14). Defaults to an in-memory log; AttachMigrationLog installs a
+	// durable one. Only mutated under opsMu exclusive.
+	miglog MigrationLog
 
 	degradedMu sync.RWMutex
 	degraded   DegradedProvider
@@ -84,7 +92,56 @@ const DefaultMaxLoad = 128
 
 // NewCluster builds a cluster client over the transport and placement.
 func NewCluster(tr transport.Transport, place *Placement) *Cluster {
-	return &Cluster{tr: tr, place: place, files: make(map[FileID]*fileState)}
+	return &Cluster{
+		tr:     tr,
+		place:  place,
+		files:  make(map[FileID]*fileState),
+		miglog: NewMemMigrationLog(),
+	}
+}
+
+// AttachMigrationLog installs a durable migration log, replacing the
+// default in-memory one. Must be called before any split or merge.
+// Committed intents already in the log are folded into the coordinator
+// file state (the log doubles as the coordinator's state journal — a
+// restarted coordinator otherwise believes every file is back to one
+// bucket); it returns the number of in-flight migrations found, which
+// the caller should resolve with ResumeMigrations once nodes are up.
+func (c *Cluster) AttachMigrationLog(lg MigrationLog) (inFlight int, err error) {
+	c.opsMu.Lock()
+	defer c.opsMu.Unlock()
+	if len(c.miglog.Records()) > 0 {
+		return 0, fmt.Errorf("sdds: migration log must be attached before any split or merge")
+	}
+	recs := lg.Records()
+	sortRecordsByMID(recs)
+	c.mu.Lock()
+	for _, r := range recs {
+		switch {
+		case !r.Done:
+			inFlight++
+		case r.Outcome == MigrationCommitted:
+			f := c.file(r.Intent.File)
+			f.state = resultingState(r.Intent)
+			f.image = f.state.Image()
+		}
+	}
+	c.miglog = lg
+	c.mu.Unlock()
+	c.syncMigGauge()
+	return inFlight, nil
+}
+
+// MigrationStats summarizes the migration ledger: durable counts from
+// the journal plus this process's resume drives.
+func (c *Cluster) MigrationStats() MigrationStats {
+	c.mu.Lock()
+	lg := c.miglog
+	resumes := c.migResumes
+	c.mu.Unlock()
+	s := migStatsOf(lg.Records())
+	s.Resumed = resumes
+	return s
 }
 
 // Transport returns the underlying transport.
@@ -285,11 +342,16 @@ func (c *Cluster) merge(ctx context.Context, id FileID) error {
 	}
 }
 
-// mergeOne performs at most one shrink; done reports that no (further)
-// shrink is needed.
+// mergeOne performs at most one shrink as a two-phase migration: the
+// closing bucket's records are journaled as outgoing, durably absorbed
+// by the surviving partner, then committed (DESIGN.md §14); done
+// reports that no (further) shrink is needed.
 func (c *Cluster) mergeOne(ctx context.Context, id FileID) (done bool, err error) {
 	c.opsMu.Lock()
 	defer c.opsMu.Unlock()
+	if err := c.resumeFileLocked(ctx, id); err != nil {
+		return false, err
+	}
 	c.mu.Lock()
 	f := c.file(id)
 	if f.state.Buckets() <= 1 || f.size >= int(f.state.Buckets()-1)*f.minLoad {
@@ -301,39 +363,39 @@ func (c *Cluster) mergeOne(ctx context.Context, id FileID) (done bool, err error
 		c.mu.Unlock()
 		return true, nil
 	}
-	from := st.N
-	to := from + 1<<st.I
+	// The closing bucket (records leave) and the surviving partner they
+	// return to; both sit at level st.I+1, the level the split that
+	// created the image bucket raised them to.
+	intent := MigrationIntent{
+		Kind:      MigrateMerge,
+		File:      id,
+		From:      st.N + 1<<st.I,
+		To:        st.N,
+		Level:     uint8(st.I + 1),
+		PrevState: f.state,
+	}
 	c.mu.Unlock()
 
-	closeReq := mergeCloseReq{file: id, addr: to}
-	raw, err := c.tr.Send(ctx, c.place.NodeOf(to), opMergeClose, closeReq.encode())
+	mid, err := c.miglog.Begin(intent)
 	if err != nil {
-		return false, fmt.Errorf("sdds: closing bucket %d: %w", to, err)
+		return false, fmt.Errorf("sdds: journaling merge intent: %w", err)
 	}
-	batch, err := decodeRecordBatch(raw)
-	if err != nil {
-		return false, err
-	}
-	absorb := mergeAbsorbReq{file: id, addr: from, batch: batch}
-	if _, err := c.tr.Send(ctx, c.place.NodeOf(from), opMergeAbsorb, absorb.encode()); err != nil {
-		return false, fmt.Errorf("sdds: merging into bucket %d: %w", from, err)
-	}
-
-	c.mu.Lock()
-	f.state = st
-	f.merges++
-	c.met.merges.Inc()
-	f.image = f.state.Image()
-	c.mu.Unlock()
-	return false, nil
+	intent.MID = mid
+	c.met.migStarted.Inc()
+	c.syncMigGauge()
+	return false, c.driveMigrationLocked(ctx, intent)
 }
 
-// split performs one coordinator-driven LH* split of the file: create
-// the target bucket, extract the upper half from the split bucket, and
-// absorb it at the target. Serialized per cluster.
+// split performs one coordinator-driven LH* split of the file as a
+// two-phase migration: journal the intent, prepare the outgoing half on
+// the source (which keeps serving it), durably absorb it at the target,
+// then commit both sides (DESIGN.md §14). Serialized per cluster.
 func (c *Cluster) split(ctx context.Context, id FileID) error {
 	c.opsMu.Lock()
 	defer c.opsMu.Unlock()
+	if err := c.resumeFileLocked(ctx, id); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	f := c.file(id)
 	if f.size <= int(f.state.Buckets())*f.maxLoad {
@@ -342,38 +404,221 @@ func (c *Cluster) split(ctx context.Context, id FileID) error {
 	}
 	from, to := f.state.NextSplit()
 	level := f.state.BucketLevel(from)
+	intent := MigrationIntent{
+		Kind:      MigrateSplit,
+		File:      id,
+		From:      from,
+		To:        to,
+		Level:     uint8(level),
+		PrevState: f.state,
+	}
 	c.mu.Unlock()
 
-	// 1. Create the target bucket.
-	create := bucketCreateReq{file: id, addr: to, level: uint8(level + 1)}
-	if _, err := c.tr.Send(ctx, c.place.NodeOf(to), opBucketCreate, create.encode()); err != nil {
-		return fmt.Errorf("sdds: creating split target %d: %w", to, err)
-	}
-	// 2. Extract moved records from the source.
-	extract := splitExtractReq{file: id, addr: from}
-	raw, err := c.tr.Send(ctx, c.place.NodeOf(from), opSplitExtract, extract.encode())
+	mid, err := c.miglog.Begin(intent)
 	if err != nil {
-		return fmt.Errorf("sdds: extracting from bucket %d: %w", from, err)
+		return fmt.Errorf("sdds: journaling split intent: %w", err)
 	}
-	batch, err := decodeRecordBatch(raw)
+	intent.MID = mid
+	c.met.migStarted.Inc()
+	c.syncMigGauge()
+	return c.driveMigrationLocked(ctx, intent)
+}
+
+// isDefinitive reports whether a Send error is a definitive rejection
+// by the remote handler (safe to treat as "the operation did not and
+// will not apply") as opposed to a transport failure where the outcome
+// is unknown. Transports wrap handler errors as *transport.RemoteError.
+func isDefinitive(err error) bool {
+	var re *transport.RemoteError
+	return errors.As(err, &re)
+}
+
+// driveMigrationLocked executes (or re-executes — every step is keyed
+// by the migration ID and idempotent) one journaled migration to a
+// durable outcome. On a transport failure the migration stays in-flight
+// in the log and the error is returned; the next split/merge on the
+// file, or ResumeMigrations, re-drives it. Callers must hold opsMu
+// exclusively.
+func (c *Cluster) driveMigrationLocked(ctx context.Context, intent MigrationIntent) error {
+	hdr := migrateHeader{
+		mid:   intent.MID,
+		kind:  intent.Kind,
+		file:  intent.File,
+		from:  intent.From,
+		to:    intent.To,
+		level: intent.Level,
+	}
+	srcNode := c.place.NodeOf(intent.From)
+	dstNode := c.place.NodeOf(intent.To)
+
+	// Phase 1: the source journals the moved set as outgoing, freezes
+	// the bucket for writes, and returns a copy — destroying nothing.
+	raw, err := c.tr.Send(ctx, srcNode, opMigratePrepare, migratePrepareReq{hdr}.encode())
+	if err != nil {
+		if !isDefinitive(err) {
+			return fmt.Errorf("sdds: migration %d: preparing bucket %d on node %d: %w", intent.MID, intent.From, srcNode, err)
+		}
+		return c.abortMigrationLocked(ctx, intent,
+			fmt.Errorf("sdds: migration %d: source node %d rejected prepare: %w", intent.MID, srcNode, err))
+	}
+	resp, err := decodeMigratePrepareResp(raw)
 	if err != nil {
 		return err
 	}
-	// 3. Absorb them at the target.
-	absorb := splitAbsorbReq{file: id, addr: to, batch: batch}
-	if _, err := c.tr.Send(ctx, c.place.NodeOf(to), opSplitAbsorb, absorb.encode()); err != nil {
-		return fmt.Errorf("sdds: absorbing into bucket %d: %w", to, err)
+	switch resp.status {
+	case migrateStatusCommitted:
+		// The source already committed durably (a prior drive got at
+		// least that far); roll the rest forward.
+		return c.finishCommitLocked(ctx, intent, true)
+	case migrateStatusAborted:
+		// The source already aborted durably; finish the ledger to match.
+		return c.abortMigrationLocked(ctx, intent, nil)
 	}
 
+	// Phase 2: the target durably lands the records under the migration
+	// ID. Idempotent: a retried absorb acks without re-applying.
+	absorb := migrateAbsorbReq{migrateHeader: hdr, batch: resp.batch}
+	if _, err := c.tr.Send(ctx, dstNode, opMigrateAbsorb, absorb.encode()); err != nil {
+		if !isDefinitive(err) {
+			return fmt.Errorf("sdds: migration %d: absorbing into bucket %d on node %d: %w", intent.MID, intent.To, dstNode, err)
+		}
+		return c.abortMigrationLocked(ctx, intent,
+			fmt.Errorf("sdds: migration %d: target node %d rejected absorb: %w", intent.MID, dstNode, err))
+	}
+
+	// Phase 3: commit — the source applies its deferred destructive half.
+	return c.finishCommitLocked(ctx, intent, false)
+}
+
+// finishCommitLocked sends the commits (source first — it holds the
+// deferred destructive half — then target) and records the committed
+// outcome and resulting file state. After the target's durable absorb,
+// commit is the only direction: a commit-send failure leaves the
+// migration in-flight for a later re-drive rather than aborting.
+// Callers must hold opsMu exclusively.
+func (c *Cluster) finishCommitLocked(ctx context.Context, intent MigrationIntent, sourceDone bool) error {
+	fin := migrateFinishReq{mid: intent.MID}.encode()
+	srcNode := c.place.NodeOf(intent.From)
+	dstNode := c.place.NodeOf(intent.To)
+	if !sourceDone {
+		if _, err := c.tr.Send(ctx, srcNode, opMigrateCommit, fin); err != nil {
+			return fmt.Errorf("sdds: migration %d: committing source bucket %d on node %d: %w", intent.MID, intent.From, srcNode, err)
+		}
+	}
+	// When placement puts both buckets on one node, the source commit
+	// settled the target role too (the node applies every role it holds
+	// for the ID in one commit).
+	if dstNode != srcNode {
+		if _, err := c.tr.Send(ctx, dstNode, opMigrateCommit, fin); err != nil {
+			return fmt.Errorf("sdds: migration %d: committing target bucket %d on node %d: %w", intent.MID, intent.To, dstNode, err)
+		}
+	}
+	if err := c.miglog.Finish(intent.MID, MigrationCommitted); err != nil {
+		return err
+	}
+	c.met.migCommitted.Inc()
 	c.mu.Lock()
-	f.state.AdvanceSplit()
-	f.splits++
-	c.met.splits.Inc()
-	// Deliberately do NOT refresh the client image: letting it lag
-	// exercises the real LH* path — server forwarding plus IAMs — on
-	// every run, exactly as a remote client would behave.
+	f := c.file(intent.File)
+	f.state = resultingState(intent)
+	if intent.Kind == MigrateSplit {
+		f.splits++
+		c.met.splits.Inc()
+		// Deliberately do NOT refresh the client image: letting it lag
+		// exercises the real LH* path — server forwarding plus IAMs — on
+		// every run, exactly as a remote client would behave.
+	} else {
+		f.merges++
+		c.met.merges.Inc()
+		// After a shrink the client image is refreshed from the
+		// coordinator state — a shrunken file can otherwise leave images
+		// pointing at buckets that no longer exist (LH* shrinking
+		// requires coordinator assistance for exactly this reason).
+		f.image = f.state.Image()
+	}
 	c.mu.Unlock()
+	c.syncMigGauge()
 	return nil
+}
+
+// abortMigrationLocked resolves a migration to the aborted outcome on
+// both participants (the source forgets the intent — nothing ever left
+// its bucket; the target surgically discards what it absorbed; a node
+// that never saw the ID poisons it against delayed frames) and in the
+// log, then returns cause. If an abort send fails the migration stays
+// in-flight for a later re-drive. Callers must hold opsMu exclusively.
+func (c *Cluster) abortMigrationLocked(ctx context.Context, intent MigrationIntent, cause error) error {
+	fin := migrateFinishReq{mid: intent.MID}.encode()
+	srcNode := c.place.NodeOf(intent.From)
+	dstNode := c.place.NodeOf(intent.To)
+	if _, err := c.tr.Send(ctx, srcNode, opMigrateAbort, fin); err != nil {
+		return errors.Join(cause, fmt.Errorf("sdds: migration %d: aborting on source node %d: %w", intent.MID, srcNode, err))
+	}
+	if dstNode != srcNode {
+		if _, err := c.tr.Send(ctx, dstNode, opMigrateAbort, fin); err != nil {
+			return errors.Join(cause, fmt.Errorf("sdds: migration %d: aborting on target node %d: %w", intent.MID, dstNode, err))
+		}
+	}
+	if err := c.miglog.Finish(intent.MID, MigrationAborted); err != nil {
+		return errors.Join(cause, err)
+	}
+	c.met.migAborted.Inc()
+	c.syncMigGauge()
+	return cause
+}
+
+// resumeFileLocked re-drives any in-flight migration of the file before
+// a new one begins — the in-process resume path (a prior drive may have
+// returned a transport error and left the migration, and its frozen
+// buckets, pending). Callers must hold opsMu exclusively.
+func (c *Cluster) resumeFileLocked(ctx context.Context, id FileID) error {
+	for _, r := range c.miglog.Records() {
+		if r.Done || r.Intent.File != id {
+			continue
+		}
+		c.noteResume()
+		if err := c.driveMigrationLocked(ctx, r.Intent); err != nil {
+			return fmt.Errorf("sdds: resuming migration %d: %w", r.Intent.MID, err)
+		}
+	}
+	return nil
+}
+
+// ResumeMigrations rolls every in-flight migration in the log forward
+// (or aborts it when a participant definitively rejects) and returns
+// how many were resumed. A restarted coordinator calls this after
+// AttachMigrationLog once nodes are reachable; the Supervisor calls it
+// when the cluster turns healthy.
+func (c *Cluster) ResumeMigrations(ctx context.Context) (resumed int, err error) {
+	c.opsMu.Lock()
+	defer c.opsMu.Unlock()
+	for _, r := range c.miglog.Records() {
+		if r.Done {
+			continue
+		}
+		resumed++
+		c.noteResume()
+		if derr := c.driveMigrationLocked(ctx, r.Intent); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return resumed, err
+}
+
+func (c *Cluster) noteResume() {
+	c.met.migResumed.Inc()
+	c.mu.Lock()
+	c.migResumes++
+	c.mu.Unlock()
+}
+
+// syncMigGauge publishes the in-flight migration count from the log —
+// the durable ground truth — so the gauge survives coordinator
+// restarts along with it.
+func (c *Cluster) syncMigGauge() {
+	if c.met.migInFlight == nil {
+		return
+	}
+	c.met.migInFlight.Set(int64(migStatsOf(c.miglog.Records()).InFlight))
 }
 
 // ResetImage discards the client image (back to the one-bucket initial
@@ -763,7 +1008,16 @@ func (c *Cluster) WordSearch(ctx context.Context, id FileID, token []byte) ([]ui
 		out = append(out, resp.rids...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	// While a migration is in flight both the source (frozen outgoing
+	// set) and the target (absorbed copy) serve the moved records, so a
+	// RID can be reported twice; collapse duplicates.
+	uniq := out[:0]
+	for i, rid := range out {
+		if i == 0 || rid != out[i-1] {
+			uniq = append(uniq, rid)
+		}
+	}
+	return uniq, nil
 }
 
 // BucketInventory gathers every node's bucket stats for a file, sorted

@@ -55,6 +55,12 @@ const (
 	opPutBatch
 	opPing
 	opRecoveryState
+	// The two-phase migration protocol (DESIGN.md §14). Op codes are
+	// persisted in node journals, so new codes append — never renumber.
+	opMigratePrepare
+	opMigrateAbsorb
+	opMigrateCommit
+	opMigrateAbort
 )
 
 // PingOp is the exported health-probe op code: nodes answer it with an
@@ -884,6 +890,133 @@ func decodeMergeAbsorbReq(b []byte) (mergeAbsorbReq, error) {
 	return m, r.done()
 }
 
+// migrateHeader is the addressing block shared by every migration op:
+// the coordinator-assigned migration ID plus the coordinator's view of
+// the move — kind, file, source bucket, target bucket, and the expected
+// level of the source bucket. Nodes validate the whole header against
+// their local state and reject mismatches loudly instead of recomputing
+// destinations locally.
+type migrateHeader struct {
+	mid   uint64
+	kind  uint8 // migrateSplit or migrateMerge
+	file  FileID
+	from  uint64 // bucket records leave (split: splitting; merge: closing)
+	to    uint64 // bucket records arrive at (split: new; merge: surviving)
+	level uint8  // expected level of the source bucket
+}
+
+func (m migrateHeader) encodeTo(w *writer) {
+	w.u64(m.mid)
+	w.u8(m.kind)
+	w.u8(uint8(m.file))
+	w.u64(m.from)
+	w.u64(m.to)
+	w.u8(m.level)
+}
+
+func (m *migrateHeader) decodeFrom(r *reader) {
+	m.mid = r.u64()
+	m.kind = r.u8()
+	m.file = FileID(r.u8())
+	m.from = r.u64()
+	m.to = r.u64()
+	m.level = r.u8()
+}
+
+// migratePrepareReq opens a migration on the source node: journal the
+// moved set as outgoing, keep serving it, and return a copy.
+type migratePrepareReq struct {
+	migrateHeader
+}
+
+func (m migratePrepareReq) encode() []byte {
+	w := &writer{}
+	m.encodeTo(w)
+	return w.b
+}
+
+func decodeMigratePrepareReq(b []byte) (migratePrepareReq, error) {
+	r := &reader{b: b}
+	var m migratePrepareReq
+	m.decodeFrom(r)
+	return m, r.done()
+}
+
+// migratePrepareResp reports the source's migration status for the ID —
+// freshly prepared or re-prepared (ok, batch attached), or the durable
+// outcome of an already-finished migration (committed / aborted, no
+// batch). The latter is what lets a restarted coordinator resume.
+type migratePrepareResp struct {
+	status uint8 // migrateStatusOK / Committed / Aborted
+	batch  recordBatch
+}
+
+func (m migratePrepareResp) encode() []byte {
+	w := &writer{}
+	w.u8(m.status)
+	w.b = append(w.b, m.batch.encode()...)
+	return w.b
+}
+
+func decodeMigratePrepareResp(b []byte) (migratePrepareResp, error) {
+	r := &reader{b: b}
+	m := migratePrepareResp{status: r.u8()}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		key := r.u64()
+		val := append([]byte(nil), r.bytes()...)
+		m.batch.records = append(m.batch.records, kv{key: key, value: val})
+	}
+	return m, r.done()
+}
+
+// migrateAbsorbReq durably lands the moved records on the target node,
+// keyed by migration ID (idempotent on retry).
+type migrateAbsorbReq struct {
+	migrateHeader
+	batch recordBatch
+}
+
+func (m migrateAbsorbReq) encode() []byte {
+	w := &writer{}
+	m.encodeTo(w)
+	w.b = append(w.b, m.batch.encode()...)
+	return w.b
+}
+
+func decodeMigrateAbsorbReq(b []byte) (migrateAbsorbReq, error) {
+	r := &reader{b: b}
+	var m migrateAbsorbReq
+	m.decodeFrom(r)
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		key := r.u64()
+		val := append([]byte(nil), r.bytes()...)
+		m.batch.records = append(m.batch.records, kv{key: key, value: val})
+	}
+	return m, r.done()
+}
+
+// migrateFinishReq closes a migration on either participant: commit
+// makes the handoff final (source drops the outgoing set; target keeps
+// the absorbed records), abort undoes it (source keeps everything;
+// target discards what it absorbed). Both are idempotent on the ID.
+type migrateFinishReq struct {
+	mid uint64
+}
+
+func (m migrateFinishReq) encode() []byte {
+	w := &writer{}
+	w.u64(m.mid)
+	return w.b
+}
+
+func decodeMigrateFinishReq(b []byte) (migrateFinishReq, error) {
+	r := &reader{b: b}
+	m := migrateFinishReq{mid: r.u64()}
+	return m, r.done()
+}
+
 // statsResp reports a node's bucket inventory for one file.
 type statsResp struct {
 	buckets []bucketStat
@@ -972,11 +1105,58 @@ func decodeWordSearchResp(b []byte) (wordSearchResp, error) {
 // opaque shards.
 type nodeImage struct {
 	files []fileImage
+	migs  migrationImage
 }
 
 type fileImage struct {
 	file    FileID
 	buckets [][]byte // lhstar bucket snapshots, sorted by address
+}
+
+// migImageMarker introduces the optional migration-state section that
+// follows the files section. It must be non-zero: images predating the
+// section end in zero padding, and decodeNodeImage distinguishes the
+// two by this byte.
+const migImageMarker uint8 = 0x4D
+
+// migrationImage is a node's in-flight two-phase migration state as it
+// rides inside the node image: outgoing sets (source side), absorbed
+// sets (target side), and the durable outcomes of finished migrations.
+// All slices are sorted by migration ID for deterministic encoding.
+type migrationImage struct {
+	outgoing []migRecord
+	absorbed []migRecord
+	done     []migDone
+}
+
+func (m migrationImage) empty() bool {
+	return len(m.outgoing) == 0 && len(m.absorbed) == 0 && len(m.done) == 0
+}
+
+func encodeMigRecords(w *writer, recs []migRecord) {
+	w.u32(uint32(len(recs)))
+	for _, rec := range recs {
+		rec.migrateHeader.encodeTo(w)
+		w.u32(uint32(len(rec.keys)))
+		for _, k := range rec.keys {
+			w.u64(k)
+		}
+	}
+}
+
+func decodeMigRecords(r *reader) []migRecord {
+	n := int(r.u32())
+	var out []migRecord
+	for i := 0; i < n && r.err == nil; i++ {
+		var rec migRecord
+		rec.migrateHeader.decodeFrom(r)
+		nk := r.bound(r.u32(), 8)
+		for j := 0; j < nk && r.err == nil; j++ {
+			rec.keys = append(rec.keys, r.u64())
+		}
+		out = append(out, rec)
+	}
+	return out
 }
 
 func (m nodeImage) encode() []byte {
@@ -987,6 +1167,17 @@ func (m nodeImage) encode() []byte {
 		w.u32(uint32(len(f.buckets)))
 		for _, b := range f.buckets {
 			w.bytes(b)
+		}
+	}
+	if !m.migs.empty() {
+		w.u8(migImageMarker)
+		w.u8(1) // section version
+		encodeMigRecords(w, m.migs.outgoing)
+		encodeMigRecords(w, m.migs.absorbed)
+		w.u32(uint32(len(m.migs.done)))
+		for _, d := range m.migs.done {
+			w.u64(d.mid)
+			w.u8(d.outcome)
 		}
 	}
 	return w.b
@@ -1006,6 +1197,18 @@ func decodeNodeImage(b []byte) (nodeImage, error) {
 			f.buckets = append(f.buckets, append([]byte(nil), r.bytes()...))
 		}
 		m.files = append(m.files, f)
+	}
+	if r.err == nil && r.off < len(r.b) && r.b[r.off] == migImageMarker {
+		r.u8() // marker
+		if v := r.u8(); r.err == nil && v != 1 {
+			return m, fmt.Errorf("sdds: unknown migration image section version %d", v)
+		}
+		m.migs.outgoing = decodeMigRecords(r)
+		m.migs.absorbed = decodeMigRecords(r)
+		nd := r.bound(r.u32(), 9)
+		for i := 0; i < nd && r.err == nil; i++ {
+			m.migs.done = append(m.migs.done, migDone{mid: r.u64(), outcome: r.u8()})
+		}
 	}
 	if r.err != nil {
 		return m, r.err

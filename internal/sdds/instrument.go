@@ -29,9 +29,13 @@ var opNames = [...]string{
 	opWordSearch:    "word_search",
 	opNodeSnapshot:  "node_snapshot",
 	opNodeRestore:   "node_restore",
-	opPutBatch:      "put_batch",
-	opPing:          "ping",
-	opRecoveryState: "recovery_state",
+	opPutBatch:       "put_batch",
+	opPing:           "ping",
+	opRecoveryState:  "recovery_state",
+	opMigratePrepare: "migrate_prepare",
+	opMigrateAbsorb:  "migrate_absorb",
+	opMigrateCommit:  "migrate_commit",
+	opMigrateAbort:   "migrate_abort",
 }
 
 // OpName returns the protocol name of an op code ("" for unknown ops).
@@ -122,6 +126,15 @@ type clusterMetrics struct {
 	degradedServes  *obs.Counter // node results served from guardian images
 	failedSites     *obs.Counter // node results lost entirely
 	searchesPartial *obs.Counter // searches that returned incomplete
+
+	// Two-phase migration lifecycle (DESIGN.md §14). The durable ledger
+	// invariant started == committed + aborted + in_flight is asserted by
+	// the migration tests over these surfaces.
+	migStarted   *obs.Counter
+	migCommitted *obs.Counter
+	migAborted   *obs.Counter
+	migResumed   *obs.Counter
+	migInFlight  *obs.Gauge
 }
 
 // Instrument publishes the cluster client's counters into reg and
@@ -145,6 +158,11 @@ func (c *Cluster) Instrument(reg *obs.Registry) {
 		degradedServes:  reg.Counter("cluster_degraded_serves_total"),
 		failedSites:     reg.Counter("cluster_failed_sites_total"),
 		searchesPartial: reg.Counter("cluster_partial_searches_total"),
+		migStarted:      reg.Counter("sdds_migrations_started_total"),
+		migCommitted:    reg.Counter("sdds_migrations_committed_total"),
+		migAborted:      reg.Counter("sdds_migrations_aborted_total"),
+		migResumed:      reg.Counter("sdds_migrations_resumed_total"),
+		migInFlight:     reg.Gauge("sdds_migrations_in_flight"),
 	}
 }
 

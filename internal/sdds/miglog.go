@@ -1,0 +1,405 @@
+package sdds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/lhstar"
+	"repro/internal/wal"
+)
+
+// The coordinator-side migration intent journal (DESIGN.md §14): every
+// split/merge journals an intent BEFORE the first RPC and a durable
+// outcome AFTER the last one, so a restarted coordinator knows exactly
+// which migrations may be half-done on the nodes and can roll them
+// forward or abort them instead of silently forgetting them. The log
+// doubles as the coordinator's LH* state journal: folding the committed
+// intents reproduces the file state a restarted coordinator lost with
+// its memory.
+
+// Exported migration kinds (numerically identical to the wire kinds).
+const (
+	// MigrateSplit moves the upper half of a splitting bucket to its new
+	// image bucket.
+	MigrateSplit = migrateSplit
+	// MigrateMerge moves a closing bucket's records back to its
+	// surviving partner.
+	MigrateMerge = migrateMerge
+)
+
+// MigrationOutcome is the durable verdict of a finished migration.
+type MigrationOutcome uint8
+
+const (
+	// MigrationCommitted: the target keeps the records; the source
+	// dropped them.
+	MigrationCommitted MigrationOutcome = MigrationOutcome(migOutcomeCommitted)
+	// MigrationAborted: the source keeps the records; the target
+	// discarded anything it absorbed.
+	MigrationAborted MigrationOutcome = MigrationOutcome(migOutcomeAborted)
+)
+
+func (o MigrationOutcome) String() string {
+	switch o {
+	case MigrationCommitted:
+		return "committed"
+	case MigrationAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// MigrationIntent is one journaled bucket move: the addressing the
+// coordinator computed plus the file state it computed it from.
+type MigrationIntent struct {
+	MID       uint64
+	Kind      uint8 // MigrateSplit or MigrateMerge
+	File      FileID
+	From      uint64 // bucket records leave
+	To        uint64 // bucket records arrive at
+	Level     uint8  // expected level of the From bucket
+	PrevState lhstar.State
+}
+
+// resultingState is the coordinator file state after the intent
+// commits.
+func resultingState(intent MigrationIntent) lhstar.State {
+	st := intent.PrevState
+	switch intent.Kind {
+	case MigrateSplit:
+		st.AdvanceSplit()
+	case MigrateMerge:
+		st.RetreatSplit()
+	}
+	return st
+}
+
+// MigrationRecord pairs an intent with its outcome; Done is false while
+// the migration is in flight.
+type MigrationRecord struct {
+	Intent  MigrationIntent
+	Done    bool
+	Outcome MigrationOutcome
+}
+
+// MigrationLog journals the coordinator's migration intents and
+// outcomes. Implementations must persist Begin before returning (the
+// intent is what a restarted coordinator resumes from) and must assign
+// strictly increasing migration IDs.
+type MigrationLog interface {
+	// Begin journals a new intent and returns its assigned migration ID.
+	Begin(intent MigrationIntent) (uint64, error)
+	// Finish durably records the outcome of an in-flight migration.
+	Finish(mid uint64, outcome MigrationOutcome) error
+	// Records returns a snapshot of the ledger in migration-ID order.
+	Records() []MigrationRecord
+	// Close releases any underlying file handle.
+	Close() error
+}
+
+// MemMigrationLog is the in-memory MigrationLog — the default for
+// ephemeral clusters: resume works within the process (lost responses,
+// aborted drives) but not across a coordinator restart.
+type MemMigrationLog struct {
+	mu      sync.Mutex
+	recs    []MigrationRecord
+	idx     map[uint64]int
+	nextMID uint64
+}
+
+// NewMemMigrationLog creates an empty in-memory migration log.
+func NewMemMigrationLog() *MemMigrationLog {
+	return &MemMigrationLog{idx: make(map[uint64]int), nextMID: 1}
+}
+
+// Begin implements MigrationLog.
+func (l *MemMigrationLog) Begin(intent MigrationIntent) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	intent.MID = l.nextMID
+	l.nextMID++
+	l.idx[intent.MID] = len(l.recs)
+	l.recs = append(l.recs, MigrationRecord{Intent: intent})
+	return intent.MID, nil
+}
+
+// Finish implements MigrationLog.
+func (l *MemMigrationLog) Finish(mid uint64, outcome MigrationOutcome) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i, ok := l.idx[mid]
+	if !ok {
+		return fmt.Errorf("sdds: migration log has no intent %d", mid)
+	}
+	if l.recs[i].Done {
+		if l.recs[i].Outcome != outcome {
+			return fmt.Errorf("sdds: migration %d already finished as %v, refusing %v", mid, l.recs[i].Outcome, outcome)
+		}
+		return nil // idempotent re-finish
+	}
+	l.recs[i].Done = true
+	l.recs[i].Outcome = outcome
+	return nil
+}
+
+// Records implements MigrationLog.
+func (l *MemMigrationLog) Records() []MigrationRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]MigrationRecord(nil), l.recs...)
+}
+
+// Close implements MigrationLog.
+func (l *MemMigrationLog) Close() error { return nil }
+
+// FileMigrationLog is the durable MigrationLog: an append-only record
+// file over a wal.FS. Every record is length-prefixed and checksummed;
+// a torn tail (the crash case) is truncated away on open — losing at
+// most the record whose append never completed, which is exactly the
+// intent/outcome the caller never saw acknowledged.
+type FileMigrationLog struct {
+	mu   sync.Mutex
+	fsys wal.FS
+	path string
+	f    wal.File
+	mem  *MemMigrationLog
+}
+
+const (
+	migLogName = "migrations.log"
+
+	migRecIntent uint8 = 1
+	migRecDone   uint8 = 2
+)
+
+var migLogMagic = []byte("ESDDSMIG1\n")
+
+// OpenFileMigrationLog opens (creating if absent) the migration log in
+// dir, replaying its records into memory and truncating any torn tail.
+func OpenFileMigrationLog(fsys wal.FS, dir string) (*FileMigrationLog, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("sdds: migration log dir: %w", err)
+	}
+	l := &FileMigrationLog{
+		fsys: fsys,
+		path: filepath.Join(dir, migLogName),
+		mem:  NewMemMigrationLog(),
+	}
+	data, err := fsys.ReadFile(l.path)
+	switch {
+	case os.IsNotExist(err):
+		f, err := fsys.OpenAppend(l.path)
+		if err != nil {
+			return nil, fmt.Errorf("sdds: migration log: %w", err)
+		}
+		if _, err := f.Write(migLogMagic); err != nil {
+			return nil, fmt.Errorf("sdds: migration log magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("sdds: migration log sync: %w", err)
+		}
+		l.f = f
+		return l, nil
+	case err != nil:
+		return nil, fmt.Errorf("sdds: migration log: %w", err)
+	}
+	good, err := l.replay(data)
+	if err != nil {
+		return nil, err
+	}
+	if good < len(data) {
+		// Torn tail: drop the partial record so appends resume cleanly.
+		if err := fsys.Truncate(l.path, int64(good)); err != nil {
+			return nil, fmt.Errorf("sdds: migration log truncate: %w", err)
+		}
+	}
+	f, err := fsys.OpenAppend(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("sdds: migration log: %w", err)
+	}
+	l.f = f
+	return l, nil
+}
+
+var migCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// replay loads records from raw bytes and returns the length of the
+// valid prefix. A corrupt or torn record ends the replay: everything
+// before it is kept, everything from it on is reported for truncation.
+func (l *FileMigrationLog) replay(data []byte) (int, error) {
+	if len(data) < len(migLogMagic) || string(data[:len(migLogMagic)]) != string(migLogMagic) {
+		return 0, fmt.Errorf("sdds: migration log: bad magic")
+	}
+	off := len(migLogMagic)
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return off, nil // torn length/crc header
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if n <= 0 || len(data)-off-8 < n {
+			return off, nil // torn body
+		}
+		body := data[off+8 : off+8+n]
+		if crc32.Checksum(body, migCRC) != crc {
+			return off, nil // torn or corrupt record: stop here, loudly truncate
+		}
+		if err := l.applyRecord(body); err != nil {
+			return 0, err
+		}
+		off += 8 + n
+	}
+	return off, nil
+}
+
+func (l *FileMigrationLog) applyRecord(body []byte) error {
+	if len(body) < 1 {
+		return fmt.Errorf("sdds: migration log: empty record")
+	}
+	switch body[0] {
+	case migRecIntent:
+		if len(body) != 1+8+1+1+8+8+1+1+8 {
+			return fmt.Errorf("sdds: migration log: intent record length %d", len(body))
+		}
+		intent := MigrationIntent{
+			MID:   binary.BigEndian.Uint64(body[1:]),
+			Kind:  body[9],
+			File:  FileID(body[10]),
+			From:  binary.BigEndian.Uint64(body[11:]),
+			To:    binary.BigEndian.Uint64(body[19:]),
+			Level: body[27],
+			PrevState: lhstar.State{
+				I: uint(body[28]),
+				N: binary.BigEndian.Uint64(body[29:]),
+			},
+		}
+		l.mem.mu.Lock()
+		l.mem.idx[intent.MID] = len(l.mem.recs)
+		l.mem.recs = append(l.mem.recs, MigrationRecord{Intent: intent})
+		if intent.MID >= l.mem.nextMID {
+			l.mem.nextMID = intent.MID + 1
+		}
+		l.mem.mu.Unlock()
+		return nil
+	case migRecDone:
+		if len(body) != 1+8+1 {
+			return fmt.Errorf("sdds: migration log: done record length %d", len(body))
+		}
+		mid := binary.BigEndian.Uint64(body[1:])
+		return l.mem.Finish(mid, MigrationOutcome(body[9]))
+	default:
+		return fmt.Errorf("sdds: migration log: unknown record type %d", body[0])
+	}
+}
+
+// append frames, writes and syncs one record; the append is durable
+// when it returns.
+func (l *FileMigrationLog) append(body []byte) error {
+	frame := make([]byte, 0, 8+len(body))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(body)))
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(body, migCRC))
+	frame = append(frame, body...)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("sdds: migration log append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("sdds: migration log sync: %w", err)
+	}
+	return nil
+}
+
+// Begin implements MigrationLog.
+func (l *FileMigrationLog) Begin(intent MigrationIntent) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("sdds: migration log is closed")
+	}
+	mid, _ := l.mem.Begin(intent)
+	body := make([]byte, 0, 37)
+	body = append(body, migRecIntent)
+	body = binary.BigEndian.AppendUint64(body, mid)
+	body = append(body, intent.Kind, uint8(intent.File))
+	body = binary.BigEndian.AppendUint64(body, intent.From)
+	body = binary.BigEndian.AppendUint64(body, intent.To)
+	body = append(body, intent.Level, uint8(intent.PrevState.I))
+	body = binary.BigEndian.AppendUint64(body, intent.PrevState.N)
+	if err := l.append(body); err != nil {
+		return 0, err
+	}
+	return mid, nil
+}
+
+// Finish implements MigrationLog.
+func (l *FileMigrationLog) Finish(mid uint64, outcome MigrationOutcome) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("sdds: migration log is closed")
+	}
+	if err := l.mem.Finish(mid, outcome); err != nil {
+		return err
+	}
+	body := make([]byte, 0, 10)
+	body = append(body, migRecDone)
+	body = binary.BigEndian.AppendUint64(body, mid)
+	body = append(body, uint8(outcome))
+	return l.append(body)
+}
+
+// Records implements MigrationLog.
+func (l *FileMigrationLog) Records() []MigrationRecord {
+	return l.mem.Records()
+}
+
+// Close implements MigrationLog.
+func (l *FileMigrationLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// MigrationStats summarizes the migration ledger for health surfaces.
+// Started, Committed and Aborted are durable log counts, so the
+// invariant Started == Committed + Aborted + InFlight holds across
+// coordinator restarts; Resumed counts resume drives in this process.
+type MigrationStats struct {
+	Started   uint64
+	Committed uint64
+	Aborted   uint64
+	Resumed   uint64
+	InFlight  int
+}
+
+func migStatsOf(recs []MigrationRecord) MigrationStats {
+	var s MigrationStats
+	for _, r := range recs {
+		s.Started++
+		switch {
+		case !r.Done:
+			s.InFlight++
+		case r.Outcome == MigrationCommitted:
+			s.Committed++
+		default:
+			s.Aborted++
+		}
+	}
+	return s
+}
+
+// sortRecordsByMID keeps a ledger snapshot in MID order (defensive; the
+// implementations already append in assignment order).
+func sortRecordsByMID(recs []MigrationRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Intent.MID < recs[j].Intent.MID })
+}

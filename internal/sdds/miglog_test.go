@@ -1,0 +1,219 @@
+package sdds
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lhstar"
+	"repro/internal/wal"
+)
+
+func testIntent(kind uint8, prev lhstar.State) MigrationIntent {
+	intent := MigrationIntent{Kind: kind, File: FileRecords, PrevState: prev}
+	if kind == MigrateSplit {
+		intent.From, intent.To = prev.NextSplit()
+		intent.Level = uint8(prev.BucketLevel(intent.From))
+	} else {
+		st := prev
+		st.RetreatSplit()
+		intent.From = st.N + 1<<st.I
+		intent.To = st.N
+		intent.Level = uint8(st.I + 1)
+	}
+	return intent
+}
+
+func TestFileMigrationLogRoundTrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	lg, err := OpenFileMigrationLog(fs, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var st lhstar.State
+	first := testIntent(MigrateSplit, st)
+	mid1, err := lg.Begin(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AdvanceSplit()
+	second := testIntent(MigrateSplit, st)
+	mid2, err := lg.Begin(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid1 != 1 || mid2 != 2 {
+		t.Fatalf("MIDs = %d, %d, want 1, 2", mid1, mid2)
+	}
+	if err := lg.Finish(mid1, MigrationCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Finish(mid2, MigrationAborted); err != nil {
+		t.Fatal(err)
+	}
+	third := testIntent(MigrateMerge, st)
+	if _, err := lg.Begin(third); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileMigrationLog(fs, "coord")
+	if err != nil {
+		t.Fatalf("reopening: %v", err)
+	}
+	recs := re.Records()
+	if len(recs) != 3 {
+		t.Fatalf("reopened log holds %d records, want 3", len(recs))
+	}
+	sortRecordsByMID(recs)
+	if !recs[0].Done || recs[0].Outcome != MigrationCommitted {
+		t.Fatalf("record 1 = %+v, want committed", recs[0])
+	}
+	if !recs[1].Done || recs[1].Outcome != MigrationAborted {
+		t.Fatalf("record 2 = %+v, want aborted", recs[1])
+	}
+	if recs[2].Done {
+		t.Fatalf("record 3 = %+v, want in-flight", recs[2])
+	}
+	first.MID = mid1 // Begin assigned the ID
+	if recs[0].Intent != first || recs[1].Intent.MID != 2 || recs[2].Intent.File != FileRecords {
+		t.Fatalf("intents did not survive the round trip: %+v", recs)
+	}
+	if got := migStatsOf(recs); got.Started != 3 || got.Committed != 1 || got.Aborted != 1 || got.InFlight != 1 {
+		t.Fatalf("stats after reopen = %+v", got)
+	}
+	// MID allocation continues past everything replayed.
+	if mid, err := re.Begin(testIntent(MigrateSplit, st)); err != nil || mid != 4 {
+		t.Fatalf("Begin after reopen = %d, %v, want 4", mid, err)
+	}
+}
+
+func TestFileMigrationLogTruncatesTornTail(t *testing.T) {
+	fs := wal.NewMemFS()
+	lg, err := OpenFileMigrationLog(fs, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st lhstar.State
+	if _, err := lg.Begin(testIntent(MigrateSplit, st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Begin(testIntent(MigrateSplit, st)); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+
+	path := filepath.Join("coord", "migrations.log")
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record down the middle — the torn-append crash.
+	if err := fs.Truncate(path, int64(len(data)-5)); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFileMigrationLog(fs, "coord")
+	if err != nil {
+		t.Fatalf("reopening torn log: %v", err)
+	}
+	if recs := re.Records(); len(recs) != 1 || recs[0].Intent.MID != 1 {
+		t.Fatalf("torn log replayed %+v, want only record 1", recs)
+	}
+	// Appends resume cleanly on the truncated file.
+	if mid, err := re.Begin(testIntent(MigrateSplit, st)); err != nil || mid != 2 {
+		t.Fatalf("Begin after torn-tail truncation = %d, %v", mid, err)
+	}
+	re.Close()
+	if again, err := OpenFileMigrationLog(fs, "coord"); err != nil {
+		t.Fatalf("third open: %v", err)
+	} else if recs := again.Records(); len(recs) != 2 {
+		t.Fatalf("log after repair holds %d records, want 2", len(recs))
+	}
+}
+
+func TestFileMigrationLogRejectsCorruptBody(t *testing.T) {
+	fs := wal.NewMemFS()
+	lg, err := OpenFileMigrationLog(fs, "coord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st lhstar.State
+	if _, err := lg.Begin(testIntent(MigrateSplit, st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lg.Begin(testIntent(MigrateSplit, st)); err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+
+	path := filepath.Join("coord", "migrations.log")
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.FlipBit(path, len(data)-3, 0); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileMigrationLog(fs, "coord")
+	if err != nil {
+		t.Fatalf("reopening bit-flipped log: %v", err)
+	}
+	// The checksum catches the flip; the damaged record (and nothing
+	// before it) is dropped.
+	if recs := re.Records(); len(recs) != 1 {
+		t.Fatalf("bit-flipped log replayed %d records, want 1", len(recs))
+	}
+}
+
+func TestAttachMigrationLogRejectsLateAttach(t *testing.T) {
+	ctx := context.Background()
+	h := newMigHarness(t, 2)
+	h.load(FileRecords, 24)
+	h.c.SetMaxLoad(FileRecords, 4)
+	if err := h.c.split(ctx, FileRecords); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.c.AttachMigrationLog(NewMemMigrationLog()); err == nil {
+		t.Fatal("attach after a split was accepted; the in-memory ledger would be silently discarded")
+	}
+}
+
+func TestMemMigrationLogFinishValidation(t *testing.T) {
+	lg := NewMemMigrationLog()
+	if err := lg.Finish(7, MigrationCommitted); err == nil {
+		t.Fatal("finishing an unknown MID was accepted")
+	}
+	var st lhstar.State
+	mid, err := lg.Begin(testIntent(MigrateSplit, st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Finish(mid, MigrationCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Finish(mid, MigrationAborted); err == nil {
+		t.Fatal("conflicting double finish was accepted")
+	}
+}
+
+// TestResultingState pins the state fold used both by coordinator
+// restart and by AttachMigrationLog: committed split intents advance
+// the split pointer, committed merges retreat it.
+func TestResultingState(t *testing.T) {
+	var st lhstar.State
+	split := testIntent(MigrateSplit, st)
+	got := resultingState(split)
+	want := st
+	want.AdvanceSplit()
+	if got != want {
+		t.Fatalf("resultingState(split) = %+v, want %+v", got, want)
+	}
+	merge := testIntent(MigrateMerge, want)
+	if got := resultingState(merge); got != st {
+		t.Fatalf("resultingState(merge) = %+v, want %+v", got, st)
+	}
+}

@@ -1,0 +1,733 @@
+package sdds
+
+// The migration fault matrix: crash points and lost messages across
+// every role (coordinator, source node, target node) of the two-phase
+// split/merge protocol, asserting the DESIGN.md §14 guarantees — zero
+// acknowledged-record loss, zero duplication, searches served
+// throughout, and a ledger whose Started always equals
+// Committed + Aborted + InFlight.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cipherx"
+	"repro/internal/transport"
+	"repro/internal/wal"
+	"repro/internal/wordindex"
+)
+
+// hookTr wraps a transport with injectable per-message faults: a
+// "before" hook failing a send without delivering it (request lost),
+// and an "after" hook failing it after the handler ran (the
+// acknowledged-but-unconfirmed window every two-phase step must
+// survive).
+type hookTr struct {
+	inner transport.Transport
+
+	mu     sync.Mutex
+	before func(node transport.NodeID, op uint8) error
+	after  func(node transport.NodeID, op uint8) error
+}
+
+func (h *hookTr) setBefore(f func(transport.NodeID, uint8) error) {
+	h.mu.Lock()
+	h.before = f
+	h.mu.Unlock()
+}
+
+func (h *hookTr) setAfter(f func(transport.NodeID, uint8) error) {
+	h.mu.Lock()
+	h.after = f
+	h.mu.Unlock()
+}
+
+func (h *hookTr) Send(ctx context.Context, node transport.NodeID, op uint8, payload []byte) ([]byte, error) {
+	h.mu.Lock()
+	before, after := h.before, h.after
+	h.mu.Unlock()
+	if before != nil {
+		if err := before(node, op); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := h.inner.Send(ctx, node, op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if after != nil {
+		if err := after(node, op); err != nil {
+			return nil, err
+		}
+	}
+	return resp, nil
+}
+
+func (h *hookTr) Nodes() []transport.NodeID { return h.inner.Nodes() }
+func (h *hookTr) Close() error              { return h.inner.Close() }
+
+// dropOnce fails the first matching (node, op) send with a plain
+// transport error — the non-definitive outcome-unknown failure.
+func dropOnce(node transport.NodeID, op uint8) func(transport.NodeID, uint8) error {
+	var mu sync.Mutex
+	fired := false
+	return func(n transport.NodeID, o uint8) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fired || n != node || o != op {
+			return nil
+		}
+		fired = true
+		return fmt.Errorf("injected: message for op %d to node %d lost", o, n)
+	}
+}
+
+// rejectOnce fails the first matching (node, op) send with a
+// *transport.RemoteError — a definitive handler rejection, the signal
+// the coordinator is allowed to abort on.
+func rejectOnce(node transport.NodeID, op uint8) func(transport.NodeID, uint8) error {
+	var mu sync.Mutex
+	fired := false
+	return func(n transport.NodeID, o uint8) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fired || n != node || o != op {
+			return nil
+		}
+		fired = true
+		return &transport.RemoteError{Node: n, Msg: "injected rejection"}
+	}
+}
+
+// migHarness is a two-node cluster with durable (MemFS-backed) node
+// stores, a durable coordinator migration journal, and a fault hook on
+// the coordinator's transport. Round-robin placement puts bucket 0 on
+// node 0 and bucket 1 on node 1, so the first split and the merge
+// undoing it are both cross-node handoffs.
+type migHarness struct {
+	t     *testing.T
+	mem   *transport.Memory
+	hook  *hookTr
+	place *Placement
+	fss   map[transport.NodeID]*wal.MemFS
+	nodes map[transport.NodeID]*Node
+	logFS *wal.MemFS
+	lg    *FileMigrationLog
+	c     *Cluster
+}
+
+func newMigHarness(t *testing.T, n int) *migHarness {
+	t.Helper()
+	ids := make([]transport.NodeID, n)
+	for i := range ids {
+		ids[i] = transport.NodeID(i)
+	}
+	place, err := NewPlacement(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &migHarness{
+		t:     t,
+		mem:   transport.NewMemory(),
+		place: place,
+		fss:   make(map[transport.NodeID]*wal.MemFS),
+		nodes: make(map[transport.NodeID]*Node),
+		logFS: wal.NewMemFS(),
+	}
+	h.hook = &hookTr{inner: h.mem}
+	for _, id := range ids {
+		h.startNode(id)
+	}
+	h.newCoordinator()
+	return h
+}
+
+// startNode (re)starts a node over its durable store: the first call
+// boots it fresh, later calls model a crashed process restarting over
+// whatever its journal made durable.
+func (h *migHarness) startNode(id transport.NodeID) {
+	h.t.Helper()
+	fs, ok := h.fss[id]
+	if !ok {
+		fs = wal.NewMemFS()
+		h.fss[id] = fs
+	} else {
+		fs.Restart()
+	}
+	node := NewNode(id, h.mem, h.place)
+	st, err := wal.Open(fs, "node", wal.Options{})
+	if err != nil {
+		h.t.Fatalf("opening node %d store: %v", id, err)
+	}
+	if _, err := node.AttachStore(st); err != nil {
+		h.t.Fatalf("attaching node %d store: %v", id, err)
+	}
+	h.mem.Register(id, node.Handler())
+	h.nodes[id] = node
+}
+
+// newCoordinator (re)builds the coordinator over the shared durable
+// migration journal; called a second time it is the restarted-
+// coordinator path, returning how many migrations the journal says are
+// still in flight.
+func (h *migHarness) newCoordinator() int {
+	h.t.Helper()
+	if h.lg != nil {
+		h.lg.Close()
+	}
+	lg, err := OpenFileMigrationLog(h.logFS, "coordinator")
+	if err != nil {
+		h.t.Fatalf("opening migration log: %v", err)
+	}
+	c := NewCluster(h.hook, h.place)
+	inFlight, err := c.AttachMigrationLog(lg)
+	if err != nil {
+		h.t.Fatalf("attaching migration log: %v", err)
+	}
+	h.lg, h.c = lg, c
+	return inFlight
+}
+
+// load inserts n keys without triggering growth and returns the
+// acknowledged truth the fault matrix audits against.
+func (h *migHarness) load(id FileID, n int) map[uint64][]byte {
+	h.t.Helper()
+	h.c.SetMaxLoad(id, 1<<20)
+	ctx := context.Background()
+	keys := make(map[uint64][]byte, n)
+	for k := uint64(0); k < uint64(n); k++ {
+		v := []byte(fmt.Sprintf("migval-%03d", k))
+		if err := h.c.Put(ctx, id, k, v); err != nil {
+			h.t.Fatalf("put %d: %v", k, err)
+		}
+		keys[k] = v
+	}
+	return keys
+}
+
+// checkAll asserts zero loss and zero duplication: every acknowledged
+// key reads back its value, and across all node buckets every key is
+// stored exactly once with no strays.
+func (h *migHarness) checkAll(id FileID, keys map[uint64][]byte) {
+	h.t.Helper()
+	ctx := context.Background()
+	for k, want := range keys {
+		v, ok, err := h.c.Get(ctx, id, k)
+		if err != nil || !ok || !bytes.Equal(v, want) {
+			h.t.Fatalf("get %d = %q, %v, %v (want %q)", k, v, ok, err, want)
+		}
+	}
+	counts := make(map[uint64]int)
+	for _, n := range h.nodes {
+		n.mu.RLock()
+		if f, ok := n.files[id]; ok {
+			for _, b := range f.buckets {
+				b.Scan(func(key uint64, _ []byte) bool {
+					counts[key]++
+					return true
+				})
+			}
+		}
+		n.mu.RUnlock()
+	}
+	for k := range keys {
+		if counts[k] != 1 {
+			h.t.Fatalf("key %d stored %d times across the cluster", k, counts[k])
+		}
+	}
+	for k := range counts {
+		if _, ok := keys[k]; !ok {
+			h.t.Fatalf("cluster holds unacknowledged key %d", k)
+		}
+	}
+}
+
+func (h *migHarness) wantStats(started, committed, aborted uint64, inFlight int) {
+	h.t.Helper()
+	s := h.c.MigrationStats()
+	if s.Started != started || s.Committed != committed || s.Aborted != aborted || s.InFlight != inFlight {
+		h.t.Fatalf("MigrationStats = %+v, want started %d committed %d aborted %d in-flight %d",
+			s, started, committed, aborted, inFlight)
+	}
+	h.wantInvariant()
+}
+
+func (h *migHarness) wantInvariant() {
+	h.t.Helper()
+	s := h.c.MigrationStats()
+	if s.Started != s.Committed+s.Aborted+uint64(s.InFlight) {
+		h.t.Fatalf("ledger invariant broken: %+v", s)
+	}
+}
+
+// TestSplitFaultMatrix loses one message per case — request or response,
+// against source or target, at every phase of a split — then resumes
+// and audits: no acknowledged record may be lost or duplicated, reads
+// are served while the migration is in flight, and the ledger balances.
+func TestSplitFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		node transport.NodeID
+		op   uint8
+		when string // "request": never delivered; "response": applied, ack lost
+	}{
+		{"prepare-request-lost", 0, opMigratePrepare, "request"},
+		{"prepare-response-lost", 0, opMigratePrepare, "response"},
+		{"absorb-request-lost", 1, opMigrateAbsorb, "request"},
+		{"absorb-response-lost", 1, opMigrateAbsorb, "response"},
+		{"source-commit-response-lost", 0, opMigrateCommit, "response"},
+		{"target-commit-response-lost", 1, opMigrateCommit, "response"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			h := newMigHarness(t, 2)
+			keys := h.load(FileRecords, 48)
+			h.c.SetMaxLoad(FileRecords, 8)
+			drop := dropOnce(tc.node, tc.op)
+			if tc.when == "request" {
+				h.hook.setBefore(drop)
+			} else {
+				h.hook.setAfter(drop)
+			}
+			if err := h.c.split(ctx, FileRecords); err == nil {
+				t.Fatal("interrupted split reported success")
+			}
+			h.wantStats(1, 0, 0, 1)
+
+			// Every acknowledged record stays readable mid-migration.
+			for k, want := range keys {
+				v, ok, err := h.c.Get(ctx, FileRecords, k)
+				if err != nil || !ok || !bytes.Equal(v, want) {
+					t.Fatalf("get %d during in-flight migration = %q, %v, %v", k, v, ok, err)
+				}
+			}
+
+			resumed, err := h.c.ResumeMigrations(ctx)
+			if err != nil || resumed != 1 {
+				t.Fatalf("ResumeMigrations = %d, %v", resumed, err)
+			}
+			h.wantStats(1, 1, 0, 0)
+			if s := h.c.MigrationStats(); s.Resumed == 0 {
+				t.Fatal("resume not counted")
+			}
+			if got := h.c.State(FileRecords).Buckets(); got != 2 {
+				t.Fatalf("buckets after resumed split = %d, want 2", got)
+			}
+			h.checkAll(FileRecords, keys)
+		})
+	}
+}
+
+// TestMergeFaultMatrix is the shrink-side mirror: the closing bucket's
+// records must survive every lost message of the merge handoff.
+func TestMergeFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		node transport.NodeID
+		op   uint8
+		when string
+		// midReads: whether moved records stay client-readable while the
+		// migration hangs at this point. Once the source applies a merge
+		// commit the closed bucket is gone, and a stale client image
+		// cannot reach the moved records until the resumed commit
+		// refreshes it — the LH* shrink window that makes coordinator-
+		// assisted image refresh mandatory. The records themselves are
+		// durable on the target throughout, as the post-resume audit
+		// proves.
+		midReads bool
+	}{
+		{"prepare-request-lost", 1, opMigratePrepare, "request", true},
+		{"prepare-response-lost", 1, opMigratePrepare, "response", true},
+		{"absorb-request-lost", 0, opMigrateAbsorb, "request", true},
+		{"absorb-response-lost", 0, opMigrateAbsorb, "response", true},
+		{"source-commit-response-lost", 1, opMigrateCommit, "response", false},
+		{"target-commit-response-lost", 0, opMigrateCommit, "response", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			h := newMigHarness(t, 2)
+			keys := h.load(FileRecords, 48)
+			h.c.SetMaxLoad(FileRecords, 8)
+			if err := h.c.split(ctx, FileRecords); err != nil {
+				t.Fatalf("setup split: %v", err)
+			}
+			// Shed records without crossing the (still tiny) merge
+			// threshold, then raise minLoad so the merge is wanted.
+			for k := uint64(24); k < 48; k++ {
+				if found, err := h.c.Delete(ctx, FileRecords, k); err != nil || !found {
+					t.Fatalf("delete %d = %v, %v", k, found, err)
+				}
+				delete(keys, k)
+			}
+			h.c.SetMaxLoad(FileRecords, 400)
+
+			drop := dropOnce(tc.node, tc.op)
+			if tc.when == "request" {
+				h.hook.setBefore(drop)
+			} else {
+				h.hook.setAfter(drop)
+			}
+			if _, err := h.c.mergeOne(ctx, FileRecords); err == nil {
+				t.Fatal("interrupted merge reported success")
+			}
+			h.wantStats(2, 1, 0, 1)
+
+			if tc.midReads {
+				for k, want := range keys {
+					v, ok, err := h.c.Get(ctx, FileRecords, k)
+					if err != nil || !ok || !bytes.Equal(v, want) {
+						t.Fatalf("get %d during in-flight merge = %q, %v, %v", k, v, ok, err)
+					}
+				}
+			}
+
+			resumed, err := h.c.ResumeMigrations(ctx)
+			if err != nil || resumed != 1 {
+				t.Fatalf("ResumeMigrations = %d, %v", resumed, err)
+			}
+			h.wantStats(2, 2, 0, 0)
+			if got := h.c.State(FileRecords).Buckets(); got != 1 {
+				t.Fatalf("buckets after resumed merge = %d, want 1", got)
+			}
+			h.checkAll(FileRecords, keys)
+		})
+	}
+}
+
+// TestFrozenBucketRejectsWrites pins the in-flight write freeze: while
+// a migration is pending, writes to its buckets fail loudly (never
+// silently vanish), reads keep working, and the freeze lifts at commit.
+func TestFrozenBucketRejectsWrites(t *testing.T) {
+	ctx := context.Background()
+	h := newMigHarness(t, 2)
+	keys := h.load(FileRecords, 48)
+	h.c.SetMaxLoad(FileRecords, 8)
+	h.hook.setAfter(dropOnce(1, opMigrateAbsorb))
+	if err := h.c.split(ctx, FileRecords); err == nil {
+		t.Fatal("interrupted split reported success")
+	}
+	err := h.c.Put(ctx, FileRecords, 1000, []byte("rejected"))
+	if err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Fatalf("write to frozen bucket = %v, want loud freeze rejection", err)
+	}
+	if v, ok, err := h.c.Get(ctx, FileRecords, 0); err != nil || !ok || !bytes.Equal(v, keys[0]) {
+		t.Fatalf("read during freeze = %q, %v, %v", v, ok, err)
+	}
+	if _, err := h.c.ResumeMigrations(ctx); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := h.c.Put(ctx, FileRecords, 1000, []byte("accepted")); err != nil {
+		t.Fatalf("write after freeze lifted: %v", err)
+	}
+}
+
+// TestSplitCrashSweep cuts power to the source or target node at every
+// durable-write crash point of one split and restarts it. Whatever the
+// outcome the resume settles on — roll forward or abort — no
+// acknowledged record may be lost or duplicated.
+func TestSplitCrashSweep(t *testing.T) {
+	victims := []struct {
+		name string
+		node transport.NodeID
+	}{
+		{"source", 0},
+		{"target", 1},
+	}
+	for _, victim := range victims {
+		t.Run(victim.name, func(t *testing.T) {
+			ctx := context.Background()
+			for point := 1; ; point++ {
+				h := newMigHarness(t, 2)
+				keys := h.load(FileRecords, 24)
+				h.c.SetMaxLoad(FileRecords, 4)
+				h.fss[victim.node].SetCrash(point, wal.CrashDrop)
+				err := h.c.split(ctx, FileRecords)
+				crashed := h.fss[victim.node].Crashed()
+				if !crashed {
+					// The sweep walked past the protocol's last durable
+					// write on this node; the matrix is exhausted.
+					if err != nil {
+						t.Fatalf("point %d: split failed without a crash: %v", point, err)
+					}
+					h.checkAll(FileRecords, keys)
+					return
+				}
+				h.startNode(victim.node)
+				if _, err := h.c.ResumeMigrations(ctx); err != nil {
+					t.Fatalf("point %d: resuming after %s crash: %v", point, victim.name, err)
+				}
+				h.wantInvariant()
+				if s := h.c.MigrationStats(); s.InFlight != 0 {
+					t.Fatalf("point %d: migration still in flight after resume: %+v", point, s)
+				}
+				// An aborted migration leaves the file ungrown; re-drive
+				// the split before auditing so every sweep point ends at
+				// the same shape.
+				for h.c.State(FileRecords).Buckets() < 2 {
+					if err := h.c.split(ctx, FileRecords); err != nil {
+						t.Fatalf("point %d: re-splitting after abort: %v", point, err)
+					}
+				}
+				h.checkAll(FileRecords, keys)
+			}
+		})
+	}
+}
+
+// TestCoordinatorCrashResumesFromJournal kills the coordinator with a
+// migration in flight (target absorbed, ack lost). The restarted
+// coordinator must find the intent in its journal, roll the handoff
+// forward, and lose nothing.
+func TestCoordinatorCrashResumesFromJournal(t *testing.T) {
+	ctx := context.Background()
+	h := newMigHarness(t, 2)
+	keys := h.load(FileRecords, 48)
+	h.c.SetMaxLoad(FileRecords, 8)
+	h.hook.setAfter(dropOnce(1, opMigrateAbsorb))
+	if err := h.c.split(ctx, FileRecords); err == nil {
+		t.Fatal("interrupted split reported success")
+	}
+
+	// Coordinator dies; a fresh one reopens the durable journal.
+	if inFlight := h.newCoordinator(); inFlight != 1 {
+		t.Fatalf("restarted coordinator found %d in-flight migrations, want 1", inFlight)
+	}
+	resumed, err := h.c.ResumeMigrations(ctx)
+	if err != nil || resumed != 1 {
+		t.Fatalf("ResumeMigrations = %d, %v", resumed, err)
+	}
+	h.wantStats(1, 1, 0, 0)
+	h.checkAll(FileRecords, keys)
+}
+
+// TestCoordinatorRestartFoldsCommittedMigrations: a restarted
+// coordinator reconstructs the file state (I, N) by folding the
+// journal's committed migrations — no node round trips, no guessing.
+func TestCoordinatorRestartFoldsCommittedMigrations(t *testing.T) {
+	ctx := context.Background()
+	h := newMigHarness(t, 2)
+	keys := h.load(FileRecords, 48)
+	h.c.SetMaxLoad(FileRecords, 8)
+	if err := h.c.split(ctx, FileRecords); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if inFlight := h.newCoordinator(); inFlight != 0 {
+		t.Fatalf("clean journal reported %d in-flight migrations", inFlight)
+	}
+	if got := h.c.State(FileRecords).Buckets(); got != 2 {
+		t.Fatalf("restarted coordinator folded state to %d buckets, want 2", got)
+	}
+	h.wantStats(1, 1, 0, 0)
+	h.checkAll(FileRecords, keys)
+}
+
+// TestMergeAbsorbRejectionAborts pins the abort path: when the merge
+// target definitively rejects the absorb, the coordinator aborts both
+// sides and the closing bucket — which never lost a record — resumes
+// serving unchanged.
+func TestMergeAbsorbRejectionAborts(t *testing.T) {
+	ctx := context.Background()
+	h := newMigHarness(t, 2)
+	keys := h.load(FileRecords, 48)
+	h.c.SetMaxLoad(FileRecords, 8)
+	if err := h.c.split(ctx, FileRecords); err != nil {
+		t.Fatalf("setup split: %v", err)
+	}
+	for k := uint64(24); k < 48; k++ {
+		if _, err := h.c.Delete(ctx, FileRecords, k); err != nil {
+			t.Fatalf("delete %d: %v", k, err)
+		}
+		delete(keys, k)
+	}
+	h.c.SetMaxLoad(FileRecords, 400)
+
+	h.hook.setBefore(rejectOnce(0, opMigrateAbsorb))
+	if _, err := h.c.mergeOne(ctx, FileRecords); err == nil {
+		t.Fatal("rejected merge reported success")
+	}
+	h.wantStats(2, 1, 1, 0)
+	if got := h.c.State(FileRecords).Buckets(); got != 2 {
+		t.Fatalf("aborted merge changed the file to %d buckets", got)
+	}
+	if got := h.c.Merges(FileRecords); got != 0 {
+		t.Fatalf("aborted merge counted as %d merges", got)
+	}
+	h.checkAll(FileRecords, keys)
+
+	// With the fault gone the merge goes through cleanly.
+	h.hook.setBefore(nil)
+	if err := h.c.merge(ctx, FileRecords); err != nil {
+		t.Fatalf("merge after abort: %v", err)
+	}
+	h.wantStats(3, 2, 1, 0)
+	if got := h.c.State(FileRecords).Buckets(); got != 1 {
+		t.Fatalf("buckets after merge = %d, want 1", got)
+	}
+	h.checkAll(FileRecords, keys)
+}
+
+// TestWordSearchDuringInterruptedSplit: while a split is in flight both
+// source and target legitimately hold the moved records; searches must
+// stay complete and must not double-report them — during the freeze and
+// after the resume.
+func TestWordSearchDuringInterruptedSplit(t *testing.T) {
+	ctx := context.Background()
+	h := newMigHarness(t, 2)
+	h.c.SetMaxLoad(FileWords, 1<<20)
+
+	ix := wordindex.New(cipherx.KeyFromPassphrase("migration-test"), nil)
+	needle := ix.TokenOf([]byte("NEEDLE")) // LetterTokenizer upper-cases words
+	var want []uint64
+	for rid := uint64(0); rid < 48; rid++ {
+		content := []byte("plain hay content")
+		if rid%3 == 0 {
+			content = []byte("hay with needle inside")
+			want = append(want, rid)
+		}
+		blob := wordindex.Blob(ix.Tokens(content))
+		if err := h.c.Put(ctx, FileWords, rid, blob); err != nil {
+			t.Fatalf("put word blob %d: %v", rid, err)
+		}
+	}
+	h.c.SetMaxLoad(FileWords, 8)
+	h.hook.setAfter(dropOnce(1, opMigrateAbsorb))
+	if err := h.c.split(ctx, FileWords); err == nil {
+		t.Fatal("interrupted split reported success")
+	}
+
+	check := func(phase string) {
+		t.Helper()
+		got, err := h.c.WordSearch(ctx, FileWords, needle[:])
+		if err != nil {
+			t.Fatalf("%s: word search: %v", phase, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: word search = %v, want %v", phase, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: word search = %v, want %v", phase, got, want)
+			}
+		}
+	}
+	check("during in-flight migration")
+	if _, err := h.c.ResumeMigrations(ctx); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	check("after resumed migration")
+}
+
+// nodeKeySet snapshots the keys a node currently stores for a file.
+func nodeKeySet(n *Node, id FileID) map[uint64]bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make(map[uint64]bool)
+	if f, ok := n.files[id]; ok {
+		for _, b := range f.buckets {
+			b.Scan(func(key uint64, _ []byte) bool {
+				out[key] = true
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// TestLegacySplitExtractNotRetrySafe is the regression behind
+// NonRetryableOps: re-sending the legacy one-shot extract after a lost
+// response silently destroys records, because the first response was
+// the only copy of the moved half and the second extract cuts again
+// from what remains. The Retry guard must turn that into a loud
+// failure instead.
+func TestLegacySplitExtractNotRetrySafe(t *testing.T) {
+	ctx := context.Background()
+	build := func() (*hookTr, *Node) {
+		t.Helper()
+		mem := transport.NewMemory()
+		place, err := NewPlacement([]transport.NodeID{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewNode(0, mem, place)
+		mem.Register(0, node.Handler())
+		for k := uint64(0); k < 8; k++ {
+			req := putReq{file: FileRecords, addr: 0, key: k, value: []byte{byte(k)}}
+			if _, err := node.Handler()(ctx, opPut, req.encode()); err != nil {
+				t.Fatalf("put %d: %v", k, err)
+			}
+		}
+		return &hookTr{inner: mem}, node
+	}
+	pol := transport.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond}
+	extract := splitExtractReq{file: FileRecords, addr: 0}.encode()
+
+	// Unguarded: the retry "succeeds" — and keys 1,3,5,7, acknowledged
+	// into the first (lost) response, exist nowhere anymore.
+	lossy, node := build()
+	lossy.setAfter(dropOnce(0, opSplitExtract))
+	rt := transport.NewRetry(lossy, pol, 1)
+	raw, err := rt.Send(ctx, 0, opSplitExtract, extract)
+	if err != nil {
+		t.Fatalf("unguarded retried extract: %v", err)
+	}
+	batch, err := decodeRecordBatch(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returned := make(map[uint64]bool)
+	for _, r := range batch.records {
+		returned[r.key] = true
+	}
+	kept := nodeKeySet(node, FileRecords)
+	for _, k := range []uint64{1, 3, 5, 7} {
+		if returned[k] || kept[k] {
+			t.Fatalf("key %d survived the double extract — hazard did not reproduce (returned %v, kept %v)", k, returned, kept)
+		}
+	}
+
+	// Guarded: the same lost response surfaces as an error, and only the
+	// first extraction ever ran.
+	lossy2, node2 := build()
+	lossy2.setAfter(dropOnce(0, opSplitExtract))
+	pol.NoRetryOps = NonRetryableOps()
+	rt2 := transport.NewRetry(lossy2, pol, 1)
+	if _, err := rt2.Send(ctx, 0, opSplitExtract, extract); err == nil || !strings.Contains(err.Error(), "not retry-safe") {
+		t.Fatalf("guarded retried extract = %v, want retry-safety refusal", err)
+	}
+	kept2 := nodeKeySet(node2, FileRecords)
+	for _, k := range []uint64{0, 2, 4, 6} {
+		if !kept2[k] {
+			t.Fatalf("guarded path lost key %d from the node (kept %v)", k, kept2)
+		}
+	}
+}
+
+// TestMigrateHeaderMismatchRejected: nodes validate the coordinator's
+// (from, to, level) expectation against local reality and refuse loudly
+// on mismatch instead of splitting the wrong bucket.
+func TestMigrateHeaderMismatchRejected(t *testing.T) {
+	ctx := context.Background()
+	h := newMigHarness(t, 2)
+	h.load(FileRecords, 8)
+	bad := []migrateHeader{
+		{mid: 99, kind: migrateSplit, file: FileRecords, from: 0, to: 3, level: 0},  // wrong target
+		{mid: 99, kind: migrateSplit, file: FileRecords, from: 0, to: 1, level: 4},  // wrong level
+		{mid: 99, kind: migrateSplit, file: FileRecords, from: 7, to: 135, level: 7}, // no such bucket
+		{mid: 99, kind: migrateMerge, file: FileRecords, from: 0, to: 1, level: 0},  // level-0 merge
+	}
+	for i, hdr := range bad {
+		if _, err := h.hook.Send(ctx, 0, opMigratePrepare, migratePrepareReq{hdr}.encode()); err == nil {
+			t.Fatalf("case %d: node accepted mismatched header %+v", i, hdr)
+		}
+	}
+	if s := h.c.MigrationStats(); s.Started != 0 {
+		t.Fatalf("rejected prepares leaked into the ledger: %+v", s)
+	}
+}

@@ -64,6 +64,14 @@ type Node struct {
 	storeOutcome wal.Outcome
 	storeDetail  string
 
+	// Two-phase migration ledger (DESIGN.md §14): outgoing sets this
+	// node sourced, absorbed sets it received, and durable outcomes of
+	// finished migrations — all keyed by migration ID, all journaled,
+	// and all carried inside the node image.
+	outgoing map[uint64]*migRecord
+	absorbed map[uint64]*migRecord
+	migDone  map[uint64]uint8
+
 	met nodeMetrics // set by Instrument before traffic; nil-safe
 }
 
@@ -72,6 +80,11 @@ type nodeFile struct {
 	// idx is the posting index accelerating handleSearch; non-nil only
 	// for the index file on nodes that keep the posting index enabled.
 	idx *searchIndex
+	// migLocked freezes buckets party to an in-flight migration
+	// (addr → migration ID): writes are rejected loudly, reads served.
+	// nil until the first migration touches this file, so the per-write
+	// check costs one probe of a nil map.
+	migLocked map[uint64]uint64
 }
 
 // searchIndex is a per-file inverted index over encrypted piece values:
@@ -195,10 +208,13 @@ func (p *Placement) Nodes() []transport.NodeID {
 // (it may be nil in single-node tests; forwarding then fails loudly).
 func NewNode(id transport.NodeID, peers transport.Transport, placement *Placement) *Node {
 	n := &Node{
-		id:    id,
-		peers: peers,
-		place: placement,
-		files: make(map[FileID]*nodeFile),
+		id:       id,
+		peers:    peers,
+		place:    placement,
+		files:    make(map[FileID]*nodeFile),
+		outgoing: make(map[uint64]*migRecord),
+		absorbed: make(map[uint64]*migRecord),
+		migDone:  make(map[uint64]uint8),
 	}
 	// Node 0 starts with the initial bucket of every file lazily; see
 	// getFile.
@@ -232,6 +248,9 @@ func (n *Node) AttachStore(s Store) (wal.Outcome, error) {
 	out, err := s.Recover(n.restoreImageLocked, n.applyLoggedLocked)
 	if err != nil {
 		n.files = make(map[FileID]*nodeFile)
+		n.outgoing = make(map[uint64]*migRecord)
+		n.absorbed = make(map[uint64]*migRecord)
+		n.migDone = make(map[uint64]uint8)
 		if rerr := s.Reset(); rerr != nil {
 			return wal.OutcomeCorrupt, fmt.Errorf("sdds: node %d: resetting store after failed recovery (%v): %w", n.id, err, rerr)
 		}
@@ -417,6 +436,30 @@ func (n *Node) applyLoggedLocked(op uint8, payload []byte) error {
 			f.indexPut(r.key, r.value)
 		}
 		return nil
+	case opMigratePrepare:
+		m, err := decodeMigratePrepareReq(payload)
+		if err != nil {
+			return err
+		}
+		return n.applyMigratePrepareLocked(m)
+	case opMigrateAbsorb:
+		m, err := decodeMigrateAbsorbReq(payload)
+		if err != nil {
+			return err
+		}
+		return n.applyMigrateAbsorbLocked(m)
+	case opMigrateCommit:
+		m, err := decodeMigrateFinishReq(payload)
+		if err != nil {
+			return err
+		}
+		return n.applyMigrateCommitLocked(m)
+	case opMigrateAbort:
+		m, err := decodeMigrateFinishReq(payload)
+		if err != nil {
+			return err
+		}
+		return n.applyMigrateAbortLocked(m)
 	default:
 		return fmt.Errorf("sdds: replay: op %d is not a journaled mutation", op)
 	}
@@ -475,6 +518,14 @@ func (n *Node) dispatch(ctx context.Context, op uint8, payload []byte) ([]byte, 
 		return nil, nil // health probe: answering is the point
 	case opRecoveryState:
 		return n.handleRecoveryState(payload)
+	case opMigratePrepare:
+		return n.handleMigratePrepare(payload)
+	case opMigrateAbsorb:
+		return n.handleMigrateAbsorb(payload)
+	case opMigrateCommit:
+		return n.handleMigrateCommit(payload)
+	case opMigrateAbort:
+		return n.handleMigrateAbort(payload)
 	default:
 		return nil, fmt.Errorf("sdds: unknown op %d", op)
 	}
@@ -577,6 +628,9 @@ func (n *Node) handlePut(ctx context.Context, payload []byte) ([]byte, error) {
 		fwd.hops++
 		return fwd.encode()
 	}, func(f *nodeFile, b *lhstar.Bucket) ([]byte, error) {
+		if err := f.migBlocked(m.file, b.Addr()); err != nil {
+			return nil, err
+		}
 		// Journal with the resolved local address so replay applies
 		// directly, without re-running the forwarding computation. The
 		// store-nil check lives out here so ephemeral nodes skip the
@@ -645,6 +699,10 @@ func (n *Node) handlePutBatch(ctx context.Context, payload []byte) ([]byte, erro
 		if needFwd {
 			fwds = append(fwds, fwd{i: i, addr: next, e: e})
 			continue
+		}
+		if err := f.migBlocked(it.file, b.Addr()); err != nil {
+			n.mu.Unlock()
+			return nil, err
 		}
 		// Each locally applied entry journals as an individual put at
 		// its resolved address; forwarded entries are journaled by the
@@ -740,6 +798,9 @@ func (n *Node) handleDelete(ctx context.Context, payload []byte) ([]byte, error)
 		fwd.hops++
 		return fwd.encode()
 	}, func(f *nodeFile, b *lhstar.Bucket) ([]byte, error) {
+		if err := f.migBlocked(m.file, b.Addr()); err != nil {
+			return nil, err
+		}
 		if n.store != nil {
 			logged := m
 			logged.addr = b.Addr()
@@ -919,6 +980,9 @@ func (n *Node) handleSplitExtract(payload []byte) ([]byte, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := f.migBlocked(m.file, m.addr); err != nil {
+		return nil, err
+	}
 	// Journaled before the split: SplitInto is deterministic in the
 	// bucket's state, so replay extracts (and drops) the same records
 	// the live run handed to the absorbing node.
@@ -950,6 +1014,9 @@ func (n *Node) handleSplitAbsorb(payload []byte) ([]byte, error) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := f.migBlocked(m.file, m.addr); err != nil {
+		return nil, err
+	}
 	if err := n.journalLocked(opSplitAbsorb, payload); err != nil {
 		return nil, err
 	}
@@ -1004,6 +1071,9 @@ func (n *Node) handleMergeClose(payload []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("sdds: node %d has no bucket %d of file %d", n.id, m.addr, m.file)
 	}
+	if err := f.migBlocked(m.file, m.addr); err != nil {
+		return nil, err
+	}
 	if err := n.journalLocked(opMergeClose, payload); err != nil {
 		return nil, err
 	}
@@ -1033,6 +1103,9 @@ func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
 	defer n.mu.Unlock()
 	if b.Level() == 0 {
 		return nil, fmt.Errorf("sdds: cannot lower level of bucket %d below 0", m.addr)
+	}
+	if err := f.migBlocked(m.file, m.addr); err != nil {
+		return nil, err
 	}
 	if err := n.journalLocked(opMergeAbsorb, payload); err != nil {
 		return nil, err
@@ -1086,6 +1159,7 @@ func (n *Node) snapshotLocked() []byte {
 		}
 		img.files = append(img.files, fi)
 	}
+	img.migs = n.migImageLocked()
 	return img.encode()
 }
 
@@ -1095,7 +1169,7 @@ func (n *Node) snapshotLocked() []byte {
 func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	files, err := n.buildFilesLocked(payload)
+	files, migs, err := n.buildFilesLocked(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -1113,6 +1187,7 @@ func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
 		n.storeDetail = ""
 	}
 	n.files = files
+	n.adoptMigImageLocked(migs)
 	return nil, nil
 }
 
@@ -1120,21 +1195,24 @@ func (n *Node) handleNodeRestore(payload []byte) ([]byte, error) {
 // the restore callback of Store.Recover. Callers must hold the write
 // lock.
 func (n *Node) restoreImageLocked(payload []byte) error {
-	files, err := n.buildFilesLocked(payload)
+	files, migs, err := n.buildFilesLocked(payload)
 	if err != nil {
 		return err
 	}
 	n.files = files
+	n.adoptMigImageLocked(migs)
 	return nil
 }
 
 // buildFilesLocked decodes a node image into a fresh bucket inventory
 // (posting indexes rebuilt) without touching the node's current state.
-// Callers must hold the write lock.
-func (n *Node) buildFilesLocked(payload []byte) (map[FileID]*nodeFile, error) {
+// The migration ledger rides in the image's trailing section; callers
+// adopt it after swapping the files in. Callers must hold the write
+// lock.
+func (n *Node) buildFilesLocked(payload []byte) (map[FileID]*nodeFile, migrationImage, error) {
 	img, err := decodeNodeImage(payload)
 	if err != nil {
-		return nil, err
+		return nil, migrationImage{}, err
 	}
 	files := make(map[FileID]*nodeFile, len(img.files))
 	for _, fi := range img.files {
@@ -1142,14 +1220,14 @@ func (n *Node) buildFilesLocked(payload []byte) (map[FileID]*nodeFile, error) {
 		for _, snap := range fi.buckets {
 			b, err := lhstar.RestoreBucket(snap)
 			if err != nil {
-				return nil, fmt.Errorf("sdds: restoring file %d: %w", fi.file, err)
+				return nil, migrationImage{}, fmt.Errorf("sdds: restoring file %d: %w", fi.file, err)
 			}
 			nf.buckets[b.Addr()] = b
 		}
 		nf.rebuildIndex()
 		files[fi.file] = nf
 	}
-	return files, nil
+	return files, img.migs, nil
 }
 
 // handleRecoveryState reports how this node's local state came to be —

@@ -180,8 +180,25 @@ type Supervisor struct {
 	stop    chan struct{}
 	done    chan struct{}
 	now     func() time.Time
+	resume  MigrationResumer // optional: re-drive in-flight migrations post-repair
 
 	met supervisorMetrics // set by Instrument before Start; nil-safe
+}
+
+// MigrationResumer rolls the coordinator's in-flight bucket migrations
+// forward (or aborts them) — Cluster.ResumeMigrations. The supervisor
+// invokes it after every completed repair once all nodes are up again:
+// a migration interrupted by the very node failure that triggered the
+// repair leaves frozen buckets behind, and resolving it promptly is
+// part of returning the cluster to nominal.
+type MigrationResumer func(ctx context.Context) (int, error)
+
+// SetMigrationResumer installs (or, with nil, removes) the post-repair
+// migration resumer. Call before Start.
+func (s *Supervisor) SetMigrationResumer(r MigrationResumer) {
+	s.mu.Lock()
+	s.resume = r
+	s.mu.Unlock()
 }
 
 // NewSupervisor wires a supervisor over a detector and guardian. retry
@@ -451,6 +468,23 @@ func (s *Supervisor) finishRepair(nodes []transport.NodeID, phase RepairPhase, d
 	for i := 0; i < s.det.Policy().UpAfter; i++ {
 		s.det.ProbeOnce(pctx)
 	}
+	s.resumeMigrations()
+}
+
+// resumeMigrations re-drives in-flight bucket migrations once every
+// node is reachable again. Best-effort: a migration that still cannot
+// complete stays journalled and will be retried on the next repair (or
+// by the next coordinator restart).
+func (s *Supervisor) resumeMigrations() {
+	s.mu.Lock()
+	resume := s.resume
+	s.mu.Unlock()
+	if resume == nil || !s.allUp() {
+		return
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), s.cfg.RepairTimeout)
+	defer cancel()
+	resume(rctx)
 }
 
 func (s *Supervisor) allUp() bool {
