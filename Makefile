@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json cover fuzz clean soak soak-smoke soak-overload soak-growth
+.PHONY: check build vet test race bench bench-smoke bench-json bench-gate cover fuzz clean soak soak-smoke soak-overload soak-growth
 
 # Tier-1 gate: everything must build, vet clean, pass under the race
 # detector (the chaos suites are required to be race-clean), and every
@@ -31,9 +31,19 @@ bench-smoke:
 # overwritten) into the committed BENCH_search.json so a partial bench
 # run refreshes its own series without dropping everyone else's history.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkInsertIndexed|BenchmarkPlacementNodes|BenchmarkTransport' \
+	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkIndexPut|BenchmarkInsertIndexed|BenchmarkPlacementNodes|BenchmarkTransport' \
 		-benchmem ./internal/sdds ./internal/transport | $(GO) run ./cmd/benchjson -merge -out BENCH_search.json
 	@cat BENCH_search.json
+
+# Benchmark regression gate: re-measure the search + index-maintenance
+# hot paths and compare ns/op (and ns/entry) against the committed
+# BENCH_search.json baseline. Any series more than 25% slower than its
+# baseline fails the target — the CI guard that keeps the flat posting
+# index honest. -benchtime=0.3s keeps the gate under a minute on a
+# 1-vCPU CI runner while staying stable enough for a 25% band.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkNodeSearch|BenchmarkIndexPut' \
+		-benchtime=0.3s ./internal/sdds | $(GO) run ./cmd/benchjson -gate BENCH_search.json
 
 # Cluster-level soak: open-loop load generator driving a REAL
 # multi-process TCP cluster (spawned esdds-node daemons) through LH*
@@ -95,6 +105,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodePutReq -fuzztime=30s ./internal/sdds
 	$(GO) test -fuzz=FuzzDecodeSearchReq -fuzztime=30s ./internal/sdds
 	$(GO) test -fuzz=FuzzDecodeNodeImage -fuzztime=30s ./internal/sdds
+	$(GO) test -fuzz=FuzzIndexOps -fuzztime=30s ./internal/sdds
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s ./internal/wal
 
 clean:

@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"sync"
 )
 
@@ -246,6 +247,19 @@ type byteFeistelCipher struct {
 	rh     int // right half length (floor)
 	rounds int
 	macKey [32]byte
+	// scratch pools the per-call working state: the two halves, the PRF
+	// output buffer, and a keyed HMAC whose Reset restores precomputed
+	// pads. Without it every chunk paid 3 slice allocations plus an
+	// hmac.New (4 more) per PRF round — on the Stage-1 hot path that is
+	// tens of allocations per chunk.
+	scratch sync.Pool
+}
+
+// feistelScratch is one pooled working set of a byteFeistelCipher call.
+type feistelScratch struct {
+	l, r, tmp []byte
+	mac       hash.Hash
+	sum       []byte
 }
 
 func newByteFeistel(key Key, n int) *byteFeistelCipher {
@@ -257,25 +271,34 @@ func newByteFeistel(key Key, n int) *byteFeistelCipher {
 	}
 	sub := DeriveKey(key, "byte-feistel")
 	copy(c.macKey[:], sub[:])
+	c.scratch.New = func() any {
+		return &feistelScratch{
+			l:   make([]byte, c.lh),
+			r:   make([]byte, c.rh),
+			tmp: make([]byte, c.lh),
+			mac: hmac.New(sha256.New, c.macKey[:]),
+			sum: make([]byte, 0, sha256.Size),
+		}
+	}
 	return c
 }
 
 func (c *byteFeistelCipher) ChunkLen() int { return c.n }
 
 // prf fills out with a keystream derived from (round, in).
-func (c *byteFeistelCipher) prf(round int, in, out []byte) {
+func (c *byteFeistelCipher) prf(s *feistelScratch, round int, in, out []byte) {
 	var ctr uint32
 	off := 0
 	for off < len(out) {
-		mac := hmac.New(sha256.New, c.macKey[:])
+		s.mac.Reset()
 		var hdr [9]byte
 		hdr[0] = byte(round)
 		binary.BigEndian.PutUint32(hdr[1:5], uint32(c.n))
 		binary.BigEndian.PutUint32(hdr[5:9], ctr)
-		mac.Write(hdr[:])
-		mac.Write(in)
-		sum := mac.Sum(nil)
-		off += copy(out[off:], sum)
+		s.mac.Write(hdr[:])
+		s.mac.Write(in)
+		s.sum = s.mac.Sum(s.sum[:0])
+		off += copy(out[off:], s.sum)
 		ctr++
 	}
 }
@@ -286,47 +309,51 @@ func (c *byteFeistelCipher) prf(round int, in, out []byte) {
 // invertible, so the composition is a permutation.
 func (c *byteFeistelCipher) Encrypt(dst, src []byte) {
 	c.checkLens(dst, src)
-	l := append([]byte(nil), src[:c.lh]...)
-	r := append([]byte(nil), src[c.lh:]...)
-	tmp := make([]byte, c.lh)
+	s := c.scratch.Get().(*feistelScratch)
+	l, r := s.l, s.r
+	copy(l, src[:c.lh])
+	copy(r, src[c.lh:])
 	for i := 0; i < c.rounds; i++ {
 		if i%2 == 0 {
-			c.prf(i, r, tmp[:c.lh])
+			c.prf(s, i, r, s.tmp[:c.lh])
 			for j := range l {
-				l[j] ^= tmp[j]
+				l[j] ^= s.tmp[j]
 			}
 		} else {
-			c.prf(i, l, tmp[:c.rh])
+			c.prf(s, i, l, s.tmp[:c.rh])
 			for j := range r {
-				r[j] ^= tmp[j]
+				r[j] ^= s.tmp[j]
 			}
 		}
 	}
 	copy(dst, l)
 	copy(dst[c.lh:], r)
+	c.scratch.Put(s)
 }
 
 // Decrypt inverts Encrypt by replaying rounds in reverse order.
 func (c *byteFeistelCipher) Decrypt(dst, src []byte) {
 	c.checkLens(dst, src)
-	l := append([]byte(nil), src[:c.lh]...)
-	r := append([]byte(nil), src[c.lh:]...)
-	tmp := make([]byte, c.lh)
+	s := c.scratch.Get().(*feistelScratch)
+	l, r := s.l, s.r
+	copy(l, src[:c.lh])
+	copy(r, src[c.lh:])
 	for i := c.rounds - 1; i >= 0; i-- {
 		if i%2 == 0 {
-			c.prf(i, r, tmp[:c.lh])
+			c.prf(s, i, r, s.tmp[:c.lh])
 			for j := range l {
-				l[j] ^= tmp[j]
+				l[j] ^= s.tmp[j]
 			}
 		} else {
-			c.prf(i, l, tmp[:c.rh])
+			c.prf(s, i, l, s.tmp[:c.rh])
 			for j := range r {
-				r[j] ^= tmp[j]
+				r[j] ^= s.tmp[j]
 			}
 		}
 	}
 	copy(dst, l)
 	copy(dst[c.lh:], r)
+	c.scratch.Put(s)
 }
 
 func (c *byteFeistelCipher) checkLens(dst, src []byte) {

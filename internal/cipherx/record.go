@@ -7,6 +7,8 @@ import (
 	"crypto/sha256"
 	"crypto/subtle"
 	"errors"
+	"hash"
+	"sync"
 )
 
 // RecordCipher is the strong, authenticated encryption applied to whole
@@ -22,8 +24,20 @@ import (
 // reproducible and is safe here because each record is sealed once under
 // a per-file key with its RID as associated data.
 type RecordCipher struct {
-	encKey Key
 	macKey Key
+	// block is the AES-256 key schedule, expanded once at construction —
+	// expanding it per Seal/Open would dominate small-record cost.
+	block cipher.Block
+	// macs pools keyed HMAC states (with their Sum scratch): after the
+	// first use an HMAC Reset restores the precomputed pads, so a pooled
+	// state makes the per-record MAC allocation-free.
+	macs sync.Pool
+}
+
+// recordMAC is one pooled HMAC state plus its digest scratch.
+type recordMAC struct {
+	mac hash.Hash
+	sum []byte
 }
 
 // sivSize is the synthetic IV / tag length in bytes.
@@ -34,33 +48,44 @@ var ErrAuth = errors.New("cipherx: record authentication failed")
 
 // NewRecordCipher derives independent encryption and MAC subkeys from key.
 func NewRecordCipher(key Key) *RecordCipher {
-	return &RecordCipher{
-		encKey: DeriveKey(key, "record-enc"),
-		macKey: DeriveKey(key, "record-mac"),
+	encKey := DeriveKey(key, "record-enc")
+	block, err := aes.NewCipher(encKey[:])
+	if err != nil {
+		panic("cipherx: aes.NewCipher: " + err.Error())
 	}
+	rc := &RecordCipher{
+		macKey: DeriveKey(key, "record-mac"),
+		block:  block,
+	}
+	rc.macs.New = func() any {
+		return &recordMAC{
+			mac: hmac.New(sha256.New, rc.macKey[:]),
+			sum: make([]byte, 0, sha256.Size),
+		}
+	}
+	return rc
 }
 
 // Overhead returns the ciphertext expansion in bytes.
 func (rc *RecordCipher) Overhead() int { return sivSize }
 
 func (rc *RecordCipher) siv(ad, plaintext []byte) [sivSize]byte {
-	mac := hmac.New(sha256.New, rc.macKey[:])
+	m := rc.macs.Get().(*recordMAC)
+	m.mac.Reset()
 	var lenAD [8]byte
 	putUintBE(lenAD[:], uint64(len(ad)), 8)
-	mac.Write(lenAD[:])
-	mac.Write(ad)
-	mac.Write(plaintext)
+	m.mac.Write(lenAD[:])
+	m.mac.Write(ad)
+	m.mac.Write(plaintext)
+	m.sum = m.mac.Sum(m.sum[:0])
 	var iv [sivSize]byte
-	copy(iv[:], mac.Sum(nil))
+	copy(iv[:], m.sum)
+	rc.macs.Put(m)
 	return iv
 }
 
 func (rc *RecordCipher) ctr(iv [sivSize]byte, dst, src []byte) {
-	block, err := aes.NewCipher(rc.encKey[:])
-	if err != nil {
-		panic("cipherx: aes.NewCipher: " + err.Error())
-	}
-	stream := cipher.NewCTR(block, iv[:])
+	stream := cipher.NewCTR(rc.block, iv[:])
 	stream.XORKeyStream(dst, src)
 }
 

@@ -261,6 +261,96 @@ func TestBatchedInsertRPCBound(t *testing.T) {
 	}
 }
 
+// --- Posting-index maintenance: flat vs legacy, single vs batched ---
+//
+// One iteration indexes idxBenchEntries pre-encoded values (zipfian
+// piece popularity), so ns/op is directly comparable across the
+// variants; "ns/entry" is also reported. "single" uses the per-entry
+// put path on fresh keys — the case the old index paid a full
+// indexDelete for; "legacy" is the pre-flat two-level map index on the
+// same stream (its put IS the old indexPut, redundant delete included),
+// so single-vs-legacy is the fix's delta. "batched" feeds all entries
+// through putBatch as handlePutBatch does; "overwrite" re-indexes
+// existing keys, exercising tombstoning and compaction at steady state.
+
+const idxBenchEntries = 1000
+
+func idxBenchValues() []kv {
+	rng := rand.New(rand.NewSource(77))
+	z := rand.NewZipf(rng, 1.2, 1, 511)
+	ents := make([]kv, idxBenchEntries)
+	for i := range ents {
+		n := 4 + rng.Intn(10)
+		ps := make([]disperse.Piece, n)
+		for j := range ps {
+			ps[j] = disperse.Piece(z.Uint64())
+		}
+		ents[i] = kv{
+			key:   uint64(i + 1),
+			value: indexValue{firstIndex: uint32(i % 4), pieces: ps}.encode(),
+		}
+	}
+	return ents
+}
+
+func BenchmarkIndexPut(b *testing.B) {
+	ents := idxBenchValues()
+	perEntry := func(b *testing.B, total time.Duration) {
+		b.Helper()
+		b.ReportMetric(float64(total.Nanoseconds())/float64(b.N*idxBenchEntries), "ns/entry")
+	}
+	b.Run("single", func(b *testing.B) {
+		x := newFlatIndex(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			x.reset()
+			for _, e := range ents {
+				x.put(e.key, e.value)
+			}
+		}
+		perEntry(b, time.Since(start))
+	})
+	b.Run("batched", func(b *testing.B) {
+		x := newFlatIndex(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			x.reset()
+			x.putBatch(ents)
+		}
+		perEntry(b, time.Since(start))
+	})
+	b.Run("overwrite", func(b *testing.B) {
+		x := newFlatIndex(nil)
+		x.putBatch(ents) // steady state: every put below overwrites
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for _, e := range ents {
+				x.put(e.key, e.value)
+			}
+		}
+		perEntry(b, time.Since(start))
+	})
+	b.Run("legacy", func(b *testing.B) {
+		x := newLegacyMapIndex()
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			x.reset()
+			for _, e := range ents {
+				x.put(e.key, e.value)
+			}
+		}
+		perEntry(b, time.Since(start))
+	})
+}
+
 // --- Placement.Nodes: cached immutable slice, zero allocations ---
 
 func TestPlacementNodesZeroAlloc(t *testing.T) {

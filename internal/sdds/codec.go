@@ -648,6 +648,45 @@ func decodeIndexValue(b []byte) (indexValue, error) {
 	return m, r.done()
 }
 
+// indexValuePieceCount peeks the piece count of an encoded indexValue
+// without decoding it. ok is false for anything that would not decode
+// cleanly (foreign values stored in the index file), so batch decoders
+// can pre-size an exact piece arena: the encoding is fixed-width —
+// 4 bytes firstIndex, 4 bytes count, 2 bytes per piece — and a value
+// is valid iff its length matches the count exactly.
+func indexValuePieceCount(b []byte) (int, bool) {
+	if len(b) < 8 {
+		return 0, false
+	}
+	n := int(binary.BigEndian.Uint32(b[4:8]))
+	if 8+2*n != len(b) {
+		return 0, false
+	}
+	return n, true
+}
+
+// decodeIndexValueInto decodes like decodeIndexValue but appends the
+// piece stream to arena instead of allocating, returning the grown
+// arena. The caller must pre-size arena (via indexValuePieceCount sums)
+// so it never reallocates — the returned iv.pieces is a full-capacity
+// carve of the appended region and must not move. A value whose peek
+// fails also fails here, so arena stays exactly sized.
+func decodeIndexValueInto(b []byte, arena []disperse.Piece) (indexValue, []disperse.Piece, error) {
+	n, ok := indexValuePieceCount(b)
+	if !ok {
+		return indexValue{}, arena, errShortPayload
+	}
+	start := len(arena)
+	for i := 0; i < n; i++ {
+		arena = append(arena, disperse.Piece(binary.BigEndian.Uint16(b[8+2*i:])))
+	}
+	iv := indexValue{
+		firstIndex: binary.BigEndian.Uint32(b[:4]),
+		pieces:     arena[start:len(arena):len(arena)],
+	}
+	return iv, arena, nil
+}
+
 // searchReq carries a compiled query to every node: for each series, the
 // alignment and the per-site patterns. slotBits is the composite-key
 // slot width (SlotBits(M, K)), which nodes need to decompose entry keys.

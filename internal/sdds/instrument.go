@@ -67,6 +67,9 @@ type nodeMetrics struct {
 	postingCandidates *obs.Counter // candidate offsets probed
 	postingVerified   *obs.Counter // candidates that survived MatchAt
 	searchHits        *obs.Counter // raw hits reported (both paths)
+
+	indexTombstones  *obs.Counter // postings tombstoned by deletes/overwrites
+	indexCompactions *obs.Counter // posting-list compaction epochs
 }
 
 // Instrument publishes the node's counters into reg. Call before the
@@ -86,6 +89,8 @@ func (n *Node) Instrument(reg *obs.Registry) {
 		postingCandidates: reg.Counter("node_posting_candidates_total"),
 		postingVerified:   reg.Counter("node_posting_verified_total"),
 		searchHits:        reg.Counter("node_search_hits_total"),
+		indexTombstones:   reg.Counter("node_index_tombstones_total"),
+		indexCompactions:  reg.Counter("node_index_compactions_total"),
 	}
 	for op, name := range opNames {
 		if name != "" {

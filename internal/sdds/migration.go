@@ -303,9 +303,7 @@ func (n *Node) applyMigrateAbsorbLocked(m migrateAbsorbReq) error {
 			keys = append(keys, r.key)
 		}
 		f.buckets[m.to] = b
-		for _, r := range m.batch.records {
-			f.indexPut(r.key, r.value)
-		}
+		f.indexPutBatch(m.batch.records)
 	case migrateMerge:
 		b, ok := f.buckets[m.to]
 		if !ok {
@@ -319,9 +317,7 @@ func (n *Node) applyMigrateAbsorbLocked(m migrateAbsorbReq) error {
 		if err := b.MergeFrom(src); err != nil {
 			return err
 		}
-		for _, r := range m.batch.records {
-			f.indexPut(r.key, r.value)
-		}
+		f.indexPutBatch(m.batch.records)
 	default:
 		return fmt.Errorf("sdds: migration %d: unknown kind %d", m.mid, m.kind)
 	}

@@ -54,6 +54,11 @@ type Node struct {
 	// traffic); handleSearch then falls back to the full linear scan.
 	linearSearch bool
 
+	// indexFactory, when non-nil, overrides the posting index
+	// implementation new files get — the differential test battery uses
+	// it to run a node on the legacy map index. Set before traffic.
+	indexFactory func() postingIndex
+
 	mu    sync.RWMutex
 	files map[FileID]*nodeFile
 
@@ -79,7 +84,14 @@ type nodeFile struct {
 	buckets map[uint64]*lhstar.Bucket
 	// idx is the posting index accelerating handleSearch; non-nil only
 	// for the index file on nodes that keep the posting index enabled.
-	idx *searchIndex
+	// The production implementation is flatIndex (posting.go): a
+	// per-piece packed posting array. Because Stage-1 ECB maps equal
+	// plaintext chunks to equal ciphertext chunks, the first piece of a
+	// query pattern is an exact-match anchor into this structure, making
+	// node-side search cost scale with candidate count instead of file
+	// size. Maintained incrementally under the node lock on every
+	// mutation (put/delete/split/merge) and rebuilt wholesale on restore.
+	idx postingIndex
 	// migLocked freezes buckets party to an in-flight migration
 	// (addr → migration ID): writes are rejected loudly, reads served.
 	// nil until the first migration touches this file, so the per-write
@@ -87,31 +99,11 @@ type nodeFile struct {
 	migLocked map[uint64]uint64
 }
 
-// searchIndex is a per-file inverted index over encrypted piece values:
-// post[p] lists, per composite entry key, the stream offsets at which
-// piece value p occurs; entries caches the decoded piece stream so a
-// probe can verify candidates without re-decoding bucket values. It is
-// maintained incrementally under the node lock on every mutation
-// (put/delete/split/merge) and rebuilt wholesale on restore. Because
-// Stage-1 ECB maps equal plaintext chunks to equal ciphertext chunks,
-// the first piece of a query pattern is an exact-match anchor into this
-// structure, making node-side search cost scale with candidate count
-// instead of file size.
-type searchIndex struct {
-	post    map[disperse.Piece]map[uint64][]uint32
-	entries map[uint64]postEntry
-}
-
+// postEntry caches one indexed entry's decoded piece stream, so a probe
+// can verify candidates without re-decoding bucket values.
 type postEntry struct {
 	firstIndex uint32
 	pieces     []disperse.Piece
-}
-
-func newSearchIndex() *searchIndex {
-	return &searchIndex{
-		post:    make(map[disperse.Piece]map[uint64][]uint32),
-		entries: make(map[uint64]postEntry),
-	}
 }
 
 // indexPut (re)indexes one stored value. Values that do not decode as
@@ -121,20 +113,18 @@ func (f *nodeFile) indexPut(key uint64, value []byte) {
 	if f.idx == nil {
 		return
 	}
-	f.indexDelete(key) // a Put may overwrite an existing entry
-	iv, err := decodeIndexValue(value)
-	if err != nil {
+	f.idx.put(key, value)
+}
+
+// indexPutBatch indexes a batch of stored values in one pass — the
+// batch-aware feed used by handlePutBatch, split/merge absorption, and
+// migration absorbs, which groups posting appends per piece instead of
+// running len(ents) independent puts. Callers must hold the node lock.
+func (f *nodeFile) indexPutBatch(ents []kv) {
+	if f.idx == nil {
 		return
 	}
-	f.idx.entries[key] = postEntry{firstIndex: iv.firstIndex, pieces: iv.pieces}
-	for off, p := range iv.pieces {
-		m := f.idx.post[p]
-		if m == nil {
-			m = make(map[uint64][]uint32)
-			f.idx.post[p] = m
-		}
-		m[key] = append(m[key], uint32(off))
-	}
+	f.idx.putBatch(ents)
 }
 
 // indexDelete removes one key's postings. Callers must hold the node
@@ -143,19 +133,7 @@ func (f *nodeFile) indexDelete(key uint64) {
 	if f.idx == nil {
 		return
 	}
-	e, ok := f.idx.entries[key]
-	if !ok {
-		return
-	}
-	delete(f.idx.entries, key)
-	for _, p := range e.pieces {
-		if m := f.idx.post[p]; m != nil {
-			delete(m, key)
-			if len(m) == 0 {
-				delete(f.idx.post, p)
-			}
-		}
-	}
+	f.idx.remove(key)
 }
 
 // rebuildIndex reconstructs the posting index from bucket contents —
@@ -165,13 +143,18 @@ func (f *nodeFile) rebuildIndex() {
 	if f.idx == nil {
 		return
 	}
-	f.idx = newSearchIndex()
+	f.idx.reset()
+	// Feed the whole inventory through the batch path: values are
+	// borrowed from bucket storage for the duration of the call only
+	// (the index copies what it keeps).
+	var ents []kv
 	for _, b := range f.buckets {
 		b.Scan(func(key uint64, value []byte) bool {
-			f.indexPut(key, value)
+			ents = append(ents, kv{key: key, value: value})
 			return true
 		})
 	}
+	f.idx.putBatch(ents)
 }
 
 // Placement maps LH* bucket addresses onto the fixed node pool. The
@@ -395,8 +378,8 @@ func (n *Node) applyLoggedLocked(op uint8, payload []byte) error {
 		}
 		for _, r := range m.batch.records {
 			b.Put(r.key, r.value)
-			f.indexPut(r.key, r.value)
 		}
+		f.indexPutBatch(m.batch.records)
 		return nil
 	case opMergeClose:
 		m, err := decodeMergeCloseReq(payload)
@@ -432,9 +415,7 @@ func (n *Node) applyLoggedLocked(op uint8, payload []byte) error {
 		if err := b.MergeFrom(src); err != nil {
 			return err
 		}
-		for _, r := range m.batch.records {
-			f.indexPut(r.key, r.value)
-		}
+		f.indexPutBatch(m.batch.records)
 		return nil
 	case opMigratePrepare:
 		m, err := decodeMigratePrepareReq(payload)
@@ -560,7 +541,11 @@ func (n *Node) fileLocked(id FileID) *nodeFile {
 func (n *Node) newFileLocked(id FileID) *nodeFile {
 	f := &nodeFile{buckets: make(map[uint64]*lhstar.Bucket)}
 	if !n.linearSearch && id == FileIndex {
-		f.idx = newSearchIndex()
+		if n.indexFactory != nil {
+			f.idx = n.indexFactory()
+		} else {
+			f.idx = newFlatIndex(&n.met)
+		}
 	}
 	return f
 }
@@ -683,6 +668,10 @@ func (n *Node) handlePutBatch(ctx context.Context, payload []byte) ([]byte, erro
 	// never reallocates and the carved aliases stay valid.
 	var vals []byte
 	valsCap := it.valsCap()
+	// Locally applied entries accumulate here and hit the index as ONE
+	// batch: the indexer sorts and appends per piece once for the whole
+	// message instead of paying per-entry posting maintenance.
+	var applied []kv
 	n.mu.Lock()
 	for i := 0; i < it.n; i++ {
 		e, perr := it.next()
@@ -722,7 +711,7 @@ func (n *Node) handlePutBatch(ctx context.Context, payload []byte) ([]byte, erro
 		vals = append(vals, e.value...)
 		v := vals[start:len(vals):len(vals)]
 		isNew := b.Put(e.key, v)
-		f.indexPut(e.key, v)
+		applied = append(applied, kv{key: e.key, value: v})
 		// moved stays false: the bucket was found at the client's address.
 		resps[i] = batchPutResp{
 			isNew:     isNew,
@@ -731,6 +720,7 @@ func (n *Node) handlePutBatch(ctx context.Context, payload []byte) ([]byte, erro
 			bucketLen: uint32(b.Len()),
 		}
 	}
+	f.indexPutBatch(applied)
 	if err := n.maybeCheckpointLocked(); err != nil {
 		n.mu.Unlock()
 		return nil, err
@@ -852,35 +842,54 @@ func (n *Node) handleSearch(payload []byte) ([]byte, error) {
 // searchPosting probes the posting index: for each (series, site)
 // pattern, the entries whose streams contain the anchor piece are the
 // only candidates, and each candidate offset is verified against the
-// full pattern. Cost scales with candidate count, not file size.
-// Callers must hold the node lock (shared suffices).
-func (n *Node) searchPosting(idx *searchIndex, m *searchReq, resp *searchResp) {
+// full pattern. Cost scales with candidate count, not file size. The
+// probe walks the piece's packed posting array in one contiguous pass,
+// skipping tombstones; a key's postings sit adjacent in the array
+// (batch inserts sort, single inserts append together), so the key
+// decomposition and entry lookup are memoized across the run of equal
+// keys. Callers must hold the node lock (shared suffices).
+func (n *Node) searchPosting(idx postingIndex, m *searchReq, resp *searchResp) {
 	for _, s := range m.series {
 		for k, pat := range s.patterns {
 			if len(pat) == 0 {
 				continue
 			}
-			for key, offs := range idx.post[pat[0]] {
-				rid, j, ek := DecomposeIndexKey(key, int(m.kSites), uint(m.slotBits))
-				if ek != k {
+			var (
+				lastKey uint64
+				haveKey bool
+				skipKey bool
+				e       postEntry
+				rid     uint64
+				j, ek   int
+			)
+			for _, pt := range idx.postings(pat[0]) {
+				if pt.off == tombstoneOff {
 					continue
 				}
-				e := idx.entries[key]
-				for _, off := range offs {
-					n.met.postingCandidates.Inc()
-					if !core.MatchAt(e.pieces, pat, int(off)) {
-						continue
+				if !haveKey || pt.key != lastKey {
+					lastKey, haveKey = pt.key, true
+					rid, j, ek = DecomposeIndexKey(pt.key, int(m.kSites), uint(m.slotBits))
+					skipKey = ek != k
+					if !skipKey {
+						e, _ = idx.entry(pt.key)
 					}
-					n.met.postingVerified.Inc()
-					resp.hits = append(resp.hits, rawHit{
-						rid:         rid,
-						j:           uint8(j),
-						k:           uint8(ek),
-						a:           s.a,
-						firstIndex:  e.firstIndex,
-						pieceOffset: off,
-					})
 				}
+				if skipKey {
+					continue
+				}
+				n.met.postingCandidates.Inc()
+				if !core.MatchAt(e.pieces, pat, int(pt.off)) {
+					continue
+				}
+				n.met.postingVerified.Inc()
+				resp.hits = append(resp.hits, rawHit{
+					rid:         rid,
+					j:           uint8(j),
+					k:           uint8(ek),
+					a:           s.a,
+					firstIndex:  e.firstIndex,
+					pieceOffset: pt.off,
+				})
 			}
 		}
 	}
@@ -890,20 +899,24 @@ func (n *Node) searchPosting(idx *searchIndex, m *searchReq, resp *searchResp) {
 // series → MatchOffsets. Callers must hold the node lock (shared
 // suffices).
 func (n *Node) searchLinear(f *nodeFile, m *searchReq, resp *searchResp) {
+	var scratch []disperse.Piece
 	for _, b := range f.buckets {
-		searchBucket(b, m, resp)
+		scratch = searchBucket(b, m, resp, scratch)
 	}
 }
 
 // searchBucket runs the reference scan over one bucket's entries. It is
 // shared by the node's linear fallback and by degraded-mode search over
-// guardian images.
-func searchBucket(b *lhstar.Bucket, m *searchReq, resp *searchResp) {
+// guardian images. scratch is a reusable piece-decode arena (pass nil
+// on first use); the grown arena is returned so one allocation is
+// amortized over every entry of a scan instead of paid per entry.
+func searchBucket(b *lhstar.Bucket, m *searchReq, resp *searchResp, scratch []disperse.Piece) []disperse.Piece {
 	b.Scan(func(key uint64, value []byte) bool {
-		iv, err := decodeIndexValue(value)
+		iv, grown, err := decodeIndexValueInto(value, scratch[:0])
 		if err != nil {
 			return true // skip foreign entries
 		}
+		scratch = grown[:0]
 		rid, j, k := DecomposeIndexKey(key, int(m.kSites), uint(m.slotBits))
 		for _, s := range m.series {
 			if k >= len(s.patterns) {
@@ -922,6 +935,7 @@ func searchBucket(b *lhstar.Bucket, m *searchReq, resp *searchResp) {
 		}
 		return true
 	})
+	return scratch
 }
 
 // searchNodeImage answers a search request from a serialized node image
@@ -935,6 +949,7 @@ func searchNodeImage(raw []byte, m *searchReq) (searchResp, error) {
 	if err != nil {
 		return resp, fmt.Errorf("sdds: degraded search: decoding image: %w", err)
 	}
+	var scratch []disperse.Piece
 	for _, fi := range img.files {
 		if fi.file != m.file {
 			continue
@@ -944,7 +959,7 @@ func searchNodeImage(raw []byte, m *searchReq) (searchResp, error) {
 			if err != nil {
 				return resp, fmt.Errorf("sdds: degraded search: restoring bucket: %w", err)
 			}
-			searchBucket(b, m, &resp)
+			scratch = searchBucket(b, m, &resp, scratch)
 		}
 	}
 	return resp, nil
@@ -1022,8 +1037,8 @@ func (n *Node) handleSplitAbsorb(payload []byte) ([]byte, error) {
 	}
 	for _, r := range m.batch.records {
 		b.Put(r.key, r.value)
-		f.indexPut(r.key, r.value)
 	}
+	f.indexPutBatch(m.batch.records)
 	return nil, n.maybeCheckpointLocked()
 }
 
@@ -1117,9 +1132,7 @@ func (n *Node) handleMergeAbsorb(payload []byte) ([]byte, error) {
 	if err := b.MergeFrom(src); err != nil {
 		return nil, err
 	}
-	for _, r := range m.batch.records {
-		f.indexPut(r.key, r.value)
-	}
+	f.indexPutBatch(m.batch.records)
 	return nil, n.maybeCheckpointLocked()
 }
 

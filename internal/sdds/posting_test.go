@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/disperse"
 	"repro/internal/transport"
 )
 
@@ -38,10 +39,41 @@ func memClusterNodes(t *testing.T, n int, linear bool) (*Cluster, []*Node) {
 	return NewCluster(mem, place), nodes
 }
 
+// postingDump is a normalized, implementation-agnostic view of a
+// posting index's LIVE postings: piece → key → sorted offsets.
+// Tombstones are skipped, so a flat index mid-churn and a from-scratch
+// rebuild dump identically.
+type postingDump map[disperse.Piece]map[uint64][]uint32
+
+func dumpPostings(idx postingIndex) postingDump {
+	d := make(postingDump)
+	idx.forEach(func(p disperse.Piece, items []posting) {
+		for _, pt := range items {
+			if pt.off == tombstoneOff {
+				continue
+			}
+			m := d[p]
+			if m == nil {
+				m = make(map[uint64][]uint32)
+				d[p] = m
+			}
+			m[pt.key] = append(m[pt.key], pt.off)
+		}
+	})
+	for _, m := range d {
+		for k, offs := range m {
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			m[k] = offs
+		}
+	}
+	return d
+}
+
 // checkPostingInvariants verifies that every node's incremental posting
 // index is exactly what a from-scratch rebuild of its bucket contents
 // would produce — the invariant that makes posting search equivalent to
-// the linear scan by construction.
+// the linear scan by construction — and, for the flat index, that
+// tombstone accounting and the compaction dead-ratio bound hold.
 func checkPostingInvariants(t *testing.T, nodes []*Node) {
 	t.Helper()
 	for _, n := range nodes {
@@ -53,38 +85,90 @@ func checkPostingInvariants(t *testing.T, nodes []*Node) {
 				}
 				continue
 			}
-			want := &nodeFile{buckets: f.buckets, idx: newSearchIndex()}
-			want.rebuildIndex()
-			if len(f.idx.entries) != len(want.idx.entries) {
-				t.Errorf("node %d file %d: %d indexed entries, rebuild has %d",
-					n.id, id, len(f.idx.entries), len(want.idx.entries))
+			ref := newFlatIndex(nil)
+			var keys []uint64
+			for _, b := range f.buckets {
+				b.Scan(func(key uint64, value []byte) bool {
+					ref.put(key, value)
+					keys = append(keys, key)
+					return true
+				})
 			}
-			for key, e := range f.idx.entries {
-				we, ok := want.idx.entries[key]
-				if !ok || !reflect.DeepEqual(e, we) {
+			st := f.idx.stats()
+			if want := ref.stats(); st.entries != want.entries {
+				t.Errorf("node %d file %d: %d indexed entries, rebuild has %d",
+					n.id, id, st.entries, want.entries)
+			}
+			for _, key := range keys {
+				e, ok := f.idx.entry(key)
+				we, wok := ref.entry(key)
+				if ok != wok || !reflect.DeepEqual(e, we) {
 					t.Errorf("node %d file %d: entry %d diverges from rebuild", n.id, id, key)
 				}
 			}
-			if len(f.idx.post) != len(want.idx.post) {
-				t.Errorf("node %d file %d: %d posting lists, rebuild has %d",
-					n.id, id, len(f.idx.post), len(want.idx.post))
+			if got, want := dumpPostings(f.idx), dumpPostings(ref); !reflect.DeepEqual(got, want) {
+				t.Errorf("node %d file %d: live postings diverge from rebuild:\n got %v\nwant %v",
+					n.id, id, got, want)
 			}
-			for p, m := range f.idx.post {
-				wm := want.idx.post[p]
-				if len(m) != len(wm) {
-					t.Errorf("node %d file %d: piece %d has %d keys, rebuild has %d",
-						n.id, id, p, len(m), len(wm))
-					continue
-				}
-				for key, offs := range m {
-					if !reflect.DeepEqual(offs, wm[key]) {
-						t.Errorf("node %d file %d: piece %d key %d offsets %v, rebuild %v",
-							n.id, id, p, key, offs, wm[key])
-					}
-				}
-			}
+			checkFlatInvariants(t, n.id, id, f.idx)
 		}
 		n.mu.Unlock()
+	}
+}
+
+// checkFlatInvariants asserts the flat index's internal accounting: the
+// per-list dead counter matches the tombstones actually present, and no
+// list of compactable length carries a dead fraction at or above the
+// trigger (compaction fires the moment the threshold is crossed, so a
+// quiescent index can never sit beyond it).
+func checkFlatInvariants(t *testing.T, node transport.NodeID, file FileID, idx postingIndex) {
+	t.Helper()
+	fi, ok := idx.(*flatIndex)
+	if !ok {
+		return
+	}
+	for p, l := range fi.post {
+		var dead uint32
+		for _, pt := range l.items {
+			if pt.off == tombstoneOff {
+				dead++
+			}
+		}
+		if dead != l.dead {
+			t.Errorf("node %d file %d: piece %d dead counter %d, %d tombstones present",
+				node, file, p, l.dead, dead)
+		}
+		if len(l.items) == 0 || int(l.dead) == len(l.items) {
+			t.Errorf("node %d file %d: piece %d kept a fully dead list (len %d)",
+				node, file, p, len(l.items))
+		}
+		if len(l.items) >= compactMinLen && int(l.dead)*2 >= len(l.items) {
+			t.Errorf("node %d file %d: piece %d dead ratio %d/%d at or above compaction trigger",
+				node, file, p, l.dead, len(l.items))
+		}
+	}
+	// Positional back-references: every entry's i-th occurrence must be
+	// exactly where pos[i] says, and it must be live — deletes and
+	// compactions both maintain this (deletes rely on it for their
+	// O(occurrences) bound).
+	for key, e := range fi.entries {
+		if len(e.pos) != len(e.pieces) {
+			t.Errorf("node %d file %d: key %d pos len %d != pieces len %d",
+				node, file, key, len(e.pos), len(e.pieces))
+			continue
+		}
+		for i, p := range e.pieces {
+			l := fi.post[p]
+			if l == nil || int(e.pos[i]) >= len(l.items) {
+				t.Errorf("node %d file %d: key %d occurrence %d: back-reference %d out of range (piece %d)",
+					node, file, key, i, e.pos[i], p)
+				continue
+			}
+			if got := l.items[e.pos[i]]; got.key != key || got.off != uint32(i) {
+				t.Errorf("node %d file %d: key %d occurrence %d: back-reference points at %+v",
+					node, file, key, i, got)
+			}
+		}
 	}
 }
 
